@@ -1,0 +1,18 @@
+"""Helpers shared by the benchmark modules."""
+
+from __future__ import annotations
+
+import pathlib
+
+
+def write_result(results_dir: pathlib.Path, name: str, lines) -> None:
+    """Persist (and echo) a reproduced table or series.
+
+    Benchmarks write their regenerated paper tables/figures here so
+    the numbers survive pytest's output capture; EXPERIMENTS.md quotes
+    them.
+    """
+    text = "\n".join(str(line) for line in lines) + "\n"
+    (results_dir / f"{name}.txt").write_text(text)
+    print(f"\n--- {name} ---")
+    print(text)

@@ -1,0 +1,21 @@
+"""Shared benchmark fixtures.
+
+Every benchmark regenerates a paper table/figure (or an ablation) and
+writes the reproduced rows/series to ``benchmarks/results/<name>.txt``
+so the numbers survive pytest's output capture; the pytest-benchmark
+summary table carries the timing comparison.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR

@@ -1,0 +1,58 @@
+"""Ablation A1: fusion cost vs number of sensor readings.
+
+The lattice closes sensor rectangles under intersection, so its size —
+and Eq.-7 evaluation over it — grows with overlapping readings.  This
+bench measures fuse() latency as readings per object scale, which
+bounds how many technologies can reasonably cover one space.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _support import write_result
+from repro.core import FusionEngine, NormalizedReading, SensorSpec
+from repro.geometry import Rect
+
+UNIVERSE = Rect(0.0, 0.0, 500.0, 100.0)
+SPEC = SensorSpec("T", 1.0, 0.9, 0.1, resolution=5.0, time_to_live=1e9)
+
+
+def make_readings(count: int):
+    """Overlapping readings around one location (worst realistic case:
+    every technology sees the same person)."""
+    readings = []
+    for i in range(count):
+        x = 100.0 + (i % 5) * 4.0
+        y = 40.0 + (i // 5) * 3.0
+        size = 10.0 + (i % 3) * 6.0
+        rect = Rect(x, y, x + size, y + size)
+        readings.append(NormalizedReading(f"S{i}", "tom", rect, 0.0,
+                                          SPEC))
+    return readings
+
+
+@pytest.mark.parametrize("count", [1, 2, 4, 8, 12])
+def test_fusion_scaling(benchmark, count):
+    engine = FusionEngine()
+    readings = make_readings(count)
+    result = benchmark(lambda: engine.fuse("tom", readings, UNIVERSE,
+                                           0.0))
+    assert result.winning_component
+
+
+def test_fusion_scaling_table(benchmark, results_dir):
+    import time
+
+    engine = FusionEngine()
+    lines = ["Ablation A1: fusion latency vs readings per object",
+             f"{'readings':>9} {'lattice nodes':>14} {'time (ms)':>10}"]
+    for count in (1, 2, 4, 8, 12, 16):
+        readings = make_readings(count)
+        start = time.perf_counter()
+        result = engine.fuse("tom", readings, UNIVERSE, 0.0)
+        elapsed = (time.perf_counter() - start) * 1000.0
+        lines.append(f"{count:>9} {len(result.lattice):>14} "
+                     f"{elapsed:>10.3f}")
+    write_result(results_dir, "ablation_fusion_scaling", lines)
+    benchmark(lambda: engine.fuse("tom", make_readings(8), UNIVERSE, 0.0))

@@ -1,0 +1,111 @@
+"""Ablation A3: the MBR approximation vs exact polygons.
+
+The paper's design bet (Section 4.1.2): "While approximating sensor
+regions with minimum bounding rectangles decreases the accuracy of
+location detection, the advantages in terms of performance and
+simplicity far outweigh the loss in accuracy."  This ablation
+measures both sides of that trade for circular sensor regions (the
+worst common case — a circle's bounding square over-covers by 4/pi).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+import pytest
+
+from _support import write_result
+from repro.geometry import Point, Polygon, Rect
+
+
+def circle_polygon(center: Point, radius: float, sides: int = 32):
+    return Polygon.regular(center, radius, sides)
+
+
+def test_mbr_intersection_cost(benchmark):
+    a = Rect.from_center(Point(100, 50), 15.0)
+    b = Rect.from_center(Point(110, 55), 15.0)
+    benchmark(lambda: a.intersection_area(b))
+
+
+def test_polygon_intersection_cost(benchmark):
+    a = circle_polygon(Point(100, 50), 15.0)
+    b = Rect.from_center(Point(110, 55), 15.0)
+    benchmark(lambda: a.intersection_area_with_rect(b))
+
+
+def test_mbr_accuracy_table(benchmark, results_dir):
+    """Area error and speed of MBR vs exact circle, over separations."""
+    radius = 15.0
+    lines = ["Ablation A3: MBR vs exact polygon for circular sensor "
+             "regions (r = 15 ft)",
+             f"{'separation':>11} {'mbr overlap':>12} "
+             f"{'exact overlap':>14} {'overestimate':>13}"]
+    a_center = Point(100, 50)
+    for separation in (0.0, 5.0, 10.0, 15.0, 20.0, 25.0, 30.0):
+        b_center = Point(100 + separation, 50)
+        mbr_a = Rect.from_center(a_center, radius)
+        mbr_b = Rect.from_center(b_center, radius)
+        mbr_overlap = mbr_a.intersection_area(mbr_b)
+        circle_a = circle_polygon(a_center, radius, 64)
+        exact = circle_a.intersection_area_with_rect(
+            Rect.from_center(b_center, radius))
+        ratio = mbr_overlap / exact if exact > 0 else float("inf")
+        lines.append(f"{separation:>11.0f} {mbr_overlap:>12.1f} "
+                     f"{exact:>14.1f} {ratio:>12.2f}x")
+        # The MBR never under-covers.
+        assert mbr_overlap >= exact - 1e-6
+
+    # Timing comparison on one representative pair.
+    mbr_a = Rect.from_center(a_center, radius)
+    mbr_b = Rect.from_center(Point(110, 55), radius)
+    circle_a = circle_polygon(a_center, radius, 64)
+    n = 20000
+    start = time.perf_counter()
+    for _ in range(n):
+        mbr_a.intersection_area(mbr_b)
+    mbr_time = time.perf_counter() - start
+    start = time.perf_counter()
+    for _ in range(n // 20):
+        circle_a.intersection_area_with_rect(mbr_b)
+    poly_time = (time.perf_counter() - start) * 20
+    speedup = poly_time / mbr_time
+    lines.append(f"speed: rect-rect {mbr_time / n * 1e6:.2f} us vs "
+                 f"polygon-rect {poly_time / n * 1e6:.2f} us "
+                 f"({speedup:.0f}x faster)")
+    # The paper's bet must hold: MBRs are at least an order of
+    # magnitude faster.
+    assert speedup > 10.0
+    write_result(results_dir, "ablation_mbr", lines)
+    benchmark(lambda: mbr_a.intersection_area(mbr_b))
+
+
+def test_mbr_containment_refinement(benchmark, results_dir):
+    """Section 5.1's filter/refine: how often does the MBR filter lie?
+
+    Points uniformly sampled inside the MBR of a circle: ~21% are
+    outside the circle (1 - pi/4), which is exactly the refinement
+    pass's job to reject.
+    """
+    import random
+
+    rng = random.Random(3)
+    center = Point(100.0, 50.0)
+    radius = 15.0
+    mbr = Rect.from_center(center, radius)
+    circle = circle_polygon(center, radius, 128)
+    total = 20000
+    false_accepts = 0
+    for _ in range(total):
+        p = Point(rng.uniform(mbr.min_x, mbr.max_x),
+                  rng.uniform(mbr.min_y, mbr.max_y))
+        if not circle.contains_point(p):
+            false_accepts += 1
+    rate = false_accepts / total
+    expected = 1.0 - math.pi / 4.0
+    lines = ["MBR filter false-accept rate for a circular region",
+             f"measured = {rate:.3f}, analytic 1 - pi/4 = {expected:.3f}"]
+    assert rate == pytest.approx(expected, abs=0.02)
+    write_result(results_dir, "ablation_mbr_filter", lines)
+    benchmark(lambda: circle.contains_point(center))

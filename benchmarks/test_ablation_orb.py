@@ -1,0 +1,100 @@
+"""Ablation A4: ORB transport cost — in-process vs TCP.
+
+The paper runs everything over Orbacus; our ORB offers both an
+in-process path and a real TCP path.  This ablation prices the
+distribution boundary for the middleware's hottest call, locate().
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _support import write_result
+from repro.geometry import Point
+from repro.orb import Orb
+from repro.sensors import UbisenseAdapter
+from repro.service import LocationService, publish_service
+from repro.sim import SimClock, siebel_floor
+from repro.spatialdb import SpatialDatabase
+
+
+def build_rig():
+    world = siebel_floor()
+    db = SpatialDatabase(world)
+    clock = SimClock()
+    orb = Orb("server")
+    service = LocationService(db, orb=orb, clock=clock)
+    adapter = UbisenseAdapter("Ubi-1", "SC/3", frame="").attach(db)
+    adapter.tag_sighting("alice", Point(150, 20), 0.0)
+    clock.advance(1.0)
+    reference, _ = publish_service(service, orb)
+    return orb, service, reference
+
+
+def test_locate_direct_call(benchmark):
+    """Baseline: the bare in-process API, no broker at all."""
+    _, service, _ = build_rig()
+    result = benchmark(lambda: service.locate("alice"))
+    assert result.symbolic == "SC/3/3105"
+
+
+def test_locate_inproc_orb(benchmark):
+    """Through the broker with the in-process transport (serialization
+    round-trip, no socket)."""
+    orb, _, reference = build_rig()
+    proxy = orb.resolve(reference)
+    result = benchmark(lambda: proxy.locate("alice"))
+    assert result.symbolic == "SC/3/3105"
+
+
+def test_locate_tcp_orb(benchmark):
+    """Through a real socket, as a Gaia application would call it."""
+    orb, _, _ = build_rig()
+    orb.listen()
+    reference = orb.reference_for("location-service")
+    client = Orb("client")
+    proxy = client.resolve(reference)
+    try:
+        result = benchmark(lambda: proxy.locate("alice"))
+        assert result.symbolic == "SC/3/3105"
+    finally:
+        client.shutdown()
+        orb.shutdown()
+
+
+def test_transport_cost_table(benchmark, results_dir):
+    import time
+
+    orb, service, reference = build_rig()
+    orb_host, orb_port = orb.listen()
+    tcp_reference = orb.reference_for("location-service")
+    client = Orb("client")
+    inproc_proxy = orb.resolve(reference)
+    tcp_proxy = client.resolve(tcp_reference)
+    rounds = 200
+
+    def measure(callable_):
+        callable_()  # warm
+        start = time.perf_counter()
+        for _ in range(rounds):
+            callable_()
+        return (time.perf_counter() - start) / rounds * 1e6
+
+    try:
+        direct = measure(lambda: service.locate("alice"))
+        inproc = measure(lambda: inproc_proxy.locate("alice"))
+        tcp = measure(lambda: tcp_proxy.locate("alice"))
+    finally:
+        client.shutdown()
+        orb.shutdown()
+
+    lines = ["Ablation A4: locate() cost by call path (us/call)",
+             f"{'direct python':>14}: {direct:>9.1f}",
+             f"{'inproc orb':>14}: {inproc:>9.1f} "
+             f"({inproc / direct:.2f}x direct)",
+             f"{'tcp orb':>14}: {tcp:>9.1f} ({tcp / direct:.2f}x direct)"]
+    # Serialization costs something; sockets cost more.
+    assert inproc >= direct * 0.8
+    assert tcp > direct
+    write_result(results_dir, "ablation_orb", lines)
+    benchmark(lambda: service.locate("alice"))

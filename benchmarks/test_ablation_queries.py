@@ -1,0 +1,116 @@
+"""Ablation A5: query-type latency across the Location Service API.
+
+Prices every pull-mode query the paper's Section 4 defines: object
+locate, symbolic locate, region probability/confidence, who-is-in-
+region, spatial relations, and path distance.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _support import write_result
+from repro.geometry import Point
+from repro.sensors import RfBadgeAdapter, UbisenseAdapter
+from repro.service import LocationService
+from repro.sim import SimClock, siebel_floor
+from repro.spatialdb import SpatialDatabase
+
+
+@pytest.fixture(scope="module")
+def rig():
+    world = siebel_floor()
+    db = SpatialDatabase(world)
+    clock = SimClock()
+    service = LocationService(db, clock=clock)
+    ubi = UbisenseAdapter("Ubi-1", "SC/3", frame="").attach(db)
+    rf = RfBadgeAdapter("RF-1", "SC/3/3105", Point(170, 20),
+                        frame="").attach(db)
+    positions = {
+        "alice": Point(150, 20), "bob": Point(160, 25),
+        "carol": Point(30, 80), "dave": Point(250, 50),
+        "erin": Point(350, 20),
+    }
+    for name, position in positions.items():
+        ubi.tag_sighting(name, position, 0.0)
+        rf.badge_sighting(name, 0.0)
+    clock.advance(1.0)
+    return service
+
+
+def test_object_locate(benchmark, rig):
+    estimate = benchmark(lambda: rig.locate("alice"))
+    assert estimate.object_id == "alice"
+
+
+def test_symbolic_locate(benchmark, rig):
+    symbolic = benchmark(lambda: rig.locate_symbolic("alice"))
+    assert symbolic is not None
+
+
+def test_region_confidence(benchmark, rig):
+    value = benchmark(
+        lambda: rig.confidence_in_region("alice", "SC/3/3105"))
+    assert value > 0.0
+
+
+def test_region_probability(benchmark, rig):
+    value = benchmark(
+        lambda: rig.probability_in_region("alice", "SC/3/3105"))
+    assert 0.0 <= value <= 1.0
+
+
+def test_objects_in_region(benchmark, rig):
+    found = benchmark(lambda: rig.objects_in_region("SC/3/3105"))
+    assert {name for name, _ in found} >= {"alice", "bob"}
+
+
+def test_proximity_relation(benchmark, rig):
+    relation = benchmark(lambda: rig.proximity("alice", "bob", 30.0))
+    assert relation.holds
+
+
+def test_colocation_relation(benchmark, rig):
+    relation = benchmark(lambda: rig.colocation("alice", "bob", 3))
+    assert relation.holds
+
+
+def test_path_distance(benchmark, rig):
+    value = benchmark(
+        lambda: rig.navigation.path_distance("SC/3/3102", "SC/3/3110"))
+    assert value is not None
+
+
+def test_nearest_entities(benchmark, rig):
+    found = benchmark(lambda: rig.nearest_entities(
+        "alice", count=1, object_type="Workstation"))
+    assert found
+
+
+def test_query_latency_table(benchmark, rig, results_dir):
+    import time
+
+    queries = {
+        "locate(object)": lambda: rig.locate("alice"),
+        "locate_symbolic": lambda: rig.locate_symbolic("alice"),
+        "confidence_in_region": lambda: rig.confidence_in_region(
+            "alice", "SC/3/3105"),
+        "probability_in_region": lambda: rig.probability_in_region(
+            "alice", "SC/3/3105"),
+        "objects_in_region": lambda: rig.objects_in_region("SC/3/3105"),
+        "proximity": lambda: rig.proximity("alice", "bob", 30.0),
+        "colocation": lambda: rig.colocation("alice", "bob", 3),
+        "path_distance": lambda: rig.navigation.path_distance(
+            "SC/3/3102", "SC/3/3110"),
+    }
+    lines = ["Ablation A5: Location Service query latency (us/query)"]
+    rounds = 100
+    for name, query in queries.items():
+        query()
+        start = time.perf_counter()
+        for _ in range(rounds):
+            query()
+        micros = (time.perf_counter() - start) / rounds * 1e6
+        lines.append(f"{name:>22}: {micros:>9.1f}")
+    write_result(results_dir, "ablation_queries", lines)
+    benchmark(lambda: rig.locate("alice"))

@@ -1,0 +1,76 @@
+"""Ablation A9: the spatial SQL dialect (Section 5.1's query claim).
+
+Times parse + execute for representative queries, and measures what
+the R-tree prefilter buys INTERSECTS queries over large worlds.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from _support import write_result
+from repro.sim import generate_office_floor, siebel_floor
+from repro.spatialdb import SpatialDatabase, parse_query
+
+
+@pytest.fixture(scope="module")
+def small_db() -> SpatialDatabase:
+    world = siebel_floor()
+    world.get("SC/3/3105").properties["bluetooth_signal"] = 0.9
+    world.get("SC/3/3216").properties["bluetooth_signal"] = 0.85
+    return SpatialDatabase(world)
+
+
+@pytest.fixture(scope="module")
+def big_db() -> SpatialDatabase:
+    return SpatialDatabase(generate_office_floor(rooms_per_side=120))
+
+
+PAPER_QUERY = ("SELECT glob FROM spatial_objects "
+               "WHERE object_type = 'Room' "
+               "AND properties.power_outlets = true "
+               "AND properties.bluetooth_signal >= 0.8 "
+               "NEAREST TO (230, 20) LIMIT 1")
+
+
+def test_parse_cost(benchmark):
+    query = benchmark(lambda: parse_query(PAPER_QUERY))
+    assert query.limit == 1
+
+
+def test_paper_example_query(benchmark, small_db, results_dir):
+    rows = benchmark(lambda: small_db.query(PAPER_QUERY))
+    assert rows[0]["glob"] == "SC/3/3105"
+    write_result(results_dir, "ablation_a9_paper_query",
+                 ["Section 5.1 example query result:",
+                  f"  {rows[0]}"])
+
+
+def test_intersects_uses_rtree(benchmark, big_db, results_dir):
+    spatial = ("SELECT glob FROM spatial_objects "
+               "WHERE object_type = 'Room' "
+               "AND INTERSECTS(100, 0, 160, 70)")
+    unfiltered = ("SELECT glob FROM spatial_objects "
+                  "WHERE object_type = 'Room'")
+
+    start = time.perf_counter()
+    for _ in range(50):
+        narrow = big_db.query(spatial)
+    narrow_ms = (time.perf_counter() - start) * 20.0
+
+    start = time.perf_counter()
+    for _ in range(50):
+        wide = big_db.query(unfiltered)
+    wide_ms = (time.perf_counter() - start) * 20.0
+
+    lines = ["Ablation A9: INTERSECTS query with R-tree prefilter "
+             f"({len(big_db.spatial_objects)} objects)",
+             f"spatial query  -> {len(narrow)} rows, {narrow_ms:.2f} ms",
+             f"full type scan -> {len(wide)} rows, {wide_ms:.2f} ms",
+             f"prefilter speedup: {wide_ms / narrow_ms:.1f}x"]
+    assert len(narrow) < len(wide)
+    assert narrow_ms < wide_ms
+    write_result(results_dir, "ablation_a9_rtree_prefilter", lines)
+    benchmark(lambda: big_db.query(spatial))

@@ -1,0 +1,82 @@
+"""Ablation A10: reasoning-engine costs.
+
+The paper offloads derived relations to XSB Prolog; our Horn-clause
+engine must stay fast enough that reachability queries and RCC-8
+constraint propagation are interactive at building scale.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from _support import write_result
+from repro.reasoning import (
+    NavigationGraph,
+    RCC8,
+    RelationNetwork,
+    build_knowledge_base,
+    reachable_regions,
+    region_rcc8,
+)
+from repro.sim import generate_office_floor, siebel_building, siebel_floor
+
+
+@pytest.mark.parametrize("rooms_per_side", [4, 12, 24])
+def test_reachability_query(benchmark, rooms_per_side):
+    world = generate_office_floor(rooms_per_side=rooms_per_side)
+    kb = build_knowledge_base(world)
+    source = f"GEN/1/S001"
+    result = benchmark(lambda: reachable_regions(kb, source))
+    # Every room reaches every other through the corridor.
+    assert len(result) == 2 * rooms_per_side + 1
+
+
+def test_kb_construction(benchmark):
+    world = siebel_building()
+    kb = benchmark(lambda: build_knowledge_base(world))
+    assert kb.clause_count() > 20
+
+
+def test_rcc8_constraint_propagation(benchmark, results_dir):
+    world = siebel_floor()
+    regions = ["SC/3", "SC/3/3105", "SC/3/NetLab", "SC/3/Corridor",
+               "SC/3/3102", "SC/3/ConferenceRoom"]
+
+    def propagate():
+        network = RelationNetwork(regions)
+        # Feed only the room-vs-floor relations; propagation must
+        # still tighten room-vs-room pairs.
+        for region in regions[1:]:
+            network.set_relation(region, "SC/3",
+                                 [region_rcc8(world, region, "SC/3")])
+        assert network.propagate()
+        return network
+
+    network = propagate()
+    lines = ["Ablation A10: RCC-8 propagation over the Siebel floor",
+             f"regions: {len(regions)}"]
+    pair = network.relation("SC/3/3105", "SC/3/NetLab")
+    lines.append(
+        f"inferred 3105-vs-NetLab from floor facts alone: "
+        f"{{{', '.join(sorted(r.value for r in pair))}}}")
+    # Proper parts of the same region cannot strictly contain each
+    # other: the inverse-containment relations are ruled out.
+    assert RCC8.NTPPI not in pair
+    assert RCC8.NTPP not in pair
+
+    start = time.perf_counter()
+    for _ in range(20):
+        propagate()
+    elapsed_ms = (time.perf_counter() - start) / 20 * 1000
+    lines.append(f"propagation time: {elapsed_ms:.2f} ms")
+    write_result(results_dir, "ablation_a10_reasoning", lines)
+    benchmark(propagate)
+
+
+def test_cross_floor_route(benchmark):
+    world = siebel_building()
+    nav = NavigationGraph(world)
+    route = benchmark(lambda: nav.route("SC/3/3102", "SC/2/Cafe"))
+    assert route is not None

@@ -1,0 +1,88 @@
+"""Ablation A11: is the fused confidence *calibrated*?
+
+Applications act on the Section 4.4 buckets; those are only meaningful
+if higher reported confidence really means the estimate is right more
+often.  This ablation builds a reliability diagram over a long
+simulated run: estimates bucketed by reported confidence vs the
+empirical rate at which the estimated rectangle (grown by the sensor
+noise floor) actually covered the person.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _support import write_result
+from repro.errors import UnknownObjectError
+from repro.sim import Scenario
+
+# A little slack for sensor noise: the Ubisense fix itself wobbles by
+# its resolution, so "covered" tolerates that much.
+NOISE_MARGIN_FT = 3.0
+
+
+def collect_reliability(seed: int, seconds: float):
+    scenario = Scenario(seed=seed).standard_deployment()
+    scenario.add_people(5)
+    samples = []
+    elapsed = 0.0
+    while elapsed < seconds:
+        scenario.step(1.0)
+        elapsed += 1.0
+        for person in scenario.people:
+            try:
+                estimate = scenario.service.locate(person.person_id)
+            except UnknownObjectError:
+                continue
+            covered = estimate.rect.expanded(
+                NOISE_MARGIN_FT).contains_point(person.position)
+            region_hit = (
+                estimate.symbolic is not None
+                and (person.region == estimate.symbolic
+                     or person.region.startswith(estimate.symbolic + "/")))
+            samples.append((estimate.probability, covered, region_hit))
+    return samples
+
+
+def test_a11_reliability_diagram(benchmark, results_dir):
+    samples = collect_reliability(seed=41, seconds=600.0)
+    assert len(samples) > 300
+
+    bins = [(0.0, 0.5), (0.5, 0.75), (0.75, 0.9), (0.9, 1.01)]
+    lines = ["Ablation A11: reliability of reported confidence",
+             "(rect = point inside the estimate rectangle +3 ft; "
+             "region = right room or an ancestor region)",
+             f"{'confidence bin':>16} {'n':>6} {'rect hit':>9} "
+             f"{'region hit':>11}"]
+    rect_rates = []
+    region_rates = []
+    for low, high in bins:
+        matching = [(rect_hit, region_hit)
+                    for conf, rect_hit, region_hit in samples
+                    if low <= conf < high]
+        if not matching:
+            lines.append(f"{f'[{low}, {high})':>16} {0:>6} "
+                         f"{'-':>9} {'-':>11}")
+            rect_rates.append(None)
+            region_rates.append(None)
+            continue
+        rect_rate = sum(m[0] for m in matching) / len(matching)
+        region_rate = sum(m[1] for m in matching) / len(matching)
+        rect_rates.append(rect_rate)
+        region_rates.append(region_rate)
+        lines.append(f"{f'[{low}, {high})':>16} {len(matching):>6} "
+                     f"{rect_rate:>9.2f} {region_rate:>11.2f}")
+
+    # Confidence must be informative at region granularity (the
+    # granularity the applications act on): monotone from the bottom
+    # populated bin to the top, and reliable at the top.
+    populated = [r for r in region_rates if r is not None]
+    assert populated[-1] >= populated[0]
+    assert populated[-1] >= 0.7
+    lines.append(f"region-hit gap top-vs-bottom: "
+                 f"{populated[-1] - populated[0]:+.2f}")
+    # Rect-level hits lag when readings go stale while people walk —
+    # which is exactly why the service reports symbolic regions.
+    write_result(results_dir, "ablation_a11_reliability", lines)
+
+    benchmark(lambda: collect_reliability(seed=41, seconds=30.0))

@@ -1,0 +1,111 @@
+"""Ablation A2: R-tree vs linear scan for region queries.
+
+The spatial database's region queries (objects_intersecting, nearest)
+go through the Guttman R-tree; this ablation quantifies what that buys
+over the naive scan PostGIS would also avoid, across world sizes.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from _support import write_result
+from repro.geometry import Point, Rect
+from repro.spatialdb import RTree
+
+
+def make_world(count: int, seed: int = 5):
+    rng = random.Random(seed)
+    rects = []
+    for _ in range(count):
+        x = rng.uniform(0, 2000)
+        y = rng.uniform(0, 2000)
+        rects.append(Rect(x, y, x + rng.uniform(5, 40),
+                          y + rng.uniform(5, 40)))
+    return rects
+
+
+def probes(seed: int = 7, count: int = 50):
+    rng = random.Random(seed)
+    out = []
+    for _ in range(count):
+        x = rng.uniform(0, 2000)
+        y = rng.uniform(0, 2000)
+        out.append(Rect(x, y, x + 60, y + 60))
+    return out
+
+
+@pytest.mark.parametrize("count", [100, 1000, 5000])
+def test_rtree_query(benchmark, count):
+    rects = make_world(count)
+    tree = RTree()
+    for i, rect in enumerate(rects):
+        tree.insert(rect, i)
+    probe_list = probes()
+
+    def run():
+        total = 0
+        for probe in probe_list:
+            total += len(tree.search(probe))
+        return total
+
+    expected = sum(1 for probe in probe_list for r in rects
+                   if r.intersects(probe))
+    assert run() == expected
+    benchmark(run)
+
+
+@pytest.mark.parametrize("count", [100, 1000, 5000])
+def test_linear_scan_query(benchmark, count):
+    rects = make_world(count)
+    probe_list = probes()
+
+    def run():
+        total = 0
+        for probe in probe_list:
+            total += sum(1 for r in rects if r.intersects(probe))
+        return total
+
+    benchmark(run)
+
+
+def test_rtree_speedup_table(benchmark, results_dir):
+    lines = ["Ablation A2: R-tree vs linear scan "
+             "(50 region queries, total time)",
+             f"{'objects':>8} {'linear (ms)':>12} {'rtree (ms)':>11} "
+             f"{'speedup':>8}"]
+    for count in (100, 500, 1000, 5000):
+        rects = make_world(count)
+        tree = RTree()
+        for i, rect in enumerate(rects):
+            tree.insert(rect, i)
+        probe_list = probes()
+
+        start = time.perf_counter()
+        linear = [sum(1 for r in rects if r.intersects(p))
+                  for p in probe_list]
+        linear_ms = (time.perf_counter() - start) * 1000.0
+
+        start = time.perf_counter()
+        indexed = [len(tree.search(p)) for p in probe_list]
+        rtree_ms = (time.perf_counter() - start) * 1000.0
+
+        assert linear == indexed
+        lines.append(f"{count:>8} {linear_ms:>12.2f} {rtree_ms:>11.2f} "
+                     f"{linear_ms / rtree_ms:>7.1f}x")
+    write_result(results_dir, "ablation_rtree", lines)
+
+    tree = RTree()
+    for i, rect in enumerate(make_world(1000)):
+        tree.insert(rect, i)
+    benchmark(lambda: [len(tree.search(p)) for p in probes()])
+
+
+def test_rtree_nearest(benchmark):
+    tree = RTree()
+    for i, rect in enumerate(make_world(2000)):
+        tree.insert(rect, i)
+    benchmark(lambda: tree.nearest(Point(1000, 1000), 5))

@@ -1,0 +1,67 @@
+"""The Follow Me application (paper Section 8.1) on a live scenario.
+
+A user's session (applications + files + state) follows them between
+displays and workstations: when they enter a device's usage region
+with sufficient confidence the session resumes there; when they walk
+away it suspends.
+
+Run:  python examples/follow_me_sessions.py
+"""
+
+from __future__ import annotations
+
+from repro.apps import FollowMeApp, FollowMePreferences
+from repro.core import ProbabilityBucket
+from repro.geometry import Point
+from repro.sensors import UbisenseAdapter
+from repro.service import LocationService
+from repro.sim import SimClock, siebel_floor
+from repro.spatialdb import SpatialDatabase
+
+
+def main() -> None:
+    world = siebel_floor()
+    db = SpatialDatabase(world)
+    clock = SimClock()
+    service = LocationService(db, clock=clock)
+    # One building-wide UWB deployment tracks alice's badge precisely.
+    ubisense = UbisenseAdapter("Ubi-1", "SC/3", frame="").attach(db)
+
+    app = FollowMeApp(service)
+    proxy = app.register_user(
+        "alice",
+        FollowMePreferences(min_bucket=ProbabilityBucket.MEDIUM))
+    session = proxy.session
+    session.applications.extend(["editor", "mail"])
+    session.open_files.append("/home/alice/paper.tex")
+
+    # alice's day: her office workstation, a meeting at the conference
+    # room display, a stop in the HCILab, then the corridor (no host).
+    itinerary = [
+        ("at her 3105 workstation", Point(146, 4)),
+        ("still typing", Point(146, 5)),
+        ("walking the corridor", Point(200, 50)),
+        ("presenting in the conference room", Point(190, 85)),
+        ("chatting near the HCILab display", Point(290, 5)),
+        ("leaving for lunch", Point(10, 50)),
+    ]
+
+    print("Follow Me: alice's session migrations\n")
+    for description, position in itinerary:
+        clock.advance(30.0)
+        ubisense.tag_sighting("alice", position, clock.now())
+        event = proxy.tick()
+        state = ("suspended" if session.suspended
+                 else f"live on {session.host}")
+        change = (f" -> {event.action.upper()}"
+                  f"{' @ ' + event.host if event.host else ''}"
+                  if event else "")
+        print(f"t={clock.now():>5.0f}s  alice {description:<40} "
+              f"session: {state}{change}")
+
+    print(f"\ntotal migrations: {session.migrations}")
+    print(f"migration log: {[(e.action, e.host) for e in proxy.events]}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+"""Smart office: the extension features working together.
+
+Combines the reproduction's added capabilities on one floor:
+
+* the spatial SQL dialect (Section 5.1's example query);
+* proximity subscriptions (Section 5.3's distance condition);
+* location history — trajectories, speed, regions visited;
+* the route advisor (Section 4.6.1's route-finding applications);
+* RCC-8 composition inference over the floor's regions.
+
+Run:  python examples/smart_office.py
+"""
+
+from __future__ import annotations
+
+from repro.apps import RouteAdvisor
+from repro.geometry import Point
+from repro.reasoning import RCC8, RelationNetwork, region_rcc8
+from repro.sensors import UbisenseAdapter
+from repro.service import LocationHistory, LocationService
+from repro.sim import SimClock, siebel_floor
+from repro.spatialdb import SpatialDatabase
+
+
+def main() -> None:
+    world = siebel_floor()
+    world.get("SC/3/3216").properties["bluetooth_signal"] = 0.85
+    world.get("SC/3/3105").properties["bluetooth_signal"] = 0.9
+    db = SpatialDatabase(world)
+    clock = SimClock()
+    history = LocationHistory(min_interval=0.0)
+    service = LocationService(db, clock=clock, history=history)
+    ubi = UbisenseAdapter("Ubi-1", "SC/3", frame="").attach(db)
+
+    print("=== spatial SQL (Section 5.1) ===")
+    rows = db.query(
+        "SELECT glob FROM spatial_objects "
+        "WHERE object_type = 'Room' "
+        "AND properties.power_outlets = true "
+        "AND properties.bluetooth_signal >= 0.8 "
+        "NEAREST TO (230, 20) LIMIT 2")
+    for row in rows:
+        print(f"  {row['glob']} ({row['distance']:.0f} ft away)")
+
+    print("\n=== proximity subscription (Section 5.3) ===")
+    meetings = []
+    service.subscribe_proximity("alice", "bob", threshold_ft=15.0,
+                                kind="both", consumer=meetings.append)
+    # alice works in 3102; bob walks down the corridor to meet her.
+    path = [(250.0, 50.0), (150.0, 50.0), (60.0, 50.0), (50.0, 30.0),
+            (50.0, 22.0), (52.0, 20.0), (120.0, 50.0), (260.0, 50.0)]
+    for step, (x, y) in enumerate(path):
+        now = clock.advance(15.0)
+        ubi.tag_sighting("alice", Point(50, 20), now)
+        ubi.tag_sighting("bob", Point(x, y), now)
+        service.locate("alice")
+        service.locate("bob")
+    for event in meetings:
+        print(f"  t={event['time']:>4.0f}s alice/bob "
+              f"{event['transition']} within "
+              f"{event['threshold_ft']:.0f} ft "
+              f"(actual {event['distance_ft']:.1f} ft)")
+
+    print("\n=== location history ===")
+    print(f"  bob's regions: "
+          f"{' -> '.join(history.regions_visited('bob'))}")
+    print(f"  bob's average speed: "
+          f"{history.speed('bob', window=120.0):.1f} ft/s")
+    print(f"  bob travelled: "
+          f"{history.distance_travelled('bob'):.0f} ft")
+    print(f"  alice stationary: "
+          f"{history.is_stationary('alice', window=60.0)}")
+
+    print("\n=== route advisor ===")
+    advisor = RouteAdvisor(service)
+    print(advisor.advise("bob", "SC/3/3216"))
+    print()
+    print(advisor.advise("bob", "SC/3/3105"))  # locked lab
+
+    print("\n=== RCC-8 composition inference ===")
+    network = RelationNetwork(["SC/3", "SC/3/3105",
+                               "SC/3/3105/workstation1"])
+    network.set_relation("SC/3/3105", "SC/3",
+                         [region_rcc8(world, "SC/3/3105", "SC/3")])
+    network.set_relation("SC/3/3105/workstation1", "SC/3/3105",
+                         [RCC8.NTPP])
+    network.propagate()
+    inferred = network.relation("SC/3/3105/workstation1", "SC/3")
+    print(f"  workstation1 vs floor (never measured): "
+          f"{{{', '.join(r.value for r in inferred)}}}")
+
+
+if __name__ == "__main__":
+    main()

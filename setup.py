@@ -1,0 +1,20 @@
+"""Setup shim.
+
+The pyproject.toml carries the metadata; this file exists so that
+``pip install -e .`` works on offline machines without the ``wheel``
+package (pip falls back to the legacy ``setup.py develop`` path).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "MiddleWhere: middleware for location awareness "
+        "(MIDDLEWARE 2004) - full reproduction"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+)

@@ -1,0 +1,48 @@
+"""Location-aware applications (paper Section 8).
+
+The four applications the paper built on MiddleWhere: Follow Me
+session migration, Anywhere Instant Messaging, Location-Based
+Notifications and the Vocal Personnel Locator.  All consume only the
+Location Service's public API — they are the proof that the
+middleware's abstractions suffice.
+"""
+
+from repro.apps.follow_me import (
+    FollowMeApp,
+    FollowMePreferences,
+    MigrationEvent,
+    UserProxy,
+)
+from repro.apps.locator import VocalPersonnelLocator
+from repro.apps.messaging import (
+    AnywhereIM,
+    Delivery,
+    Message,
+    MessagingPreferences,
+)
+from repro.apps.notifications import (
+    DeliveredNotification,
+    NotificationCenter,
+    RegionNotifier,
+)
+from repro.apps.route_advisor import Directions, RouteAdvisor
+from repro.apps.session import SessionManager, UserSession
+
+__all__ = [
+    "AnywhereIM",
+    "DeliveredNotification",
+    "Delivery",
+    "Directions",
+    "RouteAdvisor",
+    "FollowMeApp",
+    "FollowMePreferences",
+    "Message",
+    "MessagingPreferences",
+    "MigrationEvent",
+    "NotificationCenter",
+    "RegionNotifier",
+    "SessionManager",
+    "UserProxy",
+    "UserSession",
+    "VocalPersonnelLocator",
+]

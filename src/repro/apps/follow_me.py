@@ -1,0 +1,129 @@
+"""The Follow Me application (paper Section 8.1).
+
+"If a user moves out of the vicinity of the display he is using, the
+application will automatically suspend the session.  When a user is
+detected in the vicinity of any other display or workstation, the
+session is automatically migrated and resumed at that machine."
+
+Each user gets a *user proxy* that consults the Location Service,
+finds a suitable nearby display (one whose usage region contains the
+user), and migrates the session, honouring the user's privacy
+preferences and a minimum confidence grade.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.apps.session import SessionManager, UserSession
+from repro.core import ProbabilityBucket
+from repro.errors import UnknownObjectError
+from repro.service import LocationService
+
+
+@dataclass
+class FollowMePreferences:
+    """Per-user knobs ("The user can customize the behavior ... to
+    accommodate privacy preferences")."""
+
+    enabled: bool = True
+    min_bucket: ProbabilityBucket = ProbabilityBucket.MEDIUM
+    host_types: Tuple[str, ...] = ("Display", "Workstation")
+
+
+@dataclass
+class MigrationEvent:
+    """One observed session move, for logs and tests."""
+
+    user_id: str
+    time: float
+    action: str              # "resume" | "suspend"
+    host: Optional[str]
+
+
+class UserProxy:
+    """Manages one user's session against the Location Service."""
+
+    def __init__(self, user_id: str, service: LocationService,
+                 sessions: SessionManager,
+                 preferences: Optional[FollowMePreferences] = None) -> None:
+        self.user_id = user_id
+        self.service = service
+        self.sessions = sessions
+        self.preferences = preferences or FollowMePreferences()
+        if not sessions.has(user_id):
+            sessions.create(user_id)
+        self.events: List[MigrationEvent] = []
+
+    @property
+    def session(self) -> UserSession:
+        return self.sessions.get(self.user_id)
+
+    def _suitable_host(self, now: Optional[float]) -> Optional[str]:
+        """The nearest display/workstation whose usage region holds the
+        user with sufficient grade."""
+        try:
+            estimate = self.service.locate(self.user_id, now)
+        except UnknownObjectError:
+            return None
+        if estimate.bucket < self.preferences.min_bucket:
+            return None
+        candidates: List[Tuple[float, str]] = []
+        for host_type in self.preferences.host_types:
+            for glob, distance in self.service.nearest_entities(
+                    estimate.rect.center, count=3, object_type=host_type):
+                relation = self.service.relations.usage(estimate, glob)
+                if relation.holds:
+                    candidates.append((distance, glob))
+        if not candidates:
+            return None
+        candidates.sort()
+        return candidates[0][1]
+
+    def tick(self, now: Optional[float] = None) -> Optional[MigrationEvent]:
+        """Re-evaluate the session placement; returns any change made."""
+        if not self.preferences.enabled:
+            return None
+        at = now if now is not None else self.service.clock()
+        host = self._suitable_host(at)
+        session = self.session
+        event: Optional[MigrationEvent] = None
+        if host is None:
+            if not session.suspended:
+                session.suspend()
+                event = MigrationEvent(self.user_id, at, "suspend", None)
+        elif session.host != host or session.suspended:
+            session.resume_at(host)
+            event = MigrationEvent(self.user_id, at, "resume", host)
+        if event is not None:
+            self.events.append(event)
+        return event
+
+
+class FollowMeApp:
+    """The whole application: one proxy per registered user."""
+
+    def __init__(self, service: LocationService) -> None:
+        self.service = service
+        self.sessions = SessionManager()
+        self._proxies: dict = {}
+
+    def register_user(self, user_id: str,
+                      preferences: Optional[FollowMePreferences] = None
+                      ) -> UserProxy:
+        proxy = UserProxy(user_id, self.service, self.sessions, preferences)
+        self._proxies[user_id] = proxy
+        return proxy
+
+    def proxy(self, user_id: str) -> UserProxy:
+        return self._proxies[user_id]
+
+    def tick_all(self, now: Optional[float] = None) -> List[MigrationEvent]:
+        """One Follow Me evaluation pass over every user."""
+        events = []
+        for proxy in self._proxies.values():
+            event = proxy.tick(now)
+            if event is not None:
+                events.append(event)
+        return events

@@ -1,0 +1,113 @@
+"""The Vocal Personnel Locator (paper Section 8.4).
+
+"This application combines voice recognition with location-awareness.
+A user asks the computer to locate a person or an object using a
+speech interface.  The application then queries the spatial database
+for the required info, and replies verbally."
+
+Speech recognition and synthesis are out of scope (and beside the
+point); the locator consumes the *recognized utterance* as text and
+produces the reply text that would be spoken — exactly the layer that
+exercises MiddleWhere.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from repro.errors import PrivacyError, UnknownObjectError
+from repro.service import LocationService
+
+_WHERE_RE = re.compile(
+    r"^\s*(?:where\s+is|where's|find|locate)\s+(?P<name>[\w\- ]+?)\s*\??\s*$",
+    re.IGNORECASE)
+_WHO_RE = re.compile(
+    r"^\s*who\s+is\s+in\s+(?:the\s+)?(?P<region>[\w\-/ ]+?)\s*\??\s*$",
+    re.IGNORECASE)
+_NEAR_RE = re.compile(
+    r"^\s*(?:what|which)\s+(?P<kind>\w+)\s+is\s+(?:nearest|closest)\s+"
+    r"(?:to\s+)?(?P<name>[\w\- ]+?)\s*\??\s*$",
+    re.IGNORECASE)
+
+
+class VocalPersonnelLocator:
+    """Text-in, text-out personnel/object locator."""
+
+    def __init__(self, service: LocationService) -> None:
+        self.service = service
+        self.transcript: List[Tuple[str, str]] = []
+
+    def ask(self, utterance: str,
+            requester: Optional[str] = None) -> str:
+        """Answer one recognized utterance."""
+        reply = self._answer(utterance, requester)
+        self.transcript.append((utterance, reply))
+        return reply
+
+    # ------------------------------------------------------------------
+
+    def _answer(self, utterance: str, requester: Optional[str]) -> str:
+        match = _WHERE_RE.match(utterance)
+        if match:
+            return self._where_is(match.group("name").strip(), requester)
+        match = _WHO_RE.match(utterance)
+        if match:
+            return self._who_is_in(match.group("region").strip())
+        match = _NEAR_RE.match(utterance)
+        if match:
+            return self._nearest(match.group("kind").strip(),
+                                 match.group("name").strip(), requester)
+        return ("Sorry, I can answer 'where is <person>', "
+                "'who is in <region>' and "
+                "'which <thing> is nearest <person>'.")
+
+    def _where_is(self, name: str, requester: Optional[str]) -> str:
+        try:
+            estimate = self.service.locate(name, requester=requester)
+        except UnknownObjectError:
+            return f"I cannot locate {name} right now."
+        except PrivacyError:
+            return f"{name}'s location is private."
+        place = estimate.symbolic or f"near {estimate.rect.center}"
+        grade = estimate.bucket.value.replace("_", " ")
+        return f"{name} is in {place} ({grade} confidence)."
+
+    def _who_is_in(self, region: str) -> str:
+        region_glob = self._resolve_region_name(region)
+        if region_glob is None:
+            return f"I do not know a region called {region}."
+        people = self.service.objects_in_region(region_glob,
+                                                min_confidence=0.5)
+        if not people:
+            return f"Nobody is in {region_glob} right now."
+        names = ", ".join(object_id for object_id, _ in people)
+        return f"In {region_glob}: {names}."
+
+    def _nearest(self, kind: str, name: str,
+                 requester: Optional[str]) -> str:
+        type_map = {"display": "Display", "screen": "Display",
+                    "workstation": "Workstation", "computer": "Workstation"}
+        object_type = type_map.get(kind.lower())
+        if object_type is None:
+            return f"I cannot search for {kind}."
+        try:
+            found = self.service.nearest_entities(
+                name, count=1, object_type=object_type)
+        except (UnknownObjectError, PrivacyError):
+            return f"I cannot locate {name} right now."
+        if not found:
+            return f"There is no {kind} near {name}."
+        glob, distance = found[0]
+        return f"The nearest {kind} to {name} is {glob}, {distance:.0f} feet away."
+
+    def _resolve_region_name(self, region: str) -> Optional[str]:
+        """Match a spoken region name against the symbolic lattice."""
+        if self.service.regions.has(region):
+            return region
+        wanted = region.replace(" ", "").lower()
+        for glob in self.service.regions.regions():
+            leaf = glob.rsplit("/", 1)[-1].lower()
+            if leaf == wanted:
+                return glob
+        return None

@@ -1,0 +1,153 @@
+"""Anywhere Instant Messaging (paper Section 8.2).
+
+"This application allows a user to receive instant messages from a
+designated list of 'buddies' on whichever display is closest to him.
+A user can customize the application by choosing to block particular
+users at certain locations, or by configuring the system to display
+private messages only if the location accuracy is 'high' and other
+users are not in the immediate vicinity!"
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Union
+
+from repro.core import ProbabilityBucket
+from repro.errors import UnknownObjectError
+from repro.geometry import Rect
+from repro.model import Glob
+from repro.service import LocationService
+
+PRIVACY_RADIUS_FT = 10.0  # "immediate vicinity" for private messages
+
+
+@dataclass
+class Message:
+    """One IM, possibly private."""
+
+    sender: str
+    recipient: str
+    text: str
+    private: bool = False
+
+
+@dataclass
+class Delivery:
+    """Where (and whether) a message landed."""
+
+    message: Message
+    display: Optional[str]      # GLOB of the display, None when queued
+    time: float
+    status: str                 # "delivered" | "queued" | "blocked"
+    reason: str = ""
+
+
+@dataclass
+class MessagingPreferences:
+    """Per-recipient policy."""
+
+    buddies: Set[str] = field(default_factory=set)
+    # Senders blocked while the recipient is inside these regions.
+    blocked_at: Dict[str, List[str]] = field(default_factory=dict)
+    private_min_bucket: ProbabilityBucket = ProbabilityBucket.HIGH
+
+
+class AnywhereIM:
+    """Routes messages to the display nearest each recipient."""
+
+    def __init__(self, service: LocationService) -> None:
+        self.service = service
+        self._preferences: Dict[str, MessagingPreferences] = {}
+        self.displays_inboxes: Dict[str, List[Message]] = {}
+        self.queued: List[Message] = []
+        self.log: List[Delivery] = []
+
+    def preferences(self, user_id: str) -> MessagingPreferences:
+        return self._preferences.setdefault(user_id, MessagingPreferences())
+
+    def add_buddy(self, user_id: str, buddy: str) -> None:
+        self.preferences(user_id).buddies.add(buddy)
+
+    def block_at(self, user_id: str, sender: str,
+                 region: Union[Glob, str]) -> None:
+        """Block ``sender``'s messages while ``user_id`` is in a region."""
+        self.preferences(user_id).blocked_at.setdefault(
+            sender, []).append(str(region))
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+
+    def send(self, sender: str, recipient: str, text: str,
+             private: bool = False,
+             now: Optional[float] = None) -> Delivery:
+        """Deliver a message to the recipient's nearest display."""
+        at = now if now is not None else self.service.clock()
+        message = Message(sender, recipient, text, private)
+        prefs = self.preferences(recipient)
+        if sender not in prefs.buddies:
+            return self._log(Delivery(message, None, at, "blocked",
+                                      "sender is not a buddy"))
+        try:
+            estimate = self.service.locate(recipient, at)
+        except UnknownObjectError:
+            self.queued.append(message)
+            return self._log(Delivery(message, None, at, "queued",
+                                      "recipient not locatable"))
+
+        # Location-conditional blocking.
+        for region in prefs.blocked_at.get(sender, ()):
+            containment = self.service.relations.containment(
+                estimate, region)
+            if containment.holds:
+                return self._log(Delivery(
+                    message, None, at, "blocked",
+                    f"sender blocked while recipient in {region}"))
+
+        if private:
+            if estimate.bucket < prefs.private_min_bucket:
+                self.queued.append(message)
+                return self._log(Delivery(
+                    message, None, at, "queued",
+                    "location accuracy below the private threshold"))
+            bystanders = self._bystanders(recipient, estimate.rect, at)
+            if bystanders:
+                self.queued.append(message)
+                return self._log(Delivery(
+                    message, None, at, "queued",
+                    f"others nearby: {', '.join(bystanders)}"))
+
+        display = self._nearest_display(estimate.rect, at)
+        if display is None:
+            self.queued.append(message)
+            return self._log(Delivery(message, None, at, "queued",
+                                      "no display nearby"))
+        self.displays_inboxes.setdefault(display, []).append(message)
+        return self._log(Delivery(message, display, at, "delivered"))
+
+    def flush_queue(self, now: Optional[float] = None) -> List[Delivery]:
+        """Retry every queued message (e.g. after the person moved)."""
+        pending, self.queued = self.queued, []
+        return [self.send(m.sender, m.recipient, m.text, m.private, now)
+                for m in pending]
+
+    # ------------------------------------------------------------------
+
+    def _nearest_display(self, rect: Rect,
+                         now: float) -> Optional[str]:
+        found = self.service.nearest_entities(
+            rect.center, count=1, object_type="Display")
+        return found[0][0] if found else None
+
+    def _bystanders(self, recipient: str, rect: Rect,
+                    now: float) -> List[str]:
+        vicinity = rect.expanded(PRIVACY_RADIUS_FT)
+        return [object_id for object_id, _
+                in self.service.objects_in_region(vicinity, now,
+                                                  min_confidence=0.5)
+                if object_id != recipient]
+
+    def _log(self, delivery: Delivery) -> Delivery:
+        self.log.append(delivery)
+        return delivery

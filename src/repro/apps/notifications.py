@@ -1,0 +1,113 @@
+"""Location-Based Notifications (paper Section 8.3).
+
+"Notifications are sent to people located in a particular geographical
+boundary ... The notification may be a message like 'The store is
+closing in five minutes'.  This application is implemented by setting
+up location triggers in the target area, and maintaining a list of
+users in the region."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Set, Union
+
+from repro.geometry import Rect
+from repro.model import Glob
+from repro.service import KIND_BOTH, LocationService
+
+
+@dataclass
+class DeliveredNotification:
+    """One message that reached one person."""
+
+    recipient: str
+    message: str
+    region: str
+    time: float
+
+
+class RegionNotifier:
+    """Broadcast + geofence notifications for one region.
+
+    Maintains the region's occupancy from enter/leave triggers, can
+    broadcast to everyone currently inside, and can greet each person
+    as they arrive.
+    """
+
+    def __init__(self, service: LocationService,
+                 region: Union[Rect, Glob, str],
+                 threshold: float = 0.5,
+                 greeting: Optional[str] = None) -> None:
+        self.service = service
+        self.region = region
+        self.region_name = str(region)
+        self.greeting = greeting
+        self.occupants: Set[str] = set()
+        self.delivered: List[DeliveredNotification] = []
+        self.subscription_id = service.subscribe(
+            region, consumer=self._on_event, kind=KIND_BOTH,
+            threshold=threshold)
+
+    def _on_event(self, event: Dict[str, Any]) -> None:
+        person = event["object_id"]
+        if event["transition"] == "enter":
+            self.occupants.add(person)
+            if self.greeting is not None:
+                self._deliver(person, self.greeting, event["time"])
+        else:
+            self.occupants.discard(person)
+
+    def _deliver(self, recipient: str, message: str, time: float) -> None:
+        self.delivered.append(DeliveredNotification(
+            recipient, message, self.region_name, time))
+
+    # ------------------------------------------------------------------
+
+    def broadcast(self, message: str,
+                  now: Optional[float] = None) -> List[str]:
+        """Send a message to everyone currently in the region.
+
+        Uses the live occupancy list (trigger-maintained) backed up by
+        a region query, so people present before the notifier existed
+        still hear the announcement.
+        """
+        at = now if now is not None else self.service.clock()
+        present = set(self.occupants)
+        for object_id, _ in self.service.objects_in_region(self.region, at):
+            present.add(object_id)
+        for person in sorted(present):
+            self._deliver(person, message, at)
+        return sorted(present)
+
+    def close(self) -> None:
+        """Tear down the geofence trigger."""
+        self.service.unsubscribe(self.subscription_id)
+
+
+class NotificationCenter:
+    """Manages notifiers over many regions."""
+
+    def __init__(self, service: LocationService) -> None:
+        self.service = service
+        self._notifiers: Dict[str, RegionNotifier] = {}
+
+    def watch(self, region: Union[Rect, Glob, str],
+              greeting: Optional[str] = None,
+              threshold: float = 0.5) -> RegionNotifier:
+        notifier = RegionNotifier(self.service, region, threshold, greeting)
+        self._notifiers[notifier.subscription_id] = notifier
+        return notifier
+
+    def broadcast_all(self, message: str,
+                      now: Optional[float] = None) -> int:
+        """Broadcast to every watched region; returns deliveries."""
+        count = 0
+        for notifier in self._notifiers.values():
+            count += len(notifier.broadcast(message, now))
+        return count
+
+    def close(self) -> None:
+        for notifier in self._notifiers.values():
+            notifier.close()
+        self._notifiers.clear()

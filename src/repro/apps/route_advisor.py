@@ -1,0 +1,139 @@
+"""Route advisor — the paper's route-finding application class.
+
+"The various relations between regions are useful for a number of
+applications such as route-finding applications" (Section 4.6.1).
+The advisor locates a person, routes them to a destination region (or
+to another person) over the navigation graph, and renders turn-by-turn
+text, respecting restricted passages: without credentials it routes
+around locked doors, and reports when no unrestricted path exists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+from repro.errors import UnknownObjectError
+from repro.model import Glob
+from repro.reasoning import Route
+from repro.service import LocationService
+
+
+@dataclass
+class Directions:
+    """A computed set of directions."""
+
+    origin: str
+    destination: str
+    distance_ft: float
+    steps: List[str] = field(default_factory=list)
+    uses_restricted_doors: bool = False
+
+    def __str__(self) -> str:
+        header = (f"{self.origin} -> {self.destination} "
+                  f"({self.distance_ft:.0f} ft)")
+        return "\n".join([header] + [f"  {i + 1}. {s}"
+                                     for i, s in enumerate(self.steps)])
+
+
+class RouteAdvisor:
+    """Turn-by-turn guidance over the Location Service."""
+
+    def __init__(self, service: LocationService) -> None:
+        self.service = service
+
+    # ------------------------------------------------------------------
+
+    def _current_region(self, person: str) -> Optional[str]:
+        try:
+            estimate = self.service.locate(person)
+        except UnknownObjectError:
+            return None
+        if estimate.symbolic is not None \
+                and self.service.regions.has(estimate.symbolic):
+            return estimate.symbolic
+        region = self.service.regions.finest_region_containing_point(
+            estimate.rect.center)
+        return region
+
+    def _render(self, route: Route, has_credentials: bool) -> Directions:
+        world = self.service.world
+        steps: List[str] = []
+        uses_restricted = False
+        for previous, current in zip(route.regions, route.regions[1:]):
+            doors = world.doors_between(previous, current)
+            if doors:
+                door = doors[0]
+                locked = door.kind.value == "restricted"
+                uses_restricted = uses_restricted or locked
+                door_name = str(door.glob).rsplit("/", 1)[-1]
+                suffix = " (badge required)" if locked else ""
+                steps.append(
+                    f"go through {door_name}{suffix} into "
+                    f"{current}")
+            else:
+                steps.append(f"continue into {current}")
+        return Directions(
+            origin=route.regions[0],
+            destination=route.regions[-1],
+            distance_ft=route.distance,
+            steps=steps,
+            uses_restricted_doors=uses_restricted,
+        )
+
+    # ------------------------------------------------------------------
+
+    def directions_between(self, origin: Union[Glob, str],
+                           destination: Union[Glob, str],
+                           has_credentials: bool = False
+                           ) -> Optional[Directions]:
+        """Directions between two regions, or ``None`` if unreachable.
+
+        Without credentials restricted doors are avoided entirely; the
+        advisor prefers a longer open path over a short locked one.
+        """
+        route = self.service.navigation.route(
+            str(origin), str(destination),
+            allow_restricted=has_credentials)
+        if route is None:
+            return None
+        return self._render(route, has_credentials)
+
+    def directions_for(self, person: str,
+                       destination: Union[Glob, str],
+                       has_credentials: bool = False
+                       ) -> Optional[Directions]:
+        """Directions from a person's current location to a region."""
+        origin = self._current_region(person)
+        if origin is None:
+            return None
+        if origin == str(destination):
+            return Directions(origin=origin,
+                              destination=str(destination),
+                              distance_ft=0.0,
+                              steps=["you are already there"])
+        return self.directions_between(origin, destination,
+                                       has_credentials)
+
+    def guide_to_person(self, seeker: str, target: str,
+                        has_credentials: bool = False
+                        ) -> Optional[Directions]:
+        """Directions from one tracked person to another."""
+        destination = self._current_region(target)
+        if destination is None:
+            return None
+        return self.directions_for(seeker, destination, has_credentials)
+
+    def advise(self, person: str, destination: Union[Glob, str]) -> str:
+        """A complete textual answer, including the locked-door case."""
+        open_route = self.directions_for(person, destination,
+                                         has_credentials=False)
+        if open_route is not None:
+            return str(open_route)
+        badge_route = self.directions_for(person, destination,
+                                          has_credentials=True)
+        if badge_route is not None:
+            return ("no unrestricted path; with your badge:\n"
+                    + str(badge_route))
+        return (f"I cannot find a route to {destination} "
+                f"(are you locatable?)")

@@ -1,0 +1,71 @@
+"""User sessions for the Follow Me application (paper Section 8.1).
+
+"We define a user session as a set of applications and files that a
+user interacts with.  The session also includes state information and
+customization options chosen by the user."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import ServiceError
+
+
+@dataclass
+class UserSession:
+    """One user's migratable working state."""
+
+    user_id: str
+    applications: List[str] = field(default_factory=list)
+    open_files: List[str] = field(default_factory=list)
+    state: Dict[str, object] = field(default_factory=dict)
+    host: Optional[str] = None          # GLOB of the display/workstation
+    suspended: bool = True
+    migrations: int = 0
+
+    def suspend(self) -> None:
+        """Park the session (user walked away from the display)."""
+        self.suspended = True
+        self.host = None
+
+    def resume_at(self, host_glob: str) -> None:
+        """Bring the session up on a display/workstation."""
+        if not self.suspended and self.host == host_glob:
+            return  # already there
+        if not self.suspended:
+            self.migrations += 1
+        self.host = host_glob
+        self.suspended = False
+
+
+class SessionManager:
+    """Holds every user's session."""
+
+    def __init__(self) -> None:
+        self._sessions: Dict[str, UserSession] = {}
+
+    def create(self, user_id: str, applications: Optional[List[str]] = None,
+               open_files: Optional[List[str]] = None) -> UserSession:
+        if user_id in self._sessions:
+            raise ServiceError(f"session for {user_id!r} already exists")
+        session = UserSession(
+            user_id=user_id,
+            applications=list(applications or []),
+            open_files=list(open_files or []),
+        )
+        self._sessions[user_id] = session
+        return session
+
+    def get(self, user_id: str) -> UserSession:
+        session = self._sessions.get(user_id)
+        if session is None:
+            raise ServiceError(f"no session for {user_id!r}")
+        return session
+
+    def has(self, user_id: str) -> bool:
+        return user_id in self._sessions
+
+    def sessions(self) -> List[UserSession]:
+        return list(self._sessions.values())

@@ -1,0 +1,141 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``demo``    — run a scenario and print live floor maps + estimates.
+* ``floor``   — render a floor plan (paper | siebel | generated).
+* ``locate``  — run a scenario silently, then answer locator-style
+  questions from the command line.
+* ``blueprint`` — export a built-in floor as a blueprint JSON.
+* ``calibrate`` — run the simulated user study and print the report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.apps import VocalPersonnelLocator
+from repro.model.serialize import world_to_json
+from repro.sim import (
+    Scenario,
+    campus_world,
+    generate_office_floor,
+    paper_floor,
+    siebel_building,
+    siebel_floor,
+)
+from repro.sim.render import FloorRenderer, render_scenario
+from repro.sim.study import SensorStudy
+
+_WORLDS = {
+    "paper": paper_floor,
+    "siebel": siebel_floor,
+    "building": siebel_building,
+    "campus": campus_world,
+    "generated": lambda: generate_office_floor(6),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MiddleWhere reproduction command-line tools")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="run a live scenario")
+    demo.add_argument("--people", type=int, default=4)
+    demo.add_argument("--seconds", type=float, default=300.0)
+    demo.add_argument("--seed", type=int, default=7)
+    demo.add_argument("--snapshots", type=int, default=3,
+                      help="floor maps printed during the run")
+    demo.add_argument("--width", type=int, default=96)
+
+    floor = sub.add_parser("floor", help="render a floor plan")
+    floor.add_argument("world", choices=sorted(_WORLDS), nargs="?",
+                       default="siebel")
+    floor.add_argument("--width", type=int, default=96)
+
+    locate = sub.add_parser("locate",
+                            help="ask locator questions after a run")
+    locate.add_argument("questions", nargs="+",
+                        help="e.g. 'where is person-1'")
+    locate.add_argument("--people", type=int, default=4)
+    locate.add_argument("--seconds", type=float, default=300.0)
+    locate.add_argument("--seed", type=int, default=7)
+
+    blueprint = sub.add_parser("blueprint",
+                               help="export a floor as blueprint JSON")
+    blueprint.add_argument("world", choices=sorted(_WORLDS), nargs="?",
+                           default="paper")
+
+    calibrate = sub.add_parser(
+        "calibrate", help="run the simulated RF calibration study")
+    calibrate.add_argument("--seconds", type=float, default=1800.0)
+    calibrate.add_argument("--people", type=int, default=8)
+    calibrate.add_argument("--seed", type=int, default=4)
+    return parser
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    scenario = Scenario(seed=args.seed).standard_deployment()
+    scenario.add_people(args.people)
+    chunk = args.seconds / max(1, args.snapshots)
+    for snapshot in range(args.snapshots):
+        scenario.run(chunk, dt=1.0)
+        print(f"\n=== t = {scenario.now:.0f} s ===")
+        print(render_scenario(scenario, width=args.width))
+    return 0
+
+
+def _cmd_floor(args: argparse.Namespace) -> int:
+    world = _WORLDS[args.world]()
+    print(FloorRenderer(world, width=args.width).render())
+    return 0
+
+
+def _cmd_locate(args: argparse.Namespace) -> int:
+    scenario = Scenario(seed=args.seed).standard_deployment()
+    scenario.add_people(args.people)
+    scenario.run(args.seconds, dt=1.0)
+    locator = VocalPersonnelLocator(scenario.service)
+    for question in args.questions:
+        print(f"Q: {question}")
+        print(f"A: {locator.ask(question)}")
+    return 0
+
+
+def _cmd_blueprint(args: argparse.Namespace) -> int:
+    print(world_to_json(_WORLDS[args.world]()))
+    return 0
+
+
+def _cmd_calibrate(args: argparse.Namespace) -> int:
+    scenario = Scenario(seed=args.seed)
+    station = scenario.deployment.install_rf_station(
+        "RF-study", "SC/3/Corridor", misident_rate=0.002)
+    scenario.add_people(args.people)
+    study = SensorStudy(scenario, station)
+    study.run(args.seconds, dt=1.0)
+    print(study.report().summary())
+    return 0
+
+
+_COMMANDS = {
+    "demo": _cmd_demo,
+    "floor": _cmd_floor,
+    "locate": _cmd_locate,
+    "blueprint": _cmd_blueprint,
+    "calibrate": _cmd_calibrate,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

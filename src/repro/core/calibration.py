@@ -1,0 +1,291 @@
+"""Parameter calibration from observation studies.
+
+The paper's stated future work: "We also plan to conduct user studies
+to get accurate values of various parameters of our system like the
+probability of carrying location devices and the temporal degradation
+function.  These probability values can then be used by the middleware
+and location-aware applications to improve their reliability and
+accuracy" (Section 11).
+
+This module implements those studies as estimators over observation
+logs (which the simulator can generate with known ground truth, and a
+real deployment would collect from annotated traces):
+
+* ``x`` — carry probability, from (person present, device detected?)
+  trials with the technology's known ``y`` factored out;
+* ``y`` — detection probability, from trials where the device is known
+  to be present;
+* ``z`` — misidentification probability, from trials where the person
+  is known to be absent;
+* the temporal degradation function — an exponential half-life fitted
+  to (reading age, still correct?) samples.
+
+Every estimate carries a Wilson score interval so deployments know
+when they have watched long enough.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.sensorspec import SensorSpec, derive_pq
+from repro.core.tdf import ExponentialTDF
+from repro.errors import CalibrationError
+
+
+@dataclass(frozen=True)
+class RateEstimate:
+    """An estimated probability with its Wilson 95% interval."""
+
+    value: float
+    low: float
+    high: float
+    trials: int
+
+    @property
+    def width(self) -> float:
+        return self.high - self.low
+
+
+def wilson_interval(successes: int, trials: int,
+                    z_score: float = 1.96) -> RateEstimate:
+    """The Wilson score interval for a binomial rate."""
+    if trials <= 0:
+        raise CalibrationError("need at least one trial")
+    if not 0 <= successes <= trials:
+        raise CalibrationError(
+            f"successes {successes} outside [0, {trials}]")
+    rate = successes / trials
+    denom = 1.0 + z_score**2 / trials
+    center = (rate + z_score**2 / (2 * trials)) / denom
+    margin = (z_score * math.sqrt(
+        rate * (1 - rate) / trials + z_score**2 / (4 * trials**2))
+        / denom)
+    return RateEstimate(rate, max(0.0, center - margin),
+                        min(1.0, center + margin), trials)
+
+
+class BinomialEstimator:
+    """Counts success/failure trials and reports a rate estimate."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.successes = 0
+        self.trials = 0
+
+    def record(self, success: bool) -> None:
+        self.trials += 1
+        if success:
+            self.successes += 1
+
+    def estimate(self) -> RateEstimate:
+        if self.trials == 0:
+            raise CalibrationError(
+                f"no trials recorded for {self.name!r}")
+        return wilson_interval(self.successes, self.trials)
+
+
+class CarryProbabilityEstimator:
+    """Estimates ``x`` — "what percentage of time the user carries his
+    badge with him" (Section 4.1.1).
+
+    Each trial: the person was verifiably inside the sensor's coverage
+    (e.g. seen on a door camera or card swipe); was the device
+    detected?  P(detected | present) = y * x, so x = rate / y.
+    """
+
+    def __init__(self, detection_probability: float) -> None:
+        if not 0.0 < detection_probability <= 1.0:
+            raise CalibrationError(
+                f"y must be in (0, 1], got {detection_probability}")
+        self.y = detection_probability
+        self._trials = BinomialEstimator("carry")
+
+    def record_presence_trial(self, device_detected: bool) -> None:
+        self._trials.record(device_detected)
+
+    def estimate(self) -> RateEstimate:
+        raw = self._trials.estimate()
+        return RateEstimate(
+            min(1.0, raw.value / self.y),
+            min(1.0, raw.low / self.y),
+            min(1.0, raw.high / self.y),
+            raw.trials,
+        )
+
+
+class DetectionProbabilityEstimator:
+    """Estimates ``y`` from trials where the device is known present."""
+
+    def __init__(self) -> None:
+        self._trials = BinomialEstimator("detection")
+
+    def record_device_present_trial(self, detected: bool) -> None:
+        self._trials.record(detected)
+
+    def estimate(self) -> RateEstimate:
+        return self._trials.estimate()
+
+
+class MisidentificationEstimator:
+    """Estimates ``z`` from trials where the person is known absent."""
+
+    def __init__(self) -> None:
+        self._trials = BinomialEstimator("misidentification")
+
+    def record_absence_trial(self, falsely_detected: bool) -> None:
+        self._trials.record(falsely_detected)
+
+    def estimate(self) -> RateEstimate:
+        return self._trials.estimate()
+
+
+# ----------------------------------------------------------------------
+# Temporal degradation fitting
+# ----------------------------------------------------------------------
+
+@dataclass
+class TdfFit:
+    """A fitted temporal degradation function with its quality."""
+
+    half_life: float
+    tdf: ExponentialTDF
+    bucket_ages: List[float]
+    bucket_rates: List[float]
+    rmse: float
+
+
+class TdfFitter:
+    """Fits an exponential tdf to (age, still-correct?) samples.
+
+    A "still correct" sample means the reading's claimed region still
+    contained the person ``age`` seconds after detection.  Bucketing by
+    age gives an empirical survival curve; the exponential half-life is
+    fitted by least squares on the log of the positive bucket rates.
+    """
+
+    def __init__(self, bucket_width: float = 5.0) -> None:
+        if bucket_width <= 0.0:
+            raise CalibrationError("bucket width must be positive")
+        self.bucket_width = bucket_width
+        self._samples: List[Tuple[float, bool]] = []
+
+    def record(self, age_seconds: float, still_correct: bool) -> None:
+        if age_seconds < 0.0:
+            raise CalibrationError(f"negative age {age_seconds}")
+        self._samples.append((age_seconds, still_correct))
+
+    @property
+    def sample_count(self) -> int:
+        return len(self._samples)
+
+    def _buckets(self) -> Tuple[List[float], List[float]]:
+        if not self._samples:
+            raise CalibrationError("no tdf samples recorded")
+        totals: dict = {}
+        hits: dict = {}
+        for age, correct in self._samples:
+            index = int(age // self.bucket_width)
+            totals[index] = totals.get(index, 0) + 1
+            hits[index] = hits.get(index, 0) + (1 if correct else 0)
+        ages = []
+        rates = []
+        for index in sorted(totals):
+            ages.append((index + 0.5) * self.bucket_width)
+            rates.append(hits[index] / totals[index])
+        return ages, rates
+
+    def fit(self) -> TdfFit:
+        """Least-squares exponential fit on the survival curve.
+
+        Model: rate(age) = rate(0) * 0.5 ** (age / half_life); we fit
+        ln(rate) = ln(r0) - (ln 2 / half_life) * age over buckets with
+        a positive rate.
+        """
+        ages, rates = self._buckets()
+        xs = [a for a, r in zip(ages, rates) if r > 0.0]
+        ys = [math.log(r) for r in rates if r > 0.0]
+        if len(xs) < 2:
+            raise CalibrationError(
+                "need at least two age buckets with survivors")
+        n = len(xs)
+        mean_x = sum(xs) / n
+        mean_y = sum(ys) / n
+        sxx = sum((x - mean_x) ** 2 for x in xs)
+        if sxx == 0.0:
+            raise CalibrationError("all samples in one age bucket")
+        slope = sum((x - mean_x) * (y - mean_y)
+                    for x, y in zip(xs, ys)) / sxx
+        if slope >= 0.0:
+            # No observable decay in the study window.
+            half_life = float("inf")
+            fitted = [math.exp(mean_y)] * len(ages)
+        else:
+            half_life = math.log(2.0) / -slope
+            intercept = mean_y - slope * mean_x
+            fitted = [math.exp(intercept + slope * a) for a in ages]
+        rmse = math.sqrt(sum((f - r) ** 2
+                             for f, r in zip(fitted, rates)) / len(rates))
+        tdf = ExponentialTDF(half_life=min(half_life, 1e9))
+        return TdfFit(half_life=half_life, tdf=tdf, bucket_ages=ages,
+                      bucket_rates=rates, rmse=rmse)
+
+
+# ----------------------------------------------------------------------
+# Putting a spec together from a study
+# ----------------------------------------------------------------------
+
+@dataclass
+class CalibrationReport:
+    """Everything a study learned about one technology."""
+
+    sensor_type: str
+    x: RateEstimate
+    y: RateEstimate
+    z: RateEstimate
+    tdf_fit: Optional[TdfFit] = None
+
+    @property
+    def p(self) -> float:
+        return derive_pq(self.x.value, self.y.value, self.z.value)[0]
+
+    @property
+    def q(self) -> float:
+        return derive_pq(self.x.value, self.y.value, self.z.value)[1]
+
+    def to_spec(self, reference: SensorSpec) -> SensorSpec:
+        """A new spec with the calibrated parameters, keeping the
+        reference spec's geometry (resolution, area scaling, TTL)."""
+        return SensorSpec(
+            sensor_type=reference.sensor_type,
+            carry_probability=min(1.0, self.x.value),
+            detection_probability=min(1.0, self.y.value),
+            misident_probability=min(1.0, self.z.value),
+            z_area_scaled=reference.z_area_scaled,
+            resolution=reference.resolution,
+            time_to_live=reference.time_to_live,
+            tdf=self.tdf_fit.tdf if self.tdf_fit is not None
+            else reference.tdf,
+        )
+
+    def summary(self) -> str:
+        lines = [
+            f"calibration of {self.sensor_type}:",
+            f"  x = {self.x.value:.3f} "
+            f"[{self.x.low:.3f}, {self.x.high:.3f}] "
+            f"({self.x.trials} trials)",
+            f"  y = {self.y.value:.3f} "
+            f"[{self.y.low:.3f}, {self.y.high:.3f}] "
+            f"({self.y.trials} trials)",
+            f"  z = {self.z.value:.3f} "
+            f"[{self.z.low:.3f}, {self.z.high:.3f}] "
+            f"({self.z.trials} trials)",
+            f"  derived p = {self.p:.3f}, q = {self.q:.3f}",
+        ]
+        if self.tdf_fit is not None:
+            lines.append(
+                f"  tdf half-life = {self.tdf_fit.half_life:.1f} s "
+                f"(rmse {self.tdf_fit.rmse:.3f})")
+        return "\n".join(lines)

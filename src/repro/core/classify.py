@@ -1,0 +1,97 @@
+"""Classifying the probability space (paper Section 4.4).
+
+"Our current implementation divides the probability space into 4
+regions based on the accuracy of various sensors:
+
+    (0, min(p_i's of all sensors)]                      : low
+    (min(p_i's of all sensors), median of all p_i's]    : medium
+    (median of all p_i's, highest of all p_i's]         : high
+    (highest of all p_i's, 1]                           : very high"
+
+The boundaries come from the *deployed sensor population*, so an
+installation with weak sensors grades on a gentler curve — exactly the
+paper's intent of sparing application developers from raw numbers.
+"""
+
+from __future__ import annotations
+
+import statistics
+from enum import Enum
+from typing import List, Sequence
+
+from repro.errors import FusionError
+
+
+class ProbabilityBucket(str, Enum):
+    """The four application-facing confidence grades."""
+
+    LOW = "low"
+    MEDIUM = "medium"
+    HIGH = "high"
+    VERY_HIGH = "very_high"
+
+    def __ge__(self, other: "ProbabilityBucket") -> bool:  # type: ignore[override]
+        return _ORDER[self] >= _ORDER[other]
+
+    def __gt__(self, other: "ProbabilityBucket") -> bool:  # type: ignore[override]
+        return _ORDER[self] > _ORDER[other]
+
+    def __le__(self, other: "ProbabilityBucket") -> bool:  # type: ignore[override]
+        return _ORDER[self] <= _ORDER[other]
+
+    def __lt__(self, other: "ProbabilityBucket") -> bool:  # type: ignore[override]
+        return _ORDER[self] < _ORDER[other]
+
+
+_ORDER = {
+    ProbabilityBucket.LOW: 0,
+    ProbabilityBucket.MEDIUM: 1,
+    ProbabilityBucket.HIGH: 2,
+    ProbabilityBucket.VERY_HIGH: 3,
+}
+
+
+class ProbabilityClassifier:
+    """Buckets probabilities using the deployed sensors' ``p`` values."""
+
+    def __init__(self, sensor_ps: Sequence[float]) -> None:
+        ps = [float(p) for p in sensor_ps]
+        if not ps:
+            raise FusionError("classifier needs at least one sensor p")
+        for p in ps:
+            if not 0.0 <= p <= 1.0:
+                raise FusionError(f"sensor p={p} is not a probability")
+        self.low_bound = min(ps)
+        self.medium_bound = statistics.median(ps)
+        self.high_bound = max(ps)
+
+    @property
+    def boundaries(self) -> List[float]:
+        """The three bucket boundaries: [min, median, max] of sensor ps."""
+        return [self.low_bound, self.medium_bound, self.high_bound]
+
+    def classify(self, probability: float) -> ProbabilityBucket:
+        """The bucket a probability falls in.
+
+        >>> ProbabilityClassifier([0.5, 0.8, 0.95]).classify(0.9).value
+        'high'
+        """
+        if not 0.0 <= probability <= 1.0:
+            raise FusionError(f"{probability} is not a probability")
+        if probability <= self.low_bound:
+            return ProbabilityBucket.LOW
+        if probability <= self.medium_bound:
+            return ProbabilityBucket.MEDIUM
+        if probability <= self.high_bound:
+            return ProbabilityBucket.HIGH
+        return ProbabilityBucket.VERY_HIGH
+
+    def at_least(self, probability: float,
+                 bucket: ProbabilityBucket) -> bool:
+        """Whether ``probability`` grades at or above ``bucket``.
+
+        Applications "can choose to be notified if the location of the
+        person is known with low, medium, high or very high
+        probability" — this is the threshold test behind that choice.
+        """
+        return self.classify(probability) >= bucket

@@ -1,0 +1,141 @@
+"""Conflict resolution for disjoint sensor readings (Section 4.1.2, case 3).
+
+"Disjoint rectangles imply that the sensors are giving conflicting
+information.  This means that one of the sensor readings is wrong and
+should be discarded.  We use a set of rules to decide which the wrong
+reading is."
+
+The resolver works on *components*: groups of readings whose
+rectangles (transitively) intersect.  Within a component sensors
+reinforce one another; across components they conflict.  Rules are
+applied in order until a single component survives:
+
+1. :class:`MovingRectangleRule` — "If either of the rectangles is
+   moving with time, then take that reading and discard the other
+   one."
+2. :class:`HighestProbabilityRule` — "else, if P(person_B | s2_B) <
+   P(person_A | s1_A), then discard reading B" — keep the component
+   whose best single-sensor probability (Equation 5) is highest.
+3. :class:`FreshestReadingRule` — an extra deterministic tiebreak by
+   newest detection time, so resolution is total.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Protocol, Sequence, Set
+
+from repro.core.pairwise import eq5_single_sensor
+from repro.core.reading import NormalizedReading
+from repro.errors import ConflictError
+
+
+class ConflictRule(Protocol):
+    """One rule: narrow the candidate components; return the survivors.
+
+    A rule returns a non-empty subset of ``candidates`` (indices into
+    the component list).  Returning all candidates means the rule
+    could not discriminate.
+    """
+
+    def filter(self, components: Sequence[Set[int]],
+               readings: Sequence[NormalizedReading],
+               candidates: List[int], now: float,
+               universe_area: float) -> List[int]:
+        ...
+
+
+@dataclass(frozen=True)
+class MovingRectangleRule:
+    """Prefer components containing a moving rectangle.
+
+    "A moving rectangle implies that the person is carrying a location
+    device ... and thus has a greater chance of being valid than a
+    stationary rectangle (which may occur if the person has left his
+    badge in his office)."
+    """
+
+    def filter(self, components: Sequence[Set[int]],
+               readings: Sequence[NormalizedReading],
+               candidates: List[int], now: float,
+               universe_area: float) -> List[int]:
+        moving = [c for c in candidates
+                  if any(readings[i].moving for i in components[c])]
+        return moving if moving else candidates
+
+
+@dataclass(frozen=True)
+class HighestProbabilityRule:
+    """Prefer the component with the best single-sensor probability.
+
+    Each reading is scored with Equation (5) using its temporally
+    degraded ``p``; a component scores as its best reading.
+    """
+
+    def filter(self, components: Sequence[Set[int]],
+               readings: Sequence[NormalizedReading],
+               candidates: List[int], now: float,
+               universe_area: float) -> List[int]:
+        def component_score(c: int) -> float:
+            best = 0.0
+            for i in components[c]:
+                reading = readings[i]
+                p, q = reading.pq_at(now, universe_area)
+                area = min(reading.rect.area, universe_area)
+                best = max(best, eq5_single_sensor(area, universe_area, p, q))
+            return best
+
+        scores = {c: component_score(c) for c in candidates}
+        top = max(scores.values())
+        return [c for c in candidates if scores[c] >= top - 1e-12]
+
+
+@dataclass(frozen=True)
+class FreshestReadingRule:
+    """Tiebreak: prefer the component with the newest reading."""
+
+    def filter(self, components: Sequence[Set[int]],
+               readings: Sequence[NormalizedReading],
+               candidates: List[int], now: float,
+               universe_area: float) -> List[int]:
+        def newest(c: int) -> float:
+            return max(readings[i].time for i in components[c])
+
+        times = {c: newest(c) for c in candidates}
+        top = max(times.values())
+        survivors = [c for c in candidates if times[c] >= top]
+        return survivors[:1] if survivors else candidates[:1]
+
+
+DEFAULT_RULES: List[ConflictRule] = [
+    MovingRectangleRule(),
+    HighestProbabilityRule(),
+    FreshestReadingRule(),
+]
+
+
+class ConflictResolver:
+    """Applies rules in order until one component remains."""
+
+    def __init__(self, rules: Sequence[ConflictRule] = ()) -> None:
+        self.rules: List[ConflictRule] = list(rules) or list(DEFAULT_RULES)
+
+    def resolve(self, components: Sequence[Set[int]],
+                readings: Sequence[NormalizedReading], now: float,
+                universe_area: float) -> int:
+        """The index of the winning component."""
+        if not components:
+            raise ConflictError("no components to resolve")
+        candidates = list(range(len(components)))
+        if len(candidates) == 1:
+            return candidates[0]
+        for rule in self.rules:
+            candidates = rule.filter(components, readings, candidates,
+                                     now, universe_area)
+            if not candidates:
+                raise ConflictError(
+                    f"rule {type(rule).__name__} discarded every component")
+            if len(candidates) == 1:
+                return candidates[0]
+        # Rules exhausted with several survivors: deterministic fallback.
+        return min(candidates)

@@ -1,0 +1,325 @@
+"""The containment lattice of sensor rectangles (paper Section 4.1.2).
+
+"In order to efficiently combine different sensor readings, we
+construct a lattice of rectangles, where the lattice relationship is
+containment.  The rectangles in the lattice are both sensor rectangles
+as well as any new rectangle regions that are formed due to the
+intersection of two rectangles."
+
+Nodes are the universe (Top), every distinct sensor rectangle, every
+non-empty intersection region (closed to a fixpoint, so triple-wise
+and deeper intersections appear too), and Bottom (the empty region).
+Edges form the Hasse diagram of geometric containment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import FusionError
+from repro.geometry import Rect
+
+TOP = "Top"
+BOTTOM = "Bottom"
+
+_AREA_EPS = 1e-9
+
+
+@dataclass
+class LatticeNode:
+    """One lattice node.
+
+    Attributes:
+        node_id: "Top", "Bottom", or "R<k>" in creation order.
+        rect: the node's region; ``None`` only for Bottom.
+        sources: indices (into the input rect list) of every input
+            rectangle that fully contains this region — the sensors
+            whose readings directly support it.
+        parents: ids of covering nodes (immediately larger regions).
+        children: ids of covered nodes (immediately smaller regions).
+        probability: the region posterior (paper Eq. 7), filled in by
+            the fusion engine.
+        confidence: the support confidence (area-prior-free; see
+            :func:`repro.core.fusion.support_confidence`), filled in by
+            the fusion engine.
+    """
+
+    node_id: str
+    rect: Optional[Rect]
+    sources: FrozenSet[int] = frozenset()
+    parents: Set[str] = field(default_factory=set)
+    children: Set[str] = field(default_factory=set)
+    probability: float = float("nan")
+    confidence: float = float("nan")
+
+    @property
+    def is_top(self) -> bool:
+        return self.node_id == TOP
+
+    @property
+    def is_bottom(self) -> bool:
+        return self.node_id == BOTTOM
+
+    @property
+    def area(self) -> float:
+        return self.rect.area if self.rect is not None else 0.0
+
+
+class RegionLattice:
+    """The lattice over a set of input rectangles within a universe.
+
+    Args:
+        rects: the sensor rectangles (one per reading, input order is
+            preserved — ``sources`` indexes into this list).
+        universe: the Top region ``U`` (the whole building's floor).
+        max_nodes: safety cap; pathological overlap patterns can
+            generate exponentially many intersection regions.
+    """
+
+    def __init__(self, rects: Sequence[Rect], universe: Rect,
+                 max_nodes: int = 4096) -> None:
+        for i, rect in enumerate(rects):
+            if not universe.intersects(rect):
+                raise FusionError(
+                    f"input rectangle {i} lies outside the universe")
+        self.universe = universe
+        self.input_rects = [r.clipped_to(universe) for r in rects]
+        self._nodes: Dict[str, LatticeNode] = {}
+        self._by_rect: Dict[Tuple[float, float, float, float], str] = {}
+        self._counter = 0
+        self._max_nodes = max_nodes
+        self._build()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def _key(self, rect: Rect) -> Tuple[float, float, float, float]:
+        return (rect.min_x, rect.min_y, rect.max_x, rect.max_y)
+
+    def _build(self) -> None:
+        self._nodes[TOP] = LatticeNode(TOP, self.universe)
+        self._nodes[BOTTOM] = LatticeNode(BOTTOM, None)
+        self._by_rect[self._key(self.universe)] = TOP
+
+        # Seed with the (deduplicated) input rectangles.
+        for rect in self.input_rects:
+            assert rect is not None
+            self._intern(rect)
+
+        # Close under pairwise intersection until a fixpoint.
+        frontier = [n for n in self._region_ids()]
+        while frontier:
+            new_ids: List[str] = []
+            region_ids = self._region_ids()
+            for a_id in frontier:
+                a = self._nodes[a_id].rect
+                assert a is not None
+                for b_id in region_ids:
+                    if b_id == a_id:
+                        continue
+                    b = self._nodes[b_id].rect
+                    assert b is not None
+                    overlap = a.intersection(b)
+                    if overlap is None or overlap.area <= _AREA_EPS:
+                        continue
+                    if self._key(overlap) not in self._by_rect:
+                        new_ids.append(self._intern(overlap))
+            frontier = new_ids
+
+        self._assign_sources()
+        self._link_hasse()
+
+    def _intern(self, rect: Rect) -> str:
+        key = self._key(rect)
+        existing = self._by_rect.get(key)
+        if existing is not None:
+            return existing
+        if len(self._nodes) >= self._max_nodes:
+            raise FusionError(
+                f"lattice exceeded {self._max_nodes} nodes; too many "
+                "overlapping sensor rectangles")
+        self._counter += 1
+        node_id = f"R{self._counter}"
+        self._nodes[node_id] = LatticeNode(node_id, rect)
+        self._by_rect[key] = node_id
+        return node_id
+
+    def _region_ids(self) -> List[str]:
+        return [nid for nid in self._nodes if nid not in (TOP, BOTTOM)]
+
+    def _assign_sources(self) -> None:
+        for node_id in self._region_ids():
+            node = self._nodes[node_id]
+            assert node.rect is not None
+            node.sources = frozenset(
+                i for i, rect in enumerate(self.input_rects)
+                if rect is not None and rect.contains_rect(node.rect)
+            )
+
+    def _link_hasse(self) -> None:
+        """Containment cover edges: parent strictly contains child with
+        no intermediate node between them."""
+        ids = self._region_ids()
+        rects = {nid: self._nodes[nid].rect for nid in ids}
+        # strict containment: container strictly larger and contains.
+        contains: Dict[str, Set[str]] = {nid: set() for nid in ids}
+        for a in ids:
+            ra = rects[a]
+            assert ra is not None
+            for b in ids:
+                if a == b:
+                    continue
+                rb = rects[b]
+                assert rb is not None
+                if ra.contains_rect(rb) and ra.area > rb.area + _AREA_EPS:
+                    contains[a].add(b)
+        for a in ids:
+            below = contains[a]
+            covered = {
+                b for b in below
+                if not any(b in contains[c] for c in below if c != b)
+            }
+            for b in covered:
+                self._nodes[a].children.add(b)
+                self._nodes[b].parents.add(a)
+        # Hook maximal regions under Top and minimal regions above Bottom.
+        for nid in ids:
+            node = self._nodes[nid]
+            if not node.parents:
+                node.parents.add(TOP)
+                self._nodes[TOP].children.add(nid)
+            if not node.children:
+                node.children.add(BOTTOM)
+                self._nodes[BOTTOM].parents.add(nid)
+        if not ids:
+            self._nodes[TOP].children.add(BOTTOM)
+            self._nodes[BOTTOM].parents.add(TOP)
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def node(self, node_id: str) -> LatticeNode:
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise FusionError(f"unknown lattice node {node_id!r}") from None
+
+    def nodes(self) -> List[LatticeNode]:
+        return list(self._nodes.values())
+
+    def region_nodes(self) -> List[LatticeNode]:
+        """All nodes except Top and Bottom."""
+        return [self._nodes[nid] for nid in self._region_ids()]
+
+    def node_for_rect(self, rect: Rect) -> Optional[LatticeNode]:
+        node_id = self._by_rect.get(self._key(rect))
+        return self._nodes[node_id] if node_id is not None else None
+
+    def parents_of_bottom(self) -> List[LatticeNode]:
+        """The minimal regions — "the parents of the Bottom node (since
+        these give the smallest areas)" (Section 4.2)."""
+        return [self._nodes[nid] for nid in self._nodes[BOTTOM].parents
+                if nid != TOP]
+
+    def sensor_node_ids(self) -> List[str]:
+        """Node ids corresponding to the input rectangles, input order."""
+        out: List[str] = []
+        for rect in self.input_rects:
+            assert rect is not None
+            out.append(self._by_rect[self._key(rect)])
+        return out
+
+    def intersection_node_ids(self) -> List[str]:
+        """Nodes created purely by intersection (the D, E, F, G of Fig. 6)."""
+        sensor_ids = set(self.sensor_node_ids())
+        return [nid for nid in self._region_ids() if nid not in sensor_ids]
+
+    # ------------------------------------------------------------------
+    # Structure queries
+    # ------------------------------------------------------------------
+
+    def components(self) -> List[Set[int]]:
+        """Connected components of input rectangles by intersection.
+
+        Two readings in different components are *disjoint* evidence —
+        the conflict case (Section 4.1.2, case 3).  Indices refer to
+        the input rect list.
+        """
+        n = len(self.input_rects)
+        parent = list(range(n))
+
+        def find(i: int) -> int:
+            while parent[i] != i:
+                parent[i] = parent[parent[i]]
+                i = parent[i]
+            return i
+
+        def union(i: int, j: int) -> None:
+            parent[find(i)] = find(j)
+
+        for i in range(n):
+            ri = self.input_rects[i]
+            assert ri is not None
+            for j in range(i + 1, n):
+                rj = self.input_rects[j]
+                assert rj is not None
+                if ri.intersection_area(rj) > _AREA_EPS:
+                    union(i, j)
+        groups: Dict[int, Set[int]] = {}
+        for i in range(n):
+            groups.setdefault(find(i), set()).add(i)
+        return sorted(groups.values(), key=lambda s: min(s))
+
+    def to_dot(self, label_probability: bool = True) -> str:
+        """The lattice as Graphviz DOT text (debugging/figures).
+
+        Renders the Hasse diagram top-down: Top above the maximal
+        sensor rectangles, intersections below, Bottom at the base —
+        the orientation of the paper's Figure 6.
+        """
+        lines = ["digraph lattice {", "  rankdir=TB;",
+                 '  node [shape=box, fontsize=10];']
+        for node in self._nodes.values():
+            attributes = [f'label="{node.node_id}']
+            if node.rect is not None and not node.is_top:
+                attributes[0] += f"\\narea={node.area:.0f}"
+            if label_probability and node.probability == node.probability:
+                attributes[0] += f"\\nP={node.probability:.3f}"
+            attributes[0] += '"'
+            if node.is_top or node.is_bottom:
+                attributes.append("style=bold")
+            lines.append(f'  "{node.node_id}" [{", ".join(attributes)}];')
+        for node in self._nodes.values():
+            for child_id in sorted(node.children):
+                lines.append(f'  "{node.node_id}" -> "{child_id}";')
+        lines.append("}")
+        return "\n".join(lines)
+
+    def check_invariants(self) -> None:
+        """Assert lattice structural invariants (used by property tests)."""
+        for node in self._nodes.values():
+            for parent_id in node.parents:
+                parent = self._nodes[parent_id]
+                assert node.node_id in parent.children, "asymmetric edge"
+                if node.rect is not None and parent.rect is not None:
+                    assert parent.rect.contains_rect(node.rect) or \
+                        parent.is_top, "parent does not contain child"
+            for child_id in node.children:
+                child = self._nodes[child_id]
+                assert node.node_id in child.parents, "asymmetric edge"
+        # Every region is reachable downward from Top.
+        seen: Set[str] = set()
+        stack = [TOP]
+        while stack:
+            nid = stack.pop()
+            if nid in seen:
+                continue
+            seen.add(nid)
+            stack.extend(self._nodes[nid].children)
+        assert seen == set(self._nodes), "unreachable lattice nodes"

@@ -1,0 +1,151 @@
+"""The paper's worked two-sensor fusion formulas, verbatim.
+
+Section 4.1.2 derives closed forms for the three geometric cases of
+two sensor rectangles (its Figures 2-4):
+
+* Equation (4): one rectangle contains the other — P(person_B | s1_A, s2_B).
+* Equation (5): a single sensor — P(person_B | s2_B).
+* Equation (6): intersecting rectangles — P(person_C | s1_A, s2_B)
+  where C = A ∩ B.
+
+These are kept verbatim (including the paper's own approximations) so
+the benchmark reproducing Figures 2-4 evaluates exactly what the paper
+printed.  The general Equation (7) lives in :mod:`repro.core.fusion`.
+
+A note on Equation (6) as printed: its numerator is linear in area
+(``p1*p2*aC``) while its denominator's second term is a product of two
+area-scale factors (~``aU^2``), so at building scale the printed value
+is vanishingly small and *decreases* as sensors agree — contradicting
+the reinforcement property the paper proves for Equation (4).
+Re-deriving the intersection case the same way as the paper's
+Equations (1)-(3) shows the printed form is missing a ``1/(aU - aC)``
+normalization on that term; :func:`eq6_corrected` applies it and then
+agrees exactly with :func:`repro.core.fusion.exact_region_probability`.
+Both forms are exposed: ``eq6_intersection`` reproduces the paper,
+``eq6_corrected`` is what the derivation supports.
+"""
+
+from __future__ import annotations
+
+from repro.errors import FusionError
+from repro.geometry import Rect
+
+
+def _check_prob(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise FusionError(f"{name}={value} is not a probability")
+
+
+def eq4_containment(area_a: float, area_b: float, area_u: float,
+                    p1: float, q1: float, p2: float, q2: float) -> float:
+    """Equation (4): sensor 1 says inner rect A, sensor 2 says outer B.
+
+    Returns P(person_B | s1_A, s2_B)::
+
+               [p1*aA + q1*(aB - aA)] * p2
+        ---------------------------------------------
+        [p1*aA + q1*(aB - aA)] * p2 + q1*q2*(aU - aB)
+    """
+    for name, v in (("p1", p1), ("q1", q1), ("p2", p2), ("q2", q2)):
+        _check_prob(name, v)
+    if not 0.0 <= area_a <= area_b <= area_u:
+        raise FusionError(
+            f"need area_A <= area_B <= area_U, got {area_a}, {area_b}, {area_u}")
+    numerator = (p1 * area_a + q1 * (area_b - area_a)) * p2
+    denominator = numerator + q1 * q2 * (area_u - area_b)
+    if denominator == 0.0:
+        return 0.0
+    return numerator / denominator
+
+
+def eq5_single_sensor(area_b: float, area_u: float,
+                      p2: float, q2: float) -> float:
+    """Equation (5): only sensor 2 detected the person, in rect B.
+
+    Returns P(person_B | s2_B)::
+
+                 aB * p2
+        --------------------------
+        aB * p2 + q2 * (aU - aB)
+    """
+    _check_prob("p2", p2)
+    _check_prob("q2", q2)
+    if not 0.0 <= area_b <= area_u:
+        raise FusionError(f"need area_B <= area_U, got {area_b}, {area_u}")
+    numerator = area_b * p2
+    denominator = numerator + q2 * (area_u - area_b)
+    if denominator == 0.0:
+        return 0.0
+    return numerator / denominator
+
+
+def eq6_intersection(area_a: float, area_b: float, area_c: float,
+                     area_u: float, p1: float, q1: float,
+                     p2: float, q2: float) -> float:
+    """Equation (6): rectangles A and B intersect in C = A ∩ B.
+
+    Returns P(person_C | s1_A, s2_B)::
+
+                              p1*p2*aC
+        ------------------------------------------------------------
+        p1*p2*aC + [p1*(aA-aC) + q1*(aU-aA)]*[p2*(aB-aC) + q2*(aU-aB)]
+    """
+    for name, v in (("p1", p1), ("q1", q1), ("p2", p2), ("q2", q2)):
+        _check_prob(name, v)
+    if not (0.0 <= area_c <= min(area_a, area_b)
+            and max(area_a, area_b) <= area_u):
+        raise FusionError("inconsistent areas for the intersection case")
+    numerator = p1 * p2 * area_c
+    denominator = numerator + (
+        (p1 * (area_a - area_c) + q1 * (area_u - area_a))
+        * (p2 * (area_b - area_c) + q2 * (area_u - area_b))
+    )
+    if denominator == 0.0:
+        return 0.0
+    return numerator / denominator
+
+
+def eq6_corrected(area_a: float, area_b: float, area_c: float,
+                  area_u: float, p1: float, q1: float,
+                  p2: float, q2: float) -> float:
+    """Equation (6) with the missing ``1/(aU - aC)`` normalization.
+
+    Derived exactly like the paper's Equations (1)-(3); equals the
+    exact Bayesian posterior for the intersection region.
+    """
+    for name, v in (("p1", p1), ("q1", q1), ("p2", p2), ("q2", q2)):
+        _check_prob(name, v)
+    if not (0.0 <= area_c <= min(area_a, area_b)
+            and max(area_a, area_b) <= area_u):
+        raise FusionError("inconsistent areas for the intersection case")
+    numerator = p1 * p2 * area_c
+    outside = area_u - area_c
+    if outside <= 0.0:
+        return 1.0 if numerator > 0.0 else 0.0
+    denominator = numerator + (
+        (p1 * (area_a - area_c) + q1 * (area_u - area_a))
+        * (p2 * (area_b - area_c) + q2 * (area_u - area_b))
+        / outside
+    )
+    if denominator == 0.0:
+        return 0.0
+    return numerator / denominator
+
+
+def eq4_from_rects(inner: Rect, outer: Rect, universe: Rect,
+                   p1: float, q1: float, p2: float, q2: float) -> float:
+    """Equation (4) computed from geometry (inner must lie inside outer)."""
+    if not outer.contains_rect(inner):
+        raise FusionError("eq4 requires the outer rect to contain the inner")
+    return eq4_containment(inner.area, outer.area, universe.area,
+                           p1, q1, p2, q2)
+
+
+def eq6_from_rects(rect_a: Rect, rect_b: Rect, universe: Rect,
+                   p1: float, q1: float, p2: float, q2: float) -> float:
+    """Equation (6) computed from geometry (rects must overlap)."""
+    overlap = rect_a.intersection_area(rect_b)
+    if overlap <= 0.0:
+        raise FusionError("eq6 requires the rectangles to overlap")
+    return eq6_intersection(rect_a.area, rect_b.area, overlap,
+                            universe.area, p1, q1, p2, q2)

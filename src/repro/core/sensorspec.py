@@ -1,0 +1,128 @@
+"""Sensor error model: x, y, z and the derived p/q pair (Section 4.1.1).
+
+The paper characterizes every location technology by three primitives:
+
+* ``x`` — P(person is carrying the device).  1.0 for biometrics.
+* ``y`` — P(sensor says device is in A | device is in A), from the
+  product specification (e.g. 0.95 for Ubisense).
+* ``z`` — P(sensor says device is in A | device is not in A), the
+  misidentification probability.  For coverage-area technologies the
+  paper scales it with the region: ``z = z0 * area(A) / area(U)``.
+
+From these it derives the two confidence values used by fusion:
+
+* ``p = P(sensor says A | person in A)``  — detection probability,
+* ``q = P(sensor says A | person not in A)`` — false-detection
+  probability.
+
+Note on the paper's algebra: Section 4.1.1 derives the *miss*
+probability ``(1-y)*x + (1-z)*(1-x)`` and calls it ``p``, but the
+fusion equations of Section 4.1.2 use ``p_i`` as the *detection*
+probability ``P(s_i,A | person_A)`` (see Eq. 2).  We follow the fusion
+semantics: ``p`` here is the complement of the Section 4.1.1 miss
+probability, ``p = y*x + z*(1-x)``.  ``q`` follows the paper exactly:
+``q = z*x + (y+z)*(1-x) = z + y*(1-x)``, clamped into [0, 1].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.core.tdf import ConstantTDF, TemporalDegradationFunction
+from repro.errors import SensorError
+
+
+def derive_pq(x: float, y: float, z: float) -> Tuple[float, float]:
+    """Derive (p, q) from carrying/detection/misidentification probs.
+
+    >>> p, q = derive_pq(x=1.0, y=0.95, z=0.01)
+    >>> round(p, 3), round(q, 3)
+    (0.95, 0.01)
+    """
+    for name, value in (("x", x), ("y", y), ("z", z)):
+        if not 0.0 <= value <= 1.0:
+            raise SensorError(f"{name}={value} is not a probability")
+    p = y * x + z * (1.0 - x)
+    q = min(1.0, z + y * (1.0 - x))
+    return p, q
+
+
+@dataclass(frozen=True)
+class SensorSpec:
+    """Static characteristics of one location sensing technology.
+
+    Attributes:
+        sensor_type: technology name ("Ubisense", "RF", "Biometric", ...).
+        carry_probability: ``x``.
+        detection_probability: ``y``.
+        misident_probability: base ``z`` (``z0`` when area-scaled).
+        z_area_scaled: when True, the effective ``z`` for a reading of
+            area ``a`` in universe ``U`` is ``z0 * a / area(U)`` —
+            exactly the paper's Ubisense/RF calibration.
+        resolution: detection radius in feet for coordinate sensors;
+            ``None`` for symbolic sensors (the reading's region is the
+            room itself).
+        time_to_live: seconds before a reading expires outright.
+        tdf: temporal degradation applied to ``p`` before fusion.
+    """
+
+    sensor_type: str
+    carry_probability: float
+    detection_probability: float
+    misident_probability: float
+    z_area_scaled: bool = False
+    resolution: Optional[float] = None
+    time_to_live: float = 60.0
+    tdf: TemporalDegradationFunction = field(default_factory=ConstantTDF)
+
+    def __post_init__(self) -> None:
+        derive_pq(self.carry_probability, self.detection_probability,
+                  self.misident_probability)  # validates ranges
+        if self.resolution is not None and self.resolution <= 0.0:
+            raise SensorError(f"resolution must be positive: {self.resolution}")
+        if self.time_to_live <= 0.0:
+            raise SensorError(f"TTL must be positive: {self.time_to_live}")
+
+    # ------------------------------------------------------------------
+    # Derived probabilities
+    # ------------------------------------------------------------------
+
+    def effective_z(self, reading_area: float, universe_area: float) -> float:
+        """The misidentification probability for a reading of this area."""
+        if not self.z_area_scaled:
+            return self.misident_probability
+        if universe_area <= 0.0:
+            raise SensorError("universe area must be positive")
+        ratio = min(1.0, max(0.0, reading_area / universe_area))
+        return self.misident_probability * ratio
+
+    def pq(self, reading_area: float, universe_area: float) -> Tuple[float, float]:
+        """The (p, q) pair for a reading of the given area."""
+        z = self.effective_z(reading_area, universe_area)
+        return derive_pq(self.carry_probability,
+                         self.detection_probability, z)
+
+    def degraded_p(self, reading_area: float, universe_area: float,
+                   age_seconds: float) -> float:
+        """``p`` after temporal degradation, floored at ``q``.
+
+        "All p_i's are net probabilities obtained after applying the
+        temporal degradation function" (Section 4.1.2).  We floor the
+        degraded ``p`` at ``q``: letting it sink below ``q`` would turn
+        a stale reading into *negative* evidence for its own region,
+        which none of the paper's machinery intends — at the floor the
+        reading is exactly uninformative.
+        """
+        p, q = self.pq(reading_area, universe_area)
+        return max(q, self.tdf.degrade(p, age_seconds))
+
+    def is_expired(self, age_seconds: float) -> bool:
+        """Whether a reading of this age is past the TTL."""
+        return age_seconds > self.time_to_live
+
+    def confidence_percent(self) -> float:
+        """Headline confidence for the sensor-metadata table (Table 2)."""
+        p, _ = derive_pq(self.carry_probability, self.detection_probability,
+                         self.misident_probability)
+        return round(p * 100.0, 1)

@@ -1,0 +1,118 @@
+"""Temporal degradation functions (paper Section 3.2).
+
+"Our location model employs a temporal degradation function (tdf) that
+reduces the confidence of the location information from a particular
+sensor with time: tdf_sensor-type : conf x time -> conf.  The tdf may
+degrade the confidence in a continuous or in a discrete manner."
+
+Every tdf maps (confidence, age_seconds) to a degraded confidence and
+is monotone non-increasing in age with ``degrade(c, 0) == c``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Protocol, Sequence, Tuple
+
+from repro.errors import SensorError
+
+
+class TemporalDegradationFunction(Protocol):
+    """The tdf signature: conf x time -> conf."""
+
+    def degrade(self, confidence: float, age_seconds: float) -> float:
+        """Confidence after ``age_seconds`` have elapsed."""
+        ...
+
+
+def _check_inputs(confidence: float, age_seconds: float) -> None:
+    if not 0.0 <= confidence <= 1.0:
+        raise SensorError(f"confidence {confidence} outside [0, 1]")
+    if age_seconds < 0.0:
+        raise SensorError(f"negative reading age {age_seconds}")
+
+
+@dataclass(frozen=True)
+class ConstantTDF:
+    """No degradation — confidence holds until the TTL expires the reading.
+
+    Appropriate for sensors whose readings are either valid or expired,
+    like Ubisense with its 3-second TTL (Table 2).
+    """
+
+    def degrade(self, confidence: float, age_seconds: float) -> float:
+        _check_inputs(confidence, age_seconds)
+        return confidence
+
+
+@dataclass(frozen=True)
+class LinearTDF:
+    """Linear decay reaching zero at ``zero_at`` seconds.
+
+    A card-swipe reading decays like this: certainty at swipe time,
+    roughly linearly less afterwards as the person may have left.
+    """
+
+    zero_at: float
+
+    def __post_init__(self) -> None:
+        if self.zero_at <= 0.0:
+            raise SensorError("zero_at must be positive")
+
+    def degrade(self, confidence: float, age_seconds: float) -> float:
+        _check_inputs(confidence, age_seconds)
+        remaining = max(0.0, 1.0 - age_seconds / self.zero_at)
+        return confidence * remaining
+
+
+@dataclass(frozen=True)
+class ExponentialTDF:
+    """Exponential decay with a half-life, the continuous tdf archetype."""
+
+    half_life: float
+
+    def __post_init__(self) -> None:
+        if self.half_life <= 0.0:
+            raise SensorError("half_life must be positive")
+
+    def degrade(self, confidence: float, age_seconds: float) -> float:
+        _check_inputs(confidence, age_seconds)
+        return confidence * math.pow(0.5, age_seconds / self.half_life)
+
+
+@dataclass(frozen=True)
+class StepTDF:
+    """Discrete decay: confidence multiplied by a factor per step.
+
+    ``steps`` is a sequence of (age_threshold_seconds, factor) pairs in
+    increasing age order; the factor of the last crossed threshold
+    applies.  This is the "discrete manner" tdf of Section 3.2 — e.g. a
+    biometric login keeps full confidence for 30 seconds, then drops.
+    """
+
+    steps: Tuple[Tuple[float, float], ...]
+
+    def __init__(self, steps: Sequence[Tuple[float, float]]) -> None:
+        ordered = tuple((float(a), float(f)) for a, f in steps)
+        if not ordered:
+            raise SensorError("StepTDF needs at least one step")
+        ages = [a for a, _ in ordered]
+        if ages != sorted(ages) or len(set(ages)) != len(ages):
+            raise SensorError("StepTDF ages must be strictly increasing")
+        factors = [f for _, f in ordered]
+        if any(not 0.0 <= f <= 1.0 for f in factors):
+            raise SensorError("StepTDF factors must lie in [0, 1]")
+        if factors != sorted(factors, reverse=True):
+            raise SensorError("StepTDF factors must be non-increasing")
+        object.__setattr__(self, "steps", ordered)
+
+    def degrade(self, confidence: float, age_seconds: float) -> float:
+        _check_inputs(confidence, age_seconds)
+        factor = 1.0
+        for age_threshold, step_factor in self.steps:
+            if age_seconds >= age_threshold:
+                factor = step_factor
+            else:
+                break
+        return confidence * factor

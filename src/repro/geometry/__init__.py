@@ -1,0 +1,22 @@
+"""Planar geometry substrate: points, segments, rectangles and polygons.
+
+Everything the spatial database and fusion engine need is built on the
+four types exported here.  Rectangles are the central type — MiddleWhere
+approximates all regions with minimum bounding rectangles (Section 4.1.2
+of the paper) — while polygons provide the "more accurate processing"
+pass described in Section 5.1.
+"""
+
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+from repro.geometry.rect import Rect, mbr_of_rects, union_area
+from repro.geometry.segment import Segment
+
+__all__ = [
+    "Point",
+    "Polygon",
+    "Rect",
+    "Segment",
+    "mbr_of_rects",
+    "union_area",
+]

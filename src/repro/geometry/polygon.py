@@ -1,0 +1,279 @@
+"""Simple polygons for exact region boundaries.
+
+The spatial database stores rooms and corridors as polygons (Table 1)
+but reasons with their minimum bounding rectangles; "once a certain
+condition is satisfied by a MBR, more accurate processing of the
+operation is performed taking the actual region boundaries"
+(Section 5.1).  This module supplies that accurate processing.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from repro.errors import GeometryError
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.geometry.segment import Segment
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class Polygon:
+    """An immutable simple polygon given by its vertices in order.
+
+    Vertices may wind in either direction; ``area`` is always positive.
+    The polygon is validated to have at least three non-collinear
+    vertices.  Self-intersection is not checked (blueprint data is
+    assumed sane), matching the paper's trust in building blueprints.
+    """
+
+    vertices: Tuple[Point, ...]
+    _mbr: Rect = field(init=False, repr=False, compare=False, hash=False, default=None)  # type: ignore[assignment]
+
+    def __init__(self, vertices: Sequence[Point]) -> None:
+        pts = tuple(vertices)
+        if len(pts) < 3:
+            raise GeometryError(f"polygon needs >= 3 vertices, got {len(pts)}")
+        object.__setattr__(self, "vertices", pts)
+        object.__setattr__(self, "_mbr", Rect.from_points(pts))
+        if self.signed_area() == 0.0:
+            raise GeometryError("polygon vertices are collinear")
+
+    @classmethod
+    def from_rect(cls, rect: Rect) -> "Polygon":
+        """The polygon with the same boundary as ``rect``."""
+        return cls(rect.corners)
+
+    @classmethod
+    def regular(cls, center: Point, radius: float, sides: int) -> "Polygon":
+        """A regular polygon, used to approximate circular sensor regions."""
+        if sides < 3:
+            raise GeometryError("a regular polygon needs >= 3 sides")
+        if radius <= 0:
+            raise GeometryError("radius must be positive")
+        step = 2.0 * math.pi / sides
+        return cls(
+            [
+                Point(center.x + radius * math.cos(i * step),
+                      center.y + radius * math.sin(i * step))
+                for i in range(sides)
+            ]
+        )
+
+    # ------------------------------------------------------------------
+    # Measures
+    # ------------------------------------------------------------------
+
+    def signed_area(self) -> float:
+        """Shoelace area; positive when vertices wind counter-clockwise."""
+        total = 0.0
+        n = len(self.vertices)
+        for i in range(n):
+            a = self.vertices[i]
+            b = self.vertices[(i + 1) % n]
+            total += a.x * b.y - b.x * a.y
+        return total / 2.0
+
+    @property
+    def area(self) -> float:
+        return abs(self.signed_area())
+
+    @property
+    def centroid(self) -> Point:
+        """Area centroid of the polygon."""
+        sa = self.signed_area()
+        cx = 0.0
+        cy = 0.0
+        n = len(self.vertices)
+        for i in range(n):
+            a = self.vertices[i]
+            b = self.vertices[(i + 1) % n]
+            cross = a.x * b.y - b.x * a.y
+            cx += (a.x + b.x) * cross
+            cy += (a.y + b.y) * cross
+        return Point(cx / (6.0 * sa), cy / (6.0 * sa))
+
+    @property
+    def mbr(self) -> Rect:
+        """The polygon's minimum bounding rectangle."""
+        return self._mbr
+
+    @property
+    def edges(self) -> List[Segment]:
+        """The boundary segments in vertex order."""
+        n = len(self.vertices)
+        return [
+            Segment(self.vertices[i], self.vertices[(i + 1) % n])
+            for i in range(n)
+        ]
+
+    # ------------------------------------------------------------------
+    # Predicates
+    # ------------------------------------------------------------------
+
+    def contains_point(self, p: Point) -> bool:
+        """Ray-casting point-in-polygon; boundary points count as inside."""
+        if not self._mbr.contains_point(p):
+            return False
+        n = len(self.vertices)
+        inside = False
+        for i in range(n):
+            a = self.vertices[i]
+            b = self.vertices[(i + 1) % n]
+            # Boundary check first: a point on an edge is contained.
+            if Segment(a, b).contains_point(p):
+                return True
+            if (a.y > p.y) != (b.y > p.y):
+                x_cross = a.x + (p.y - a.y) * (b.x - a.x) / (b.y - a.y)
+                if p.x < x_cross:
+                    inside = not inside
+        return inside
+
+    def contains_polygon(self, other: "Polygon") -> bool:
+        """Whether ``other`` lies fully inside this polygon (boundary
+        contact allowed — a room sharing a wall with its floor is still
+        contained).
+
+        Sufficient for building layouts: every vertex and edge midpoint
+        of ``other`` inside, and no edge of ``other`` properly crossing
+        this polygon's boundary (shared collinear walls do not count).
+        """
+        if not self._mbr.contains_rect(other._mbr):
+            return False
+        if not all(self.contains_point(v) for v in other.vertices):
+            return False
+        for edge in other.edges:
+            if not self.contains_point(edge.midpoint):
+                return False
+        for e1 in self.edges:
+            for e2 in other.edges:
+                if e1.crosses_properly(e2):
+                    return False
+        return True
+
+    def intersects_polygon(self, other: "Polygon") -> bool:
+        """Whether the two polygons share any point."""
+        if not self._mbr.intersects(other._mbr):
+            return False
+        if any(other.contains_point(v) for v in self.vertices):
+            return True
+        if any(self.contains_point(v) for v in other.vertices):
+            return True
+        return self._edges_cross(other)
+
+    def _edges_cross(self, other: "Polygon") -> bool:
+        for e1 in self.edges:
+            for e2 in other.edges:
+                if e1.intersects(e2):
+                    return True
+        return False
+
+    def shares_edge_with(self, other: "Polygon", tolerance: float = 1e-9) -> bool:
+        """Whether any boundary portion is common (wall between rooms)."""
+        for e1 in self.edges:
+            for e2 in other.edges:
+                # Parallel, collinear and overlapping in 1D?
+                if _collinear_overlap(e1, e2, tolerance):
+                    return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Clipping
+    # ------------------------------------------------------------------
+
+    def clipped_to_rect(self, rect: Rect) -> "Polygon | None":
+        """Sutherland–Hodgman clip of this polygon against a rectangle.
+
+        Returns ``None`` when nothing remains.  Used by the MBR-vs-exact
+        ablation to compute exact intersection areas.
+        """
+        pts: List[Point] = list(self.vertices)
+        # Clip against each of the four half-planes in turn.
+        for inside, intersect in (
+            (lambda p: p.x >= rect.min_x - _EPS,
+             lambda a, b: _x_cross(a, b, rect.min_x)),
+            (lambda p: p.x <= rect.max_x + _EPS,
+             lambda a, b: _x_cross(a, b, rect.max_x)),
+            (lambda p: p.y >= rect.min_y - _EPS,
+             lambda a, b: _y_cross(a, b, rect.min_y)),
+            (lambda p: p.y <= rect.max_y + _EPS,
+             lambda a, b: _y_cross(a, b, rect.max_y)),
+        ):
+            if not pts:
+                return None
+            out: List[Point] = []
+            n = len(pts)
+            for i in range(n):
+                cur = pts[i]
+                prev = pts[i - 1]
+                cur_in = inside(cur)
+                prev_in = inside(prev)
+                if cur_in:
+                    if not prev_in:
+                        out.append(intersect(prev, cur))
+                    out.append(cur)
+                elif prev_in:
+                    out.append(intersect(prev, cur))
+            pts = _dedupe(out)
+        if len(pts) < 3:
+            return None
+        try:
+            return Polygon(pts)
+        except GeometryError:
+            return None
+
+    def intersection_area_with_rect(self, rect: Rect) -> float:
+        """Exact area of ``polygon ∩ rect``."""
+        clipped = self.clipped_to_rect(rect)
+        return clipped.area if clipped is not None else 0.0
+
+    def __repr__(self) -> str:
+        return f"Polygon({len(self.vertices)} vertices, area={self.area:g})"
+
+
+def _x_cross(a: Point, b: Point, x: float) -> Point:
+    t = (x - a.x) / (b.x - a.x)
+    return Point(x, a.y + t * (b.y - a.y))
+
+
+def _y_cross(a: Point, b: Point, y: float) -> Point:
+    t = (y - a.y) / (b.y - a.y)
+    return Point(a.x + t * (b.x - a.x), y)
+
+
+def _dedupe(pts: List[Point]) -> List[Point]:
+    out: List[Point] = []
+    for p in pts:
+        if not out or not out[-1].almost_equals(p, 1e-9):
+            out.append(p)
+    if len(out) > 1 and out[0].almost_equals(out[-1], 1e-9):
+        out.pop()
+    return out
+
+
+def _collinear_overlap(e1: Segment, e2: Segment, tolerance: float) -> bool:
+    """Whether two segments are collinear and overlap over a positive length."""
+    d1x = e1.end.x - e1.start.x
+    d1y = e1.end.y - e1.start.y
+    d2x = e2.end.x - e2.start.x
+    d2y = e2.end.y - e2.start.y
+    if abs(d1x * d2y - d1y * d2x) > tolerance:
+        return False  # not parallel
+    # e2.start must lie on e1's supporting line.
+    ox = e2.start.x - e1.start.x
+    oy = e2.start.y - e1.start.y
+    if abs(d1x * oy - d1y * ox) > tolerance * max(1.0, e1.length):
+        return False  # parallel but offset
+    # Project both segments on e1's direction and test 1D interval overlap.
+    denom = d1x * d1x + d1y * d1y
+    t0 = 0.0
+    t1 = 1.0
+    s0 = (ox * d1x + oy * d1y) / denom
+    s1 = ((e2.end.x - e1.start.x) * d1x + (e2.end.y - e1.start.y) * d1y) / denom
+    lo, hi = min(s0, s1), max(s0, s1)
+    overlap = min(t1, hi) - max(t0, lo)
+    return overlap > tolerance

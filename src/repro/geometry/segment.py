@@ -1,0 +1,135 @@
+"""Line segments: door sills, walls, and symbolic line locations."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import GeometryError
+from repro.geometry.point import Point
+
+_EPS = 1e-12
+
+
+def _cross(ox: float, oy: float, ax: float, ay: float, bx: float, by: float) -> float:
+    """Cross product of OA x OB; sign gives the turn direction."""
+    return (ax - ox) * (by - oy) - (ay - oy) * (bx - ox)
+
+
+@dataclass(frozen=True)
+class Segment:
+    """An immutable planar line segment between two points.
+
+    Used by the world model for doors and non-enclosing walls, and by
+    the passage reasoner to test whether a door lies on a shared wall.
+    """
+
+    start: Point
+    end: Point
+
+    def __post_init__(self) -> None:
+        if self.start.almost_equals(self.end):
+            raise GeometryError(f"degenerate segment at {self.start}")
+
+    @property
+    def length(self) -> float:
+        """Planar length of the segment."""
+        return self.start.distance_to(self.end)
+
+    @property
+    def midpoint(self) -> Point:
+        """The point halfway along the segment."""
+        return self.start.midpoint(self.end)
+
+    def contains_point(self, p: Point, tolerance: float = 1e-9) -> bool:
+        """Whether ``p`` lies on the segment (within ``tolerance``)."""
+        cross = _cross(self.start.x, self.start.y, self.end.x, self.end.y, p.x, p.y)
+        if abs(cross) > tolerance * max(1.0, self.length):
+            return False
+        dot = (p.x - self.start.x) * (self.end.x - self.start.x) + (
+            p.y - self.start.y
+        ) * (self.end.y - self.start.y)
+        if dot < -tolerance:
+            return False
+        return dot <= self.length**2 + tolerance
+
+    def distance_to_point(self, p: Point) -> float:
+        """Shortest planar distance from ``p`` to the segment."""
+        dx = self.end.x - self.start.x
+        dy = self.end.y - self.start.y
+        denom = dx * dx + dy * dy
+        t = ((p.x - self.start.x) * dx + (p.y - self.start.y) * dy) / denom
+        t = max(0.0, min(1.0, t))
+        closest = Point(self.start.x + t * dx, self.start.y + t * dy)
+        return p.distance_to(closest)
+
+    def intersects(self, other: "Segment") -> bool:
+        """Whether the two segments intersect (including touching)."""
+        d1 = _cross(other.start.x, other.start.y, other.end.x, other.end.y,
+                    self.start.x, self.start.y)
+        d2 = _cross(other.start.x, other.start.y, other.end.x, other.end.y,
+                    self.end.x, self.end.y)
+        d3 = _cross(self.start.x, self.start.y, self.end.x, self.end.y,
+                    other.start.x, other.start.y)
+        d4 = _cross(self.start.x, self.start.y, self.end.x, self.end.y,
+                    other.end.x, other.end.y)
+        if ((d1 > _EPS and d2 < -_EPS) or (d1 < -_EPS and d2 > _EPS)) and (
+            (d3 > _EPS and d4 < -_EPS) or (d3 < -_EPS and d4 > _EPS)
+        ):
+            return True
+        # Collinear / touching cases.
+        if abs(d1) <= _EPS and other.contains_point(self.start):
+            return True
+        if abs(d2) <= _EPS and other.contains_point(self.end):
+            return True
+        if abs(d3) <= _EPS and self.contains_point(other.start):
+            return True
+        if abs(d4) <= _EPS and self.contains_point(other.end):
+            return True
+        return False
+
+    def crosses_properly(self, other: "Segment") -> bool:
+        """Whether the segments cross transversally at interior points.
+
+        Touching endpoints and collinear overlap do NOT count — this is
+        the test for a boundary genuinely cutting through another
+        region's boundary, as opposed to two rooms sharing a wall.
+        """
+        d1 = _cross(other.start.x, other.start.y, other.end.x, other.end.y,
+                    self.start.x, self.start.y)
+        d2 = _cross(other.start.x, other.start.y, other.end.x, other.end.y,
+                    self.end.x, self.end.y)
+        d3 = _cross(self.start.x, self.start.y, self.end.x, self.end.y,
+                    other.start.x, other.start.y)
+        d4 = _cross(self.start.x, self.start.y, self.end.x, self.end.y,
+                    other.end.x, other.end.y)
+        return ((d1 > _EPS and d2 < -_EPS) or (d1 < -_EPS and d2 > _EPS)) \
+            and ((d3 > _EPS and d4 < -_EPS) or (d3 < -_EPS and d4 > _EPS))
+
+    def intersection_point(self, other: "Segment") -> Optional[Point]:
+        """The single crossing point of two non-parallel segments.
+
+        Returns ``None`` when the segments do not cross or are parallel
+        (including collinear overlap, which has no unique point).
+        """
+        x1, y1 = self.start.x, self.start.y
+        x2, y2 = self.end.x, self.end.y
+        x3, y3 = other.start.x, other.start.y
+        x4, y4 = other.end.x, other.end.y
+        denom = (x1 - x2) * (y3 - y4) - (y1 - y2) * (x3 - x4)
+        if abs(denom) < _EPS:
+            return None
+        t = ((x1 - x3) * (y3 - y4) - (y1 - y3) * (x3 - x4)) / denom
+        u = ((x1 - x3) * (y1 - y2) - (y1 - y3) * (x1 - x2)) / denom
+        if -_EPS <= t <= 1 + _EPS and -_EPS <= u <= 1 + _EPS:
+            return Point(x1 + t * (x2 - x1), y1 + t * (y2 - y1))
+        return None
+
+    def angle(self) -> float:
+        """Orientation of the segment in radians, in ``[-pi, pi]``."""
+        return math.atan2(self.end.y - self.start.y, self.end.x - self.start.x)
+
+    def translated(self, dx: float, dy: float) -> "Segment":
+        """A copy of the segment moved by the given offsets."""
+        return Segment(self.start.translated(dx, dy), self.end.translated(dx, dy))

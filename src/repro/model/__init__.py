@@ -1,0 +1,46 @@
+"""Hybrid location model: GLOBs, coordinate frames and the world model.
+
+Implements Section 3 of the paper: the hierarchical symbolic +
+coordinate location representation, per-building/floor/room coordinate
+frames with conversion between them, and the model of the physical
+space (rooms, corridors, doors, static objects).
+"""
+
+from repro.model.coords import FrameRegistry, FrameTransform
+from repro.model.glob import Glob
+from repro.model.serialize import (
+    load_world,
+    save_world,
+    world_from_dict,
+    world_from_json,
+    world_to_dict,
+    world_to_json,
+)
+from repro.model.world import (
+    Door,
+    Entity,
+    EntityType,
+    Geometry,
+    PassageKind,
+    WorldModel,
+    geometry_kind,
+)
+
+__all__ = [
+    "Door",
+    "Entity",
+    "EntityType",
+    "FrameRegistry",
+    "FrameTransform",
+    "Geometry",
+    "Glob",
+    "PassageKind",
+    "WorldModel",
+    "geometry_kind",
+    "load_world",
+    "save_world",
+    "world_from_dict",
+    "world_from_json",
+    "world_to_dict",
+    "world_to_json",
+]

@@ -1,0 +1,196 @@
+"""Hierarchical coordinate frames and conversions (paper Section 3).
+
+"Each building, floor and room has its own coordinate axes and a point
+of origin. ... MiddleWhere stores the relationships between the
+different coordinate axes, and hence coordinates can be easily
+converted from one system to another."
+
+A frame is registered with its parent frame and the rigid transform
+(translation + optional rotation + optional z offset) that maps local
+coordinates into the parent.  Conversion between any two frames walks
+up to their common ancestor.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.errors import CoordinateFrameError
+from repro.geometry import Point, Polygon, Rect, Segment
+
+
+@dataclass(frozen=True)
+class FrameTransform:
+    """Rigid transform from a child frame into its parent frame.
+
+    A local point ``p`` maps to ``rotate(p, rotation) + (dx, dy, dz)``.
+    Rotations are constrained to the plane; buildings are upright.
+    """
+
+    dx: float = 0.0
+    dy: float = 0.0
+    dz: float = 0.0
+    rotation: float = 0.0  # radians, counter-clockwise
+
+    def apply(self, p: Point) -> Point:
+        """Map a point from the child frame into the parent frame."""
+        if self.rotation:
+            c = math.cos(self.rotation)
+            s = math.sin(self.rotation)
+            x = p.x * c - p.y * s
+            y = p.x * s + p.y * c
+        else:
+            x, y = p.x, p.y
+        return Point(x + self.dx, y + self.dy, p.z + self.dz)
+
+    def invert(self, p: Point) -> Point:
+        """Map a point from the parent frame back into the child frame."""
+        x = p.x - self.dx
+        y = p.y - self.dy
+        z = p.z - self.dz
+        if self.rotation:
+            c = math.cos(-self.rotation)
+            s = math.sin(-self.rotation)
+            x, y = x * c - y * s, x * s + y * c
+        return Point(x, y, z)
+
+
+class FrameRegistry:
+    """The tree of coordinate frames for a deployment.
+
+    Frames are named by their GLOB path string (``"SC"``, ``"SC/3"``,
+    ``"SC/3/3216"``); the root frame (``""``) is the world frame that
+    all buildings hang off.  The fusion engine converts every sensor
+    reading into a single *canonical* frame — in the paper, the
+    building's — before constructing the lattice.
+    """
+
+    ROOT = ""
+
+    def __init__(self) -> None:
+        self._parents: Dict[str, str] = {}
+        self._transforms: Dict[str, FrameTransform] = {}
+
+    def register(self, frame: str, parent: str,
+                 transform: FrameTransform) -> None:
+        """Register ``frame`` as a child of ``parent``.
+
+        ``parent`` must be the root or already registered, which keeps
+        the structure a tree and conversion well-defined.
+        """
+        if not frame:
+            raise CoordinateFrameError("cannot register the root frame")
+        if frame in self._parents:
+            raise CoordinateFrameError(f"frame {frame!r} already registered")
+        if parent != self.ROOT and parent not in self._parents:
+            raise CoordinateFrameError(f"unknown parent frame {parent!r}")
+        if frame == parent:
+            raise CoordinateFrameError(f"frame {frame!r} cannot be its own parent")
+        self._parents[frame] = parent
+        self._transforms[frame] = transform
+
+    def knows(self, frame: str) -> bool:
+        """Whether ``frame`` is the root or has been registered."""
+        return frame == self.ROOT or frame in self._parents
+
+    def transform_of(self, frame: str) -> FrameTransform:
+        """The registered child-to-parent transform of ``frame``."""
+        try:
+            return self._transforms[frame]
+        except KeyError:
+            raise CoordinateFrameError(f"unknown frame {frame!r}") from None
+
+    def parent_of(self, frame: str) -> str:
+        if frame == self.ROOT:
+            raise CoordinateFrameError("the root frame has no parent")
+        try:
+            return self._parents[frame]
+        except KeyError:
+            raise CoordinateFrameError(f"unknown frame {frame!r}") from None
+
+    def frames(self) -> List[str]:
+        """All registered frame names."""
+        return sorted(self._parents)
+
+    # ------------------------------------------------------------------
+    # Conversion
+    # ------------------------------------------------------------------
+
+    def _chain_to_root(self, frame: str) -> List[str]:
+        chain = [frame]
+        seen = {frame}
+        while chain[-1] != self.ROOT:
+            parent = self.parent_of(chain[-1])
+            if parent in seen:
+                raise CoordinateFrameError(f"frame cycle at {parent!r}")
+            chain.append(parent)
+            seen.add(parent)
+        return chain
+
+    def convert_point(self, p: Point, source: str, target: str) -> Point:
+        """Express a point given in ``source`` frame in ``target`` frame."""
+        if source == target:
+            return p
+        if not self.knows(source):
+            raise CoordinateFrameError(f"unknown source frame {source!r}")
+        if not self.knows(target):
+            raise CoordinateFrameError(f"unknown target frame {target!r}")
+        up_source = self._chain_to_root(source)
+        up_target = self._chain_to_root(target)
+        common = self._common_ancestor(up_source, up_target)
+        # Lift p from source up to the common ancestor...
+        current = p
+        for frame in up_source:
+            if frame == common:
+                break
+            current = self._transforms[frame].apply(current)
+        # ...then push it down into the target frame.
+        down: List[str] = []
+        for frame in up_target:
+            if frame == common:
+                break
+            down.append(frame)
+        for frame in reversed(down):
+            current = self._transforms[frame].invert(current)
+        return current
+
+    @staticmethod
+    def _common_ancestor(chain_a: List[str], chain_b: List[str]) -> str:
+        set_b = set(chain_b)
+        for frame in chain_a:
+            if frame in set_b:
+                return frame
+        raise CoordinateFrameError("frames share no common ancestor")
+
+    def convert_rect(self, rect: Rect, source: str, target: str) -> Rect:
+        """Convert a rectangle between frames.
+
+        With a rotated frame the image of a rectangle is not axis-
+        aligned; we return its MBR, which is the approximation the
+        paper adopts everywhere.
+        """
+        if source == target:
+            return rect
+        corners = [self.convert_point(c, source, target)
+                   for c in rect.corners]
+        return Rect.from_points(corners)
+
+    def convert_polygon(self, polygon: Polygon, source: str,
+                        target: str) -> Polygon:
+        """Convert a polygon's vertices between frames."""
+        if source == target:
+            return polygon
+        return Polygon([self.convert_point(v, source, target)
+                        for v in polygon.vertices])
+
+    def convert_segment(self, segment: Segment, source: str,
+                        target: str) -> Segment:
+        """Convert a segment between frames."""
+        if source == target:
+            return segment
+        return Segment(
+            self.convert_point(segment.start, source, target),
+            self.convert_point(segment.end, source, target),
+        )

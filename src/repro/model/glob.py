@@ -1,0 +1,243 @@
+"""GLOBs — Gaia LOcation Byte-strings (paper Section 3.1).
+
+A GLOB is a hierarchical, path-like representation of a location that
+can carry either a symbolic leaf (``SC/3/3216/lightswitch1``) or a
+coordinate leaf (``SC/3/3216/(12,3,4)``).  Coordinate leaves may hold
+one point (a point location), two points (a line, e.g. a door sill) or
+three-plus points (a polygon region such as a room outline).
+
+The prefix of a GLOB names the coordinate frame its coordinates are
+expressed in: ``SC/3/3216/(12,3,4)`` is the point (12, 3, 4) in the
+frame of room 3216 on floor 3 of building SC.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import GlobError
+from repro.geometry import Point
+
+_COORD_RE = re.compile(
+    r"^\(\s*(-?\d+(?:\.\d+)?)\s*,\s*(-?\d+(?:\.\d+)?)"
+    r"(?:\s*,\s*(-?\d+(?:\.\d+)?))?\s*\)$"
+)
+_NAME_RE = re.compile(r"^[A-Za-z0-9_\-\.]+$")
+
+
+def _format_number(value: float) -> str:
+    """Render a coordinate without a trailing ``.0`` when integral."""
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+@dataclass(frozen=True)
+class Glob:
+    """A parsed GLOB.
+
+    Attributes:
+        path: the symbolic path segments, e.g. ``("SC", "3", "3216")``.
+        coordinates: parsed coordinate tuple(s) when the leaf is a
+            coordinate expression, otherwise ``None``.
+    """
+
+    path: Tuple[str, ...]
+    coordinates: Optional[Tuple[Point, ...]] = None
+
+    def __post_init__(self) -> None:
+        if not self.path and not self.coordinates:
+            raise GlobError("empty GLOB")
+        for segment in self.path:
+            if not _NAME_RE.match(segment):
+                raise GlobError(f"invalid GLOB path segment: {segment!r}")
+        if self.coordinates is not None and len(self.coordinates) == 0:
+            raise GlobError("coordinate GLOB with no points")
+
+    # ------------------------------------------------------------------
+    # Parsing / formatting
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def parse(cls, text: str) -> "Glob":
+        """Parse a GLOB string.
+
+        >>> Glob.parse("SC/3/3216/(12,3,4)").coordinates[0]
+        Point(12, 3, 4)
+        >>> Glob.parse("SC/3/3216/lightswitch1").leaf
+        'lightswitch1'
+        """
+        if not isinstance(text, str) or not text.strip():
+            raise GlobError(f"cannot parse GLOB from {text!r}")
+        raw = text.strip().strip("/")
+        segments = _split_segments(raw)
+        path: List[str] = []
+        points: List[Point] = []
+        for segment in segments:
+            match = _COORD_RE.match(segment)
+            if match:
+                x, y, z = match.group(1), match.group(2), match.group(3)
+                points.append(Point(float(x), float(y),
+                                    float(z) if z is not None else 0.0))
+            else:
+                if points:
+                    raise GlobError(
+                        f"symbolic segment {segment!r} after coordinates in "
+                        f"{text!r}"
+                    )
+                path.append(segment)
+        return cls(tuple(path), tuple(points) if points else None)
+
+    def format(self) -> str:
+        """Render back to the canonical GLOB string form."""
+        parts = list(self.path)
+        if self.coordinates:
+            for p in self.coordinates:
+                if p.z:
+                    parts.append(
+                        f"({_format_number(p.x)},{_format_number(p.y)},"
+                        f"{_format_number(p.z)})"
+                    )
+                else:
+                    parts.append(
+                        f"({_format_number(p.x)},{_format_number(p.y)})"
+                    )
+        return "/".join(parts)
+
+    def __str__(self) -> str:
+        return self.format()
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+
+    @property
+    def is_coordinate(self) -> bool:
+        """Whether the GLOB carries coordinate data."""
+        return self.coordinates is not None
+
+    @property
+    def is_symbolic(self) -> bool:
+        """Whether the GLOB is purely symbolic."""
+        return self.coordinates is None
+
+    @property
+    def kind(self) -> str:
+        """``'point'``, ``'line'`` or ``'polygon'`` for coordinate GLOBs,
+        ``'symbolic'`` otherwise."""
+        if self.coordinates is None:
+            return "symbolic"
+        n = len(self.coordinates)
+        if n == 1:
+            return "point"
+        if n == 2:
+            return "line"
+        return "polygon"
+
+    @property
+    def prefix(self) -> Tuple[str, ...]:
+        """The enclosing-space path (everything but the symbolic leaf).
+
+        For a coordinate GLOB the whole symbolic path is the prefix;
+        for a symbolic GLOB it is the path minus the final segment.
+        """
+        if self.is_coordinate:
+            return self.path
+        return self.path[:-1]
+
+    @property
+    def leaf(self) -> Optional[str]:
+        """The final symbolic segment, or ``None`` for coordinate GLOBs."""
+        if self.is_coordinate or not self.path:
+            return None
+        return self.path[-1]
+
+    @property
+    def depth(self) -> int:
+        """Number of symbolic path segments."""
+        return len(self.path)
+
+    def parent(self) -> "Glob":
+        """The GLOB one level up (coordinates dropped first)."""
+        if self.coordinates is not None:
+            return Glob(self.path, None)
+        if len(self.path) <= 1:
+            raise GlobError(f"GLOB {self} has no parent")
+        return Glob(self.path[:-1], None)
+
+    def ancestors(self) -> List["Glob"]:
+        """All enclosing symbolic GLOBs, outermost first."""
+        return [Glob(self.path[: i + 1]) for i in range(len(self.path) - 1)]
+
+    def child(self, name: str) -> "Glob":
+        """A symbolic child of this GLOB."""
+        if self.is_coordinate:
+            raise GlobError("cannot extend a coordinate GLOB")
+        return Glob(self.path + (name,), None)
+
+    def with_coordinates(self, points: Sequence[Point]) -> "Glob":
+        """This GLOB's path with coordinate data attached."""
+        if self.is_coordinate:
+            raise GlobError("GLOB already has coordinates")
+        return Glob(self.path, tuple(points))
+
+    def is_within(self, other: "Glob") -> bool:
+        """Whether this GLOB's symbolic path lies under ``other``'s.
+
+        ``SC/3/3216/light1`` is within ``SC/3`` and within ``SC/3/3216``
+        but not within ``SC/2``.
+        """
+        if other.is_coordinate:
+            return False
+        prefix = other.path
+        return (len(self.path) >= len(prefix)
+                and self.path[: len(prefix)] == prefix)
+
+    def truncated_to_depth(self, depth: int) -> "Glob":
+        """The GLOB coarsened to at most ``depth`` symbolic segments.
+
+        This implements the privacy-granularity operation of
+        Section 4.5: a user's location "can only be revealed upto a
+        certain granularity (like a room or a floor)".
+        """
+        if depth < 1:
+            raise GlobError("granularity depth must be >= 1")
+        if depth >= len(self.path) and self.is_symbolic:
+            return self
+        return Glob(self.path[: min(depth, len(self.path))], None)
+
+
+def _split_segments(raw: str) -> List[str]:
+    """Split on ``/`` but keep coordinate tuples intact.
+
+    The paper writes polygon GLOBs like ``SC/3/(45,12), (45,40), ...``
+    with comma-separated tuples; we accept both comma- and
+    slash-separated coordinate lists.
+    """
+    segments: List[str] = []
+    buf: List[str] = []
+    depth = 0
+    for ch in raw:
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+            if depth < 0:
+                raise GlobError(f"unbalanced parentheses in GLOB {raw!r}")
+        if ch == "/" and depth == 0:
+            segments.append("".join(buf))
+            buf = []
+        elif ch == "," and depth == 0:
+            segments.append("".join(buf))
+            buf = []
+        else:
+            buf.append(ch)
+    if depth != 0:
+        raise GlobError(f"unbalanced parentheses in GLOB {raw!r}")
+    segments.append("".join(buf))
+    out = [s.strip() for s in segments if s.strip()]
+    if not out:
+        raise GlobError(f"empty GLOB: {raw!r}")
+    return out

@@ -1,0 +1,203 @@
+"""World-model persistence: blueprints to JSON and back.
+
+"The vertices of all the rooms and corridors in the building are
+obtained from the blueprints of the building" (Section 4.6.1).  This
+module is the blueprint format: a complete world model — coordinate
+frames, entities with their geometry and properties, doors — round-
+trips through a plain-JSON document, so deployments can be authored,
+versioned and shipped as files.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.errors import WorldModelError
+from repro.geometry import Point, Polygon, Rect, Segment
+from repro.model.coords import FrameTransform
+from repro.model.glob import Glob
+from repro.model.world import (
+    Door,
+    Entity,
+    EntityType,
+    Geometry,
+    PassageKind,
+    WorldModel,
+)
+
+FORMAT_VERSION = 1
+
+
+def _encode_point(p: Point) -> List[float]:
+    return [p.x, p.y, p.z]
+
+
+def _decode_point(data: List[float]) -> Point:
+    return Point(*data)
+
+
+def _encode_geometry(geometry: Geometry) -> Dict[str, Any]:
+    if isinstance(geometry, Point):
+        return {"kind": "point", "point": _encode_point(geometry)}
+    if isinstance(geometry, Segment):
+        return {"kind": "line",
+                "start": _encode_point(geometry.start),
+                "end": _encode_point(geometry.end)}
+    return {"kind": "polygon",
+            "vertices": [_encode_point(v) for v in geometry.vertices]}
+
+
+def _decode_geometry(data: Dict[str, Any]) -> Geometry:
+    kind = data.get("kind")
+    if kind == "point":
+        return _decode_point(data["point"])
+    if kind == "line":
+        return Segment(_decode_point(data["start"]),
+                       _decode_point(data["end"]))
+    if kind == "polygon":
+        return Polygon([_decode_point(v) for v in data["vertices"]])
+    raise WorldModelError(f"unknown geometry kind {kind!r}")
+
+
+def _encode_properties(properties: Dict[str, object]) -> Dict[str, Any]:
+    out: Dict[str, Any] = {}
+    for key, value in properties.items():
+        if isinstance(value, Rect):
+            out[key] = {"__rect__": [value.min_x, value.min_y,
+                                     value.max_x, value.max_y]}
+        elif isinstance(value, (str, int, float, bool)) or value is None:
+            out[key] = value
+        else:
+            raise WorldModelError(
+                f"property {key!r} of type {type(value).__name__} "
+                "is not blueprint-serializable")
+    return out
+
+
+def _decode_properties(data: Dict[str, Any]) -> Dict[str, object]:
+    out: Dict[str, object] = {}
+    for key, value in data.items():
+        if isinstance(value, dict) and "__rect__" in value:
+            out[key] = Rect(*value["__rect__"])
+        else:
+            out[key] = value
+    return out
+
+
+def world_to_dict(world: WorldModel) -> Dict[str, Any]:
+    """Serialize a world model to a plain-JSON-compatible dict."""
+    frames = []
+    for frame in world.frames.frames():
+        transform = world.frames.transform_of(frame)
+        frames.append({
+            "name": frame,
+            "parent": world.frames.parent_of(frame),
+            "dx": transform.dx, "dy": transform.dy, "dz": transform.dz,
+            "rotation": transform.rotation,
+        })
+    entities = []
+    for entity in world.entities():
+        entities.append({
+            "glob": str(entity.glob),
+            "type": entity.entity_type.value,
+            "frame": entity.frame,
+            "geometry": _encode_geometry(entity.geometry),
+            "properties": _encode_properties(entity.properties),
+        })
+    doors = []
+    for door in world.doors():
+        doors.append({
+            "glob": str(door.glob),
+            "region_a": str(door.region_a),
+            "region_b": str(door.region_b),
+            "frame": door.frame,
+            "kind": door.kind.value,
+            "sill": {"start": _encode_point(door.sill.start),
+                     "end": _encode_point(door.sill.end)},
+        })
+    return {
+        "format": "middlewhere-blueprint",
+        "version": FORMAT_VERSION,
+        "frames": frames,
+        "entities": entities,
+        "doors": doors,
+    }
+
+
+def world_from_dict(data: Dict[str, Any]) -> WorldModel:
+    """Rebuild a world model from :func:`world_to_dict` output."""
+    if data.get("format") != "middlewhere-blueprint":
+        raise WorldModelError("not a middlewhere blueprint document")
+    if data.get("version") != FORMAT_VERSION:
+        raise WorldModelError(
+            f"unsupported blueprint version {data.get('version')!r}")
+    world = WorldModel()
+    # Frames must be registered parents-first.
+    pending = list(data.get("frames", []))
+    registered = {""}
+    progress = True
+    while pending and progress:
+        progress = False
+        remaining = []
+        for frame in pending:
+            if frame["parent"] in registered:
+                world.add_frame(frame["name"], frame["parent"],
+                                FrameTransform(frame["dx"], frame["dy"],
+                                               frame["dz"],
+                                               frame["rotation"]))
+                registered.add(frame["name"])
+                progress = True
+            else:
+                remaining.append(frame)
+        pending = remaining
+    if pending:
+        raise WorldModelError(
+            f"orphan frames in blueprint: {[f['name'] for f in pending]}")
+
+    for item in data.get("entities", []):
+        world.add_entity(Entity(
+            glob=Glob.parse(item["glob"]),
+            entity_type=EntityType(item["type"]),
+            geometry=_decode_geometry(item["geometry"]),
+            frame=item["frame"],
+            properties=_decode_properties(item.get("properties", {})),
+        ))
+    for item in data.get("doors", []):
+        world.add_door(Door(
+            glob=Glob.parse(item["glob"]),
+            region_a=Glob.parse(item["region_a"]),
+            region_b=Glob.parse(item["region_b"]),
+            sill=Segment(_decode_point(item["sill"]["start"]),
+                         _decode_point(item["sill"]["end"])),
+            frame=item["frame"],
+            kind=PassageKind(item["kind"]),
+        ))
+    return world
+
+
+def world_to_json(world: WorldModel, indent: int = 2) -> str:
+    """The blueprint as a JSON string."""
+    return json.dumps(world_to_dict(world), indent=indent,
+                      sort_keys=True)
+
+
+def world_from_json(text: str) -> WorldModel:
+    """Rebuild a world model from a blueprint JSON string."""
+    try:
+        data = json.loads(text)
+    except ValueError as exc:
+        raise WorldModelError(f"invalid blueprint JSON: {exc}") from exc
+    return world_from_dict(data)
+
+
+def save_world(world: WorldModel, path: str) -> None:
+    """Write a blueprint file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(world_to_json(world))
+
+
+def load_world(path: str) -> WorldModel:
+    """Read a blueprint file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return world_from_json(handle.read())

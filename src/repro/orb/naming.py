@@ -1,0 +1,65 @@
+"""Naming service — the Gaia Space Repository stand-in.
+
+"Gaia applications can discover the location service component of
+MiddleWhere by querying the Gaia Space Repository service, which
+provides a list of available services" (Section 7).  The naming
+service is itself a servant, so discovery happens over the same ORB
+as everything else.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional
+
+from repro.errors import NamingError
+
+
+class NamingService:
+    """Name -> stringified-reference registry.
+
+    Thread-safe; rebinding an existing name requires ``rebind`` so a
+    misconfigured second service instance cannot silently shadow the
+    first.
+    """
+
+    def __init__(self) -> None:
+        self._bindings: Dict[str, str] = {}
+        self._lock = threading.Lock()
+
+    def bind(self, name: str, reference: str) -> None:
+        """Register a service reference under a fresh name."""
+        if not name:
+            raise NamingError("empty service name")
+        with self._lock:
+            if name in self._bindings:
+                raise NamingError(f"name {name!r} is already bound")
+            self._bindings[name] = reference
+
+    def rebind(self, name: str, reference: str) -> None:
+        """Register, replacing any existing binding."""
+        if not name:
+            raise NamingError("empty service name")
+        with self._lock:
+            self._bindings[name] = reference
+
+    def unbind(self, name: str) -> bool:
+        with self._lock:
+            return self._bindings.pop(name, None) is not None
+
+    def resolve(self, name: str) -> str:
+        """The reference bound to ``name`` (raises when unknown)."""
+        with self._lock:
+            reference = self._bindings.get(name)
+        if reference is None:
+            raise NamingError(f"no service bound as {name!r}")
+        return reference
+
+    def resolve_or_none(self, name: str) -> Optional[str]:
+        with self._lock:
+            return self._bindings.get(name)
+
+    def list_services(self) -> List[str]:
+        """All bound names — the Space Repository's service list."""
+        with self._lock:
+            return sorted(self._bindings)

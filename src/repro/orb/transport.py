@@ -1,0 +1,235 @@
+"""ORB transports: in-process and TCP.
+
+The paper's deployment used Orbacus over the department network; the
+interesting property for the evaluation is that every query and
+trigger notification crosses a real request/response boundary.  Both
+transports expose the same two-sided contract:
+
+* server side — a dispatcher callable ``(request) -> response``;
+* client side — :meth:`invoke` carrying a request dict and returning
+  the response dict.
+
+The TCP transport frames messages with a 4-byte big-endian length
+prefix and serves each connection on its own thread.
+"""
+
+from __future__ import annotations
+
+import socket
+import socketserver
+import struct
+import threading
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.errors import TransportError
+from repro.orb import serialization
+
+Dispatcher = Callable[[Dict[str, Any]], Dict[str, Any]]
+
+_HEADER = struct.Struct(">I")
+_MAX_FRAME = 64 * 1024 * 1024
+
+
+def _send_frame(sock: socket.socket, payload: bytes) -> None:
+    sock.sendall(_HEADER.pack(len(payload)) + payload)
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes:
+    chunks = []
+    remaining = count
+    while remaining > 0:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise TransportError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def _recv_frame(sock: socket.socket) -> bytes:
+    header = _recv_exact(sock, _HEADER.size)
+    (length,) = _HEADER.unpack(header)
+    if length > _MAX_FRAME:
+        raise TransportError(f"frame of {length} bytes exceeds the cap")
+    return _recv_exact(sock, length)
+
+
+class InProcTransport:
+    """Zero-copy transport for servants living in the same process.
+
+    Requests are still round-tripped through the serializer so that
+    behaviour (including serialization failures) is identical to the
+    TCP path — only the socket is skipped.
+    """
+
+    def __init__(self, dispatcher: Dispatcher) -> None:
+        self._dispatcher = dispatcher
+
+    def invoke(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        encoded = serialization.dumps(request)
+        response = self._dispatcher(serialization.loads(encoded))
+        return serialization.loads(serialization.dumps(response))
+
+    def close(self) -> None:
+        """Nothing to release."""
+
+
+class _RequestHandler(socketserver.BaseRequestHandler):
+    def setup(self) -> None:
+        self.server.track_connection(self.request)  # type: ignore[attr-defined]
+
+    def finish(self) -> None:
+        self.server.untrack_connection(self.request)  # type: ignore[attr-defined]
+
+    def handle(self) -> None:
+        server = self.server
+        sock: socket.socket = self.request
+        sock.settimeout(server.io_timeout)  # type: ignore[attr-defined]
+        while True:
+            try:
+                frame = _recv_frame(sock)
+            except (TransportError, OSError):
+                return  # client went away
+            try:
+                request = serialization.loads(frame)
+                response = server.dispatcher(request)
+                payload = serialization.dumps(response)
+            except Exception as exc:  # deliberately broad: server survives
+                payload = serialization.dumps({
+                    "error": {"type": type(exc).__name__,
+                              "message": str(exc)},
+                })
+            try:
+                _send_frame(sock, payload)
+            except OSError:
+                return
+
+
+class _ThreadingServer(socketserver.ThreadingTCPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        self._connections: "set[socket.socket]" = set()
+        self._connections_lock = threading.Lock()
+
+    def track_connection(self, sock: socket.socket) -> None:
+        with self._connections_lock:
+            self._connections.add(sock)
+
+    def untrack_connection(self, sock: socket.socket) -> None:
+        with self._connections_lock:
+            self._connections.discard(sock)
+
+    def close_connections(self) -> None:
+        """Force-close accepted connections so stop() really stops."""
+        with self._connections_lock:
+            doomed = list(self._connections)
+        for sock in doomed:
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+
+class TcpServer:
+    """A threaded TCP endpoint dispatching framed requests.
+
+    Binds to ``127.0.0.1`` on an OS-assigned port by default; the
+    bound address is available as :attr:`address` once started.
+    """
+
+    def __init__(self, dispatcher: Dispatcher, host: str = "127.0.0.1",
+                 port: int = 0, io_timeout: float = 30.0) -> None:
+        self.dispatcher = dispatcher
+        self.io_timeout = io_timeout
+        try:
+            self._server = _ThreadingServer((host, port), _RequestHandler)
+        except OSError as exc:
+            raise TransportError(f"cannot bind {host}:{port}: {exc}") from exc
+        self._server.dispatcher = dispatcher  # type: ignore[attr-defined]
+        self._server.io_timeout = io_timeout  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self._server.server_address  # type: ignore[return-value]
+
+    def start(self) -> "TcpServer":
+        if self._thread is not None:
+            raise TransportError("server already started")
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name=f"orb-tcp-{self.address[1]}", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._server.shutdown()
+        self._server.close_connections()
+        self._server.server_close()
+        self._thread.join(timeout=5.0)
+        self._thread = None
+
+
+class TcpTransport:
+    """Client side of the TCP transport: one persistent connection,
+    serialized by a lock, reconnecting once on a broken pipe."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._sock: Optional[socket.socket] = None
+        self._lock = threading.Lock()
+
+    def _connect(self) -> socket.socket:
+        try:
+            sock = socket.create_connection((self.host, self.port),
+                                            timeout=self.timeout)
+        except OSError as exc:
+            raise TransportError(
+                f"cannot connect to {self.host}:{self.port}: {exc}") from exc
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return sock
+
+    def invoke(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        payload = serialization.dumps(request)
+        with self._lock:
+            for attempt in (1, 2):
+                if self._sock is None:
+                    self._sock = self._connect()
+                try:
+                    _send_frame(self._sock, payload)
+                    frame = _recv_frame(self._sock)
+                    break
+                except (OSError, TransportError):
+                    # Drop the connection; retry once on a fresh one.
+                    self._teardown()
+                    if attempt == 2:
+                        raise TransportError(
+                            f"request to {self.host}:{self.port} failed "
+                            "after reconnect")
+        response = serialization.loads(frame)
+        if not isinstance(response, dict):
+            raise TransportError("malformed response frame")
+        return response
+
+    def _teardown(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def close(self) -> None:
+        with self._lock:
+            self._teardown()

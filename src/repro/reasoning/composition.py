@@ -1,0 +1,183 @@
+"""RCC-8 composition: inferring relations the sensors never measured.
+
+RCC [paper ref 2] is "a first order theory of spatial regions"; its
+workhorse inference is the *composition table*: knowing R1(a, b) and
+R2(b, c) constrains R(a, c) to a subset of the eight base relations.
+The Location Service uses this to answer relation queries between
+regions that were never compared directly (e.g. an application-defined
+region vs a room on another floor, via the floor itself).
+
+The table below is the standard RCC-8 composition table (Cohn et al.),
+encoded per (R1, R2) pair; ``compose`` returns the set of possible
+relations, and :class:`RelationNetwork` runs path-consistency over a
+set of regions with partially known relations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+
+from repro.errors import ReasoningError
+from repro.reasoning.rcc8 import RCC8
+
+ALL = frozenset(RCC8)
+
+# Short aliases to keep the table readable.
+DC, EC, PO = RCC8.DC, RCC8.EC, RCC8.PO
+TPP, NTPP, TPPI, NTPPI, EQ = (RCC8.TPP, RCC8.NTPP, RCC8.TPPI,
+                              RCC8.NTPPI, RCC8.EQ)
+
+
+def _s(*relations: RCC8) -> FrozenSet[RCC8]:
+    return frozenset(relations)
+
+
+# The standard RCC-8 composition table: _TABLE[(R1, R2)] is the set of
+# possible relations R(a, c) given R1(a, b) and R2(b, c).
+_TABLE: Dict[Tuple[RCC8, RCC8], FrozenSet[RCC8]] = {
+    (DC, DC): ALL,
+    (DC, EC): _s(DC, EC, PO, TPP, NTPP),
+    (DC, PO): _s(DC, EC, PO, TPP, NTPP),
+    (DC, TPP): _s(DC, EC, PO, TPP, NTPP),
+    (DC, NTPP): _s(DC, EC, PO, TPP, NTPP),
+    (DC, TPPI): _s(DC,),
+    (DC, NTPPI): _s(DC,),
+    (EC, DC): _s(DC, EC, PO, TPPI, NTPPI),
+    (EC, EC): _s(DC, EC, PO, TPP, TPPI, EQ),
+    (EC, PO): _s(DC, EC, PO, TPP, NTPP),
+    (EC, TPP): _s(EC, PO, TPP, NTPP),
+    (EC, NTPP): _s(PO, TPP, NTPP),
+    (EC, TPPI): _s(DC, EC),
+    (EC, NTPPI): _s(DC,),
+    (PO, DC): _s(DC, EC, PO, TPPI, NTPPI),
+    (PO, EC): _s(DC, EC, PO, TPPI, NTPPI),
+    (PO, PO): ALL,
+    (PO, TPP): _s(PO, TPP, NTPP),
+    (PO, NTPP): _s(PO, TPP, NTPP),
+    (PO, TPPI): _s(DC, EC, PO, TPPI, NTPPI),
+    (PO, NTPPI): _s(DC, EC, PO, TPPI, NTPPI),
+    (TPP, DC): _s(DC,),
+    (TPP, EC): _s(DC, EC),
+    (TPP, PO): _s(DC, EC, PO, TPP, NTPP),
+    (TPP, TPP): _s(TPP, NTPP),
+    (TPP, NTPP): _s(NTPP,),
+    (TPP, TPPI): _s(DC, EC, PO, TPP, TPPI, EQ),
+    (TPP, NTPPI): _s(DC, EC, PO, TPPI, NTPPI),
+    (NTPP, DC): _s(DC,),
+    (NTPP, EC): _s(DC,),
+    (NTPP, PO): _s(DC, EC, PO, TPP, NTPP),
+    (NTPP, TPP): _s(NTPP,),
+    (NTPP, NTPP): _s(NTPP,),
+    (NTPP, TPPI): _s(DC, EC, PO, TPP, NTPP),
+    (NTPP, NTPPI): ALL,
+    (TPPI, DC): _s(DC, EC, PO, TPPI, NTPPI),
+    (TPPI, EC): _s(EC, PO, TPPI, NTPPI),
+    (TPPI, PO): _s(PO, TPPI, NTPPI),
+    (TPPI, TPP): _s(PO, TPP, TPPI, EQ),
+    (TPPI, NTPP): _s(PO, TPP, NTPP),
+    (TPPI, TPPI): _s(TPPI, NTPPI),
+    (TPPI, NTPPI): _s(NTPPI,),
+    (NTPPI, DC): _s(DC, EC, PO, TPPI, NTPPI),
+    (NTPPI, EC): _s(PO, TPPI, NTPPI),
+    (NTPPI, PO): _s(PO, TPPI, NTPPI),
+    (NTPPI, TPP): _s(PO, TPPI, NTPPI),
+    (NTPPI, NTPP): _s(PO, TPP, NTPP, TPPI, NTPPI, EQ),
+    (NTPPI, TPPI): _s(NTPPI,),
+    (NTPPI, NTPPI): _s(NTPPI,),
+}
+
+
+def compose(first: RCC8, second: RCC8) -> FrozenSet[RCC8]:
+    """Possible R(a, c) given ``first``(a, b) and ``second``(b, c).
+
+    EQ composes as identity in either slot.
+    """
+    if first is EQ:
+        return _s(second)
+    if second is EQ:
+        return _s(first)
+    return _TABLE[(first, second)]
+
+
+def invert(relations: Iterable[RCC8]) -> FrozenSet[RCC8]:
+    """The converse of a disjunction of relations."""
+    return frozenset(r.inverse for r in relations)
+
+
+class RelationNetwork:
+    """A qualitative constraint network over named regions.
+
+    Known relations go in as (singleton or disjunctive) constraints;
+    :meth:`propagate` runs the standard path-consistency algorithm,
+    tightening every pair through every intermediate region.  An empty
+    constraint set means the knowledge is inconsistent.
+    """
+
+    def __init__(self, regions: Iterable[str]) -> None:
+        self.regions: List[str] = list(dict.fromkeys(regions))
+        if len(self.regions) < 2:
+            raise ReasoningError("a network needs at least two regions")
+        self._constraints: Dict[Tuple[str, str], FrozenSet[RCC8]] = {}
+        for a in self.regions:
+            for b in self.regions:
+                if a != b:
+                    self._constraints[(a, b)] = ALL
+
+    def _check(self, region: str) -> None:
+        if region not in self.regions:
+            raise ReasoningError(f"unknown region {region!r}")
+
+    def set_relation(self, a: str, b: str,
+                     relations: Iterable[RCC8]) -> None:
+        """Constrain R(a, b) to the given disjunction."""
+        self._check(a)
+        self._check(b)
+        allowed = frozenset(relations)
+        if not allowed:
+            raise ReasoningError("cannot set an empty constraint")
+        self._constraints[(a, b)] = self._constraints[(a, b)] & allowed
+        self._constraints[(b, a)] = (self._constraints[(b, a)]
+                                     & invert(allowed))
+        if not self._constraints[(a, b)]:
+            raise ReasoningError(
+                f"constraint on ({a}, {b}) became unsatisfiable")
+
+    def relation(self, a: str, b: str) -> FrozenSet[RCC8]:
+        """The current constraint on R(a, b)."""
+        self._check(a)
+        self._check(b)
+        if a == b:
+            return _s(EQ)
+        return self._constraints[(a, b)]
+
+    def propagate(self, max_rounds: int = 64) -> bool:
+        """Path consistency; returns False when inconsistent."""
+        for _ in range(max_rounds):
+            changed = False
+            for a in self.regions:
+                for b in self.regions:
+                    if a == b:
+                        continue
+                    current = self._constraints[(a, b)]
+                    for c in self.regions:
+                        if c in (a, b):
+                            continue
+                        through: Set[RCC8] = set()
+                        for r1 in self._constraints[(a, c)]:
+                            for r2 in self._constraints[(c, b)]:
+                                through |= compose(r1, r2)
+                        current = current & frozenset(through)
+                        if not current:
+                            self._constraints[(a, b)] = frozenset()
+                            return False
+                    if current != self._constraints[(a, b)]:
+                        self._constraints[(a, b)] = current
+                        self._constraints[(b, a)] = invert(current)
+                        changed = True
+            if not changed:
+                return True
+        return True
+
+    def is_determined(self, a: str, b: str) -> bool:
+        """Whether R(a, b) is narrowed to a single base relation."""
+        return len(self.relation(a, b)) == 1

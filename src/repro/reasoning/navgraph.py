@@ -1,0 +1,217 @@
+"""Navigation graph and path distance (paper Section 4.6.1).
+
+"Two kinds of distance measures are used: Euclidean, which is the
+shortest straight line distance between the centers of the regions,
+and path-distance, which is the length of a path from the center of
+one region to the center of the other region."
+
+The graph's nodes are enclosing regions (rooms and corridors); an edge
+exists wherever a traversable door joins two regions, weighted by the
+center -> door-sill -> center walking distance.  Dijkstra runs on a
+from-scratch adjacency-list graph — no external graph library.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple, Union
+
+from repro.errors import ReasoningError
+from repro.geometry import Point
+from repro.model import Door, Glob, PassageKind, WorldModel
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A traversable connection between two regions through a door."""
+
+    target: str
+    weight: float
+    door_glob: str
+    restricted: bool
+
+
+class Graph:
+    """A weighted undirected graph with Dijkstra shortest paths."""
+
+    def __init__(self) -> None:
+        self._adjacency: Dict[str, List[Edge]] = {}
+
+    def add_node(self, node: str) -> None:
+        self._adjacency.setdefault(node, [])
+
+    def add_edge(self, a: str, b: str, weight: float,
+                 door_glob: str = "", restricted: bool = False) -> None:
+        if weight < 0.0:
+            raise ReasoningError(f"negative edge weight {weight}")
+        self.add_node(a)
+        self.add_node(b)
+        self._adjacency[a].append(Edge(b, weight, door_glob, restricted))
+        self._adjacency[b].append(Edge(a, weight, door_glob, restricted))
+
+    def nodes(self) -> List[str]:
+        return sorted(self._adjacency)
+
+    def neighbors(self, node: str) -> List[Edge]:
+        try:
+            return list(self._adjacency[node])
+        except KeyError:
+            raise ReasoningError(f"unknown graph node {node!r}") from None
+
+    def has_node(self, node: str) -> bool:
+        return node in self._adjacency
+
+    def edge_count(self) -> int:
+        return sum(len(edges) for edges in self._adjacency.values()) // 2
+
+    def shortest_path(self, source: str, target: str,
+                      allow_restricted: bool = False
+                      ) -> Optional[Tuple[float, List[str]]]:
+        """Dijkstra: (distance, node path) or ``None`` if unreachable."""
+        if source not in self._adjacency:
+            raise ReasoningError(f"unknown source node {source!r}")
+        if target not in self._adjacency:
+            raise ReasoningError(f"unknown target node {target!r}")
+        if source == target:
+            return 0.0, [source]
+        dist: Dict[str, float] = {source: 0.0}
+        prev: Dict[str, str] = {}
+        heap: List[Tuple[float, str]] = [(0.0, source)]
+        visited: Set[str] = set()
+        while heap:
+            d, node = heapq.heappop(heap)
+            if node in visited:
+                continue
+            visited.add(node)
+            if node == target:
+                break
+            for edge in self._adjacency[node]:
+                if edge.restricted and not allow_restricted:
+                    continue
+                candidate = d + edge.weight
+                if candidate < dist.get(edge.target, float("inf")):
+                    dist[edge.target] = candidate
+                    prev[edge.target] = node
+                    heapq.heappush(heap, (candidate, edge.target))
+        if target not in dist or target not in visited:
+            return None
+        path = [target]
+        while path[-1] != source:
+            path.append(prev[path[-1]])
+        path.reverse()
+        return dist[target], path
+
+    def reachable_from(self, source: str,
+                       allow_restricted: bool = False) -> Set[str]:
+        """All nodes reachable from ``source``."""
+        if source not in self._adjacency:
+            raise ReasoningError(f"unknown source node {source!r}")
+        seen = {source}
+        stack = [source]
+        while stack:
+            node = stack.pop()
+            for edge in self._adjacency[node]:
+                if edge.restricted and not allow_restricted:
+                    continue
+                if edge.target not in seen:
+                    seen.add(edge.target)
+                    stack.append(edge.target)
+        return seen
+
+
+@dataclass
+class Route:
+    """A computed route: total length, regions visited, doors crossed."""
+
+    distance: float
+    regions: List[str]
+    doors: List[str] = field(default_factory=list)
+
+
+class NavigationGraph:
+    """The navigation graph of a world model.
+
+    Edge weights approximate walking distance: region center to door
+    sill midpoint, plus sill midpoint to the next region's center.
+    """
+
+    def __init__(self, world: WorldModel) -> None:
+        self.world = world
+        self.graph = Graph()
+        self._door_by_pair: Dict[Tuple[str, str], Door] = {}
+        self._build()
+
+    def _build(self) -> None:
+        for entity in self.world.entities():
+            if entity.entity_type.is_enclosing:
+                self.graph.add_node(str(entity.glob))
+        for door in self.world.doors():
+            if door.kind is PassageKind.NONE:
+                continue
+            a = str(door.region_a)
+            b = str(door.region_b)
+            sill_mid = self.world.frames.convert_point(
+                door.sill.midpoint, door.frame, "")
+            center_a = self.world.canonical_mbr(a).center
+            center_b = self.world.canonical_mbr(b).center
+            weight = (center_a.distance_to(sill_mid)
+                      + sill_mid.distance_to(center_b))
+            restricted = door.kind is PassageKind.RESTRICTED
+            self.graph.add_edge(a, b, weight, str(door.glob), restricted)
+            self._door_by_pair[(a, b)] = door
+            self._door_by_pair[(b, a)] = door
+
+    # ------------------------------------------------------------------
+    # Distances and routes
+    # ------------------------------------------------------------------
+
+    def path_distance(self, a: Union[Glob, str], b: Union[Glob, str],
+                      allow_restricted: bool = False) -> Optional[float]:
+        """Center-to-center walking distance, or ``None`` if unreachable."""
+        result = self.graph.shortest_path(str(a), str(b), allow_restricted)
+        return result[0] if result is not None else None
+
+    def route(self, a: Union[Glob, str], b: Union[Glob, str],
+              allow_restricted: bool = False) -> Optional[Route]:
+        """The full route with the doors to cross, for route-finding
+        applications (Section 4.6.1)."""
+        result = self.graph.shortest_path(str(a), str(b), allow_restricted)
+        if result is None:
+            return None
+        distance, regions = result
+        doors = []
+        for first, second in zip(regions, regions[1:]):
+            door = self._door_by_pair.get((first, second))
+            if door is not None:
+                doors.append(str(door.glob))
+        return Route(distance, regions, doors)
+
+    def euclidean_distance(self, a: Union[Glob, str],
+                           b: Union[Glob, str]) -> float:
+        """Straight-line distance between the region centers."""
+        return self.world.canonical_mbr(a).center_distance(
+            self.world.canonical_mbr(b))
+
+    def path_distance_between_points(self, point_a: Point, point_b: Point,
+                                     allow_restricted: bool = False
+                                     ) -> Optional[float]:
+        """Walking distance between two canonical points.
+
+        Each point is attributed to its smallest enclosing region; the
+        within-region legs are straight lines to the region centers.
+        """
+        region_a = self.world.smallest_region_containing(point_a)
+        region_b = self.world.smallest_region_containing(point_b)
+        if region_a is None or region_b is None:
+            return None
+        if region_a.glob == region_b.glob:
+            return point_a.distance_to(point_b)
+        between = self.path_distance(region_a.glob, region_b.glob,
+                                     allow_restricted)
+        if between is None:
+            return None
+        center_a = self.world.canonical_mbr(region_a.glob).center
+        center_b = self.world.canonical_mbr(region_b.glob).center
+        return (point_a.distance_to(center_a) + between
+                + center_b.distance_to(point_b))

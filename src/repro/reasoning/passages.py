@@ -1,0 +1,97 @@
+"""Passage relations: ECFP, ECRP, ECNP (paper Section 4.6.1).
+
+"If two regions are externally connected, it means that it *may* be
+possible to go from one region to another. ... To make this
+distinction, we define three additional relations:
+
+    ECFP(a,b): EC(a,b) and there is a free passage from a to b.
+    ECRP(a,b): EC(a,b) and there is a restricted passage from a to b.
+    ECNP(a,b): EC(a,b) and there is no passage from a to b.
+
+... the relations ECFP, ECRP and ECNP are evaluated by checking if
+there is a door or an obstruction like a wall between the regions."
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import List, Optional, Tuple, Union
+
+from repro.model import Glob, PassageKind, WorldModel
+from repro.reasoning.rcc8 import RCC8, rcc8_polygons, rcc8_rects
+
+
+class PassageRelation(str, Enum):
+    """Refinement of EC by traversability."""
+
+    ECFP = "ECFP"  # free passage (open doorway)
+    ECRP = "ECRP"  # restricted passage (locked door, card swipe)
+    ECNP = "ECNP"  # no passage (wall only)
+
+
+def passage_between(world: WorldModel, a: Union[Glob, str],
+                    b: Union[Glob, str]) -> Optional[PassageRelation]:
+    """The passage relation between two externally connected regions.
+
+    Returns ``None`` when the regions are not externally connected at
+    all (the passage refinements only apply to EC pairs).  With
+    multiple doors the most permissive one wins — a free door makes
+    the pair ECFP even if a locked door also exists.
+    """
+    relation = region_rcc8(world, a, b)
+    if relation is not RCC8.EC:
+        return None
+    doors = world.doors_between(a, b)
+    if not doors:
+        return PassageRelation.ECNP
+    kinds = {door.kind for door in doors}
+    if PassageKind.FREE in kinds:
+        return PassageRelation.ECFP
+    if PassageKind.RESTRICTED in kinds:
+        return PassageRelation.ECRP
+    return PassageRelation.ECNP
+
+
+def region_rcc8(world: WorldModel, a: Union[Glob, str],
+                b: Union[Glob, str], exact: bool = True) -> RCC8:
+    """The RCC-8 relation between two modelled regions.
+
+    MBR-level first; refined with the regions' actual polygons when
+    ``exact`` (rooms sharing only a corner of their MBRs are DC, not
+    EC).
+    """
+    mbr_a = world.canonical_mbr(a)
+    mbr_b = world.canonical_mbr(b)
+    coarse = rcc8_rects(mbr_a, mbr_b)
+    if not exact or coarse is RCC8.DC:
+        return coarse
+    return rcc8_polygons(world.canonical_polygon(a),
+                         world.canonical_polygon(b))
+
+
+def connected_pairs(world: WorldModel) -> List[Tuple[str, str, PassageRelation]]:
+    """Every externally connected pair of enclosing regions with its
+    passage relation.  The raw material for the navigation graph and
+    the Prolog knowledge base."""
+    regions = [e for e in world.entities() if e.entity_type.is_enclosing]
+    out: List[Tuple[str, str, PassageRelation]] = []
+    for i, first in enumerate(regions):
+        for second in regions[i + 1:]:
+            relation = passage_between(world, first.glob, second.glob)
+            if relation is not None:
+                out.append((str(first.glob), str(second.glob), relation))
+    return out
+
+
+def traversable(relation: PassageRelation,
+                with_credentials: bool = False) -> bool:
+    """Whether a passage can actually be crossed.
+
+    Restricted passages require credentials (a key or card swipe);
+    walls never open.
+    """
+    if relation is PassageRelation.ECFP:
+        return True
+    if relation is PassageRelation.ECRP:
+        return with_credentials
+    return False

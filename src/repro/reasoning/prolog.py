@@ -1,0 +1,336 @@
+"""A small backward-chaining logic engine (the paper's XSB Prolog role).
+
+"The Location Service reasons further about these relations using XSB
+Prolog" (Section 4.6.1).  We substitute a Horn-clause engine with
+unification and depth-first SLD resolution: facts and rules go in, a
+query enumerates variable bindings.  It is deliberately minimal — the
+spatial rules it must run (reachability, co-location, accessibility)
+are pure Datalog — but it is a real engine, not a lookup table.
+
+Terms are atoms (lowercase or quoted strings), variables (capitalized
+or ``_``-prefixed) and compound structures.  A convenience parser
+accepts the usual textual syntax::
+
+    kb.add("ecfp('SC/3/3105', 'SC/3/LabCorridor')")
+    kb.add("reachable(X, Y) :- ecfp(X, Y)")
+    kb.add("reachable(X, Y) :- ecfp(X, Z), reachable(Z, Y)")
+    list(kb.query("reachable('SC/3/3105', Where)"))
+"""
+
+from __future__ import annotations
+
+import itertools
+import re
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ReasoningError
+
+
+@dataclass(frozen=True)
+class Var:
+    """A logic variable."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Atom:
+    """A constant symbol (or any Python-string payload)."""
+
+    value: str
+
+    def __repr__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Struct:
+    """A compound term: ``functor(arg1, ..., argN)``."""
+
+    functor: str
+    args: Tuple["Term", ...]
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(a) for a in self.args)
+        return f"{self.functor}({inner})"
+
+
+Term = Union[Var, Atom, Struct]
+Bindings = Dict[str, Term]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """``head :- body``; facts are rules with an empty body."""
+
+    head: Struct
+    body: Tuple[Struct, ...] = ()
+
+
+# A pending goal paired with the reprs of its ancestor goals (for the
+# loop check in :meth:`KnowledgeBase._solve`).
+_Goal = Tuple[Struct, "frozenset[str]"]
+
+
+# ----------------------------------------------------------------------
+# Parsing
+# ----------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<quoted>'(?:[^'\\]|\\.)*')|(?P<name>[A-Za-z0-9_\-./]+)"
+    r"|(?P<punct>:-|[(),]))"
+)
+
+
+def _tokenize(text: str) -> List[str]:
+    stripped = text.strip()
+    tokens: List[str] = []
+    pos = 0
+    while pos < len(stripped):
+        match = _TOKEN_RE.match(stripped, pos)
+        if match is None or match.end() == pos:
+            raise ReasoningError(f"cannot tokenize {stripped[pos:]!r}")
+        token = match.group(match.lastgroup)  # type: ignore[arg-type]
+        if token is not None:
+            tokens.append(token)
+        pos = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.tokens = _tokenize(text.strip().rstrip("."))
+        self.pos = 0
+
+    def peek(self) -> Optional[str]:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def take(self, expected: Optional[str] = None) -> str:
+        token = self.peek()
+        if token is None:
+            raise ReasoningError("unexpected end of clause")
+        if expected is not None and token != expected:
+            raise ReasoningError(f"expected {expected!r}, got {token!r}")
+        self.pos += 1
+        return token
+
+    def parse_term(self) -> Term:
+        token = self.take()
+        if token.startswith("'"):
+            return Atom(token[1:-1].replace("\\'", "'"))
+        if token in (":-", "(", ")", ","):
+            raise ReasoningError(f"unexpected token {token!r}")
+        if self.peek() == "(":
+            self.take("(")
+            args: List[Term] = [self.parse_term()]
+            while self.peek() == ",":
+                self.take(",")
+                args.append(self.parse_term())
+            self.take(")")
+            return Struct(token, tuple(args))
+        if token[0].isupper() or token[0] == "_":
+            return Var(token)
+        return Atom(token)
+
+    def parse_struct(self) -> Struct:
+        term = self.parse_term()
+        if not isinstance(term, Struct):
+            raise ReasoningError(f"expected a predicate, got {term!r}")
+        return term
+
+    def parse_clause(self) -> Rule:
+        head = self.parse_struct()
+        if self.peek() is None:
+            return Rule(head)
+        self.take(":-")
+        body: List[Struct] = [self.parse_struct()]
+        while self.peek() == ",":
+            self.take(",")
+            body.append(self.parse_struct())
+        if self.peek() is not None:
+            raise ReasoningError(f"trailing tokens in clause: {self.tokens[self.pos:]}")
+        return Rule(head, tuple(body))
+
+
+def parse_clause(text: str) -> Rule:
+    """Parse ``head :- body`` (or a bare fact) into a :class:`Rule`."""
+    return _Parser(text).parse_clause()
+
+
+def parse_query(text: str) -> Struct:
+    """Parse a goal like ``reachable(X, 'SC/3/3105')``."""
+    parser = _Parser(text)
+    goal = parser.parse_struct()
+    if parser.peek() is not None:
+        raise ReasoningError("a query must be a single goal")
+    return goal
+
+
+# ----------------------------------------------------------------------
+# Unification
+# ----------------------------------------------------------------------
+
+def walk(term: Term, bindings: Bindings) -> Term:
+    """Follow variable bindings to the representative term."""
+    while isinstance(term, Var) and term.name in bindings:
+        term = bindings[term.name]
+    return term
+
+
+def unify(a: Term, b: Term, bindings: Bindings) -> Optional[Bindings]:
+    """Unify two terms, returning extended bindings or ``None``."""
+    a = walk(a, bindings)
+    b = walk(b, bindings)
+    if isinstance(a, Var):
+        if isinstance(b, Var) and b.name == a.name:
+            return bindings
+        new = dict(bindings)
+        new[a.name] = b
+        return new
+    if isinstance(b, Var):
+        new = dict(bindings)
+        new[b.name] = a
+        return new
+    if isinstance(a, Atom) and isinstance(b, Atom):
+        return bindings if a.value == b.value else None
+    if isinstance(a, Struct) and isinstance(b, Struct):
+        if a.functor != b.functor or len(a.args) != len(b.args):
+            return None
+        current: Optional[Bindings] = bindings
+        for left, right in zip(a.args, b.args):
+            current = unify(left, right, current)
+            if current is None:
+                return None
+        return current
+    return None
+
+
+def resolve(term: Term, bindings: Bindings) -> Term:
+    """Substitute bindings all the way down."""
+    term = walk(term, bindings)
+    if isinstance(term, Struct):
+        return Struct(term.functor,
+                      tuple(resolve(a, bindings) for a in term.args))
+    return term
+
+
+# ----------------------------------------------------------------------
+# The knowledge base
+# ----------------------------------------------------------------------
+
+class KnowledgeBase:
+    """Facts + rules + SLD resolution with a depth limit.
+
+    The depth limit (default 256 goal expansions per branch) keeps
+    left-recursive rules from spinning; spatial rule sets are shallow.
+    """
+
+    def __init__(self, max_depth: int = 256) -> None:
+        self._rules: Dict[Tuple[str, int], List[Rule]] = {}
+        self._fresh = itertools.count(1)
+        self.max_depth = max_depth
+
+    def add(self, clause: Union[str, Rule]) -> None:
+        """Add a fact or rule (textual or parsed)."""
+        rule = parse_clause(clause) if isinstance(clause, str) else clause
+        key = (rule.head.functor, len(rule.head.args))
+        self._rules.setdefault(key, []).append(rule)
+
+    def add_fact(self, functor: str, *args: str) -> None:
+        """Convenience: add ``functor(args...)`` with atom arguments."""
+        self.add(Rule(Struct(functor, tuple(Atom(a) for a in args))))
+
+    def clause_count(self) -> int:
+        return sum(len(rules) for rules in self._rules.values())
+
+    # ------------------------------------------------------------------
+    # Solving
+    # ------------------------------------------------------------------
+
+    def _rename(self, rule: Rule) -> Rule:
+        suffix = f"__{next(self._fresh)}"
+        mapping: Dict[str, Var] = {}
+
+        def rn(term: Term) -> Term:
+            if isinstance(term, Var):
+                if term.name not in mapping:
+                    mapping[term.name] = Var(term.name + suffix)
+                return mapping[term.name]
+            if isinstance(term, Struct):
+                return Struct(term.functor, tuple(rn(a) for a in term.args))
+            return term
+
+        head = rn(rule.head)
+        assert isinstance(head, Struct)
+        body = tuple(rn(goal) for goal in rule.body)
+        return Rule(head, body)  # type: ignore[arg-type]
+
+    def _solve(self, goals: Sequence["_Goal"], bindings: Bindings,
+               depth: int) -> Iterator[Bindings]:
+        if depth > self.max_depth:
+            return
+        if not goals:
+            yield bindings
+            return
+        (goal, ancestors), rest = goals[0], goals[1:]
+        resolved_goal = resolve(goal, bindings)
+        assert isinstance(resolved_goal, Struct)
+        # Loop check: re-deriving a goal identical to one of its own
+        # ancestors cannot produce new answers (this is the cheap
+        # stand-in for XSB's tabling; it makes cyclic reachability
+        # rules terminate).
+        goal_repr = repr(resolved_goal)
+        if goal_repr in ancestors:
+            return
+        key = (resolved_goal.functor, len(resolved_goal.args))
+        child_ancestors = ancestors | {goal_repr}
+        for rule in self._rules.get(key, ()):
+            renamed = self._rename(rule)
+            unified = unify(renamed.head, resolved_goal, bindings)
+            if unified is None:
+                continue
+            body = tuple((g, child_ancestors) for g in renamed.body)
+            yield from self._solve(body + tuple(rest), unified, depth + 1)
+
+    def query(self, goal: Union[str, Struct]) -> Iterator[Dict[str, str]]:
+        """Enumerate solutions as {variable: atom-string} dicts.
+
+        Duplicate solutions (different proofs, same bindings) are
+        collapsed.
+        """
+        parsed = parse_query(goal) if isinstance(goal, str) else goal
+        query_vars = _collect_vars(parsed)
+        seen = set()
+        start: Tuple[_Goal, ...] = ((parsed, frozenset()),)
+        for bindings in self._solve(start, {}, 0):
+            answer = {}
+            for name in query_vars:
+                value = resolve(Var(name), bindings)
+                answer[name] = value.value if isinstance(value, Atom) \
+                    else repr(value)
+            key = tuple(sorted(answer.items()))
+            if key not in seen:
+                seen.add(key)
+                yield answer
+
+    def ask(self, goal: Union[str, Struct]) -> bool:
+        """Whether the goal has at least one solution."""
+        return next(iter(self.query(goal)), None) is not None
+
+
+def _collect_vars(term: Term) -> List[str]:
+    out: List[str] = []
+
+    def visit(t: Term) -> None:
+        if isinstance(t, Var) and t.name not in out:
+            out.append(t.name)
+        elif isinstance(t, Struct):
+            for arg in t.args:
+                visit(arg)
+
+    visit(term)
+    return out

@@ -1,0 +1,148 @@
+"""RCC-8 topological relations between regions (paper Section 4.6.1).
+
+"We define several relations between regions based on the Region
+Connection Calculus (RCC) [2].  RCC-8 defines various topological
+relationships: Dis-Connection (DC), External Connection (EC), Partial
+Overlap (PO), Tangential Proper Part (TPP), Non-Tangential Proper Part
+(NTPP) and Equality (EQ).  Any two regions are related by exactly one
+of these relations."
+
+We compute the relations on MBRs (with the two inverse relations TPPi
+and NTPPi included so the result is a true partition) and optionally
+refine EC/PO decisions with exact polygons.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Optional
+
+from repro.geometry import Polygon, Rect
+
+_EPS = 1e-9
+
+
+class RCC8(str, Enum):
+    """The eight jointly exhaustive, pairwise disjoint base relations."""
+
+    DC = "DC"        # disconnected
+    EC = "EC"        # externally connected (touching boundaries)
+    PO = "PO"        # partial overlap
+    TPP = "TPP"      # tangential proper part (a inside b, touching)
+    NTPP = "NTPP"    # non-tangential proper part (a strictly inside b)
+    TPPI = "TPPi"    # inverse tangential proper part
+    NTPPI = "NTPPi"  # inverse non-tangential proper part
+    EQ = "EQ"        # equal
+
+    @property
+    def inverse(self) -> "RCC8":
+        """The relation with the arguments swapped."""
+        return _INVERSE[self]
+
+    @property
+    def is_proper_part(self) -> bool:
+        return self in (RCC8.TPP, RCC8.NTPP)
+
+    @property
+    def is_connected(self) -> bool:
+        """Whether the regions share at least one point."""
+        return self is not RCC8.DC
+
+
+_INVERSE = {
+    RCC8.DC: RCC8.DC,
+    RCC8.EC: RCC8.EC,
+    RCC8.PO: RCC8.PO,
+    RCC8.TPP: RCC8.TPPI,
+    RCC8.NTPP: RCC8.NTPPI,
+    RCC8.TPPI: RCC8.TPP,
+    RCC8.NTPPI: RCC8.NTPP,
+    RCC8.EQ: RCC8.EQ,
+}
+
+
+def rcc8_rects(a: Rect, b: Rect, tolerance: float = _EPS) -> RCC8:
+    """The unique RCC-8 relation between two rectangles.
+
+    "Evaluating the relation between 2 regions is just O(1) given the
+    vertices of the two regions" — constant-time interval arithmetic.
+    """
+    if a.almost_equals(b, tolerance):
+        return RCC8.EQ
+    if not a.intersects(b):
+        return RCC8.DC
+    if not a.overlaps(b):
+        return RCC8.EC
+    if b.contains_rect(a):
+        return RCC8.NTPP if b.contains_rect_strictly(a) else RCC8.TPP
+    if a.contains_rect(b):
+        return RCC8.NTPPI if a.contains_rect_strictly(b) else RCC8.TPPI
+    return RCC8.PO
+
+
+def rcc8_polygons(a: Polygon, b: Polygon) -> RCC8:
+    """The RCC-8 relation between two polygons (exact pass).
+
+    Used when an MBR-level answer of EC/PO needs refinement: two
+    L-shaped rooms may have overlapping MBRs while the actual regions
+    are disconnected (Section 5.1's filter/refine pattern).
+    """
+    mbr_relation = rcc8_rects(a.mbr, b.mbr)
+    if mbr_relation is RCC8.DC:
+        return RCC8.DC
+
+    a_vertices_equal = (
+        len(a.vertices) == len(b.vertices)
+        and all(any(v.almost_equals(w) for w in b.vertices)
+                for v in a.vertices)
+    )
+    if a_vertices_equal and abs(a.area - b.area) <= _EPS:
+        return RCC8.EQ
+
+    if not a.intersects_polygon(b):
+        return RCC8.DC
+    shares_boundary = a.shares_edge_with(b)
+    a_in_b = b.contains_polygon(a)
+    b_in_a = a.contains_polygon(b)
+    if a_in_b:
+        return RCC8.TPP if shares_boundary else RCC8.NTPP
+    if b_in_a:
+        return RCC8.TPPI if shares_boundary else RCC8.NTPPI
+    # Distinguish EC (boundary contact only) from PO (shared interior):
+    # sample interior overlap via clipped area against each other's MBR.
+    overlap = a.intersection_area_with_rect(b.mbr)
+    if overlap <= _EPS or not _interiors_meet(a, b):
+        return RCC8.EC
+    return RCC8.PO
+
+
+def _interiors_meet(a: Polygon, b: Polygon) -> bool:
+    """Whether the two polygons share interior area (not just edges)."""
+    clipped = a.clipped_to_rect(b.mbr)
+    if clipped is None:
+        return False
+    # The centroid of the clipped piece lies inside both when the
+    # interiors genuinely overlap (convex building shapes).
+    centroid = clipped.centroid
+    shrunk_inside = a.contains_point(centroid) and b.contains_point(centroid)
+    if not shrunk_inside:
+        return False
+    # Guard against a degenerate sliver of zero area.
+    return clipped.area > _EPS
+
+
+def relate(a: Rect, b: Rect,
+           polygon_a: Optional[Polygon] = None,
+           polygon_b: Optional[Polygon] = None) -> RCC8:
+    """MBR-first RCC-8 with optional exact refinement.
+
+    Mirrors Section 5.1: "Once a certain condition is satisfied by a
+    MBR, more accurate processing of the operation is performed taking
+    the actual region boundaries."
+    """
+    coarse = rcc8_rects(a, b)
+    if polygon_a is None or polygon_b is None:
+        return coarse
+    if coarse is RCC8.DC:
+        return coarse  # disjoint MBRs are definitely disjoint regions
+    return rcc8_polygons(polygon_a, polygon_b)

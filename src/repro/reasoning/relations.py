@@ -1,0 +1,186 @@
+"""Probabilistic spatial relationship functions (paper Section 4.6).
+
+"The Location Service calculates different kinds of commonly used
+spatial relationships between objects and regions. ... We also
+associate probabilities with spatial relations, which are derived from
+the probabilities of locations of the objects in the relation."
+
+Three families, mirroring Sections 4.6.1-4.6.3:
+
+* region x region — RCC-8 / passage relations and distances (crisp:
+  the world model is not uncertain);
+* object x region — containment, usage regions, distance;
+* object x object — proximity, co-location, distance.
+
+Object relations are graded: the located object's rectangle either
+satisfies the geometric predicate or not, and the relation's
+probability is the product of the participating estimates'
+confidences, scaled by the satisfied overlap fraction where partial
+containment is meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.core import LocationEstimate
+from repro.errors import ReasoningError
+from repro.geometry import Rect
+from repro.model import Glob, WorldModel
+from repro.reasoning.navgraph import NavigationGraph
+
+
+@dataclass(frozen=True)
+class ProbabilisticRelation:
+    """A relation verdict with its probability.
+
+    ``holds`` is the crisp reading (probability above 0.5);
+    ``probability`` is what applications threshold against.
+    """
+
+    name: str
+    probability: float
+    holds: bool
+
+    @classmethod
+    def of(cls, name: str, probability: float) -> "ProbabilisticRelation":
+        probability = min(1.0, max(0.0, probability))
+        return cls(name, probability, probability > 0.5)
+
+
+class SpatialRelations:
+    """Relationship functions over a world model.
+
+    Args:
+        world: the deployment's world model.
+        navigation: a prebuilt navigation graph (built lazily when
+            omitted) for path distances.
+    """
+
+    def __init__(self, world: WorldModel,
+                 navigation: Optional[NavigationGraph] = None) -> None:
+        self.world = world
+        self._navigation = navigation
+
+    @property
+    def navigation(self) -> NavigationGraph:
+        if self._navigation is None:
+            self._navigation = NavigationGraph(self.world)
+        return self._navigation
+
+    # ------------------------------------------------------------------
+    # Object x region (Section 4.6.2)
+    # ------------------------------------------------------------------
+
+    def containment(self, estimate: LocationEstimate,
+                    region: Union[Glob, str, Rect]) -> ProbabilisticRelation:
+        """P(object inside region): estimate confidence x overlap
+        fraction of the estimated rectangle inside the region."""
+        region_rect = self._as_rect(region)
+        if estimate.rect.area <= 0.0:
+            fraction = 1.0 if region_rect.contains_rect(estimate.rect) else 0.0
+        else:
+            fraction = (estimate.rect.intersection_area(region_rect)
+                        / estimate.rect.area)
+        return ProbabilisticRelation.of(
+            "containment", estimate.probability * fraction)
+
+    def usage(self, estimate: LocationEstimate,
+              object_glob: Union[Glob, str]) -> ProbabilisticRelation:
+        """Whether the person is inside an object's *usage region*.
+
+        "Usage Regions are defined for certain objects (like displays
+        or tables) such that if a person has to use these objects for
+        some purpose, he has to be within the usage region."  The
+        usage region is the ``usage_region`` property of the entity (a
+        Rect in the canonical frame) or, by default, the object's MBR
+        expanded by ``usage_margin`` feet (default 5).
+        """
+        entity = self.world.get(object_glob)
+        usage_rect = entity.properties.get("usage_region")
+        if usage_rect is None:
+            margin = float(entity.properties.get("usage_margin", 5.0))
+            usage_rect = self.world.canonical_mbr(object_glob).expanded(margin)
+        if not isinstance(usage_rect, Rect):
+            raise ReasoningError(
+                f"usage_region of {object_glob} is not a Rect")
+        relation = self.containment(estimate, usage_rect)
+        return ProbabilisticRelation.of("usage", relation.probability)
+
+    def distance_to_region(self, estimate: LocationEstimate,
+                           region: Union[Glob, str, Rect],
+                           path: bool = False) -> Optional[float]:
+        """Euclidean (default) or path distance from object to region."""
+        region_rect = self._as_rect(region)
+        if not path:
+            return estimate.rect.center_distance(region_rect)
+        return self.navigation.path_distance_between_points(
+            estimate.rect.center, region_rect.center)
+
+    # ------------------------------------------------------------------
+    # Object x object (Section 4.6.3)
+    # ------------------------------------------------------------------
+
+    def proximity(self, first: LocationEstimate, second: LocationEstimate,
+                  threshold: float) -> ProbabilisticRelation:
+        """Whether two objects are closer than ``threshold`` feet.
+
+        The geometric test uses the center distance of the estimated
+        rectangles; the probability is the product of both estimates'
+        confidences when the test passes (both must actually be where
+        we think they are for the relation to really hold).
+        """
+        if threshold <= 0.0:
+            raise ReasoningError(f"proximity threshold must be > 0")
+        distance = first.rect.center_distance(second.rect)
+        if distance >= threshold:
+            return ProbabilisticRelation.of("proximity", 0.0)
+        return ProbabilisticRelation.of(
+            "proximity", first.probability * second.probability)
+
+    def colocation(self, first: LocationEstimate, second: LocationEstimate,
+                   granularity_depth: int = 3) -> ProbabilisticRelation:
+        """Whether two objects are in the same symbolic region.
+
+        ``granularity_depth`` counts GLOB segments: 1 = same building,
+        2 = same floor, 3 = same room (for ``building/floor/room``
+        deployments).
+        """
+        region_a = self.world.smallest_region_containing(first.rect.center)
+        region_b = self.world.smallest_region_containing(second.rect.center)
+        if region_a is None or region_b is None:
+            return ProbabilisticRelation.of("colocation", 0.0)
+        glob_a = region_a.glob.truncated_to_depth(granularity_depth)
+        glob_b = region_b.glob.truncated_to_depth(granularity_depth)
+        if glob_a != glob_b:
+            return ProbabilisticRelation.of("colocation", 0.0)
+        return ProbabilisticRelation.of(
+            "colocation", first.probability * second.probability)
+
+    def distance_between(self, first: LocationEstimate,
+                         second: LocationEstimate,
+                         path: bool = False) -> Optional[float]:
+        """Euclidean or path distance between two located objects."""
+        if not path:
+            return first.rect.center_distance(second.rect)
+        return self.navigation.path_distance_between_points(
+            first.rect.center, second.rect.center)
+
+    # ------------------------------------------------------------------
+    # Region x region (Section 4.6.1) — crisp; delegates
+    # ------------------------------------------------------------------
+
+    def region_distance(self, a: Union[Glob, str], b: Union[Glob, str],
+                        path: bool = False) -> Optional[float]:
+        """Euclidean center distance or path distance between regions."""
+        if not path:
+            return self.navigation.euclidean_distance(a, b)
+        return self.navigation.path_distance(a, b)
+
+    # ------------------------------------------------------------------
+
+    def _as_rect(self, region: Union[Glob, str, Rect]) -> Rect:
+        if isinstance(region, Rect):
+            return region
+        return self.world.canonical_mbr(region)

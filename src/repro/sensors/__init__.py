@@ -1,0 +1,43 @@
+"""Location sensors and adapters (paper Section 6).
+
+The plug-and-play adapter layer: each adapter wraps one location
+technology, calibrates its readings into the common location model,
+and feeds the spatial database.  Ships the paper's four technologies
+(Ubisense UWB, RF badges, biometric logins, GPS) plus card readers,
+Bluetooth stations and desktop logins.
+"""
+
+from repro.sensors.base import AdapterRegistry, LocationAdapter, default_registry
+from repro.sensors.biometric import (
+    BiometricAdapter,
+    biometric_long_spec,
+    biometric_short_spec,
+)
+from repro.sensors.bluetooth import BluetoothAdapter, bluetooth_spec
+from repro.sensors.cardreader import CardReaderAdapter, card_reader_spec
+from repro.sensors.desktop import DesktopLoginAdapter, desktop_login_spec
+from repro.sensors.gps import GeodeticCalibration, GpsAdapter, gps_spec
+from repro.sensors.rfbadge import RfBadgeAdapter, rf_badge_spec
+from repro.sensors.ubisense import UbisenseAdapter, ubisense_spec
+
+__all__ = [
+    "AdapterRegistry",
+    "BiometricAdapter",
+    "BluetoothAdapter",
+    "CardReaderAdapter",
+    "DesktopLoginAdapter",
+    "GeodeticCalibration",
+    "GpsAdapter",
+    "LocationAdapter",
+    "RfBadgeAdapter",
+    "UbisenseAdapter",
+    "biometric_long_spec",
+    "biometric_short_spec",
+    "bluetooth_spec",
+    "card_reader_spec",
+    "default_registry",
+    "desktop_login_spec",
+    "gps_spec",
+    "rf_badge_spec",
+    "ubisense_spec",
+]

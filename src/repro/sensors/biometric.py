@@ -1,0 +1,163 @@
+"""Biometric-login adapter (paper Section 6, item 3).
+
+"A biometric authentication adapter provides two different location
+readings to MiddleWhere: a short-term reading, and a longer-term
+reading.  For short-term reading, we set the expiration time to 30
+seconds, define a small area (a circle centered at the device position
+with a radius of 2 feet), set y = 0.99, z = 0.01 and x = 1. ... In the
+second reading, we set the expiration time to T minutes ... the area
+is set to the whole room, and z is set to the probability of a user
+leaving the room before T and without manual logout.
+
+If a user elects to logout manually ... the adapter feeds the system
+with a short-term location reading, where expiration time is 15
+seconds, radius is 2 feet ... The adapter also forces all location
+information relating to that user and obtained from the same device to
+expire immediately."
+
+Because the short and long readings have different specs (TTL, area,
+z), the adapter registers *two* sensor rows in the database:
+``<id>`` for short-term readings and ``<id>-room`` for the long-term
+room reading.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core import LinearTDF, SensorSpec, StepTDF
+from repro.geometry import Point
+from repro.sensors.base import LocationAdapter
+from repro.spatialdb import SpatialDatabase
+
+BIOMETRIC_RADIUS_FT = 2.0
+BIOMETRIC_Y = 0.99
+BIOMETRIC_Z = 0.01
+SHORT_TTL_S = 30.0
+LOGOUT_TTL_S = 15.0
+DEFAULT_LONG_TTL_S = 15.0 * 60.0  # "we found that T=15 minutes is reasonable"
+DEFAULT_LEAVE_PROBABILITY = 0.3   # z of the long reading
+
+
+def biometric_short_spec() -> SensorSpec:
+    """Short-term reading: the user's finger was just on the device."""
+    return SensorSpec(
+        sensor_type=BiometricAdapter.ADAPTER_TYPE,
+        carry_probability=1.0,   # "x = 1 (because of our assumptions)"
+        detection_probability=BIOMETRIC_Y,
+        misident_probability=BIOMETRIC_Z,
+        z_area_scaled=False,
+        resolution=BIOMETRIC_RADIUS_FT,
+        time_to_live=SHORT_TTL_S,
+        # Full confidence for 10 s, then stepped down as the user may
+        # step away ("discrete manner", Section 3.2).
+        tdf=StepTDF([(10.0, 0.8), (20.0, 0.6)]),
+    )
+
+
+def biometric_long_spec(long_ttl: float = DEFAULT_LONG_TTL_S,
+                        leave_probability: float = DEFAULT_LEAVE_PROBABILITY
+                        ) -> SensorSpec:
+    """Long-term reading: the user is somewhere in the room for ~T."""
+    return SensorSpec(
+        sensor_type=BiometricAdapter.ADAPTER_TYPE + "-room",
+        carry_probability=1.0,
+        detection_probability=BIOMETRIC_Y,
+        misident_probability=leave_probability,
+        z_area_scaled=False,
+        resolution=None,  # symbolic: the whole room
+        time_to_live=long_ttl,
+        # "confidence will degrade with time anyway": down to zero at T.
+        tdf=LinearTDF(zero_at=long_ttl),
+    )
+
+
+class BiometricAdapter(LocationAdapter):
+    """A fingerprint reader (or similar) at a fixed position in a room.
+
+    Args:
+        device_position: native-frame position of the reader.
+        room_glob: the room the long-term reading covers; defaults to
+            ``glob_prefix``.
+    """
+
+    ADAPTER_TYPE = "Biometric"
+
+    def __init__(self, adapter_id: str, glob_prefix: str,
+                 device_position: Point,
+                 room_glob: Optional[str] = None,
+                 long_ttl: float = DEFAULT_LONG_TTL_S,
+                 leave_probability: float = DEFAULT_LEAVE_PROBABILITY,
+                 frame: Optional[str] = None) -> None:
+        super().__init__(adapter_id, glob_prefix, biometric_short_spec(),
+                         frame)
+        self.device_position = device_position
+        self.room_glob = room_glob if room_glob is not None else glob_prefix
+        self.long_spec = biometric_long_spec(long_ttl, leave_probability)
+        self.long_sensor_id = f"{adapter_id}-room"
+        self.logout_spec = SensorSpec(
+            sensor_type=self.ADAPTER_TYPE + "-logout",
+            carry_probability=1.0,
+            detection_probability=BIOMETRIC_Y,
+            misident_probability=BIOMETRIC_Z,
+            resolution=BIOMETRIC_RADIUS_FT,
+            time_to_live=LOGOUT_TTL_S,
+        )
+        self.logout_sensor_id = f"{adapter_id}-logout"
+
+    def attach(self, db: SpatialDatabase) -> "BiometricAdapter":
+        super().attach(db)
+        for sensor_id, spec in ((self.long_sensor_id, self.long_spec),
+                                (self.logout_sensor_id, self.logout_spec)):
+            db.register_sensor(
+                sensor_id=sensor_id,
+                sensor_type=spec.sensor_type,
+                confidence=spec.confidence_percent(),
+                time_to_live=spec.time_to_live,
+                spec=spec,
+            )
+        return self
+
+    # ------------------------------------------------------------------
+    # Events
+    # ------------------------------------------------------------------
+
+    def authentication(self, user_id: str, time: float) -> List[int]:
+        """A successful fingerprint match: emit short + long readings."""
+        emitted: List[int] = []
+        short = self._emit_circle(user_id, self.device_position,
+                                  BIOMETRIC_RADIUS_FT, time)
+        if short is not None:
+            emitted.append(short)
+        # The long-term room reading is inserted under its own sensor id
+        # so its distinct TTL/z apply.
+        rect = self.database.world.resolve_symbolic(self.room_glob)
+        long_id = self.database.insert_reading(
+            sensor_id=self.long_sensor_id,
+            glob_prefix=self.glob_prefix,
+            sensor_type=self.long_spec.sensor_type,
+            mobile_object_id=user_id,
+            rect=rect,
+            detection_time=time,
+        )
+        emitted.append(long_id)
+        return emitted
+
+    def logout(self, user_id: str, time: float) -> int:
+        """A manual logout: expire this device's prior readings for the
+        user and emit the 15-second "leaving now" reading."""
+        self.database.expire_object_readings(user_id, self.adapter_id)
+        self.database.expire_object_readings(user_id, self.long_sensor_id)
+        canonical = self._canonical_point(self.device_position)
+        from repro.geometry import Rect
+        rect = Rect.from_center(canonical, BIOMETRIC_RADIUS_FT)
+        return self.database.insert_reading(
+            sensor_id=self.logout_sensor_id,
+            glob_prefix=self.glob_prefix,
+            sensor_type=self.logout_spec.sensor_type,
+            mobile_object_id=user_id,
+            rect=rect,
+            detection_time=time,
+            location=canonical,
+            detection_radius=BIOMETRIC_RADIUS_FT,
+        )

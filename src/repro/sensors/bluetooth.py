@@ -1,0 +1,64 @@
+"""Bluetooth-presence adapter.
+
+The paper lists Bluetooth among the technologies MiddleWhere can
+absorb ("Location information can be got from RF-based badges,
+Ubisense tags, card swipes, login information on desktops, fingerprint
+recognizers, Bluetooth, etc.", Section 1.1).  A station performing
+periodic inquiry scans reports which devices answered; the reading is
+the station's coverage circle, like RF badges but with the lower
+confidence typical of class-2 Bluetooth discovery.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.core import ExponentialTDF, SensorSpec
+from repro.geometry import Point
+from repro.sensors.base import LocationAdapter
+
+BLUETOOTH_RANGE_FT = 30.0
+BLUETOOTH_Y = 0.70
+BLUETOOTH_Z0 = 0.30
+BLUETOOTH_TTL_S = 90.0
+
+
+def bluetooth_spec(carry_probability: float = 0.9) -> SensorSpec:
+    """The calibrated Bluetooth spec: wide, weak, slow to refresh."""
+    return SensorSpec(
+        sensor_type=BluetoothAdapter.ADAPTER_TYPE,
+        carry_probability=carry_probability,
+        detection_probability=BLUETOOTH_Y,
+        misident_probability=BLUETOOTH_Z0,
+        z_area_scaled=True,
+        resolution=BLUETOOTH_RANGE_FT,
+        time_to_live=BLUETOOTH_TTL_S,
+        tdf=ExponentialTDF(half_life=45.0),
+    )
+
+
+class BluetoothAdapter(LocationAdapter):
+    """One inquiry-scanning Bluetooth station."""
+
+    ADAPTER_TYPE = "Bluetooth"
+
+    def __init__(self, adapter_id: str, glob_prefix: str,
+                 station_position: Point,
+                 carry_probability: float = 0.9,
+                 range_ft: float = BLUETOOTH_RANGE_FT,
+                 frame: Optional[str] = None) -> None:
+        super().__init__(adapter_id, glob_prefix,
+                         bluetooth_spec(carry_probability), frame)
+        self.station_position = station_position
+        self.range_ft = range_ft
+
+    def inquiry_result(self, device_ids: Iterable[str],
+                       time: float) -> List[int]:
+        """One inquiry scan's set of responding devices."""
+        emitted: List[int] = []
+        for device_id in device_ids:
+            reading_id = self._emit_circle(device_id, self.station_position,
+                                           self.range_ft, time)
+            if reading_id is not None:
+                emitted.append(reading_id)
+        return emitted

@@ -1,0 +1,59 @@
+"""Card-reader adapter.
+
+"People in our building have to swipe their ID cards on a card reader
+whenever they enter certain rooms.  Hence, at the time of swiping
+their card, their location is known with high confidence.  With the
+passage of time, however, this location data becomes less reliable"
+(Section 1.1).  Table 2 gives a card reader a 10-second time-to-live.
+
+Card readers are *symbolic* sensors: a swipe means "inside this room",
+not a coordinate (Section 3.2).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core import LinearTDF, SensorSpec
+from repro.sensors.base import LocationAdapter
+
+CARD_Y = 0.98
+CARD_Z = 0.02
+CARD_TTL_S = 10.0
+
+
+def card_reader_spec(ttl: float = CARD_TTL_S) -> SensorSpec:
+    """The calibrated card-reader spec: certain at swipe, fading fast."""
+    return SensorSpec(
+        sensor_type=CardReaderAdapter.ADAPTER_TYPE,
+        carry_probability=1.0,   # a swipe needs the person's own hand
+        detection_probability=CARD_Y,
+        misident_probability=CARD_Z,
+        z_area_scaled=False,
+        resolution=None,         # symbolic resolution: the room
+        time_to_live=ttl,
+        tdf=LinearTDF(zero_at=2.0 * ttl),
+    )
+
+
+class CardReaderAdapter(LocationAdapter):
+    """A card reader on the door of one room.
+
+    Args:
+        room_glob: the room a successful swipe admits into; defaults
+            to ``glob_prefix``.
+    """
+
+    ADAPTER_TYPE = "CardReader"
+
+    def __init__(self, adapter_id: str, glob_prefix: str,
+                 room_glob: Optional[str] = None,
+                 ttl: float = CARD_TTL_S,
+                 frame: Optional[str] = None) -> None:
+        super().__init__(adapter_id, glob_prefix, card_reader_spec(ttl),
+                         frame)
+        self.room_glob = room_glob if room_glob is not None else glob_prefix
+
+    def swipe(self, user_id: str, time: float) -> Optional[int]:
+        """A successful card swipe: the user is entering the room."""
+        return self._emit_region(user_id, self.room_glob, time)

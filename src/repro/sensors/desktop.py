@@ -1,0 +1,66 @@
+"""Desktop-login adapter.
+
+"Login information on desktops" (Section 1.1) is a location signal:
+whoever is logged in at a fixed workstation is, while the session
+stays active, probably within arm's reach of it.  Unlike biometrics
+the credential can be shared or left logged in, so confidence is
+lower and drains steadily until logout.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core import ExponentialTDF, SensorSpec
+from repro.geometry import Point
+from repro.sensors.base import LocationAdapter
+
+DESKTOP_RADIUS_FT = 3.0
+DESKTOP_Y = 0.90
+DESKTOP_Z = 0.10
+DESKTOP_TTL_S = 10.0 * 60.0
+
+
+def desktop_login_spec(ttl: float = DESKTOP_TTL_S) -> SensorSpec:
+    """The calibrated desktop-login spec."""
+    return SensorSpec(
+        sensor_type=DesktopLoginAdapter.ADAPTER_TYPE,
+        carry_probability=1.0,   # a login needs the person at the keyboard
+        detection_probability=DESKTOP_Y,
+        misident_probability=DESKTOP_Z,
+        z_area_scaled=False,
+        resolution=DESKTOP_RADIUS_FT,
+        time_to_live=ttl,
+        tdf=ExponentialTDF(half_life=ttl / 4.0),
+    )
+
+
+class DesktopLoginAdapter(LocationAdapter):
+    """One workstation's login watcher.
+
+    Args:
+        workstation_position: native-frame position of the machine.
+    """
+
+    ADAPTER_TYPE = "DesktopLogin"
+
+    def __init__(self, adapter_id: str, glob_prefix: str,
+                 workstation_position: Point,
+                 ttl: float = DESKTOP_TTL_S,
+                 frame: Optional[str] = None) -> None:
+        super().__init__(adapter_id, glob_prefix, desktop_login_spec(ttl),
+                         frame)
+        self.workstation_position = workstation_position
+
+    def login(self, user_id: str, time: float) -> Optional[int]:
+        """The user logged in at the workstation."""
+        return self._emit_circle(user_id, self.workstation_position,
+                                 DESKTOP_RADIUS_FT, time)
+
+    def activity(self, user_id: str, time: float) -> Optional[int]:
+        """Keyboard/mouse activity refreshes the reading."""
+        return self.login(user_id, time)
+
+    def logout(self, user_id: str, time: float) -> int:
+        """The user logged out: expire this workstation's readings."""
+        return self.database.expire_object_readings(user_id, self.adapter_id)

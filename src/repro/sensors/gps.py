@@ -1,0 +1,114 @@
+"""GPS adapter (paper Section 6, item 4).
+
+"The GPS device tries to achieve a satellite lock.  If successful, the
+adapter should be able to translate longitude, latitude, and altitude
+information into a coordinate location that matches MiddleWhere's
+coordinate system.  Unlike the above technologies, GPS can give an
+estimation of its accuracy; therefore, the adapter uses this value for
+calculating the confidence values. ... We can set y = 0.99 and
+z = 0.01 (assuming that the accuracy estimate of the GPS is correct),
+however, x will still equal the probability of a person not carrying
+his GPS device."
+
+The geodetic-to-local translation uses an equirectangular projection
+around a calibrated reference point — adequate at campus scale where
+Earth curvature across the coverage area is negligible.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core import ConstantTDF, SensorSpec
+from repro.errors import CalibrationError
+from repro.geometry import Point
+from repro.sensors.base import LocationAdapter
+
+GPS_Y = 0.99
+GPS_Z = 0.01
+GPS_TTL_S = 30.0
+
+_EARTH_RADIUS_FT = 20_902_231.0  # mean Earth radius in feet
+
+
+@dataclass(frozen=True)
+class GeodeticCalibration:
+    """Maps (latitude, longitude) onto the local coordinate frame.
+
+    ``reference_lat``/``reference_lon`` (degrees) coincide with the
+    native-frame point (``origin_x``, ``origin_y``).
+    """
+
+    reference_lat: float
+    reference_lon: float
+    origin_x: float = 0.0
+    origin_y: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not -90.0 <= self.reference_lat <= 90.0:
+            raise CalibrationError(f"bad latitude {self.reference_lat}")
+        if not -180.0 <= self.reference_lon <= 180.0:
+            raise CalibrationError(f"bad longitude {self.reference_lon}")
+
+    def to_local(self, lat: float, lon: float) -> Point:
+        """Project a geodetic fix into the native frame (feet)."""
+        lat_rad = math.radians(self.reference_lat)
+        dy = math.radians(lat - self.reference_lat) * _EARTH_RADIUS_FT
+        dx = (math.radians(lon - self.reference_lon)
+              * _EARTH_RADIUS_FT * math.cos(lat_rad))
+        return Point(self.origin_x + dx, self.origin_y + dy)
+
+    def to_geodetic(self, point: Point) -> "tuple[float, float]":
+        """The inverse projection (for tests and display)."""
+        lat_rad = math.radians(self.reference_lat)
+        lat = self.reference_lat + math.degrees(
+            (point.y - self.origin_y) / _EARTH_RADIUS_FT)
+        lon = self.reference_lon + math.degrees(
+            (point.x - self.origin_x)
+            / (_EARTH_RADIUS_FT * math.cos(lat_rad)))
+        return lat, lon
+
+
+def gps_spec(carry_probability: float = 0.8) -> SensorSpec:
+    """The calibrated GPS spec; the per-fix accuracy arrives with each
+    reading rather than living in the spec."""
+    return SensorSpec(
+        sensor_type=GpsAdapter.ADAPTER_TYPE,
+        carry_probability=carry_probability,
+        detection_probability=GPS_Y,
+        misident_probability=GPS_Z,
+        z_area_scaled=False,
+        resolution=50.0,  # fallback when a fix carries no estimate
+        time_to_live=GPS_TTL_S,
+        tdf=ConstantTDF(),
+    )
+
+
+class GpsAdapter(LocationAdapter):
+    """One user's GPS receiver, calibrated into the campus frame."""
+
+    ADAPTER_TYPE = "GPS"
+
+    def __init__(self, adapter_id: str, glob_prefix: str,
+                 calibration: GeodeticCalibration,
+                 carry_probability: float = 0.8,
+                 frame: Optional[str] = None) -> None:
+        super().__init__(adapter_id, glob_prefix,
+                         gps_spec(carry_probability), frame)
+        self.calibration = calibration
+
+    def fix(self, user_id: str, lat: float, lon: float, time: float,
+            accuracy_ft: Optional[float] = None) -> Optional[int]:
+        """A satellite fix.
+
+        ``accuracy_ft`` is the device's own accuracy estimate ("If the
+        GPS receiver estimates an accuracy of 15 feet, we set area A to
+        a sphere with a radius of 15 feet").
+        """
+        radius = accuracy_ft if accuracy_ft is not None \
+            else self.spec.resolution
+        assert radius is not None
+        local = self.calibration.to_local(lat, lon)
+        return self._emit_circle(user_id, local, radius, time)

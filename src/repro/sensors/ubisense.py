@@ -1,0 +1,62 @@
+"""Ubisense UWB adapter (paper Section 6, item 1).
+
+"Ubisense consists of tags and base stations that utilize Ultra
+WideBand technology.  The base stations are able to pinpoint the
+location of a tag within 6 inches 95% of the time. ... Area A is a
+circle of radius 6" centered at the location returned by Ubisense,
+where y = 0.95, and z = 0.05 * area(A)/area(U)."
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core import ConstantTDF, SensorSpec
+from repro.geometry import Point
+from repro.sensors.base import LocationAdapter
+
+# 6 inches, in the feet the world model is measured in.
+UBISENSE_RADIUS_FT = 0.5
+UBISENSE_Y = 0.95
+UBISENSE_Z0 = 0.05
+UBISENSE_TTL_S = 3.0  # Table 2's Ubisense time-to-live
+
+
+def ubisense_spec(carry_probability: float = 0.9) -> SensorSpec:
+    """The calibrated Ubisense sensor spec.
+
+    ``carry_probability`` (the paper's ``x``) "is calculated from user
+    studies which measure what percentage of time the user carries his
+    badge with him" — it is deployment-specific, so it is the one knob.
+    """
+    return SensorSpec(
+        sensor_type=UbisenseAdapter.ADAPTER_TYPE,
+        carry_probability=carry_probability,
+        detection_probability=UBISENSE_Y,
+        misident_probability=UBISENSE_Z0,
+        z_area_scaled=True,
+        resolution=UBISENSE_RADIUS_FT,
+        time_to_live=UBISENSE_TTL_S,
+        tdf=ConstantTDF(),
+    )
+
+
+class UbisenseAdapter(LocationAdapter):
+    """Wraps a set of UWB base stations covering one area."""
+
+    ADAPTER_TYPE = "Ubisense"
+
+    def __init__(self, adapter_id: str, glob_prefix: str,
+                 carry_probability: float = 0.9,
+                 frame: Optional[str] = None) -> None:
+        super().__init__(adapter_id, glob_prefix,
+                         ubisense_spec(carry_probability), frame)
+
+    def tag_sighting(self, tag_id: str, position: Point,
+                     time: float) -> Optional[int]:
+        """A base-station fix of tag ``tag_id`` at a native-frame point.
+
+        The reading is the 6-inch circle around the fix, normalized to
+        its bounding square in the canonical frame.
+        """
+        return self._emit_circle(tag_id, position, UBISENSE_RADIUS_FT, time)

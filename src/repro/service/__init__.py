@@ -1,0 +1,53 @@
+"""The Location Service (paper Section 4).
+
+Pull queries (object- and region-based), push notifications with
+database triggers behind them, the symbolic region lattice, privacy
+granularity and spatial relationship functions, plus the ORB servant
+that exposes it all to remote applications.
+"""
+
+from repro.service.history import LocationHistory
+from repro.service.location_service import LocationService
+from repro.service.privacy import (
+    DEPTH_BLOCKED,
+    DEPTH_BUILDING,
+    DEPTH_FLOOR,
+    DEPTH_FULL,
+    DEPTH_ROOM,
+    PrivacyPolicy,
+)
+from repro.service.regions import SymbolicRegionLattice
+from repro.service.servant import (
+    NAMING_NAME,
+    SERVICE_NAME,
+    LocationServiceServant,
+    publish_service,
+)
+from repro.service.subscriptions import (
+    KIND_BOTH,
+    KIND_ENTER,
+    KIND_LEAVE,
+    Subscription,
+    SubscriptionManager,
+)
+
+__all__ = [
+    "DEPTH_BLOCKED",
+    "DEPTH_BUILDING",
+    "DEPTH_FLOOR",
+    "DEPTH_FULL",
+    "DEPTH_ROOM",
+    "KIND_BOTH",
+    "KIND_ENTER",
+    "KIND_LEAVE",
+    "LocationHistory",
+    "LocationService",
+    "LocationServiceServant",
+    "NAMING_NAME",
+    "PrivacyPolicy",
+    "SERVICE_NAME",
+    "Subscription",
+    "SubscriptionManager",
+    "SymbolicRegionLattice",
+    "publish_service",
+]

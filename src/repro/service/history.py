@@ -1,0 +1,162 @@
+"""Location history: trajectories, interpolation, speed.
+
+The paper's conflict rule 1 already needs the notion of a rectangle
+"moving with time"; a production deployment needs the rest of the
+temporal story too: where was this person five minutes ago, how fast
+are they moving (walking vs stationary vs forgotten badge), and what
+path did they take.  :class:`LocationHistory` keeps a bounded ring of
+estimates per object and answers those queries.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+from repro.core.estimate import LocationEstimate
+from repro.errors import ServiceError
+from repro.geometry import Point
+
+
+class LocationHistory:
+    """A bounded per-object ring of location estimates.
+
+    Args:
+        max_samples_per_object: ring capacity; oldest samples fall off.
+        min_interval: estimates closer together than this (seconds)
+            replace the previous sample instead of appending, so a
+            busy poller does not flush the ring.
+    """
+
+    def __init__(self, max_samples_per_object: int = 1024,
+                 min_interval: float = 0.5) -> None:
+        if max_samples_per_object < 2:
+            raise ServiceError("history needs at least two samples")
+        self._capacity = max_samples_per_object
+        self._min_interval = min_interval
+        self._rings: Dict[str, Deque[LocationEstimate]] = {}
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    def record(self, estimate: LocationEstimate) -> None:
+        """Add an estimate (keeps rings time-ordered)."""
+        ring = self._rings.setdefault(
+            estimate.object_id, deque(maxlen=self._capacity))
+        if ring and estimate.time < ring[-1].time:
+            return  # out-of-order stragglers are dropped
+        if ring and estimate.time - ring[-1].time < self._min_interval:
+            ring[-1] = estimate
+            return
+        ring.append(estimate)
+
+    def forget(self, object_id: str) -> bool:
+        """Drop an object's history (privacy erasure)."""
+        return self._rings.pop(object_id, None) is not None
+
+    def tracked_objects(self) -> List[str]:
+        return sorted(self._rings)
+
+    def sample_count(self, object_id: str) -> int:
+        ring = self._rings.get(object_id)
+        return len(ring) if ring else 0
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def _ring(self, object_id: str) -> Deque[LocationEstimate]:
+        ring = self._rings.get(object_id)
+        if not ring:
+            raise ServiceError(f"no history for {object_id!r}")
+        return ring
+
+    def last(self, object_id: str) -> LocationEstimate:
+        """The most recent estimate."""
+        return self._ring(object_id)[-1]
+
+    def trajectory(self, object_id: str, t0: Optional[float] = None,
+                   t1: Optional[float] = None) -> List[LocationEstimate]:
+        """Estimates in [t0, t1], oldest first."""
+        ring = self._ring(object_id)
+        return [e for e in ring
+                if (t0 is None or e.time >= t0)
+                and (t1 is None or e.time <= t1)]
+
+    def at(self, object_id: str, timestamp: float) -> LocationEstimate:
+        """The estimate nearest in time to ``timestamp``."""
+        ring = self._ring(object_id)
+        return min(ring, key=lambda e: abs(e.time - timestamp))
+
+    def position_at(self, object_id: str, timestamp: float) -> Point:
+        """Linearly interpolated position at ``timestamp``.
+
+        Clamped to the first/last sample outside the recorded span.
+        """
+        ring = self._ring(object_id)
+        if timestamp <= ring[0].time:
+            return ring[0].center
+        if timestamp >= ring[-1].time:
+            return ring[-1].center
+        samples = list(ring)
+        for before, after in zip(samples, samples[1:]):
+            if before.time <= timestamp <= after.time:
+                span = after.time - before.time
+                if span <= 0:
+                    return after.center
+                fraction = (timestamp - before.time) / span
+                a, b = before.center, after.center
+                return Point(a.x + (b.x - a.x) * fraction,
+                             a.y + (b.y - a.y) * fraction,
+                             a.z + (b.z - a.z) * fraction)
+        return ring[-1].center  # unreachable given the scan above
+
+    def speed(self, object_id: str, window: float = 10.0,
+              now: Optional[float] = None) -> Optional[float]:
+        """Mean speed (ft/s) over the trailing window.
+
+        ``None`` when fewer than two samples fall in the window.
+        Distinguishes a walking person from a badge on a desk — the
+        signal behind conflict rule 1.
+        """
+        ring = self._ring(object_id)
+        end = now if now is not None else ring[-1].time
+        samples = [e for e in ring if end - window <= e.time <= end]
+        if len(samples) < 2:
+            return None
+        distance = sum(a.center.distance_to(b.center)
+                       for a, b in zip(samples, samples[1:]))
+        elapsed = samples[-1].time - samples[0].time
+        if elapsed <= 0:
+            return None
+        return distance / elapsed
+
+    def distance_travelled(self, object_id: str,
+                           t0: Optional[float] = None,
+                           t1: Optional[float] = None) -> float:
+        """Path length of the recorded trajectory in [t0, t1]."""
+        samples = self.trajectory(object_id, t0, t1)
+        return sum(a.center.distance_to(b.center)
+                   for a, b in zip(samples, samples[1:]))
+
+    def regions_visited(self, object_id: str,
+                        t0: Optional[float] = None,
+                        t1: Optional[float] = None) -> List[str]:
+        """Distinct symbolic regions in visit order (deduplicated runs)."""
+        out: List[str] = []
+        for estimate in self.trajectory(object_id, t0, t1):
+            if estimate.symbolic is None:
+                continue
+            if not out or out[-1] != estimate.symbolic:
+                out.append(estimate.symbolic)
+        return out
+
+    def is_stationary(self, object_id: str, window: float = 30.0,
+                      threshold_ft_s: float = 0.25,
+                      now: Optional[float] = None) -> Optional[bool]:
+        """Whether the object has effectively stopped moving."""
+        value = self.speed(object_id, window, now)
+        if value is None:
+            return None
+        return value < threshold_ft_s

@@ -1,0 +1,492 @@
+"""The Location Service (paper Section 4).
+
+"The Location Service is the source of location information for all
+location-sensitive applications."  It fuses sensor data, answers
+object-based and region-based queries (pull), accepts subscriptions
+for location-based conditions (push), maintains the symbolic region
+lattice, enforces privacy granularity, and computes spatial
+relationships.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from collections import OrderedDict
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+
+from repro.core import (
+    FusionEngine,
+    FusionResult,
+    LocationEstimate,
+    NormalizedReading,
+    ProbabilityBucket,
+    ProbabilityClassifier,
+    SensorSpec,
+)
+from repro.errors import ServiceError, UnknownObjectError
+from repro.geometry import Point, Rect
+from repro.model import Glob, WorldModel
+from repro.orb import Orb
+from repro.reasoning import (
+    NavigationGraph,
+    ProbabilisticRelation,
+    SpatialRelations,
+    build_knowledge_base,
+)
+from repro.service.history import LocationHistory
+from repro.service.privacy import PrivacyPolicy
+from repro.service.regions import SymbolicRegionLattice
+from repro.service.subscriptions import (
+    KIND_ENTER,
+    Subscription,
+    SubscriptionManager,
+)
+from repro.spatialdb import Row, SpatialDatabase
+
+Clock = Callable[[], float]
+
+
+class LocationService:
+    """The consolidated location view for one deployment.
+
+    Args:
+        db: the spatial database (world model loaded, adapters feeding).
+        engine: fusion engine override (mode, conflict rules).
+        orb: broker used to push events to remote subscribers; local
+            callbacks work without one.
+        clock: time source (defaults to :func:`time.monotonic`); the
+            simulator injects its virtual clock here.
+        privacy: granularity policy (defaults to everything visible).
+        history: when given, every successful :meth:`locate` is
+            recorded into it (trajectories, speed — see
+            :class:`repro.service.history.LocationHistory`).
+    """
+
+    def __init__(self, db: SpatialDatabase,
+                 engine: Optional[FusionEngine] = None,
+                 orb: Optional[Orb] = None,
+                 clock: Optional[Clock] = None,
+                 privacy: Optional[PrivacyPolicy] = None,
+                 history: Optional["LocationHistory"] = None) -> None:
+        self.db = db
+        self.engine = engine if engine is not None else FusionEngine()
+        self.orb = orb
+        self.clock = clock if clock is not None else _time.monotonic
+        self.privacy = privacy if privacy is not None else PrivacyPolicy()
+        self.regions = SymbolicRegionLattice(db.world)
+        self.navigation = NavigationGraph(db.world)
+        self.relations = SpatialRelations(db.world, self.navigation)
+        self.knowledge = build_knowledge_base(db.world)
+        self.subscriptions = SubscriptionManager()
+        self._proximity_subscriptions: Dict[str, Any] = {}
+        # Memo of recent fusions keyed by (object, timestamp): when one
+        # sensor reading matches many programmed triggers, they all
+        # evaluate against a single fused distribution — the paper's
+        # shared lattice of Section 4.3.
+        self._fusion_cache: "OrderedDict[Tuple[str, float, int], FusionResult]" = \
+            OrderedDict()
+        self._fusion_cache_capacity = 32
+        self.fusion_cache_hits = 0
+        self.history = history
+        # (subscription_id, error message) for every failed delivery;
+        # a crashing application must not stall sensor ingest.
+        self.notification_failures: List[Tuple[str, str]] = []
+        self._classifier_cache: Optional[Tuple[int, ProbabilityClassifier]] = None
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    @property
+    def world(self) -> WorldModel:
+        return self.db.world
+
+    def classifier(self) -> ProbabilityClassifier:
+        """The Section 4.4 classifier over the deployed sensors' ps.
+
+        Rebuilt when sensors are added or removed; cached otherwise.
+        """
+        rows = self.db.sensor_specs.select()
+        if not rows:
+            raise ServiceError("no sensors registered; cannot classify")
+        cache = self._classifier_cache
+        if cache is not None and cache[0] == len(rows):
+            return cache[1]
+        ps = [row["confidence"] / 100.0 for row in rows]
+        classifier = ProbabilityClassifier(ps)
+        self._classifier_cache = (len(rows), classifier)
+        return classifier
+
+    def _now(self, now: Optional[float]) -> float:
+        return self.clock() if now is None else now
+
+    def _readings_for(self, object_id: str,
+                      now: float) -> List[NormalizedReading]:
+        rows = self.db.readings_for(object_id, now)
+        readings: List[NormalizedReading] = []
+        for row in rows:
+            spec_row = self.db.sensor_specs.get(row["sensor_id"])
+            spec = spec_row["spec"] if spec_row else None
+            if not isinstance(spec, SensorSpec):
+                continue  # sensors without a full spec cannot be fused
+            readings.append(NormalizedReading(
+                sensor_id=row["sensor_id"],
+                object_id=object_id,
+                rect=row["rect"],
+                time=row["detection_time"],
+                spec=spec,
+                moving=row["moving"],
+            ))
+        return readings
+
+    def fusion_result(self, object_id: str,
+                      now: Optional[float] = None) -> FusionResult:
+        """The full spatial probability distribution for an object.
+
+        Fusions are memoized per (object, timestamp): evaluating 500
+        programmed triggers against one reading costs one fusion.  Any
+        new reading for the object invalidates its entries (the key
+        embeds the query time, and triggers evaluate at the reading's
+        own detection time).
+        """
+        at = self._now(now)
+        key = (object_id, at, len(self.db.sensor_readings))
+        cached = self._fusion_cache.get(key)
+        if cached is not None:
+            self.fusion_cache_hits += 1
+            self._fusion_cache.move_to_end(key)
+            return cached
+        readings = self._readings_for(object_id, at)
+        if not readings:
+            raise UnknownObjectError(
+                f"no fresh readings for {object_id!r} at t={at:.3f}")
+        result = self.engine.fuse(object_id, readings,
+                                  self.db.universe(), at)
+        self._fusion_cache[key] = result
+        while len(self._fusion_cache) > self._fusion_cache_capacity:
+            self._fusion_cache.popitem(last=False)
+        return result
+
+    # ------------------------------------------------------------------
+    # Object-based queries (pull mode)
+    # ------------------------------------------------------------------
+
+    def locate(self, object_id: str, now: Optional[float] = None,
+               requester: Optional[str] = None) -> LocationEstimate:
+        """Where is ``object_id``?  (Section 4.2's object-based query.)
+
+        The estimate carries the symbolic resolution, coarsened to the
+        requester's permitted granularity; the rectangle is likewise
+        widened to the revealed region when privacy coarsens it.
+        """
+        depth = self.privacy.check_allowed(object_id, requester)
+        result = self.fusion_result(object_id, now)
+        estimate = self.engine.point_estimate(result, self.classifier())
+        symbolic = self.regions.finest_region_containing_rect(estimate.rect)
+        if symbolic is None:
+            symbolic = self.regions.finest_region_containing_point(
+                estimate.rect.center)
+        if symbolic is not None:
+            coarse = self.regions.coarsen(symbolic, depth)
+            if coarse != symbolic:
+                # Privacy: reveal only the coarse region's extent.
+                estimate = LocationEstimate(
+                    object_id=estimate.object_id,
+                    rect=self.world.canonical_mbr(coarse),
+                    probability=estimate.probability,
+                    bucket=estimate.bucket,
+                    time=estimate.time,
+                    sources=estimate.sources,
+                    moving=estimate.moving,
+                    posterior=estimate.posterior,
+                )
+            symbolic = coarse
+        final = estimate.with_symbolic(symbolic)
+        if self.history is not None and requester is None:
+            # Only the unredacted view is archived; privacy-coarsened
+            # answers are per-requester and not history.
+            self.history.record(final)
+        return final
+
+    def locate_symbolic(self, object_id: str, now: Optional[float] = None,
+                        requester: Optional[str] = None) -> Optional[str]:
+        """The object's location as a symbolic GLOB string."""
+        return self.locate(object_id, now, requester).symbolic
+
+    def confidence_in_region(self, object_id: str,
+                             region: Union[Rect, Glob, str],
+                             now: Optional[float] = None) -> float:
+        """Application-facing confidence that the object is in a region."""
+        rect = self._region_rect(region)
+        return self.fusion_result(object_id, now).confidence_in_region(rect)
+
+    def probability_in_region(self, object_id: str,
+                              region: Union[Rect, Glob, str],
+                              now: Optional[float] = None) -> float:
+        """The Equation-(7) posterior that the object is in a region
+        (Section 4.2's region probability query)."""
+        rect = self._region_rect(region)
+        return self.fusion_result(object_id, now).probability_of_region(rect)
+
+    def grade(self, confidence: float) -> ProbabilityBucket:
+        """Classify a confidence into the Section 4.4 buckets."""
+        return self.classifier().classify(confidence)
+
+    # ------------------------------------------------------------------
+    # Region-based queries
+    # ------------------------------------------------------------------
+
+    def objects_in_region(self, region: Union[Rect, Glob, str],
+                          now: Optional[float] = None,
+                          min_confidence: float = 0.5
+                          ) -> List[Tuple[str, float]]:
+        """Who is in a region?  ("who are the people in room 3105?")
+
+        Returns (object_id, confidence) pairs above the threshold,
+        highest confidence first.
+        """
+        rect = self._region_rect(region)
+        at = self._now(now)
+        out: List[Tuple[str, float]] = []
+        for object_id in self.db.tracked_objects():
+            try:
+                confidence = self.fusion_result(
+                    object_id, at).confidence_in_region(rect)
+            except UnknownObjectError:
+                continue
+            if confidence >= min_confidence:
+                out.append((object_id, confidence))
+        out.sort(key=lambda pair: (-pair[1], pair[0]))
+        return out
+
+    def nearest_entities(self, point_or_object: Union[Point, str],
+                         count: int = 1,
+                         object_type: Optional[str] = None,
+                         now: Optional[float] = None,
+                         **required_properties: Any
+                         ) -> List[Tuple[str, float]]:
+        """The nearest modelled entities to a point or tracked object.
+
+        Property filters express queries like "the nearest region that
+        has power outlets and high Bluetooth signal" (Section 5.1):
+        ``nearest_entities(p, object_type="Room", power_outlets=True)``.
+        """
+        if isinstance(point_or_object, str):
+            origin = self.locate(point_or_object, now).rect.center
+        else:
+            origin = point_or_object
+
+        def where(row: Row) -> bool:
+            if object_type is not None and row["object_type"] != object_type:
+                return False
+            return all(row["properties"].get(k) == v
+                       for k, v in required_properties.items())
+
+        return self.db.nearest_objects(origin, count, where)
+
+    # ------------------------------------------------------------------
+    # Spatial relationships (Section 4.6)
+    # ------------------------------------------------------------------
+
+    def proximity(self, first: str, second: str, threshold: float,
+                  now: Optional[float] = None) -> ProbabilisticRelation:
+        """Are two objects within ``threshold`` feet of each other?"""
+        at = self._now(now)
+        return self.relations.proximity(
+            self.locate(first, at), self.locate(second, at), threshold)
+
+    def colocation(self, first: str, second: str,
+                   granularity_depth: int = 3,
+                   now: Optional[float] = None) -> ProbabilisticRelation:
+        """Are two objects in the same symbolic region?"""
+        at = self._now(now)
+        return self.relations.colocation(
+            self.locate(first, at), self.locate(second, at),
+            granularity_depth)
+
+    def containment(self, object_id: str, region: Union[Rect, Glob, str],
+                    now: Optional[float] = None) -> ProbabilisticRelation:
+        """Is an object inside a region (graded)?"""
+        estimate = self.locate(object_id, now)
+        return self.relations.containment(estimate, self._region_rect(region))
+
+    def distance_between(self, first: str, second: str, path: bool = False,
+                         now: Optional[float] = None) -> Optional[float]:
+        """Euclidean or path distance between two tracked objects."""
+        at = self._now(now)
+        return self.relations.distance_between(
+            self.locate(first, at), self.locate(second, at), path)
+
+    # ------------------------------------------------------------------
+    # Subscriptions (push mode)
+    # ------------------------------------------------------------------
+
+    def subscribe(self, region: Union[Rect, Glob, str],
+                  consumer: Optional[Callable[[Dict[str, Any]], None]] = None,
+                  kind: str = KIND_ENTER,
+                  object_id: Optional[str] = None,
+                  threshold: float = 0.5,
+                  bucket: Optional[ProbabilityBucket] = None,
+                  remote_reference: Optional[str] = None) -> str:
+        """Subscribe to enter/leave events for a region.
+
+        Installs a database trigger as the coarse filter (Section 5.3);
+        each firing is refined with fused confidence before the event
+        is pushed to the local ``consumer`` or the ``remote_reference``
+        servant's ``notify`` method.
+        """
+        rect = self._region_rect(region)
+        region_glob = str(region) if not isinstance(region, Rect) else None
+        subscription = Subscription(
+            subscription_id=self.subscriptions.new_id(),
+            region=rect,
+            kind=kind,
+            region_glob=region_glob,
+            object_id=object_id,
+            threshold=threshold,
+            bucket=bucket,
+            consumer=consumer,
+            remote_reference=remote_reference,
+        )
+        self.subscriptions.add(subscription)
+
+        watch_all = kind != KIND_ENTER  # leave/both need off-region readings
+
+        def condition(row: Row) -> bool:
+            if (subscription.object_id is not None
+                    and row["mobile_object_id"] != subscription.object_id):
+                return False
+            return watch_all or rect.intersects(row["rect"])
+
+        def action(row: Row) -> None:
+            self._on_trigger(subscription, row)
+
+        from repro.spatialdb import Trigger
+        self.db.sensor_readings.create_trigger(
+            Trigger(subscription.subscription_id, "insert", condition,
+                    action))
+        return subscription.subscription_id
+
+    def subscribe_proximity(self, first: str, second: str,
+                            threshold_ft: float,
+                            consumer: Optional[Callable[[Dict[str, Any]],
+                                                        None]] = None,
+                            kind: str = KIND_ENTER,
+                            min_confidence: float = 0.25,
+                            remote_reference: Optional[str] = None) -> str:
+        """Notify when two objects come within ``threshold_ft`` feet.
+
+        Section 5.3's distance condition.  Edge-triggered: an "enter"
+        event fires when the pair closes inside the threshold, a
+        "leave" event when it opens (per ``kind``).  Evaluations run on
+        every reading of either object; pairs with either estimate
+        below ``min_confidence`` are treated as not-near.
+        """
+        from repro.service.subscriptions import ProximitySubscription
+
+        subscription = ProximitySubscription(
+            subscription_id=self.subscriptions.new_id(),
+            first=first,
+            second=second,
+            threshold_ft=threshold_ft,
+            kind=kind,
+            min_confidence=min_confidence,
+            consumer=consumer,
+            remote_reference=remote_reference,
+        )
+        self._proximity_subscriptions[subscription.subscription_id] = \
+            subscription
+
+        def condition(row: Row) -> bool:
+            return subscription.involves(row["mobile_object_id"])
+
+        def action(row: Row) -> None:
+            self._on_proximity_trigger(subscription, row)
+
+        from repro.spatialdb import Trigger
+        self.db.sensor_readings.create_trigger(
+            Trigger(subscription.subscription_id, "insert", condition,
+                    action))
+        return subscription.subscription_id
+
+    def _on_proximity_trigger(self, subscription, row: Row) -> None:
+        at = row["detection_time"]
+        try:
+            first = self.locate(subscription.first, at)
+            second = self.locate(subscription.second, at)
+        except (UnknownObjectError, ServiceError):
+            return
+        relation = self.relations.proximity(first, second,
+                                            subscription.threshold_ft)
+        within_now = (relation.holds
+                      and relation.probability
+                      >= subscription.min_confidence)
+        was_within = subscription.within
+        subscription.within = within_now
+        transition = None
+        if within_now and not was_within:
+            transition = "enter"
+        elif was_within and not within_now:
+            transition = "leave"
+        if transition is None or not subscription.wants(transition):
+            return
+        event = {
+            "subscription_id": subscription.subscription_id,
+            "transition": transition,
+            "first": subscription.first,
+            "second": subscription.second,
+            "threshold_ft": subscription.threshold_ft,
+            "probability": relation.probability,
+            "distance_ft": first.rect.center_distance(second.rect),
+            "time": at,
+        }
+        self._notify(subscription, event)
+        self.subscriptions.notifications_sent += 1
+
+    def unsubscribe(self, subscription_id: str) -> bool:
+        """Remove a subscription and its database trigger."""
+        self.db.sensor_readings.drop_trigger(subscription_id)
+        if subscription_id in self._proximity_subscriptions:
+            del self._proximity_subscriptions[subscription_id]
+            return True
+        return self.subscriptions.remove(subscription_id)
+
+    def _on_trigger(self, subscription: Subscription, row: Row) -> None:
+        object_id = row["mobile_object_id"]
+        at = row["detection_time"]
+        try:
+            result = self.fusion_result(object_id, at)
+        except UnknownObjectError:
+            return
+        confidence = result.confidence_in_region(subscription.region)
+        grade = self.classifier().classify(min(1.0, max(0.0, confidence)))
+        self.subscriptions.evaluate(
+            subscription, object_id, confidence, grade, at, self._notify)
+
+    def _notify(self, subscription: Subscription,
+                event: Dict[str, Any]) -> None:
+        try:
+            if subscription.consumer is not None:
+                subscription.consumer(event)
+            elif subscription.remote_reference is not None:
+                if self.orb is None:
+                    raise ServiceError(
+                        "remote subscriber but the service has no orb")
+                self.orb.resolve(
+                    subscription.remote_reference).notify(event)
+        except Exception as exc:  # noqa: BLE001 — isolate app crashes
+            self.notification_failures.append(
+                (subscription.subscription_id, str(exc)))
+
+    # ------------------------------------------------------------------
+
+    def _region_rect(self, region: Union[Rect, Glob, str]) -> Rect:
+        """Any region designator to a canonical rectangle.
+
+        Symbolic regions are looked up in the world model; rectangles
+        pass through — "we approximate the region with a minimum
+        bounding rectangle" (Section 4.2).
+        """
+        if isinstance(region, Rect):
+            return region
+        return self.world.resolve_symbolic(Glob.parse(str(region)))

@@ -1,0 +1,79 @@
+"""Privacy policies on location granularity (paper Section 4.5).
+
+"The lattice representation also allows incorporating privacy
+constraints that specify that a user's location can only be revealed
+upto a certain granularity (like a room or a floor)."
+
+A policy maps (object, requester) to the maximum GLOB depth that may
+be revealed; depth 0 blocks the query entirely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.errors import PrivacyError
+
+# Convenient depth constants for building/floor/room deployments.
+DEPTH_BLOCKED = 0
+DEPTH_BUILDING = 1
+DEPTH_FLOOR = 2
+DEPTH_ROOM = 3
+DEPTH_FULL = 99
+
+
+@dataclass
+class PrivacyPolicy:
+    """Per-object granularity limits with per-requester overrides.
+
+    ``default_depth`` applies when no specific rule matches.  Rules
+    are keyed by (object_id, requester) with ``None`` as a wildcard
+    requester.
+    """
+
+    default_depth: int = DEPTH_FULL
+    _rules: Dict[Tuple[str, Optional[str]], int] = field(
+        default_factory=dict)
+
+    def restrict(self, object_id: str, depth: int,
+                 requester: Optional[str] = None) -> None:
+        """Limit how precisely ``object_id`` is revealed.
+
+        With ``requester`` given the rule applies to that requester
+        only; otherwise to everyone without a more specific rule.
+        """
+        if depth < DEPTH_BLOCKED:
+            raise PrivacyError(f"invalid granularity depth {depth}")
+        self._rules[(object_id, requester)] = depth
+
+    def allow(self, object_id: str, requester: str,
+              depth: int = DEPTH_FULL) -> None:
+        """Grant a specific requester more precision than the default."""
+        self.restrict(object_id, depth, requester)
+
+    def depth_for(self, object_id: str,
+                  requester: Optional[str] = None) -> int:
+        """The granularity depth a requester may see for an object.
+
+        Specific (object, requester) rules beat (object, *) rules beat
+        the default.
+        """
+        if requester is not None:
+            specific = self._rules.get((object_id, requester))
+            if specific is not None:
+                return specific
+        wildcard = self._rules.get((object_id, None))
+        if wildcard is not None:
+            return wildcard
+        return self.default_depth
+
+    def check_allowed(self, object_id: str,
+                      requester: Optional[str] = None) -> int:
+        """The permitted depth, raising when the query is blocked."""
+        depth = self.depth_for(object_id, requester)
+        if depth <= DEPTH_BLOCKED:
+            raise PrivacyError(
+                f"location of {object_id!r} is not visible to "
+                f"{requester or 'anonymous'}")
+        return depth

@@ -1,0 +1,152 @@
+"""The symbolic region lattice (paper Section 4.5).
+
+"In order to give location information as a symbolic region, the
+Location Service maintains a lattice of all symbolic regions.  This
+includes rooms, corridors and other building structures.  In addition,
+other symbolic locations can be defined such as 'East wing of the
+building' or 'work region inside a room'."
+
+The lattice is ordered by the GLOB hierarchy (room under floor under
+building) plus geometric containment for application-defined regions
+that do not follow the naming hierarchy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Union
+
+from repro.errors import ServiceError
+from repro.geometry import Point, Polygon, Rect
+from repro.model import Entity, EntityType, Glob, WorldModel
+
+
+class SymbolicRegionLattice:
+    """All symbolic regions of a deployment ordered by containment."""
+
+    def __init__(self, world: WorldModel) -> None:
+        self.world = world
+        self._regions: Dict[str, Entity] = {}
+        self._parents: Dict[str, Set[str]] = {}
+        self._children: Dict[str, Set[str]] = {}
+        for entity in world.entities():
+            if entity.entity_type.is_enclosing:
+                self._regions[str(entity.glob)] = entity
+        self._link()
+
+    def _link(self) -> None:
+        for key in self._regions:
+            self._parents[key] = set()
+            self._children[key] = set()
+        keys = list(self._regions)
+        for child_key in keys:
+            child_glob = self._regions[child_key].glob
+            child_mbr = self.world.canonical_mbr(child_key)
+            for parent_key in keys:
+                if parent_key == child_key:
+                    continue
+                parent_glob = self._regions[parent_key].glob
+                parent_mbr = self.world.canonical_mbr(parent_key)
+                hierarchic = (child_glob != parent_glob
+                              and child_glob.is_within(parent_glob))
+                geometric = (parent_mbr.contains_rect(child_mbr)
+                             and parent_mbr.area > child_mbr.area)
+                if hierarchic or geometric:
+                    self._parents[child_key].add(parent_key)
+                    self._children[parent_key].add(child_key)
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+
+    def regions(self) -> List[str]:
+        return sorted(self._regions)
+
+    def has(self, glob: Union[Glob, str]) -> bool:
+        return str(glob) in self._regions
+
+    def parents_of(self, glob: Union[Glob, str]) -> List[str]:
+        key = str(glob)
+        if key not in self._parents:
+            raise ServiceError(f"unknown symbolic region {key}")
+        return sorted(self._parents[key])
+
+    def children_of(self, glob: Union[Glob, str]) -> List[str]:
+        key = str(glob)
+        if key not in self._children:
+            raise ServiceError(f"unknown symbolic region {key}")
+        return sorted(self._children[key])
+
+    def ancestors_of(self, glob: Union[Glob, str]) -> List[str]:
+        """All transitive parents, nearest first by area."""
+        key = str(glob)
+        seen: Set[str] = set()
+        stack = [key]
+        while stack:
+            current = stack.pop()
+            for parent in self._parents.get(current, ()):
+                if parent not in seen:
+                    seen.add(parent)
+                    stack.append(parent)
+        return sorted(
+            seen, key=lambda k: self.world.canonical_mbr(k).area)
+
+    # ------------------------------------------------------------------
+    # Resolution
+    # ------------------------------------------------------------------
+
+    def finest_region_containing_point(self, p: Point) -> Optional[str]:
+        """The smallest symbolic region containing a canonical point."""
+        entity = self.world.smallest_region_containing(p)
+        return str(entity.glob) if entity is not None else None
+
+    def finest_region_containing_rect(self, rect: Rect) -> Optional[str]:
+        """The smallest symbolic region fully containing ``rect``.
+
+        This is how a fused coordinate estimate becomes "room 3216":
+        the estimate rectangle is attributed to the tightest region
+        that encloses it.
+        """
+        best_key: Optional[str] = None
+        best_area = float("inf")
+        for key in self._regions:
+            mbr = self.world.canonical_mbr(key)
+            if mbr.contains_rect(rect) and mbr.area < best_area:
+                best_key = key
+                best_area = mbr.area
+        return best_key
+
+    def coarsen(self, glob: Union[Glob, str], max_depth: int) -> str:
+        """Coarsen a region to at most ``max_depth`` GLOB segments.
+
+        The privacy operation: a policy of depth 2 turns
+        ``SC/3/3216`` into ``SC/3`` (floor granularity).
+        """
+        parsed = Glob.parse(str(glob))
+        truncated = parsed.truncated_to_depth(max_depth)
+        return str(truncated)
+
+    def regions_overlapping(self, rect: Rect) -> List[str]:
+        """Symbolic regions whose MBR intersects ``rect``, smallest first."""
+        overlapping = [
+            key for key in self._regions
+            if self.world.canonical_mbr(key).intersects(rect)
+        ]
+        return sorted(overlapping,
+                      key=lambda k: self.world.canonical_mbr(k).area)
+
+    def define_region(self, glob: Union[Glob, str], polygon: Polygon,
+                      frame: str = "") -> None:
+        """Add an application-defined symbolic region to the lattice.
+
+        Supports Section 4's "creation of spatial regions and the
+        association of different kinds of properties with these
+        regions".  The region also lands in the world model so spatial
+        queries see it.
+        """
+        parsed = Glob.parse(str(glob))
+        entity = self.world.add_region(parsed, EntityType.REGION, polygon,
+                                       frame)
+        self._regions[str(parsed)] = entity
+        # Relink: a single region insert is rare enough that a full
+        # rebuild keeps the code simple and obviously correct.
+        self._link()

@@ -1,0 +1,164 @@
+"""The Location Service's remote face (paper Section 7).
+
+"Gaia applications can then talk directly to the location service.
+To access location information, we provide push and pull models."
+
+The servant narrows the in-process API to wire-safe signatures: every
+argument and result round-trips through the ORB codec.  Applications
+resolve it from the naming service under :data:`SERVICE_NAME`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core import LocationEstimate, ProbabilityBucket
+from repro.geometry import Rect
+from repro.orb import NamingService, Orb
+from repro.service.location_service import LocationService
+
+SERVICE_NAME = "middlewhere/location-service"
+NAMING_NAME = "middlewhere/naming"
+
+
+class LocationServiceServant:
+    """Wire-safe wrapper around a :class:`LocationService`."""
+
+    ORB_EXPOSED = (
+        "locate",
+        "locate_symbolic",
+        "confidence_in_region",
+        "probability_in_region",
+        "objects_in_region",
+        "proximity",
+        "colocation",
+        "subscribe",
+        "subscribe_proximity",
+        "unsubscribe",
+        "grade",
+        "tracked_objects",
+        "query",
+        "trajectory",
+        "speed",
+    )
+
+    def __init__(self, service: LocationService) -> None:
+        self._service = service
+
+    # ------------------------------------------------------------------
+    # Pull mode
+    # ------------------------------------------------------------------
+
+    def locate(self, object_id: str, now: Optional[float] = None,
+               requester: Optional[str] = None) -> LocationEstimate:
+        return self._service.locate(object_id, now, requester)
+
+    def locate_symbolic(self, object_id: str, now: Optional[float] = None,
+                        requester: Optional[str] = None) -> Optional[str]:
+        return self._service.locate_symbolic(object_id, now, requester)
+
+    def confidence_in_region(self, object_id: str, region: Rect,
+                             now: Optional[float] = None) -> float:
+        return self._service.confidence_in_region(object_id, region, now)
+
+    def probability_in_region(self, object_id: str, region: Rect,
+                              now: Optional[float] = None) -> float:
+        return self._service.probability_in_region(object_id, region, now)
+
+    def objects_in_region(self, region: Rect, now: Optional[float] = None,
+                          min_confidence: float = 0.5
+                          ) -> List[List[Any]]:
+        pairs = self._service.objects_in_region(region, now, min_confidence)
+        return [[object_id, confidence] for object_id, confidence in pairs]
+
+    def proximity(self, first: str, second: str, threshold: float,
+                  now: Optional[float] = None) -> Dict[str, Any]:
+        relation = self._service.proximity(first, second, threshold, now)
+        return {"name": relation.name, "probability": relation.probability,
+                "holds": relation.holds}
+
+    def colocation(self, first: str, second: str,
+                   granularity_depth: int = 3,
+                   now: Optional[float] = None) -> Dict[str, Any]:
+        relation = self._service.colocation(first, second,
+                                            granularity_depth, now)
+        return {"name": relation.name, "probability": relation.probability,
+                "holds": relation.holds}
+
+    def grade(self, confidence: float) -> ProbabilityBucket:
+        return self._service.grade(confidence)
+
+    def tracked_objects(self) -> List[str]:
+        return self._service.db.tracked_objects()
+
+    # ------------------------------------------------------------------
+    # Push mode
+    # ------------------------------------------------------------------
+
+    def subscribe(self, region: Rect, remote_reference: str,
+                  kind: str = "enter", object_id: Optional[str] = None,
+                  threshold: float = 0.5,
+                  bucket: Optional[ProbabilityBucket] = None) -> str:
+        """Remote subscription: events push to the referenced servant."""
+        return self._service.subscribe(
+            region, kind=kind, object_id=object_id, threshold=threshold,
+            bucket=bucket, remote_reference=remote_reference)
+
+    def subscribe_proximity(self, first: str, second: str,
+                            threshold_ft: float, remote_reference: str,
+                            kind: str = "enter",
+                            min_confidence: float = 0.25) -> str:
+        """Remote proximity subscription (Section 5.3's distance
+        condition)."""
+        return self._service.subscribe_proximity(
+            first, second, threshold_ft, kind=kind,
+            min_confidence=min_confidence,
+            remote_reference=remote_reference)
+
+    def unsubscribe(self, subscription_id: str) -> bool:
+        return self._service.unsubscribe(subscription_id)
+
+    # ------------------------------------------------------------------
+    # Extended queries
+    # ------------------------------------------------------------------
+
+    def query(self, text: str) -> List[Dict[str, Any]]:
+        """Run a spatial SQL query (Section 5.1) over the wire.
+
+        Rows carry only codec-safe values (the geometry column rides
+        along as the registered Polygon/Point/Segment types).
+        """
+        return self._service.db.query(text)
+
+    def trajectory(self, object_id: str,
+                   t0: Optional[float] = None,
+                   t1: Optional[float] = None) -> List[LocationEstimate]:
+        """The object's recorded trajectory (requires history)."""
+        history = self._require_history()
+        return history.trajectory(object_id, t0, t1)
+
+    def speed(self, object_id: str,
+              window: float = 10.0) -> Optional[float]:
+        """The object's trailing-window speed (requires history)."""
+        history = self._require_history()
+        return history.speed(object_id, window)
+
+    def _require_history(self):
+        history = self._service.history
+        if history is None:
+            from repro.errors import ServiceError
+            raise ServiceError("the service keeps no location history")
+        return history
+
+
+def publish_service(service: LocationService, orb: Orb,
+                    naming: Optional[NamingService] = None,
+                    object_id: str = "location-service"
+                    ) -> Tuple[str, LocationServiceServant]:
+    """Register the servant with an ORB (and optionally the naming
+    service); returns (reference, servant)."""
+    servant = LocationServiceServant(service)
+    reference = orb.register(object_id, servant)
+    if naming is not None:
+        naming.rebind(SERVICE_NAME, reference)
+    return reference, servant

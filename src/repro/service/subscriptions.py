@@ -1,0 +1,202 @@
+"""Region-based notifications (paper Sections 4.3 and 5.3).
+
+"The other common kind of location-based interaction required by
+applications is a notification when a person enters a certain region
+of interest. ... Finally, if the probability that the person is
+within a notification rectangle exceeds a certain threshold, the
+application is notified."
+
+Each subscription becomes one database trigger (the coarse geometric
+filter of Section 5.3); when it fires, the Location Service refines
+with fused confidence, edge-detects enter/leave, and pushes an event.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.core import ProbabilityBucket
+from repro.errors import ServiceError
+from repro.geometry import Rect
+
+Consumer = Callable[[Dict[str, Any]], None]
+
+KIND_ENTER = "enter"
+KIND_LEAVE = "leave"
+KIND_BOTH = "both"
+
+_VALID_KINDS = (KIND_ENTER, KIND_LEAVE, KIND_BOTH)
+
+
+@dataclass
+class ProximitySubscription:
+    """Interest in two objects coming within (or leaving) a distance.
+
+    Section 5.3: trigger conditions include a "mobile object at a
+    certain distance from another object".  Edge-triggered like region
+    subscriptions: one event when the pair closes inside ``threshold``
+    feet, one when it opens again (per ``kind``).
+    """
+
+    subscription_id: str
+    first: str
+    second: str
+    threshold_ft: float
+    kind: str = KIND_ENTER
+    min_confidence: float = 0.25
+    consumer: Optional[Consumer] = None
+    remote_reference: Optional[str] = None
+    within: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind not in _VALID_KINDS:
+            raise ServiceError(f"invalid subscription kind {self.kind!r}")
+        if self.threshold_ft <= 0.0:
+            raise ServiceError(
+                f"threshold must be positive, got {self.threshold_ft}")
+        if self.first == self.second:
+            raise ServiceError("proximity needs two distinct objects")
+        if self.consumer is None and self.remote_reference is None:
+            raise ServiceError(
+                "subscription needs a consumer or a remote reference")
+
+    def involves(self, object_id: str) -> bool:
+        return object_id in (self.first, self.second)
+
+    def wants(self, transition: str) -> bool:
+        return self.kind == KIND_BOTH or self.kind == transition
+
+
+@dataclass
+class Subscription:
+    """One application's interest in a region.
+
+    Attributes:
+        subscription_id: unique id, also used as the database trigger id.
+        region: the notification rectangle (canonical frame).
+        region_glob: optional symbolic name carried in events.
+        kind: notify on "enter", "leave" or "both".
+        object_id: restrict to one mobile object (``None`` = anyone).
+        threshold: minimum fused confidence for "inside".
+        bucket: alternative threshold as a Section 4.4 bucket; when
+            set, the classifier grade must be >= this bucket.
+        consumer: local callback receiving the event dict.
+        remote_reference: alternatively, an ORB reference to a servant
+            with ``notify(event)``.
+        inside: per-object last known inside/outside state, for edge
+            detection.
+    """
+
+    subscription_id: str
+    region: Rect
+    kind: str = KIND_ENTER
+    region_glob: Optional[str] = None
+    object_id: Optional[str] = None
+    threshold: float = 0.5
+    bucket: Optional[ProbabilityBucket] = None
+    consumer: Optional[Consumer] = None
+    remote_reference: Optional[str] = None
+    inside: Dict[str, bool] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in _VALID_KINDS:
+            raise ServiceError(f"invalid subscription kind {self.kind!r}")
+        if not 0.0 <= self.threshold <= 1.0:
+            raise ServiceError(
+                f"threshold {self.threshold} is not a probability")
+        if self.consumer is None and self.remote_reference is None:
+            raise ServiceError(
+                "subscription needs a consumer or a remote reference")
+
+    def wants(self, transition: str) -> bool:
+        return self.kind == KIND_BOTH or self.kind == transition
+
+
+class SubscriptionManager:
+    """Holds subscriptions and turns fused confidences into events."""
+
+    def __init__(self) -> None:
+        self._subscriptions: Dict[str, Subscription] = {}
+        self._ids = itertools.count(1)
+        self._lock = threading.Lock()
+        self.notifications_sent = 0
+
+    def new_id(self) -> str:
+        return f"sub-{next(self._ids)}"
+
+    def add(self, subscription: Subscription) -> str:
+        with self._lock:
+            if subscription.subscription_id in self._subscriptions:
+                raise ServiceError(
+                    f"duplicate subscription {subscription.subscription_id}")
+            self._subscriptions[subscription.subscription_id] = subscription
+        return subscription.subscription_id
+
+    def remove(self, subscription_id: str) -> bool:
+        with self._lock:
+            return self._subscriptions.pop(subscription_id, None) is not None
+
+    def get(self, subscription_id: str) -> Subscription:
+        with self._lock:
+            subscription = self._subscriptions.get(subscription_id)
+        if subscription is None:
+            raise ServiceError(f"unknown subscription {subscription_id!r}")
+        return subscription
+
+    def all(self) -> List[Subscription]:
+        with self._lock:
+            return list(self._subscriptions.values())
+
+    def count(self) -> int:
+        with self._lock:
+            return len(self._subscriptions)
+
+    def matching(self, object_id: str) -> List[Subscription]:
+        """Subscriptions that could apply to readings of ``object_id``."""
+        with self._lock:
+            return [s for s in self._subscriptions.values()
+                    if s.object_id is None or s.object_id == object_id]
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+
+    def evaluate(self, subscription: Subscription, object_id: str,
+                 confidence: float, grade: ProbabilityBucket,
+                 now: float, notify: Callable[[Subscription, Dict[str, Any]],
+                                              None]) -> Optional[str]:
+        """Update one subscription with a fresh confidence reading.
+
+        Returns the transition notified ("enter"/"leave") or ``None``.
+        The inside test honours whichever threshold style the
+        subscription uses (raw confidence or bucket grade).
+        """
+        if subscription.bucket is not None:
+            inside_now = grade >= subscription.bucket
+        else:
+            inside_now = confidence >= subscription.threshold
+        was_inside = subscription.inside.get(object_id, False)
+        subscription.inside[object_id] = inside_now
+        transition: Optional[str] = None
+        if inside_now and not was_inside:
+            transition = KIND_ENTER
+        elif was_inside and not inside_now:
+            transition = KIND_LEAVE
+        if transition is None or not subscription.wants(transition):
+            return None
+        event = {
+            "subscription_id": subscription.subscription_id,
+            "transition": transition,
+            "object_id": object_id,
+            "region": subscription.region,
+            "region_glob": subscription.region_glob,
+            "confidence": confidence,
+            "grade": grade,
+            "time": now,
+        }
+        notify(subscription, event)
+        self.notifications_sent += 1
+        return transition

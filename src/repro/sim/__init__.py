@@ -1,0 +1,69 @@
+"""Simulation substrate: buildings, people, physical sensors, clock.
+
+The paper evaluated MiddleWhere on a live deployment in the Siebel
+Center; this package generates the equivalent signal synthetically —
+a modelled building (including the paper's Table-1 floor), people
+walking the navigation graph, and sensor models emitting readings with
+the calibrated error characteristics — so every middleware code path
+runs exactly as it would against hardware.
+"""
+
+from repro.sim.building import (
+    PAPER_FLOOR_GLOB,
+    SIEBEL_PREFIX,
+    campus_world,
+    generate_office_floor,
+    paper_floor,
+    siebel_building,
+    siebel_floor,
+)
+from repro.sim.render import FloorRenderer, render_scenario
+from repro.sim.clock import SimClock
+from repro.sim.deployment import (
+    BluetoothStation,
+    Deployment,
+    DoorCardReader,
+    FingerprintStation,
+    RfStation,
+    UbisenseCell,
+)
+from repro.sim.movement import MovementModel, PersonState
+from repro.sim.scenario import Scenario
+from repro.sim.study import SensorStudy
+from repro.sim.tracefile import (
+    TraceRecorder,
+    copy_sensor_registrations,
+    read_trace,
+    replay_trace,
+)
+from repro.sim.trace import AccuracySummary, AccuracyTrace, TraceSample
+
+__all__ = [
+    "AccuracySummary",
+    "AccuracyTrace",
+    "BluetoothStation",
+    "Deployment",
+    "DoorCardReader",
+    "FingerprintStation",
+    "FloorRenderer",
+    "campus_world",
+    "render_scenario",
+    "MovementModel",
+    "PAPER_FLOOR_GLOB",
+    "PersonState",
+    "RfStation",
+    "SIEBEL_PREFIX",
+    "Scenario",
+    "SensorStudy",
+    "SimClock",
+    "TraceRecorder",
+    "TraceSample",
+    "UbisenseCell",
+    "copy_sensor_registrations",
+    "read_trace",
+    "replay_trace",
+    "siebel_building",
+    "generate_office_floor",
+    "paper_floor",
+    "siebel_floor",
+]

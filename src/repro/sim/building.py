@@ -1,0 +1,375 @@
+"""Building construction: the paper's floor and synthetic generators.
+
+Three builders:
+
+* :func:`paper_floor` — the floor of the paper's Table 1 / Figure 8
+  (CS Floor3 with rooms 3105, NetLab, HCILab and the LabCorridor),
+  plus the connecting corridor and doors needed for navigation.
+* :func:`siebel_floor` — a richer Siebel-Center-style floor with the
+  rooms named throughout the paper (3102, 3105, 3216, labs, a
+  conference room), per-room coordinate frames, static objects
+  (displays, workstations) and restricted doors.
+* :func:`generate_office_floor` — a parametric floor for scaling
+  benchmarks.
+
+All dimensions are feet, matching the paper's sensor calibrations.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.geometry import Point, Polygon, Rect, Segment
+from repro.model import (
+    Door,
+    Entity,
+    EntityType,
+    FrameTransform,
+    Glob,
+    PassageKind,
+    WorldModel,
+)
+
+
+def _rect_polygon(min_x: float, min_y: float,
+                  max_x: float, max_y: float) -> Polygon:
+    return Polygon.from_rect(Rect(min_x, min_y, max_x, max_y))
+
+
+def _add_room(world: WorldModel, glob: str, bounds: Tuple[float, float,
+                                                          float, float],
+              entity_type: EntityType = EntityType.ROOM,
+              frame: str = "", **properties: object) -> None:
+    world.add_region(Glob.parse(glob), entity_type,
+                     _rect_polygon(*bounds), frame, **properties)
+
+
+def _add_door(world: WorldModel, glob: str, region_a: str, region_b: str,
+              sill: Segment, kind: PassageKind = PassageKind.FREE,
+              frame: str = "") -> None:
+    world.add_door(Door(
+        glob=Glob.parse(glob),
+        region_a=Glob.parse(region_a),
+        region_b=Glob.parse(region_b),
+        sill=sill,
+        frame=frame,
+        kind=kind,
+    ))
+
+
+# ----------------------------------------------------------------------
+# The paper's Table-1 floor
+# ----------------------------------------------------------------------
+
+# Rows exactly as printed in Table 1 (HCILab's points are missing in
+# the paper; we place it continuing the row of lab rooms).  The floor
+# outline as printed — (0,0), (0,500), (500,100), (0,100) — is a typo;
+# the obviously intended 500 x 100 floor is used.
+PAPER_FLOOR_GLOB = "CS/Floor3"
+PAPER_FLOOR_BOUNDS = (0.0, 0.0, 500.0, 100.0)
+PAPER_ROOMS = {
+    "3105": (330.0, 0.0, 350.0, 30.0),
+    "NetLab": (360.0, 0.0, 380.0, 30.0),
+    "HCILab": (385.0, 0.0, 405.0, 30.0),
+}
+PAPER_LAB_CORRIDOR = (310.0, 0.0, 330.0, 30.0)
+# A main corridor above the room row so every room is reachable.
+PAPER_MAIN_CORRIDOR = (300.0, 30.0, 420.0, 50.0)
+
+
+def paper_floor() -> WorldModel:
+    """The CS Floor3 world of Table 1, navigable.
+
+    Every Table-1 region is present with the printed coordinates; a
+    main corridor and doors (restricted into 3105, matching the
+    paper's card-swipe rooms) complete the model.
+    """
+    world = WorldModel()
+    world.add_frame("CS", "", FrameTransform())
+    world.add_frame(PAPER_FLOOR_GLOB, "CS", FrameTransform())
+
+    _add_room(world, PAPER_FLOOR_GLOB, PAPER_FLOOR_BOUNDS,
+              EntityType.FLOOR)
+    for name, bounds in PAPER_ROOMS.items():
+        _add_room(world, f"{PAPER_FLOOR_GLOB}/{name}", bounds)
+    _add_room(world, f"{PAPER_FLOOR_GLOB}/LabCorridor", PAPER_LAB_CORRIDOR,
+              EntityType.CORRIDOR)
+    _add_room(world, f"{PAPER_FLOOR_GLOB}/Corridor3", PAPER_MAIN_CORRIDOR,
+              EntityType.CORRIDOR)
+
+    prefix = PAPER_FLOOR_GLOB
+    # Doors from each room/lab-corridor up into the main corridor.
+    _add_door(world, f"{prefix}/Door-LabCorridor",
+              f"{prefix}/LabCorridor", f"{prefix}/Corridor3",
+              Segment(Point(315, 30), Point(325, 30)))
+    _add_door(world, f"{prefix}/Door-3105",
+              f"{prefix}/3105", f"{prefix}/Corridor3",
+              Segment(Point(335, 30), Point(345, 30)),
+              kind=PassageKind.RESTRICTED)
+    _add_door(world, f"{prefix}/Door-NetLab",
+              f"{prefix}/NetLab", f"{prefix}/Corridor3",
+              Segment(Point(365, 30), Point(375, 30)))
+    _add_door(world, f"{prefix}/Door-HCILab",
+              f"{prefix}/HCILab", f"{prefix}/Corridor3",
+              Segment(Point(390, 30), Point(400, 30)))
+    # The side door between the lab corridor and room 3105 (shared wall).
+    _add_door(world, f"{prefix}/Door-Lab-3105",
+              f"{prefix}/LabCorridor", f"{prefix}/3105",
+              Segment(Point(330, 10), Point(330, 20)),
+              kind=PassageKind.RESTRICTED)
+    return world
+
+
+# ----------------------------------------------------------------------
+# The Siebel-style deployment floor
+# ----------------------------------------------------------------------
+
+SIEBEL_PREFIX = "SC/3"
+
+# (name, bounds, type, restricted-door?, properties)
+_SIEBEL_SOUTH_ROOMS: List[Tuple[str, Tuple[float, float, float, float],
+                                bool]] = [
+    ("3102", (20.0, 0.0, 80.0, 40.0), False),
+    ("3104", (80.0, 0.0, 140.0, 40.0), False),
+    ("3105", (140.0, 0.0, 200.0, 40.0), True),   # the card-swipe lab
+    ("NetLab", (200.0, 0.0, 260.0, 40.0), True),
+    ("HCILab", (260.0, 0.0, 320.0, 40.0), False),
+    ("3110", (320.0, 0.0, 380.0, 40.0), False),
+]
+_SIEBEL_NORTH_ROOMS: List[Tuple[str, Tuple[float, float, float, float],
+                                bool]] = [
+    ("3216", (20.0, 60.0, 80.0, 100.0), False),
+    ("3218", (80.0, 60.0, 140.0, 100.0), False),
+    ("ConferenceRoom", (140.0, 60.0, 240.0, 100.0), False),
+    ("3224", (240.0, 60.0, 300.0, 100.0), False),
+    ("3226", (300.0, 60.0, 380.0, 100.0), False),
+]
+_SIEBEL_CORRIDOR = (0.0, 40.0, 400.0, 60.0)
+
+
+def siebel_floor() -> WorldModel:
+    """A 400 x 100 ft floor modelled on the paper's deployment.
+
+    * per-room coordinate frames (each room's origin at its south-west
+      corner), exercising the hierarchical coordinate model;
+    * wall-mounted displays and workstations with usage regions, for
+      the Follow Me / messaging applications;
+    * restricted doors on 3105 and the NetLab (the card-swipe rooms).
+    """
+    world = WorldModel()
+    world.add_frame("SC", "", FrameTransform())
+    world.add_frame(SIEBEL_PREFIX, "SC", FrameTransform())
+
+    _add_room(world, SIEBEL_PREFIX, (0.0, 0.0, 400.0, 100.0),
+              EntityType.FLOOR)
+    _add_room(world, f"{SIEBEL_PREFIX}/Corridor", _SIEBEL_CORRIDOR,
+              EntityType.CORRIDOR)
+
+    for name, bounds, restricted in (_SIEBEL_SOUTH_ROOMS
+                                     + _SIEBEL_NORTH_ROOMS):
+        glob = f"{SIEBEL_PREFIX}/{name}"
+        _add_room(world, glob, bounds,
+                  power_outlets=True)
+        # Each room gets its own frame anchored at its SW corner.
+        world.add_frame(glob, SIEBEL_PREFIX,
+                        FrameTransform(dx=bounds[0], dy=bounds[1]))
+        mid_x = (bounds[0] + bounds[2]) / 2.0
+        door_y = 40.0 if bounds[1] == 0.0 else 60.0
+        _add_door(
+            world, f"{glob}-door", glob, f"{SIEBEL_PREFIX}/Corridor",
+            Segment(Point(mid_x - 2.0, door_y), Point(mid_x + 2.0, door_y)),
+            kind=PassageKind.RESTRICTED if restricted else PassageKind.FREE,
+        )
+
+    # Static objects: displays and workstations (canonical coordinates),
+    # each with a usage region for the Follow Me application.
+    _add_static(world, f"{SIEBEL_PREFIX}/3216/display1",
+                EntityType.DISPLAY, Rect(22.0, 96.0, 30.0, 98.0),
+                usage_region=Rect(20.0, 88.0, 34.0, 100.0))
+    _add_static(world, f"{SIEBEL_PREFIX}/ConferenceRoom/display1",
+                EntityType.DISPLAY, Rect(180.0, 96.0, 200.0, 98.0),
+                usage_region=Rect(170.0, 80.0, 210.0, 100.0))
+    _add_static(world, f"{SIEBEL_PREFIX}/3105/workstation1",
+                EntityType.WORKSTATION, Rect(144.0, 2.0, 148.0, 6.0),
+                usage_region=Rect(141.0, 0.0, 151.0, 9.0))
+    _add_static(world, f"{SIEBEL_PREFIX}/3102/workstation1",
+                EntityType.WORKSTATION, Rect(24.0, 2.0, 28.0, 6.0),
+                usage_region=Rect(21.0, 0.0, 31.0, 9.0))
+    _add_static(world, f"{SIEBEL_PREFIX}/HCILab/display1",
+                EntityType.DISPLAY, Rect(286.0, 2.0, 294.0, 4.0),
+                usage_region=Rect(280.0, 0.0, 300.0, 12.0))
+    return world
+
+
+def _add_static(world: WorldModel, glob: str, entity_type: EntityType,
+                bounds: Rect, usage_region: Optional[Rect] = None) -> None:
+    properties: dict = {}
+    if usage_region is not None:
+        properties["usage_region"] = usage_region
+    world.add_entity(Entity(
+        glob=Glob.parse(glob),
+        entity_type=entity_type,
+        geometry=Polygon.from_rect(bounds),
+        frame="",
+        properties=properties,
+    ))
+
+
+# ----------------------------------------------------------------------
+# A two-floor building (the hierarchical model at full depth)
+# ----------------------------------------------------------------------
+
+def siebel_building() -> WorldModel:
+    """The Siebel deployment floor plus a second floor and a stairwell.
+
+    "Indoor locations consist of buildings, floors and rooms"
+    (Section 3) — this world uses all three levels.  The canonical
+    plane hosts the floors side by side (floor 3 at y in [0, 100],
+    floor 2 at y in [150, 250]); each floor's frame carries its real
+    ``dz`` so heights survive in coordinates, and the GLOB hierarchy
+    (``SC/2/...`` vs ``SC/3/...``) carries the semantics.  A stairwell
+    room on each floor, joined by a door, makes the building one
+    navigable graph.
+    """
+    world = siebel_floor()  # provides SC and SC/3 with all its rooms
+
+    # Floor 2: offset in the canonical plane, 12 ft below in z.
+    world.add_frame("SC/2", "SC", FrameTransform(dy=150.0, dz=-12.0))
+    _add_room(world, "SC/2", (0.0, 0.0, 400.0, 100.0),
+              EntityType.FLOOR, frame="SC/2")
+    _add_room(world, "SC/2/Corridor", (0.0, 40.0, 400.0, 60.0),
+              EntityType.CORRIDOR, frame="SC/2")
+    floor2_rooms = [
+        ("2102", (20.0, 0.0, 100.0, 40.0)),
+        ("2105", (100.0, 0.0, 180.0, 40.0)),
+        ("2216", (20.0, 60.0, 100.0, 100.0)),
+        ("Cafe", (180.0, 60.0, 300.0, 100.0)),
+    ]
+    for name, bounds in floor2_rooms:
+        glob = f"SC/2/{name}"
+        _add_room(world, glob, bounds, frame="SC/2")
+        mid_x = (bounds[0] + bounds[2]) / 2.0
+        door_y = 40.0 if bounds[1] == 0.0 else 60.0
+        _add_door(world, f"{glob}-door", glob, "SC/2/Corridor",
+                  Segment(Point(mid_x - 2.0, door_y),
+                          Point(mid_x + 2.0, door_y)), frame="SC/2")
+
+    # Stairwells: one room per floor, joined by a door.  The sill is
+    # placed midway between the two stair rooms in the canonical plane
+    # so path distances include a realistic inter-floor cost.
+    _add_room(world, "SC/3/Stairs", (380.0, 40.0, 400.0, 60.0),
+              EntityType.ROOM, frame="SC/3")
+    _add_door(world, "SC/3/Stairs-door", "SC/3/Stairs", "SC/3/Corridor",
+              Segment(Point(380.0, 48.0), Point(380.0, 52.0)),
+              frame="SC/3")
+    _add_room(world, "SC/2/Stairs", (380.0, 40.0, 400.0, 60.0),
+              EntityType.ROOM, frame="SC/2")
+    _add_door(world, "SC/2/Stairs-door", "SC/2/Stairs", "SC/2/Corridor",
+              Segment(Point(380.0, 48.0), Point(380.0, 52.0)),
+              frame="SC/2")
+    # Canonical stair centers: (390, 50) and (390, 200); the flight's
+    # sill sits midway.
+    _add_door(world, "SC/Stair-flight", "SC/3/Stairs", "SC/2/Stairs",
+              Segment(Point(388.0, 125.0), Point(392.0, 125.0)),
+              frame="")
+    return world
+
+
+# ----------------------------------------------------------------------
+# A campus: outdoors + a building (the paper's outdoor extension)
+# ----------------------------------------------------------------------
+
+def campus_world() -> WorldModel:
+    """A small campus: an outdoor quad containing one building.
+
+    "Outdoor environments can be hierarchically divided ... In this
+    paper, we focus on indoor environments, though the middleware can
+    be extended to outdoor environments as well" (Section 3).  This
+    world exercises that extension: GPS covers the quad, indoor
+    technologies cover the building, and a free entrance joins them.
+
+    Layout (feet, canonical frame):
+      * the quad: 600 x 400 outdoor region;
+      * building SC at (200, 150)-(440, 250) with a ground floor of
+        two rooms and a lobby;
+      * the entrance door on the building's south wall.
+    """
+    world = WorldModel()
+    world.add_frame("Campus", "", FrameTransform())
+    world.add_frame("SC", "Campus", FrameTransform(dx=200.0, dy=150.0))
+    world.add_frame("SC/1", "SC", FrameTransform())
+
+    _add_room(world, "Campus", (0.0, 0.0, 600.0, 400.0),
+              EntityType.REGION)
+    # The quad is a hair inside the campus bounds so point-to-symbolic
+    # resolution prefers it over the all-enclosing campus region.
+    _add_room(world, "Campus/Quad", (1.0, 1.0, 599.0, 399.0),
+              EntityType.REGION, outdoors=True)
+    # Building footprint and floor, expressed in the building frame.
+    _add_room(world, "SC/1", (0.0, 0.0, 240.0, 100.0),
+              EntityType.FLOOR, frame="SC")
+    _add_room(world, "SC/1/Lobby", (90.0, 0.0, 150.0, 100.0),
+              EntityType.ROOM, frame="SC")
+    _add_room(world, "SC/1/WestWing", (0.0, 0.0, 90.0, 100.0),
+              EntityType.ROOM, frame="SC")
+    _add_room(world, "SC/1/EastWing", (150.0, 0.0, 240.0, 100.0),
+              EntityType.ROOM, frame="SC")
+
+    # Entrance: quad <-> lobby, on the building's south wall.
+    _add_door(world, "SC/1/Entrance", "Campus/Quad", "SC/1/Lobby",
+              Segment(Point(115.0, 0.0), Point(125.0, 0.0)),
+              frame="SC")
+    _add_door(world, "SC/1/Door-West", "SC/1/Lobby", "SC/1/WestWing",
+              Segment(Point(90.0, 45.0), Point(90.0, 55.0)), frame="SC")
+    _add_door(world, "SC/1/Door-East", "SC/1/Lobby", "SC/1/EastWing",
+              Segment(Point(150.0, 45.0), Point(150.0, 55.0)),
+              frame="SC")
+    return world
+
+
+# ----------------------------------------------------------------------
+# Parametric floors for scaling benches
+# ----------------------------------------------------------------------
+
+def generate_office_floor(rooms_per_side: int, room_width: float = 20.0,
+                          room_depth: float = 30.0,
+                          corridor_width: float = 10.0,
+                          prefix: str = "GEN/1") -> WorldModel:
+    """A double-loaded corridor floor with ``2 * rooms_per_side`` rooms.
+
+    Rooms line both sides of a central corridor, every room has a free
+    door onto it.  Used by the scaling benchmarks, where floor size
+    and room count must vary parametrically.
+    """
+    if rooms_per_side < 1:
+        raise SimulationError("need at least one room per side")
+    world = WorldModel()
+    parts = prefix.split("/")
+    world.add_frame(parts[0], "", FrameTransform())
+    for i in range(1, len(parts)):
+        world.add_frame("/".join(parts[: i + 1]), "/".join(parts[:i]),
+                        FrameTransform())
+
+    total_width = rooms_per_side * room_width
+    total_depth = 2.0 * room_depth + corridor_width
+    _add_room(world, prefix, (0.0, 0.0, total_width, total_depth),
+              EntityType.FLOOR)
+    corridor_glob = f"{prefix}/Corridor"
+    _add_room(world, corridor_glob,
+              (0.0, room_depth, total_width, room_depth + corridor_width),
+              EntityType.CORRIDOR)
+
+    for side, y0, door_y in (("S", 0.0, room_depth),
+                             ("N", room_depth + corridor_width,
+                              room_depth + corridor_width)):
+        for i in range(rooms_per_side):
+            x0 = i * room_width
+            glob = f"{prefix}/{side}{i + 1:03d}"
+            _add_room(world, glob, (x0, y0, x0 + room_width,
+                                    y0 + room_depth))
+            mid = x0 + room_width / 2.0
+            _add_door(world, f"{glob}-door", glob, corridor_glob,
+                      Segment(Point(mid - 1.5, door_y),
+                              Point(mid + 1.5, door_y)))
+    return world

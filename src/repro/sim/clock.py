@@ -1,0 +1,40 @@
+"""A virtual clock for deterministic simulation.
+
+Sensor freshness, temporal degradation and trigger timing all consume
+time through the Location Service's injected clock; driving them from
+a :class:`SimClock` makes whole scenarios reproducible and lets tests
+fast-forward through 15-minute biometric TTLs instantly.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+
+class SimClock:
+    """A manually advanced clock (seconds)."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        """The current virtual time."""
+        return self._now
+
+    def __call__(self) -> float:
+        """Clock protocol for :class:`~repro.service.LocationService`."""
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward; returns the new time."""
+        if seconds < 0.0:
+            raise SimulationError(f"cannot advance by {seconds} s")
+        self._now += seconds
+        return self._now
+
+    def set_time(self, timestamp: float) -> None:
+        """Jump to an absolute time (forward only)."""
+        if timestamp < self._now:
+            raise SimulationError(
+                f"clock cannot go backwards ({timestamp} < {self._now})")
+        self._now = float(timestamp)

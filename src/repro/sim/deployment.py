@@ -1,0 +1,274 @@
+"""Sensor deployment and the physical detection model.
+
+Adapters (Section 6) wrap technologies; this module simulates the
+technologies themselves.  Each deployed sensor watches the ground
+truth (people's true positions) and fires its adapter with exactly the
+error characteristics the paper calibrates:
+
+* detection succeeds with probability ``y`` when the carried device is
+  in range;
+* coordinate sensors add Gaussian noise within their resolution;
+* badge-based sensors see nothing when the badge was left behind;
+* event sensors (card readers, biometrics) fire on room transitions.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Protocol
+
+from repro.geometry import Point, Rect
+from repro.model import WorldModel
+from repro.sensors import (
+    BiometricAdapter,
+    BluetoothAdapter,
+    CardReaderAdapter,
+    RfBadgeAdapter,
+    UbisenseAdapter,
+)
+from repro.sim.movement import PersonState
+from repro.spatialdb import SpatialDatabase
+
+
+class DeployedSensor(Protocol):
+    """One simulated physical sensor."""
+
+    def observe(self, person: PersonState, now: float,
+                entered: Optional[str]) -> None:
+        """Look at one person's ground truth; maybe emit a reading."""
+        ...
+
+
+@dataclass
+class UbisenseCell:
+    """UWB coverage over an area: periodic precise fixes.
+
+    ``coverage`` is a canonical-frame rectangle (the cell); people
+    carrying their badge are fixed with probability ``y`` per period.
+    """
+
+    adapter: UbisenseAdapter
+    coverage: Rect
+    rng: random.Random
+    period: float = 1.0
+    _last_fix: dict = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        self._last_fix = {}
+
+    def observe(self, person: PersonState, now: float,
+                entered: Optional[str]) -> None:
+        if not person.carrying_badge:
+            return
+        if not self.coverage.contains_point(person.position):
+            return
+        last = self._last_fix.get(person.person_id, -float("inf"))
+        if now - last < self.period:
+            return
+        if self.rng.random() >= self.adapter.spec.detection_probability:
+            return  # missed this period
+        noise = self.adapter.spec.resolution or 0.5
+        fix = Point(
+            person.position.x + self.rng.gauss(0.0, noise / 2.0),
+            person.position.y + self.rng.gauss(0.0, noise / 2.0),
+            person.position.z,
+        )
+        self._last_fix[person.person_id] = now
+        self.adapter.tag_sighting(person.person_id, fix, now)
+
+
+@dataclass
+class RfStation:
+    """An RF badge base station: hears badges within range.
+
+    ``misident_rate`` is the per-scan probability of a *false*
+    sighting of a person who is out of range (reading another badge's
+    garbled ID as theirs) — the physical source of the paper's ``z``.
+    """
+
+    adapter: RfBadgeAdapter
+    rng: random.Random
+    period: float = 5.0
+    misident_rate: float = 0.0
+    _last_heard: dict = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        self._last_heard = {}
+
+    def observe(self, person: PersonState, now: float,
+                entered: Optional[str]) -> None:
+        # One scan attempt per person per period: the station polls on
+        # a fixed schedule, and both hits and misidentifications are
+        # per-scan Bernoulli trials (what calibration studies measure).
+        last = self._last_heard.get(person.person_id, -float("inf"))
+        if now - last < self.period:
+            return
+        self._last_heard[person.person_id] = now
+        station = self.adapter._canonical_point(
+            self.adapter.station_position)
+        in_range = (station.distance_to(person.position)
+                    <= self.adapter.range_ft)
+        if in_range and person.carrying_badge:
+            if self.rng.random() >= self.adapter.spec.detection_probability:
+                return
+        elif self.rng.random() >= self.misident_rate:
+            return
+        self.adapter.badge_sighting(person.person_id, now)
+
+
+@dataclass
+class BluetoothStation:
+    """A Bluetooth inquiry station: slow, wide, unreliable."""
+
+    adapter: BluetoothAdapter
+    rng: random.Random
+    period: float = 15.0
+    _last_scan: float = -float("inf")
+
+    def observe(self, person: PersonState, now: float,
+                entered: Optional[str]) -> None:
+        # Scans are batched: the station polls everyone at once, so the
+        # scan clock is global rather than per person.
+        if now - self._last_scan < self.period:
+            return
+        station = self.adapter._canonical_point(
+            self.adapter.station_position)
+        if station.distance_to(person.position) > self.adapter.range_ft:
+            return
+        if self.rng.random() >= self.adapter.spec.detection_probability:
+            return
+        self.adapter.inquiry_result([person.person_id], now)
+
+    def finish_scan(self, now: float) -> None:
+        """Advance the scan clock once per simulation tick."""
+        if now - self._last_scan >= self.period:
+            self._last_scan = now
+
+
+@dataclass
+class DoorCardReader:
+    """A card reader on a restricted room: fires on entry."""
+
+    adapter: CardReaderAdapter
+    room_glob: str
+    rng: random.Random
+
+    def observe(self, person: PersonState, now: float,
+                entered: Optional[str]) -> None:
+        if entered != self.room_glob:
+            return
+        if self.rng.random() >= self.adapter.spec.detection_probability:
+            return  # swipe misread; person buzzes in with someone else
+        self.adapter.swipe(person.person_id, now)
+
+
+@dataclass
+class FingerprintStation:
+    """A fingerprint reader inside a room: used shortly after entry."""
+
+    adapter: BiometricAdapter
+    room_glob: str
+    rng: random.Random
+    use_probability: float = 0.8
+    logout_probability: float = 0.5
+
+    def observe(self, person: PersonState, now: float,
+                entered: Optional[str]) -> None:
+        if entered == self.room_glob:
+            if self.rng.random() < self.use_probability:
+                self.adapter.authentication(person.person_id, now)
+        elif (person.previous_region == self.room_glob
+              and person.region != self.room_glob):
+            # Leaving: sometimes people remember to log out.
+            if self.rng.random() < self.logout_probability:
+                self.adapter.logout(person.person_id, now)
+
+
+class Deployment:
+    """A set of deployed sensors attached to one database."""
+
+    def __init__(self, db: SpatialDatabase, seed: int = 11) -> None:
+        self.db = db
+        self.rng = random.Random(seed)
+        self.sensors: List[DeployedSensor] = []
+
+    @property
+    def world(self) -> WorldModel:
+        return self.db.world
+
+    def _fork_rng(self) -> random.Random:
+        return random.Random(self.rng.getrandbits(64))
+
+    # ------------------------------------------------------------------
+    # Installers
+    # ------------------------------------------------------------------
+
+    def install_ubisense(self, adapter_id: str, coverage_glob: str,
+                         carry_probability: float = 0.9,
+                         period: float = 1.0) -> UbisenseCell:
+        adapter = UbisenseAdapter(adapter_id, coverage_glob,
+                                  carry_probability, frame="")
+        adapter.attach(self.db)
+        cell = UbisenseCell(adapter,
+                            self.world.canonical_mbr(coverage_glob),
+                            self._fork_rng(), period)
+        self.sensors.append(cell)
+        return cell
+
+    def install_rf_station(self, adapter_id: str, room_glob: str,
+                           carry_probability: float = 0.85,
+                           period: float = 5.0,
+                           misident_rate: float = 0.0) -> RfStation:
+        center = self.world.canonical_mbr(room_glob).center
+        adapter = RfBadgeAdapter(adapter_id, room_glob, center,
+                                 carry_probability, frame="")
+        adapter.attach(self.db)
+        station = RfStation(adapter, self._fork_rng(), period,
+                            misident_rate)
+        self.sensors.append(station)
+        return station
+
+    def install_bluetooth(self, adapter_id: str, room_glob: str,
+                          period: float = 15.0) -> BluetoothStation:
+        center = self.world.canonical_mbr(room_glob).center
+        adapter = BluetoothAdapter(adapter_id, room_glob, center, frame="")
+        adapter.attach(self.db)
+        station = BluetoothStation(adapter, self._fork_rng(), period)
+        self.sensors.append(station)
+        return station
+
+    def install_card_reader(self, adapter_id: str,
+                            room_glob: str) -> DoorCardReader:
+        adapter = CardReaderAdapter(adapter_id, room_glob, frame="")
+        adapter.attach(self.db)
+        reader = DoorCardReader(adapter, room_glob, self._fork_rng())
+        self.sensors.append(reader)
+        return reader
+
+    def install_fingerprint(self, adapter_id: str, room_glob: str,
+                            **kwargs: float) -> FingerprintStation:
+        position = self.world.canonical_mbr(room_glob).center
+        adapter = BiometricAdapter(adapter_id, room_glob, position,
+                                   frame="")
+        adapter.attach(self.db)
+        station = FingerprintStation(adapter, room_glob, self._fork_rng(),
+                                     **kwargs)
+        self.sensors.append(station)
+        return station
+
+    # ------------------------------------------------------------------
+    # Sensing
+    # ------------------------------------------------------------------
+
+    def sense(self, people: List[PersonState], now: float) -> None:
+        """One sensing pass over everyone's ground truth."""
+        for person in people:
+            entered = (person.region
+                       if person.previous_region != person.region else None)
+            for sensor in self.sensors:
+                sensor.observe(person, now, entered)
+        for sensor in self.sensors:
+            finish = getattr(sensor, "finish_scan", None)
+            if finish is not None:
+                finish(now)

@@ -1,0 +1,171 @@
+"""Person movement simulation.
+
+The paper tracked real people in the Siebel Center; we generate the
+same signal synthetically: each simulated person walks between rooms
+along the navigation graph (room center -> door sill -> next room
+center) at walking speed, dwells, then picks a new destination.  The
+trajectory is the *ground truth* that sensor models observe noisily
+and that accuracy benchmarks score estimates against.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.geometry import Point
+from repro.model import WorldModel
+from repro.reasoning import NavigationGraph
+
+WALKING_SPEED_FT_S = 4.0
+
+
+@dataclass
+class PersonState:
+    """Ground truth for one simulated person."""
+
+    person_id: str
+    position: Point
+    region: str                    # GLOB of the current region
+    carrying_badge: bool = True
+    speed: float = WALKING_SPEED_FT_S
+    # Remaining waypoints of the current trip: (target point, region
+    # the person is in after reaching it).
+    waypoints: List[Tuple[Point, str]] = field(default_factory=list)
+    dwell_until: float = 0.0
+    previous_region: Optional[str] = None
+
+    @property
+    def moving(self) -> bool:
+        return bool(self.waypoints)
+
+
+class MovementModel:
+    """Random-waypoint movement over a world's navigation graph.
+
+    Args:
+        world: the building.
+        seed: RNG seed — identical seeds give identical trajectories.
+        dwell_range: (min, max) seconds spent in a room on arrival.
+        badge_carry_probability: per-person chance of carrying their
+            badge today (the paper's ``x``, drawn once per person).
+    """
+
+    def __init__(self, world: WorldModel, seed: int = 7,
+                 dwell_range: Tuple[float, float] = (20.0, 90.0),
+                 badge_carry_probability: float = 0.9,
+                 allow_restricted: bool = True) -> None:
+        self.world = world
+        self.navigation = NavigationGraph(world)
+        self.rng = random.Random(seed)
+        self.dwell_range = dwell_range
+        self.badge_carry_probability = badge_carry_probability
+        self.allow_restricted = allow_restricted
+        self.people: List[PersonState] = []
+        self._rooms = self._navigable_rooms()
+        if not self._rooms:
+            raise SimulationError("world has no navigable rooms")
+
+    def _navigable_rooms(self) -> List[str]:
+        rooms = [str(e.glob) for e in self.world.entities()
+                 if e.entity_type.is_enclosing
+                 and e.entity_type.value in ("Room", "Corridor")]
+        return sorted(r for r in rooms if self.navigation.graph.has_node(r))
+
+    # ------------------------------------------------------------------
+    # Population
+    # ------------------------------------------------------------------
+
+    def add_person(self, person_id: str,
+                   start_region: Optional[str] = None) -> PersonState:
+        """Place a person at the center of a (random) starting room."""
+        region = start_region if start_region is not None \
+            else self.rng.choice(self._rooms)
+        if region not in self._rooms:
+            raise SimulationError(f"unknown start region {region!r}")
+        position = self.world.canonical_mbr(region).center
+        person = PersonState(
+            person_id=person_id,
+            position=position,
+            region=region,
+            carrying_badge=self.rng.random()
+            < self.badge_carry_probability,
+        )
+        self.people.append(person)
+        return person
+
+    def person(self, person_id: str) -> PersonState:
+        for person in self.people:
+            if person.person_id == person_id:
+                return person
+        raise SimulationError(f"unknown person {person_id!r}")
+
+    # ------------------------------------------------------------------
+    # Stepping
+    # ------------------------------------------------------------------
+
+    def _plan_trip(self, person: PersonState, now: float) -> None:
+        choices = [r for r in self._rooms if r != person.region]
+        target = self.rng.choice(choices)
+        route = self.navigation.route(person.region, target,
+                                      allow_restricted=self.allow_restricted)
+        if route is None:
+            return  # target unreachable; try again next tick
+        waypoints: List[Tuple[Point, str]] = []
+        for previous, current in zip(route.regions, route.regions[1:]):
+            doors = self.world.doors_between(previous, current)
+            if doors:
+                sill = doors[0]
+                mid = self.world.frames.convert_point(
+                    sill.sill.midpoint, sill.frame, "")
+                # Reaching the sill counts as entering the next region.
+                waypoints.append((mid, current))
+            waypoints.append(
+                (self.world.canonical_mbr(current).center, current))
+        person.waypoints = waypoints
+
+    def step(self, now: float, dt: float) -> None:
+        """Advance every person by ``dt`` seconds of walking/dwelling."""
+        if dt <= 0.0:
+            raise SimulationError(f"dt must be positive, got {dt}")
+        for person in self.people:
+            self._step_person(person, now, dt)
+
+    def _step_person(self, person: PersonState, now: float,
+                     dt: float) -> None:
+        person.previous_region = person.region
+        if not person.waypoints:
+            if now < person.dwell_until:
+                return
+            self._plan_trip(person, now)
+            if not person.waypoints:
+                return
+        budget = person.speed * dt
+        while budget > 0.0 and person.waypoints:
+            target, region_after = person.waypoints[0]
+            gap = person.position.distance_to(target)
+            if gap <= budget:
+                person.position = target
+                person.region = region_after
+                person.waypoints.pop(0)
+                budget -= gap
+            else:
+                fraction = budget / gap
+                person.position = Point(
+                    person.position.x
+                    + (target.x - person.position.x) * fraction,
+                    person.position.y
+                    + (target.y - person.position.y) * fraction,
+                    person.position.z,
+                )
+                budget = 0.0
+        if not person.waypoints:
+            person.dwell_until = now + self.rng.uniform(*self.dwell_range)
+
+    def entered_region(self, person: PersonState) -> Optional[str]:
+        """The region the person entered on the last step, if any."""
+        if person.previous_region != person.region:
+            return person.region
+        return None

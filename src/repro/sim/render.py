@@ -1,0 +1,140 @@
+"""ASCII rendering of floors, people and estimates.
+
+A deployment tool, not a toy: examples and the CLI use it to show
+where ground truth and fused estimates actually are, and tests assert
+against its deterministic output.  Rooms are drawn from their
+canonical MBRs, doors as ``+`` on the sill, people as digits/letters,
+estimate rectangles as ``*`` corners.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.estimate import LocationEstimate
+from repro.errors import SimulationError
+from repro.geometry import Point, Rect
+from repro.model import WorldModel
+from repro.sim.movement import PersonState
+
+
+class FloorRenderer:
+    """Renders one world's canonical plane into character cells.
+
+    Args:
+        world: the world model.
+        width: output width in characters; height follows from the
+            floor's aspect ratio (with a 0.5 vertical squash because
+            terminal cells are tall).
+    """
+
+    def __init__(self, world: WorldModel, width: int = 96) -> None:
+        if width < 20:
+            raise SimulationError("render width must be >= 20")
+        self.world = world
+        self.bounds = world.universe()
+        self.width = width
+        scale = (width - 1) / self.bounds.width
+        self.height = max(8, int(self.bounds.height * scale * 0.5) + 1)
+
+    # ------------------------------------------------------------------
+
+    def _to_cell(self, p: Point) -> Tuple[int, int]:
+        fx = (p.x - self.bounds.min_x) / self.bounds.width
+        fy = (p.y - self.bounds.min_y) / self.bounds.height
+        col = min(self.width - 1, max(0, int(fx * (self.width - 1))))
+        # Row 0 is the top of the picture = max y.
+        row = min(self.height - 1,
+                  max(0, int((1.0 - fy) * (self.height - 1))))
+        return row, col
+
+    def _draw_rect(self, grid: List[List[str]], rect: Rect,
+                   char: str = "#") -> None:
+        top_left = self._to_cell(Point(rect.min_x, rect.max_y))
+        bottom_right = self._to_cell(Point(rect.max_x, rect.min_y))
+        r0, c0 = top_left
+        r1, c1 = bottom_right
+        for col in range(c0, c1 + 1):
+            grid[r0][col] = char
+            grid[r1][col] = char
+        for row in range(r0, r1 + 1):
+            grid[row][c0] = char
+            grid[row][c1] = char
+
+    def _label(self, grid: List[List[str]], rect: Rect,
+               text: str) -> None:
+        r0, c0 = self._to_cell(Point(rect.min_x, rect.max_y))
+        row = r0 + 1
+        col = c0 + 1
+        if row >= self.height - 1:
+            return
+        for offset, ch in enumerate(text[: max(0, self.width - col - 2)]):
+            if grid[row][col + offset] == " ":
+                grid[row][col + offset] = ch
+
+    # ------------------------------------------------------------------
+
+    def render(self, people: Sequence[PersonState] = (),
+               estimates: Sequence[LocationEstimate] = (),
+               label_rooms: bool = True) -> str:
+        """The floor picture as a multi-line string."""
+        grid = [[" "] * self.width for _ in range(self.height)]
+
+        for entity in self.world.entities():
+            if not entity.entity_type.is_enclosing:
+                continue
+            rect = self.world.canonical_mbr(entity.glob)
+            self._draw_rect(grid, rect)
+            if label_rooms and entity.glob.leaf:
+                self._label(grid, rect, entity.glob.leaf)
+
+        for door in self.world.doors():
+            mid = self.world.frames.convert_point(
+                door.sill.midpoint, door.frame, "")
+            row, col = self._to_cell(mid)
+            grid[row][col] = "+"
+
+        legend: Dict[str, str] = {}
+        for estimate in estimates:
+            row0, col0 = self._to_cell(
+                Point(estimate.rect.min_x, estimate.rect.max_y))
+            row1, col1 = self._to_cell(
+                Point(estimate.rect.max_x, estimate.rect.min_y))
+            for row, col in ((row0, col0), (row0, col1),
+                             (row1, col0), (row1, col1)):
+                grid[row][col] = "*"
+
+        for index, person in enumerate(people):
+            marker = str(index + 1) if index < 9 else chr(
+                ord("a") + index - 9)
+            row, col = self._to_cell(person.position)
+            grid[row][col] = marker
+            legend[marker] = person.person_id
+
+        lines = ["".join(row).rstrip() for row in grid]
+        if legend:
+            lines.append("")
+            lines.append("people: " + "  ".join(
+                f"{marker}={name}" for marker, name in legend.items()))
+        if estimates:
+            lines.append("estimates (*): " + "  ".join(
+                f"{e.object_id}@{e.symbolic or 'coords'}"
+                for e in estimates))
+        return "\n".join(lines)
+
+
+def render_scenario(scenario, width: int = 96,
+                    with_estimates: bool = True) -> str:
+    """Convenience: render a scenario's current state."""
+    from repro.errors import UnknownObjectError
+
+    estimates: List[LocationEstimate] = []
+    if with_estimates:
+        for person in scenario.people:
+            try:
+                estimates.append(scenario.service.locate(
+                    person.person_id))
+            except UnknownObjectError:
+                continue
+    renderer = FloorRenderer(scenario.world, width)
+    return renderer.render(scenario.people, estimates)

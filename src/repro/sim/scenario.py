@@ -1,0 +1,146 @@
+"""End-to-end scenario wiring: world + database + service + simulation.
+
+A :class:`Scenario` assembles the whole MiddleWhere stack over a
+simulated building and population, stepping ground truth, sensing and
+(optionally) accuracy tracing under one virtual clock.  Examples,
+integration tests and benchmarks all start from here.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core import FusionEngine
+from repro.errors import SimulationError, UnknownObjectError
+from repro.model import WorldModel
+from repro.orb import NamingService, Orb
+from repro.service import (
+    LocationService,
+    PrivacyPolicy,
+    publish_service,
+)
+from repro.sim.building import siebel_floor
+from repro.sim.clock import SimClock
+from repro.sim.deployment import Deployment
+from repro.sim.movement import MovementModel, PersonState
+from repro.sim.trace import AccuracyTrace
+from repro.spatialdb import SpatialDatabase
+
+
+class Scenario:
+    """A complete simulated deployment.
+
+    Args:
+        world: the building (defaults to :func:`siebel_floor`).
+        seed: drives movement and every sensor's RNG.
+        engine: fusion engine override.
+        orb: attach the service to a broker (examples that exercise the
+            remote path pass one; benches open TCP on it).
+    """
+
+    def __init__(self, world: Optional[WorldModel] = None, seed: int = 7,
+                 engine: Optional[FusionEngine] = None,
+                 orb: Optional[Orb] = None,
+                 privacy: Optional[PrivacyPolicy] = None) -> None:
+        self.world = world if world is not None else siebel_floor()
+        self.clock = SimClock()
+        self.db = SpatialDatabase(self.world)
+        self.movement = MovementModel(self.world, seed=seed)
+        self.deployment = Deployment(self.db, seed=seed + 1)
+        self.orb = orb
+        self.service = LocationService(
+            self.db, engine=engine, orb=orb, clock=self.clock,
+            privacy=privacy)
+        self.trace = AccuracyTrace(self.world)
+        self._published_reference: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # Assembly helpers
+    # ------------------------------------------------------------------
+
+    def standard_deployment(self) -> "Scenario":
+        """The paper's deployment shape: four technologies, four rooms.
+
+        "We integrated four different location technologies in the
+        system ... the location sensors cover four different rooms,
+        that includes a lab, a conference room, and two offices"
+        (Section 7).
+        """
+        prefix = "SC/3"
+        covered = [f"{prefix}/3105", f"{prefix}/ConferenceRoom",
+                   f"{prefix}/3102", f"{prefix}/3216"]
+        for room in covered:
+            if not self.world.has(room):
+                raise SimulationError(
+                    f"standard deployment expects room {room}")
+        self.deployment.install_ubisense("Ubi-18", f"{prefix}/3105")
+        self.deployment.install_ubisense("Ubi-19",
+                                         f"{prefix}/ConferenceRoom")
+        self.deployment.install_rf_station("RF-12", f"{prefix}/3102")
+        self.deployment.install_rf_station("RF-13", f"{prefix}/3216")
+        self.deployment.install_rf_station("RF-14", f"{prefix}/Corridor")
+        self.deployment.install_card_reader("Card-3105", f"{prefix}/3105")
+        self.deployment.install_card_reader("Card-NetLab",
+                                            f"{prefix}/NetLab")
+        self.deployment.install_fingerprint("Finger-3105",
+                                            f"{prefix}/3105")
+        return self
+
+    def add_people(self, count: int, prefix: str = "person") -> List[str]:
+        """Add ``count`` randomly placed people; returns their ids."""
+        ids = []
+        for i in range(count):
+            person_id = f"{prefix}-{i + 1}"
+            self.movement.add_person(person_id)
+            ids.append(person_id)
+        return ids
+
+    def publish(self, naming: Optional[NamingService] = None,
+                listen_tcp: bool = False) -> str:
+        """Expose the service on the scenario's ORB; returns the ref."""
+        if self.orb is None:
+            self.orb = Orb("scenario")
+            self.service.orb = self.orb
+        if listen_tcp:
+            self.orb.listen()
+        reference, _ = publish_service(self.service, self.orb, naming)
+        self._published_reference = reference
+        return reference
+
+    # ------------------------------------------------------------------
+    # Stepping
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self.clock.now()
+
+    @property
+    def people(self) -> List[PersonState]:
+        return self.movement.people
+
+    def step(self, dt: float = 1.0) -> float:
+        """One tick: advance clock, move people, run sensors."""
+        now = self.clock.advance(dt)
+        self.movement.step(now, dt)
+        self.deployment.sense(self.movement.people, now)
+        return now
+
+    def run(self, seconds: float, dt: float = 1.0,
+            trace_accuracy: bool = False) -> None:
+        """Run the scenario for a stretch of virtual time."""
+        elapsed = 0.0
+        while elapsed < seconds:
+            self.step(dt)
+            if trace_accuracy:
+                self._record_trace()
+            elapsed += dt
+
+    def _record_trace(self) -> None:
+        for person in self.movement.people:
+            try:
+                estimate = self.service.locate(person.person_id)
+            except UnknownObjectError:
+                self.trace.record_miss(person, self.now)
+                continue
+            self.trace.record(person, estimate, self.now)

@@ -1,0 +1,163 @@
+"""Simulated user studies — calibrating sensor parameters from traces.
+
+The paper leaves parameter calibration as future work; the simulator
+can run the study outright because it holds ground truth.  A
+:class:`SensorStudy` watches one deployed RF station while a scenario
+runs and feeds the :mod:`repro.core.calibration` estimators:
+
+* every ``window`` seconds, each person contributes one trial —
+  a *presence* trial when the ground truth puts them in range (was the
+  badge heard? estimates ``y * x``), a ``y`` trial when additionally
+  the badge is known carried, and an *absence* trial otherwise (was a
+  reading fabricated? estimates ``z``);
+* every reading contributes temporal-degradation samples: at a range
+  of ages we check whether the claimed region still contains the
+  person.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.calibration import (
+    CalibrationReport,
+    CarryProbabilityEstimator,
+    DetectionProbabilityEstimator,
+    MisidentificationEstimator,
+    TdfFitter,
+)
+from repro.errors import SimulationError
+from repro.geometry import Point, Rect
+from repro.sim.deployment import RfStation
+from repro.sim.scenario import Scenario
+
+
+class SensorStudy:
+    """Observation study of one RF station inside a scenario.
+
+    Drive the scenario through :meth:`run` (instead of
+    ``scenario.run``) so the study sees every window boundary.
+    """
+
+    def __init__(self, scenario: Scenario, station: RfStation,
+                 window: Optional[float] = None,
+                 tdf_probe_ages: Tuple[float, ...] = (2.0, 10.0, 20.0,
+                                                      35.0, 50.0)) -> None:
+        if window is None:
+            # One scan attempt per window makes the heard-in-window
+            # rate equal the per-scan probability being estimated.
+            window = station.period
+        if window <= 0.0:
+            raise SimulationError("study window must be positive")
+        self.scenario = scenario
+        self.station = station
+        self.window = window
+        self.tdf_probe_ages = tdf_probe_ages
+        spec = station.adapter.spec
+        self.carry = CarryProbabilityEstimator(spec.detection_probability)
+        self.detection = DetectionProbabilityEstimator()
+        self.misident = MisidentificationEstimator()
+        self.tdf = TdfFitter(bucket_width=10.0)
+        self._window_start = scenario.now
+        self._last_reading_seen = 0
+        # Pending tdf probes: (probe time, person_id, rect).
+        self._probes: List[Tuple[float, str, Rect, float]] = []
+        # In-range status at the previous window boundary, per person:
+        # trials only count when the status is stable across the whole
+        # window, so boundary-crossers do not contaminate estimates.
+        self._was_in_range: Dict[str, bool] = {}
+
+    # ------------------------------------------------------------------
+
+    def _station_center(self) -> Point:
+        return self.station.adapter._canonical_point(
+            self.station.adapter.station_position)
+
+    def _in_range(self, position: Point) -> bool:
+        return (self._station_center().distance_to(position)
+                <= self.station.adapter.range_ft)
+
+    def _readings_in_window(self, t0: float, t1: float) -> Dict[str, int]:
+        rows = self.scenario.db.sensor_readings.select(
+            lambda row: row["sensor_id"] == self.station.adapter.adapter_id
+            and t0 < row["detection_time"] <= t1)
+        counts: Dict[str, int] = {}
+        for row in rows:
+            counts[row["mobile_object_id"]] = \
+                counts.get(row["mobile_object_id"], 0) + 1
+        return counts
+
+    def _close_window(self, now: float) -> None:
+        detected = self._readings_in_window(self._window_start, now)
+        for person in self.scenario.people:
+            heard = person.person_id in detected
+            in_range_now = self._in_range(person.position)
+            stable = (self._was_in_range.get(person.person_id)
+                      == in_range_now)
+            self._was_in_range[person.person_id] = in_range_now
+            if not stable:
+                continue  # crossed the coverage boundary mid-window
+            if in_range_now:
+                self.carry.record_presence_trial(heard)
+                if person.carrying_badge:
+                    self.detection.record_device_present_trial(heard)
+            else:
+                self.misident.record_absence_trial(heard)
+        self._window_start = now
+
+    def _schedule_tdf_probes(self) -> None:
+        rows = self.scenario.db.sensor_readings.select(
+            lambda row: row["sensor_id"]
+            == self.station.adapter.adapter_id)
+        for row in rows[self._last_reading_seen:]:
+            for age in self.tdf_probe_ages:
+                self._probes.append((
+                    row["detection_time"] + age,
+                    row["mobile_object_id"],
+                    row["rect"],
+                    age,
+                ))
+        self._last_reading_seen = len(rows)
+
+    def _fire_due_probes(self, now: float) -> None:
+        remaining: List[Tuple[float, str, Rect, float]] = []
+        for due, person_id, rect, age in self._probes:
+            if due > now:
+                remaining.append((due, person_id, rect, age))
+                continue
+            try:
+                person = self.scenario.movement.person(person_id)
+            except SimulationError:
+                continue
+            self.tdf.record(age, rect.contains_point(person.position))
+        self._probes = remaining
+
+    # ------------------------------------------------------------------
+
+    def run(self, seconds: float, dt: float = 1.0) -> None:
+        """Run the scenario while collecting study observations."""
+        elapsed = 0.0
+        while elapsed < seconds:
+            now = self.scenario.step(dt)
+            self._schedule_tdf_probes()
+            self._fire_due_probes(now)
+            if now - self._window_start >= self.window:
+                self._close_window(now)
+            elapsed += dt
+
+    def report(self, fit_tdf: bool = True) -> CalibrationReport:
+        """The calibration report for the studied technology."""
+        tdf_fit = None
+        if fit_tdf and self.tdf.sample_count >= 20:
+            try:
+                tdf_fit = self.tdf.fit()
+            except Exception:  # noqa: BLE001 — sparse data is fine
+                tdf_fit = None
+        return CalibrationReport(
+            sensor_type=self.station.adapter.adapter_type,
+            x=self.carry.estimate(),
+            y=self.detection.estimate(),
+            z=self.misident.estimate(),
+            tdf_fit=tdf_fit,
+        )

@@ -1,0 +1,106 @@
+"""Accuracy tracing: estimates vs ground truth.
+
+The paper's future work calls for "user studies to get accurate values
+of various parameters"; the simulator can do better — it knows the
+ground truth.  The trace records, per (person, tick), the true
+position/region against the fused estimate, and reduces them to the
+metrics the accuracy ablations report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core import LocationEstimate
+from repro.model import WorldModel
+from repro.sim.movement import PersonState
+
+
+@dataclass
+class TraceSample:
+    """One scored estimate."""
+
+    person_id: str
+    time: float
+    true_region: str
+    estimated_region: Optional[str]
+    error_ft: float
+    confidence: float
+    rect_hit: bool   # true position inside the estimated rectangle
+
+
+@dataclass
+class AccuracySummary:
+    """Aggregate accuracy over a trace."""
+
+    samples: int
+    misses: int                  # ticks with no locatable estimate
+    mean_error_ft: float
+    median_error_ft: float
+    room_accuracy: float         # fraction with the right room
+    rect_hit_rate: float         # fraction with truth inside the rect
+    mean_confidence: float
+
+
+class AccuracyTrace:
+    """Collects and summarizes estimate-vs-truth samples."""
+
+    def __init__(self, world: WorldModel) -> None:
+        self.world = world
+        self.samples: List[TraceSample] = []
+        self.miss_counts: Dict[str, int] = {}
+
+    def record(self, person: PersonState, estimate: LocationEstimate,
+               now: float) -> TraceSample:
+        error = estimate.rect.center.distance_to(person.position)
+        sample = TraceSample(
+            person_id=person.person_id,
+            time=now,
+            true_region=person.region,
+            estimated_region=estimate.symbolic,
+            error_ft=error,
+            confidence=estimate.probability,
+            rect_hit=estimate.rect.contains_point(person.position),
+        )
+        self.samples.append(sample)
+        return sample
+
+    def record_miss(self, person: PersonState, now: float) -> None:
+        self.miss_counts[person.person_id] = \
+            self.miss_counts.get(person.person_id, 0) + 1
+
+    # ------------------------------------------------------------------
+
+    def summary(self) -> AccuracySummary:
+        if not self.samples:
+            return AccuracySummary(0, sum(self.miss_counts.values()),
+                                   float("nan"), float("nan"), 0.0, 0.0,
+                                   0.0)
+        errors = sorted(s.error_ft for s in self.samples)
+        n = len(errors)
+        median = errors[n // 2] if n % 2 else \
+            (errors[n // 2 - 1] + errors[n // 2]) / 2.0
+        room_hits = sum(
+            1 for s in self.samples
+            if s.estimated_region is not None
+            and _same_or_within(s.true_region, s.estimated_region))
+        return AccuracySummary(
+            samples=n,
+            misses=sum(self.miss_counts.values()),
+            mean_error_ft=sum(errors) / n,
+            median_error_ft=median,
+            room_accuracy=room_hits / n,
+            rect_hit_rate=sum(1 for s in self.samples if s.rect_hit) / n,
+            mean_confidence=sum(s.confidence for s in self.samples) / n,
+        )
+
+
+def _same_or_within(true_region: str, estimated_region: str) -> bool:
+    """Correct when the estimate names the true region or an ancestor.
+
+    Estimating "SC/3" for someone in "SC/3/3105" is coarse but not
+    wrong; estimating a sibling room is wrong.
+    """
+    return (true_region == estimated_region
+            or true_region.startswith(estimated_region + "/"))

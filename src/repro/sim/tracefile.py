@@ -1,0 +1,113 @@
+"""Sensor-trace recording and replay.
+
+A deployment's raw reading stream is its most valuable artifact: with
+it, fusion changes can be evaluated offline against the exact same
+inputs.  :class:`TraceRecorder` captures every reading inserted into a
+spatial database as JSON-lines; :func:`replay_trace` feeds a recorded
+stream into a fresh database (same world, possibly different fusion
+configuration) for A/B comparisons.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Iterator, TextIO
+
+from repro.errors import SimulationError
+from repro.geometry import Point, Rect
+from repro.spatialdb import Row, SpatialDatabase, Trigger
+
+TRACE_TRIGGER_ID = "__trace_recorder__"
+
+
+def _reading_to_record(row: Row) -> dict:
+    location = row.get("location")
+    return {
+        "sensor_id": row["sensor_id"],
+        "glob_prefix": row["glob_prefix"],
+        "sensor_type": row["sensor_type"],
+        "mobile_object_id": row["mobile_object_id"],
+        "rect": [row["rect"].min_x, row["rect"].min_y,
+                 row["rect"].max_x, row["rect"].max_y],
+        "location": ([location.x, location.y, location.z]
+                     if location is not None else None),
+        "detection_radius": row["detection_radius"],
+        "detection_time": row["detection_time"],
+    }
+
+
+class TraceRecorder:
+    """Appends every inserted reading to a JSON-lines stream."""
+
+    def __init__(self, db: SpatialDatabase, stream: TextIO) -> None:
+        self.db = db
+        self.stream = stream
+        self.records = 0
+        db.sensor_readings.create_trigger(Trigger(
+            TRACE_TRIGGER_ID, "insert", lambda row: True, self._record))
+
+    def _record(self, row: Row) -> None:
+        self.stream.write(json.dumps(_reading_to_record(row),
+                                     sort_keys=True) + "\n")
+        self.records += 1
+
+    def close(self) -> None:
+        """Stop recording (the stream is the caller's to close)."""
+        self.db.sensor_readings.drop_trigger(TRACE_TRIGGER_ID)
+
+
+def read_trace(stream: TextIO) -> Iterator[dict]:
+    """Parse a JSON-lines trace stream."""
+    for line_number, line in enumerate(stream, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            yield json.loads(line)
+        except ValueError as exc:
+            raise SimulationError(
+                f"bad trace line {line_number}: {exc}") from exc
+
+
+def replay_trace(db: SpatialDatabase, records: Iterable[dict],
+                 time_offset: float = 0.0) -> int:
+    """Insert recorded readings into a database; returns the count.
+
+    The target database must already have the sensors registered
+    (their specs govern fusion, so an A/B run can deliberately register
+    different ones).  Records are replayed in stream order.
+    """
+    count = 0
+    for record in records:
+        location = record.get("location")
+        db.insert_reading(
+            sensor_id=record["sensor_id"],
+            glob_prefix=record["glob_prefix"],
+            sensor_type=record["sensor_type"],
+            mobile_object_id=record["mobile_object_id"],
+            rect=Rect(*record["rect"]),
+            detection_time=record["detection_time"] + time_offset,
+            location=Point(*location) if location is not None else None,
+            detection_radius=record.get("detection_radius", 0.0),
+        )
+        count += 1
+    return count
+
+
+def copy_sensor_registrations(source: SpatialDatabase,
+                              target: SpatialDatabase) -> int:
+    """Register the source database's sensors in the target.
+
+    The usual prelude to a replay: same sensors, then A/B the engine.
+    """
+    count = 0
+    for row in source.sensor_specs.select():
+        target.register_sensor(
+            sensor_id=row["sensor_id"],
+            sensor_type=row["sensor_type"],
+            confidence=row["confidence"],
+            time_to_live=row["time_to_live"],
+            spec=row["spec"],
+        )
+        count += 1
+    return count

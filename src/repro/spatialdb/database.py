@@ -1,0 +1,367 @@
+"""The spatial database (paper Section 5).
+
+Models the physical space, stores sensor readings and per-sensor
+confidence/TTL metadata, provides geometric operators (distance,
+containment, intersection) and location triggers.  This replaces
+PostGIS/PostgreSQL from the paper with an in-memory engine exposing
+the same operations, indexed by a from-scratch R-tree.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from repro.errors import QueryError, SensorError, WorldModelError
+from repro.geometry import Point, Polygon, Rect, Segment
+from repro.model import Entity, Glob, WorldModel, geometry_kind
+from repro.spatialdb.rtree import RTree
+from repro.spatialdb.table import Column, Row, Schema, Table, Trigger
+
+SPATIAL_OBJECTS_SCHEMA = Schema(
+    [
+        Column("object_identifier", str),
+        Column("glob_prefix", str),
+        Column("object_type", str),
+        Column("geometry_type", str),
+        Column("geometry", object),          # canonical-frame geometry
+        Column("mbr", Rect),                 # canonical-frame MBR
+        Column("properties", dict),
+    ],
+    primary_key=("glob_prefix", "object_identifier"),
+)
+
+SENSOR_READINGS_SCHEMA = Schema(
+    [
+        Column("reading_id", int),
+        Column("sensor_id", str),
+        Column("glob_prefix", str),          # where the sensor is installed
+        Column("sensor_type", str),
+        Column("mobile_object_id", str),
+        Column("location", Point, nullable=True),   # canonical coordinates
+        Column("detection_radius", float),
+        Column("rect", Rect),                # canonical MBR of the reading
+        Column("detection_time", float),
+        Column("moving", bool),
+    ],
+    primary_key=("reading_id",),
+)
+
+SENSOR_SPECS_SCHEMA = Schema(
+    [
+        Column("sensor_id", str),
+        Column("sensor_type", str),
+        Column("confidence", float),         # percent, as in Table 2
+        Column("time_to_live", float),       # seconds
+        Column("spec", object, nullable=True),  # the full SensorSpec object
+    ],
+    primary_key=("sensor_id",),
+)
+
+
+class SpatialDatabase:
+    """Spatial model + sensor store + trigger engine.
+
+    Args:
+        world: the world model to load; entities become rows of the
+            spatial-objects table with canonical-frame geometry.
+        history_limit: readings retained per (sensor, object) pair for
+            movement detection.
+    """
+
+    def __init__(self, world: Optional[WorldModel] = None,
+                 history_limit: int = 8) -> None:
+        self.spatial_objects = Table("spatial_objects", SPATIAL_OBJECTS_SCHEMA)
+        self.sensor_readings = Table("sensor_readings", SENSOR_READINGS_SCHEMA)
+        # Fusion always fetches one object's readings; index that path.
+        self.sensor_readings.create_index("mobile_object_id")
+        self.sensor_specs = Table("sensor_specs", SENSOR_SPECS_SCHEMA)
+        self._index: RTree = RTree()
+        self._world: Optional[WorldModel] = None
+        self._next_reading_id = 1
+        self._history_limit = history_limit
+        # (sensor_id, object_id) -> recent [(time, rect)] for movement
+        self._history: Dict[Tuple[str, str], List[Tuple[float, Rect]]] = {}
+        if world is not None:
+            self.load_world(world)
+
+    # ------------------------------------------------------------------
+    # World model
+    # ------------------------------------------------------------------
+
+    @property
+    def world(self) -> WorldModel:
+        if self._world is None:
+            raise WorldModelError("no world model loaded")
+        return self._world
+
+    def load_world(self, world: WorldModel) -> None:
+        """Load every world-model entity into the spatial-objects table."""
+        if self._world is not None:
+            raise WorldModelError("a world model is already loaded")
+        self._world = world
+        for entity in world.entities():
+            geometry = world.canonical_geometry(entity.glob)
+            mbr = world.canonical_mbr(entity.glob)
+            row = {
+                "object_identifier": entity.identifier,
+                "glob_prefix": entity.glob_prefix,
+                "object_type": entity.entity_type.value,
+                "geometry_type": geometry_kind(geometry),
+                "geometry": geometry,
+                "mbr": mbr,
+                "properties": dict(entity.properties),
+            }
+            self.spatial_objects.insert(row)
+            self._index.insert(mbr, str(entity.glob))
+
+    def universe(self) -> Rect:
+        """The universe rectangle ``U`` (the whole modelled floor area)."""
+        return self.world.universe()
+
+    # ------------------------------------------------------------------
+    # Spatial-object queries
+    # ------------------------------------------------------------------
+
+    def object_row(self, glob: Union[Glob, str]) -> Row:
+        parsed = Glob.parse(str(glob))
+        leaf = parsed.leaf
+        if leaf is None:
+            raise QueryError(f"GLOB {glob} does not name an object")
+        row = self.spatial_objects.get("/".join(parsed.prefix), leaf)
+        if row is None:
+            raise QueryError(f"unknown spatial object {glob}")
+        return row
+
+    def object_mbr(self, glob: Union[Glob, str]) -> Rect:
+        return self.object_row(glob)["mbr"]
+
+    def object_geometry(self, glob: Union[Glob, str]) -> object:
+        return self.object_row(glob)["geometry"]
+
+    def objects_intersecting(self, rect: Rect,
+                             object_type: Optional[str] = None) -> List[str]:
+        """GLOB strings of objects whose MBR intersects ``rect``."""
+        globs: List[str] = self._index.search(rect)
+        if object_type is None:
+            return sorted(globs)
+        out = []
+        for g in globs:
+            if self.object_row(g)["object_type"] == object_type:
+                out.append(g)
+        return sorted(out)
+
+    def objects_containing_point(self, p: Point,
+                                 object_type: Optional[str] = None,
+                                 exact: bool = True) -> List[str]:
+        """Objects whose geometry (or MBR when ``exact=False``) holds ``p``.
+
+        The two-phase filter/refine strategy of Section 5.1: MBR test
+        via the R-tree first, then the exact polygon test.
+        """
+        candidates = self._index.search_point(p)
+        out: List[str] = []
+        for glob in candidates:
+            row = self.object_row(glob)
+            if object_type is not None and row["object_type"] != object_type:
+                continue
+            if exact:
+                geometry = row["geometry"]
+                if isinstance(geometry, Polygon) and not geometry.contains_point(p):
+                    continue
+                if isinstance(geometry, Segment) and not geometry.contains_point(p):
+                    continue
+                if isinstance(geometry, Point) and not geometry.almost_equals(p):
+                    continue
+            out.append(glob)
+        return sorted(out)
+
+    def nearest_objects(self, p: Point, count: int = 1,
+                        where: Optional[Callable[[Row], bool]] = None
+                        ) -> List[Tuple[str, float]]:
+        """The nearest objects to ``p`` with their MBR distances.
+
+        ``where`` filters rows — this is how queries like "the nearest
+        region that has power outlets and high Bluetooth signal"
+        (Section 5.1) are expressed.
+        """
+        # Over-fetch when filtering, then trim.
+        fetch = count if where is None else max(count * 8, 32)
+        results: List[Tuple[str, float]] = []
+        for rect, glob in self._index.nearest(p, fetch):
+            row = self.object_row(glob)
+            if where is not None and not where(row):
+                continue
+            results.append((glob, rect.distance_to_point(p)))
+            if len(results) == count:
+                break
+        return results
+
+    # ------------------------------------------------------------------
+    # Geometric operators (the PostGIS surface MiddleWhere relies on)
+    # ------------------------------------------------------------------
+
+    def distance(self, a: Union[Glob, str], b: Union[Glob, str]) -> float:
+        """Euclidean distance between the centers of two objects' MBRs."""
+        return self.object_mbr(a).center_distance(self.object_mbr(b))
+
+    def contains(self, outer: Union[Glob, str],
+                 inner: Union[Glob, str]) -> bool:
+        """Whether ``outer``'s MBR fully contains ``inner``'s."""
+        return self.object_mbr(outer).contains_rect(self.object_mbr(inner))
+
+    def intersection_area(self, a: Union[Glob, str],
+                          b: Union[Glob, str]) -> float:
+        """Overlap area of two objects' MBRs."""
+        return self.object_mbr(a).intersection_area(self.object_mbr(b))
+
+    def disjoint(self, a: Union[Glob, str], b: Union[Glob, str]) -> bool:
+        return self.object_mbr(a).is_disjoint(self.object_mbr(b))
+
+    def query(self, text: str) -> List[Row]:
+        """Run a spatial SQL query (see :mod:`repro.spatialdb.query`).
+
+        >>> db.query("SELECT glob FROM spatial_objects "
+        ...          "WHERE object_type = 'Room' "
+        ...          "NEAREST TO (150, 20) LIMIT 1")  # doctest: +SKIP
+        """
+        from repro.spatialdb.query import execute_query
+        return execute_query(self, text)
+
+    # ------------------------------------------------------------------
+    # Sensor metadata
+    # ------------------------------------------------------------------
+
+    def register_sensor(self, sensor_id: str, sensor_type: str,
+                        confidence: float, time_to_live: float,
+                        spec: Optional[object] = None) -> None:
+        """Register a sensor's confidence (percent) and TTL (Table 2)."""
+        if not 0.0 <= confidence <= 100.0:
+            raise SensorError(f"confidence {confidence} not a percentage")
+        if time_to_live <= 0.0:
+            raise SensorError(f"TTL must be positive, got {time_to_live}")
+        self.sensor_specs.insert({
+            "sensor_id": sensor_id,
+            "sensor_type": sensor_type,
+            "confidence": confidence,
+            "time_to_live": time_to_live,
+            "spec": spec,
+        })
+
+    def sensor_row(self, sensor_id: str) -> Row:
+        row = self.sensor_specs.get(sensor_id)
+        if row is None:
+            raise SensorError(f"unknown sensor {sensor_id!r}")
+        return row
+
+    # ------------------------------------------------------------------
+    # Sensor readings
+    # ------------------------------------------------------------------
+
+    def insert_reading(self, sensor_id: str, glob_prefix: str,
+                       sensor_type: str, mobile_object_id: str,
+                       rect: Rect, detection_time: float,
+                       location: Optional[Point] = None,
+                       detection_radius: float = 0.0) -> int:
+        """Record a normalized sensor reading; fires insert triggers.
+
+        The ``moving`` flag is computed against this sensor's previous
+        reading for the same object — the paper's conflict rule 1
+        prefers "a rectangle moving with time" (Section 4.1.2).
+        """
+        key = (sensor_id, mobile_object_id)
+        history = self._history.setdefault(key, [])
+        moving = bool(history) and not history[-1][1].almost_equals(rect, 1e-9)
+        history.append((detection_time, rect))
+        if len(history) > self._history_limit:
+            history.pop(0)
+        reading_id = self._next_reading_id
+        self._next_reading_id += 1
+        self.sensor_readings.insert({
+            "reading_id": reading_id,
+            "sensor_id": sensor_id,
+            "glob_prefix": glob_prefix,
+            "sensor_type": sensor_type,
+            "mobile_object_id": mobile_object_id,
+            "location": location,
+            "detection_radius": float(detection_radius),
+            "rect": rect,
+            "detection_time": float(detection_time),
+            "moving": moving,
+        })
+        return reading_id
+
+    def readings_for(self, mobile_object_id: str, now: float,
+                     latest_per_sensor: bool = True) -> List[Row]:
+        """Fresh (non-expired) readings for an object at time ``now``.
+
+        A reading expires once ``now - detection_time`` exceeds the
+        sensor's TTL ("All sensor readings have an expiry time, beyond
+        which the reading is no longer valid", Section 3.2).  With
+        ``latest_per_sensor`` only the newest reading per sensor is
+        kept, which is what fusion consumes.
+        """
+        rows = self.sensor_readings.select_eq("mobile_object_id",
+                                              mobile_object_id)
+        fresh: List[Row] = []
+        for row in rows:
+            spec = self.sensor_specs.get(row["sensor_id"])
+            ttl = spec["time_to_live"] if spec else float("inf")
+            age = now - row["detection_time"]
+            if 0.0 <= age <= ttl:
+                fresh.append(row)
+        if not latest_per_sensor:
+            return fresh
+        latest: Dict[str, Row] = {}
+        for row in fresh:
+            prior = latest.get(row["sensor_id"])
+            if prior is None or row["detection_time"] > prior["detection_time"]:
+                latest[row["sensor_id"]] = row
+        return sorted(latest.values(), key=lambda r: r["reading_id"])
+
+    def expire_object_readings(self, mobile_object_id: str,
+                               sensor_id: Optional[str] = None) -> int:
+        """Force-expire readings (manual logout, Section 6 item 3)."""
+        def doomed(row: Row) -> bool:
+            if row["mobile_object_id"] != mobile_object_id:
+                return False
+            return sensor_id is None or row["sensor_id"] == sensor_id
+        return self.sensor_readings.delete(doomed)
+
+    def purge_expired(self, now: float) -> int:
+        """Drop every reading past its sensor's TTL; returns the count."""
+        def expired(row: Row) -> bool:
+            spec = self.sensor_specs.get(row["sensor_id"])
+            ttl = spec["time_to_live"] if spec else float("inf")
+            return now - row["detection_time"] > ttl
+        return self.sensor_readings.delete(expired)
+
+    def tracked_objects(self) -> List[str]:
+        """All mobile-object ids that have at least one stored reading."""
+        return sorted({row["mobile_object_id"]
+                       for row in self.sensor_readings.select()})
+
+    # ------------------------------------------------------------------
+    # Location triggers (Section 5.3)
+    # ------------------------------------------------------------------
+
+    def create_location_trigger(self, trigger_id: str, region: Rect,
+                                action: Callable[[Row], None],
+                                mobile_object_id: Optional[str] = None
+                                ) -> None:
+        """Create a trigger firing when a reading intersects ``region``.
+
+        The database-level trigger is a coarse geometric filter; the
+        Location Service refines each firing with fused probability
+        before notifying the application.
+        """
+        def condition(row: Row) -> bool:
+            if (mobile_object_id is not None
+                    and row["mobile_object_id"] != mobile_object_id):
+                return False
+            return region.intersects(row["rect"])
+
+        self.sensor_readings.create_trigger(
+            Trigger(trigger_id, "insert", condition, action))
+
+    def drop_location_trigger(self, trigger_id: str) -> bool:
+        return self.sensor_readings.drop_trigger(trigger_id)

@@ -1,0 +1,300 @@
+"""A small spatial query language over the spatial-objects table.
+
+"Furthermore, modeling the physical space allows SQL queries on
+objects and regions.  An example query is 'Where is the nearest region
+that has power outlets and high Bluetooth signal?'" (Section 5.1).
+
+The dialect is a purposeful subset of SQL with two spatial extensions:
+
+    SELECT * FROM spatial_objects
+      WHERE object_type = 'Room'
+        AND properties.power_outlets = true
+        AND properties.bluetooth_signal >= 0.8
+      NEAREST TO (150, 20)
+      LIMIT 1
+
+    SELECT glob, object_type FROM spatial_objects
+      WHERE INTERSECTS(140, 0, 200, 40)
+
+Conditions: ``column op literal`` with ops ``= != < <= > >=``; columns
+are the table's scalar columns, ``glob`` (the full GLOB string) or
+``properties.<name>``.  Spatial predicates: ``CONTAINS(x, y)`` (the
+object's MBR holds the point) and ``INTERSECTS(x0, y0, x1, y1)``
+(MBR overlap, R-tree accelerated).  ``NEAREST TO (x, y)`` orders by
+MBR distance; ``LIMIT n`` caps the rows.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import QueryError
+from repro.geometry import Point, Rect
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<string>'(?:[^'\\]|\\.)*')"
+    r"|(?P<number>-?\d+(?:\.\d+)?)"
+    r"|(?P<op><=|>=|!=|=|<|>)"
+    r"|(?P<punct>[(),*])"
+    r"|(?P<word>[A-Za-z_][A-Za-z0-9_./\-]*))")
+
+_KEYWORDS = {"select", "from", "where", "and", "nearest", "to", "limit",
+             "contains", "intersects", "true", "false", "null"}
+
+
+def _tokenize(text: str) -> List[Tuple[str, str]]:
+    tokens: List[Tuple[str, str]] = []
+    pos = 0
+    stripped = text.strip()
+    while pos < len(stripped):
+        match = _TOKEN_RE.match(stripped, pos)
+        if match is None or match.end() == pos:
+            raise QueryError(f"cannot tokenize query at: "
+                             f"{stripped[pos:pos + 20]!r}")
+        pos = match.end()
+        kind = match.lastgroup
+        value = match.group(kind)  # type: ignore[arg-type]
+        if kind == "word" and value.lower() in _KEYWORDS:
+            tokens.append(("keyword", value.lower()))
+        else:
+            tokens.append((kind, value))  # type: ignore[arg-type]
+    return tokens
+
+
+@dataclass
+class _Condition:
+    """One WHERE conjunct, compiled to a row predicate."""
+
+    predicate: Callable[[Dict[str, Any]], bool]
+    # A rectangle that any matching row's MBR must intersect; lets the
+    # executor seed from the R-tree instead of scanning.
+    prefilter: Optional[Rect] = None
+
+
+@dataclass
+class SpatialQuery:
+    """A parsed query, executable against a SpatialDatabase."""
+
+    columns: Optional[List[str]]       # None = SELECT *
+    conditions: List[_Condition] = field(default_factory=list)
+    nearest: Optional[Point] = None
+    limit: Optional[int] = None
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.tokens = _tokenize(text)
+        self.pos = 0
+
+    def peek(self) -> Optional[Tuple[str, str]]:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) \
+            else None
+
+    def take(self, kind: Optional[str] = None,
+             value: Optional[str] = None) -> Tuple[str, str]:
+        token = self.peek()
+        if token is None:
+            raise QueryError("unexpected end of query")
+        if kind is not None and token[0] != kind:
+            raise QueryError(f"expected {kind}, got {token[1]!r}")
+        if value is not None and token[1] != value:
+            raise QueryError(f"expected {value!r}, got {token[1]!r}")
+        self.pos += 1
+        return token
+
+    def at_keyword(self, word: str) -> bool:
+        token = self.peek()
+        return token is not None and token == ("keyword", word)
+
+    # ------------------------------------------------------------------
+
+    def parse(self) -> SpatialQuery:
+        self.take("keyword", "select")
+        columns = self._parse_columns()
+        self.take("keyword", "from")
+        table = self.take("word")[1]
+        if table != "spatial_objects":
+            raise QueryError(
+                f"unknown table {table!r} (only spatial_objects)")
+        query = SpatialQuery(columns=columns)
+        if self.at_keyword("where"):
+            self.take()
+            query.conditions.append(self._parse_condition())
+            while self.at_keyword("and"):
+                self.take()
+                query.conditions.append(self._parse_condition())
+        if self.at_keyword("nearest"):
+            self.take()
+            self.take("keyword", "to")
+            self.take("punct", "(")
+            x = float(self.take("number")[1])
+            self.take("punct", ",")
+            y = float(self.take("number")[1])
+            self.take("punct", ")")
+            query.nearest = Point(x, y)
+        if self.at_keyword("limit"):
+            self.take()
+            query.limit = int(float(self.take("number")[1]))
+            if query.limit < 0:
+                raise QueryError("LIMIT must be non-negative")
+        if self.peek() is not None:
+            raise QueryError(f"trailing tokens: {self.peek()[1]!r}")
+        return query
+
+    def _parse_columns(self) -> Optional[List[str]]:
+        if self.peek() == ("punct", "*"):
+            self.take()
+            return None
+        columns = [self._parse_column_name()]
+        while self.peek() == ("punct", ","):
+            self.take()
+            columns.append(self._parse_column_name())
+        return columns
+
+    def _parse_column_name(self) -> str:
+        return self.take("word")[1]
+
+    def _parse_condition(self) -> _Condition:
+        token = self.peek()
+        if token == ("keyword", "contains"):
+            self.take()
+            self.take("punct", "(")
+            x = float(self.take("number")[1])
+            self.take("punct", ",")
+            y = float(self.take("number")[1])
+            self.take("punct", ")")
+            point = Point(x, y)
+            probe = Rect(x, y, x, y)
+            return _Condition(
+                lambda row: row["mbr"].contains_point(point),
+                prefilter=probe)
+        if token == ("keyword", "intersects"):
+            self.take()
+            self.take("punct", "(")
+            values = [float(self.take("number")[1])]
+            for _ in range(3):
+                self.take("punct", ",")
+                values.append(float(self.take("number")[1]))
+            self.take("punct", ")")
+            rect = Rect(*values)
+            return _Condition(lambda row: row["mbr"].intersects(rect),
+                              prefilter=rect)
+        column = self.take("word")[1]
+        op = self.take("op")[1]
+        literal = self._parse_literal()
+        getter = _column_getter(column)
+        comparator = _COMPARATORS[op]
+        return _Condition(
+            lambda row: _safe_compare(comparator, getter(row), literal))
+
+    def _parse_literal(self) -> Any:
+        token = self.peek()
+        if token is None:
+            raise QueryError("expected a literal")
+        kind, value = token
+        self.take()
+        if kind == "string":
+            return value[1:-1].replace("\\'", "'")
+        if kind == "number":
+            number = float(value)
+            return int(number) if number.is_integer() else number
+        if kind == "keyword" and value in ("true", "false", "null"):
+            return {"true": True, "false": False, "null": None}[value]
+        raise QueryError(f"invalid literal {value!r}")
+
+
+_COMPARATORS: Dict[str, Callable[[Any, Any], bool]] = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+_SCALAR_COLUMNS = ("object_identifier", "glob_prefix", "object_type",
+                   "geometry_type")
+
+
+def _column_getter(column: str) -> Callable[[Dict[str, Any]], Any]:
+    if column.startswith("properties."):
+        key = column[len("properties."):]
+        return lambda row: row["properties"].get(key)
+    if column == "glob":
+        return lambda row: (row["glob_prefix"] + "/"
+                            + row["object_identifier"]
+                            if row["glob_prefix"]
+                            else row["object_identifier"])
+    if column in _SCALAR_COLUMNS:
+        return lambda row: row[column]
+    raise QueryError(f"unknown column {column!r}")
+
+
+def _safe_compare(comparator: Callable[[Any, Any], bool],
+                  left: Any, right: Any) -> bool:
+    """Comparisons against missing/mistyped values are simply false
+    (SQL's NULL semantics, loosely)."""
+    try:
+        if left is None and right is not None:
+            return False
+        return bool(comparator(left, right))
+    except TypeError:
+        return False
+
+
+def parse_query(text: str) -> SpatialQuery:
+    """Parse the query text (raises :class:`QueryError` on bad input)."""
+    return _Parser(text).parse()
+
+
+def execute_query(db, text: str) -> List[Dict[str, Any]]:
+    """Parse and run a query against a :class:`SpatialDatabase`.
+
+    Returns plain row dicts; with explicit columns, each row carries
+    exactly those (plus ``distance`` when NEAREST TO is used).
+    """
+    query = parse_query(text)
+
+    # Seed from the R-tree when a spatial prefilter exists.
+    prefilters = [c.prefilter for c in query.conditions
+                  if c.prefilter is not None]
+    if prefilters:
+        seed_rect = prefilters[0]
+        for extra in prefilters[1:]:
+            overlap = seed_rect.intersection(extra)
+            if overlap is None:
+                return []
+            seed_rect = overlap
+        candidate_globs = db.objects_intersecting(seed_rect)
+        rows = [db.object_row(glob) for glob in candidate_globs]
+    else:
+        rows = db.spatial_objects.select()
+
+    matched = [row for row in rows
+               if all(c.predicate(row) for c in query.conditions)]
+
+    if query.nearest is not None:
+        origin = query.nearest
+        matched.sort(key=lambda row: (row["mbr"].distance_to_point(origin),
+                                      row["glob_prefix"],
+                                      row["object_identifier"]))
+    else:
+        matched.sort(key=lambda row: (row["glob_prefix"],
+                                      row["object_identifier"]))
+
+    if query.limit is not None:
+        matched = matched[: query.limit]
+
+    if query.columns is None:
+        out = [dict(row) for row in matched]
+    else:
+        getters = [(name, _column_getter(name)) for name in query.columns]
+        out = [{name: getter(row) for name, getter in getters}
+               for row in matched]
+    if query.nearest is not None:
+        for row, source in zip(out, matched):
+            row["distance"] = source["mbr"].distance_to_point(
+                query.nearest)
+    return out

@@ -1,0 +1,358 @@
+"""A from-scratch Guttman R-tree (quadratic split).
+
+The paper stores its spatial model in PostGIS; the index structure
+behind spatial predicates there is the R-tree of Guttman [4], which
+the paper cites directly.  We implement it ourselves so region queries
+and trigger matching scale the way the paper's evaluation assumes.
+
+The tree maps rectangles to opaque values.  Entries with equal
+rectangles are allowed; deletion removes a specific (rect, value)
+pair.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Optional, Tuple, TypeVar
+
+from repro.geometry import Point, Rect
+
+T = TypeVar("T")
+
+
+class _Node:
+    __slots__ = ("leaf", "entries", "parent")
+
+    def __init__(self, leaf: bool) -> None:
+        self.leaf = leaf
+        # Leaf entries: (rect, value).  Internal entries: (rect, child node).
+        self.entries: List[Tuple[Rect, object]] = []
+        self.parent: Optional[_Node] = None
+
+    def mbr(self) -> Rect:
+        result = self.entries[0][0]
+        for rect, _ in self.entries[1:]:
+            result = result.union_mbr(rect)
+        return result
+
+
+class RTree:
+    """An R-tree over (rect, value) pairs.
+
+    Args:
+        max_entries: node fan-out M; nodes split above this.
+        min_entries: minimum fill m (defaults to M // 2).
+    """
+
+    def __init__(self, max_entries: int = 8,
+                 min_entries: Optional[int] = None) -> None:
+        if max_entries < 4:
+            raise ValueError("max_entries must be >= 4")
+        self._max = max_entries
+        self._min = min_entries if min_entries is not None else max_entries // 2
+        if self._min < 1 or self._min > self._max // 2:
+            raise ValueError("min_entries must be in [1, max_entries // 2]")
+        self._root = _Node(leaf=True)
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    # ------------------------------------------------------------------
+    # Insertion
+    # ------------------------------------------------------------------
+
+    def insert(self, rect: Rect, value: T) -> None:
+        """Insert a rectangle/value pair."""
+        leaf = self._choose_leaf(self._root, rect)
+        leaf.entries.append((rect, value))
+        self._size += 1
+        if len(leaf.entries) > self._max:
+            self._split_and_propagate(leaf)
+        else:
+            # AdjustTree: grow ancestor MBRs to cover the new entry.
+            self._adjust_upward(leaf)
+
+    def _choose_leaf(self, node: _Node, rect: Rect) -> _Node:
+        while not node.leaf:
+            best_child: Optional[_Node] = None
+            best_growth = float("inf")
+            best_area = float("inf")
+            for child_rect, child in node.entries:
+                grown = child_rect.union_mbr(rect)
+                growth = grown.area - child_rect.area
+                if growth < best_growth or (
+                    growth == best_growth and child_rect.area < best_area
+                ):
+                    best_growth = growth
+                    best_area = child_rect.area
+                    best_child = child  # type: ignore[assignment]
+            assert best_child is not None
+            node = best_child
+        return node
+
+    def _split_and_propagate(self, node: _Node) -> None:
+        while len(node.entries) > self._max:
+            sibling = self._quadratic_split(node)
+            parent = node.parent
+            if parent is None:
+                new_root = _Node(leaf=False)
+                new_root.entries = [(node.mbr(), node),
+                                    (sibling.mbr(), sibling)]
+                node.parent = new_root
+                sibling.parent = new_root
+                self._root = new_root
+                return
+            sibling.parent = parent
+            self._refresh_child(parent, node)
+            parent.entries.append((sibling.mbr(), sibling))
+            node = parent
+        self._adjust_upward(node)
+
+    def _quadratic_split(self, node: _Node) -> _Node:
+        """Guttman's quadratic split: seed with the worst pair."""
+        entries = node.entries
+        worst = -1.0
+        seed_a = 0
+        seed_b = 1
+        for i in range(len(entries)):
+            for j in range(i + 1, len(entries)):
+                combined = entries[i][0].union_mbr(entries[j][0])
+                waste = combined.area - entries[i][0].area - entries[j][0].area
+                if waste > worst:
+                    worst = waste
+                    seed_a, seed_b = i, j
+        group_a = [entries[seed_a]]
+        group_b = [entries[seed_b]]
+        rect_a = entries[seed_a][0]
+        rect_b = entries[seed_b][0]
+        remaining = [e for k, e in enumerate(entries)
+                     if k not in (seed_a, seed_b)]
+        while remaining:
+            # Force assignment when a group must absorb all the rest.
+            if len(group_a) + len(remaining) <= self._min:
+                group_a.extend(remaining)
+                remaining = []
+                break
+            if len(group_b) + len(remaining) <= self._min:
+                group_b.extend(remaining)
+                remaining = []
+                break
+            # Pick the entry with the greatest preference for one group.
+            best_idx = 0
+            best_diff = -1.0
+            for idx, (rect, _) in enumerate(remaining):
+                d_a = rect_a.union_mbr(rect).area - rect_a.area
+                d_b = rect_b.union_mbr(rect).area - rect_b.area
+                diff = abs(d_a - d_b)
+                if diff > best_diff:
+                    best_diff = diff
+                    best_idx = idx
+            entry = remaining.pop(best_idx)
+            d_a = rect_a.union_mbr(entry[0]).area - rect_a.area
+            d_b = rect_b.union_mbr(entry[0]).area - rect_b.area
+            if d_a < d_b or (d_a == d_b and rect_a.area <= rect_b.area):
+                group_a.append(entry)
+                rect_a = rect_a.union_mbr(entry[0])
+            else:
+                group_b.append(entry)
+                rect_b = rect_b.union_mbr(entry[0])
+        node.entries = group_a
+        sibling = _Node(leaf=node.leaf)
+        sibling.entries = group_b
+        if not sibling.leaf:
+            for _, child in sibling.entries:
+                child.parent = sibling  # type: ignore[union-attr]
+        return sibling
+
+    def _refresh_child(self, parent: _Node, child: _Node) -> None:
+        for idx, (_, node) in enumerate(parent.entries):
+            if node is child:
+                parent.entries[idx] = (child.mbr(), child)
+                return
+        raise AssertionError("child not found in parent")
+
+    def _adjust_upward(self, node: _Node) -> None:
+        while node.parent is not None:
+            self._refresh_child(node.parent, node)
+            node = node.parent
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def search(self, rect: Rect) -> List[T]:
+        """All values whose rectangle intersects ``rect``."""
+        return [value for _, value in self.search_entries(rect)]
+
+    def search_entries(self, rect: Rect) -> List[Tuple[Rect, T]]:
+        """All (rect, value) entries intersecting ``rect``."""
+        out: List[Tuple[Rect, T]] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            for entry_rect, payload in node.entries:
+                if not entry_rect.intersects(rect):
+                    continue
+                if node.leaf:
+                    out.append((entry_rect, payload))  # type: ignore[arg-type]
+                else:
+                    stack.append(payload)  # type: ignore[arg-type]
+        return out
+
+    def search_contained_in(self, rect: Rect) -> List[Tuple[Rect, T]]:
+        """Entries whose rectangle lies fully inside ``rect``."""
+        return [(r, v) for r, v in self.search_entries(rect)
+                if rect.contains_rect(r)]
+
+    def search_point(self, p: Point) -> List[T]:
+        """All values whose rectangle contains the point."""
+        probe = Rect(p.x, p.y, p.x, p.y)
+        return self.search(probe)
+
+    def nearest(self, p: Point, count: int = 1) -> List[Tuple[Rect, T]]:
+        """The ``count`` entries nearest to ``p`` (branch-and-bound)."""
+        import heapq
+
+        if count < 1:
+            return []
+        # Heap of (distance, tiebreak, is_leaf_entry, payload).
+        counter = 0
+        heap: List[Tuple[float, int, bool, object, Optional[Rect]]] = []
+        heapq.heappush(heap, (0.0, counter, False, self._root, None))
+        results: List[Tuple[Rect, T]] = []
+        while heap and len(results) < count:
+            dist, _, is_entry, payload, rect = heapq.heappop(heap)
+            if is_entry:
+                assert rect is not None
+                results.append((rect, payload))  # type: ignore[arg-type]
+                continue
+            node = payload
+            assert isinstance(node, _Node)
+            for entry_rect, child in node.entries:
+                counter += 1
+                d = entry_rect.distance_to_point(p)
+                if node.leaf:
+                    heapq.heappush(heap, (d, counter, True, child, entry_rect))
+                else:
+                    heapq.heappush(heap, (d, counter, False, child, None))
+        return results
+
+    def items(self) -> Iterator[Tuple[Rect, T]]:
+        """Iterate over every (rect, value) pair."""
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            for rect, payload in node.entries:
+                if node.leaf:
+                    yield rect, payload  # type: ignore[misc]
+                else:
+                    stack.append(payload)  # type: ignore[arg-type]
+
+    # ------------------------------------------------------------------
+    # Deletion
+    # ------------------------------------------------------------------
+
+    def delete(self, rect: Rect, match: Callable[[T], bool]) -> bool:
+        """Delete the first leaf entry with this exact rect whose value
+        satisfies ``match``.  Returns whether an entry was removed.
+
+        Underfull nodes are handled by re-inserting their remaining
+        entries (Guttman's CondenseTree).
+        """
+        found = self._find_leaf(self._root, rect, match)
+        if found is None:
+            return False
+        leaf, index = found
+        leaf.entries.pop(index)
+        self._size -= 1
+        self._condense(leaf)
+        return True
+
+    def _find_leaf(self, node: _Node, rect: Rect,
+                   match: Callable[[T], bool]) -> Optional[Tuple[_Node, int]]:
+        if node.leaf:
+            for idx, (entry_rect, value) in enumerate(node.entries):
+                if entry_rect == rect and match(value):  # type: ignore[arg-type]
+                    return node, idx
+            return None
+        for entry_rect, child in node.entries:
+            if entry_rect.intersects(rect):
+                found = self._find_leaf(child, rect, match)  # type: ignore[arg-type]
+                if found is not None:
+                    return found
+        return None
+
+    def _condense(self, node: _Node) -> None:
+        orphans: List[Tuple[Rect, object]] = []
+        orphan_leaf_flags: List[bool] = []
+        while node.parent is not None:
+            parent = node.parent
+            if len(node.entries) < self._min:
+                for idx, (_, child) in enumerate(parent.entries):
+                    if child is node:
+                        parent.entries.pop(idx)
+                        break
+                orphans.extend(node.entries)
+                orphan_leaf_flags.extend([node.leaf] * len(node.entries))
+            else:
+                self._refresh_child(parent, node)
+            node = parent
+        # Shrink the root if it has a single internal child.
+        while not self._root.leaf and len(self._root.entries) == 1:
+            only = self._root.entries[0][1]
+            assert isinstance(only, _Node)
+            only.parent = None
+            self._root = only
+        if not self._root.leaf and not self._root.entries:
+            self._root = _Node(leaf=True)
+        # Re-insert orphaned entries.
+        for (rect, payload), was_leaf in zip(orphans, orphan_leaf_flags):
+            if was_leaf:
+                self._size -= 1  # insert() will re-count it
+                self.insert(rect, payload)  # type: ignore[arg-type]
+            else:
+                assert isinstance(payload, _Node)
+                self._reinsert_subtree(payload)
+
+    def _reinsert_subtree(self, node: _Node) -> None:
+        for rect, payload in node.entries:
+            if node.leaf:
+                self._size -= 1
+                self.insert(rect, payload)  # type: ignore[arg-type]
+            else:
+                assert isinstance(payload, _Node)
+                self._reinsert_subtree(payload)
+
+    # ------------------------------------------------------------------
+    # Diagnostics
+    # ------------------------------------------------------------------
+
+    def height(self) -> int:
+        """Tree height (1 for a lone leaf root)."""
+        h = 1
+        node = self._root
+        while not node.leaf:
+            node = node.entries[0][1]  # type: ignore[assignment]
+            h += 1
+        return h
+
+    def check_invariants(self) -> None:
+        """Raise AssertionError if structural invariants are violated."""
+        def walk(node: _Node, depth: int, leaf_depths: List[int]) -> None:
+            if node is not self._root:
+                assert len(node.entries) >= self._min, "underfull node"
+            assert len(node.entries) <= self._max, "overfull node"
+            if node.leaf:
+                leaf_depths.append(depth)
+                return
+            for rect, child in node.entries:
+                assert isinstance(child, _Node)
+                assert child.parent is node, "broken parent pointer"
+                assert rect.contains_rect(child.mbr()), "MBR too small"
+                walk(child, depth + 1, leaf_depths)
+
+        leaf_depths: List[int] = []
+        if self._root.entries or self._root.leaf:
+            walk(self._root, 0, leaf_depths)
+        assert len(set(leaf_depths)) <= 1, "leaves at different depths"
+        assert sum(1 for _ in self.items()) == self._size, "size mismatch"

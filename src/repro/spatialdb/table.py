@@ -1,0 +1,334 @@
+"""Typed in-memory tables with insert/update/delete triggers.
+
+The paper keeps its world model and sensor readings in PostgreSQL
+tables and relies on *database triggers* for location notifications
+(Section 5.3).  This module supplies the table abstraction: a schema
+of typed columns, rows stored as dicts, simple predicate queries, and
+row-level triggers fired on mutation — exactly the machinery the
+trigger-response benchmark (Figure 9) exercises.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import QueryError, SchemaError
+
+Row = Dict[str, Any]
+Predicate = Callable[[Row], bool]
+TriggerAction = Callable[[Row], None]
+
+
+@dataclass(frozen=True)
+class Column:
+    """One column of a table schema.
+
+    ``kind`` is a Python type used for validation; ``nullable`` allows
+    ``None``.  Geometry columns use ``object`` since they hold any of
+    the geometry classes.
+    """
+
+    name: str
+    kind: type
+    nullable: bool = False
+
+    def validate(self, value: Any) -> None:
+        if value is None:
+            if not self.nullable:
+                raise SchemaError(f"column {self.name!r} is not nullable")
+            return
+        if self.kind is float and isinstance(value, int):
+            return  # ints are acceptable floats
+        if not isinstance(value, self.kind):
+            raise SchemaError(
+                f"column {self.name!r} expects {self.kind.__name__}, "
+                f"got {type(value).__name__}"
+            )
+
+
+class Schema:
+    """An ordered set of columns with an optional primary key."""
+
+    def __init__(self, columns: Sequence[Column],
+                 primary_key: Optional[Sequence[str]] = None) -> None:
+        self.columns = list(columns)
+        self._by_name = {c.name: c for c in self.columns}
+        if len(self._by_name) != len(self.columns):
+            raise SchemaError("duplicate column names")
+        self.primary_key = tuple(primary_key or ())
+        for key in self.primary_key:
+            if key not in self._by_name:
+                raise SchemaError(f"primary key column {key!r} not in schema")
+
+    @property
+    def column_names(self) -> List[str]:
+        return [c.name for c in self.columns]
+
+    def validate_row(self, row: Row) -> None:
+        unknown = set(row) - set(self._by_name)
+        if unknown:
+            raise SchemaError(f"unknown columns: {sorted(unknown)}")
+        for column in self.columns:
+            column.validate(row.get(column.name))
+
+    def key_of(self, row: Row) -> Tuple[Any, ...]:
+        return tuple(row[k] for k in self.primary_key)
+
+
+@dataclass
+class Trigger:
+    """A row-level trigger: fire ``action`` when ``event`` happens and
+    ``condition`` holds on the affected row."""
+
+    trigger_id: str
+    event: str  # 'insert' | 'update' | 'delete'
+    condition: Predicate
+    action: TriggerAction
+    enabled: bool = True
+
+    _VALID_EVENTS = ("insert", "update", "delete")
+
+    def __post_init__(self) -> None:
+        if self.event not in self._VALID_EVENTS:
+            raise QueryError(f"invalid trigger event {self.event!r}")
+
+
+
+def _synchronized(method):
+    """Run a Table method under the table's re-entrant lock."""
+    import functools
+
+    @functools.wraps(method)
+    def wrapper(self, *args, **kwargs):
+        with self._lock:
+            return method(self, *args, **kwargs)
+    return wrapper
+
+
+class Table:
+    """An in-memory table with schema validation and triggers.
+
+    Rows are stored as plain dicts.  An internal monotonically
+    increasing rowid orders rows by insertion, giving deterministic
+    query results.
+
+    Thread safety: all operations take the table's re-entrant lock, so
+    remote queries served on ORB transport threads can run concurrently
+    with adapter ingest.  Triggers fire while the lock is held (they
+    may re-enter the table from the same thread), matching database
+    row-trigger semantics.
+    """
+
+    def __init__(self, name: str, schema: Schema) -> None:
+        self.name = name
+        self.schema = schema
+        self._rows: Dict[int, Row] = {}
+        self._rowid = itertools.count(1)
+        self._pk_index: Dict[Tuple[Any, ...], int] = {}
+        self._triggers: Dict[str, Trigger] = {}
+        # Secondary hash indexes: column -> value -> set of rowids.
+        self._indexes: Dict[str, Dict[Any, set]] = {}
+        self._lock = threading.RLock()
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    @_synchronized
+    def insert(self, row: Row) -> int:
+        """Insert a row; returns its rowid.  Fires insert triggers."""
+        self.schema.validate_row(row)
+        stored = dict(row)
+        if self.schema.primary_key:
+            key = self.schema.key_of(stored)
+            if key in self._pk_index:
+                raise SchemaError(
+                    f"duplicate primary key {key!r} in table {self.name!r}")
+        rowid = next(self._rowid)
+        self._rows[rowid] = stored
+        if self.schema.primary_key:
+            self._pk_index[self.schema.key_of(stored)] = rowid
+        for column, index in self._indexes.items():
+            index.setdefault(stored.get(column), set()).add(rowid)
+        self._fire("insert", stored)
+        return rowid
+
+    @_synchronized
+    def update(self, where: Predicate, changes: Row) -> int:
+        """Update matching rows; returns the count.  Fires update triggers."""
+        count = 0
+        for rowid, row in list(self._rows.items()):
+            if not where(row):
+                continue
+            updated = dict(row)
+            updated.update(changes)
+            self.schema.validate_row(updated)
+            if self.schema.primary_key:
+                old_key = self.schema.key_of(row)
+                new_key = self.schema.key_of(updated)
+                if new_key != old_key:
+                    if new_key in self._pk_index:
+                        raise SchemaError(
+                            f"update collides on primary key {new_key!r}")
+                    del self._pk_index[old_key]
+                    self._pk_index[new_key] = rowid
+            for column, index in self._indexes.items():
+                old_value = row.get(column)
+                new_value = updated.get(column)
+                if old_value != new_value:
+                    index.get(old_value, set()).discard(rowid)
+                    index.setdefault(new_value, set()).add(rowid)
+            self._rows[rowid] = updated
+            count += 1
+            self._fire("update", updated)
+        return count
+
+    @_synchronized
+    def delete(self, where: Predicate) -> int:
+        """Delete matching rows; returns the count.  Fires delete triggers."""
+        doomed = [(rowid, row) for rowid, row in self._rows.items()
+                  if where(row)]
+        for rowid, row in doomed:
+            del self._rows[rowid]
+            if self.schema.primary_key:
+                self._pk_index.pop(self.schema.key_of(row), None)
+            for column, index in self._indexes.items():
+                index.get(row.get(column), set()).discard(rowid)
+        for _, row in doomed:
+            self._fire("delete", row)
+        return len(doomed)
+
+    @_synchronized
+    def clear(self) -> None:
+        """Remove all rows without firing triggers."""
+        self._rows.clear()
+        self._pk_index.clear()
+        for index in self._indexes.values():
+            index.clear()
+
+    # ------------------------------------------------------------------
+    # Secondary indexes
+    # ------------------------------------------------------------------
+
+    @_synchronized
+    def create_index(self, column: str) -> None:
+        """Create (and backfill) a hash index on an equality column.
+
+        ``select_eq`` on an indexed column becomes O(matching rows)
+        instead of a full scan — the sensor-readings table indexes
+        ``mobile_object_id`` so per-object fusion does not scan
+        everyone's readings.
+        """
+        if column not in self.schema.column_names:
+            raise QueryError(f"unknown column {column!r}")
+        if column in self._indexes:
+            return  # idempotent
+        index: Dict[Any, set] = {}
+        for rowid, row in self._rows.items():
+            index.setdefault(row.get(column), set()).add(rowid)
+        self._indexes[column] = index
+
+    def has_index(self, column: str) -> bool:
+        return column in self._indexes
+
+    @_synchronized
+    def select_eq(self, column: str, value: Any,
+                  where: Optional[Predicate] = None) -> List[Row]:
+        """Rows with ``row[column] == value`` (index-accelerated)."""
+        index = self._indexes.get(column)
+        if index is None:
+            return self.select(
+                lambda row: row.get(column) == value
+                and (where is None or where(row)))
+        rowids = sorted(index.get(value, ()))
+        out = []
+        for rowid in rowids:
+            row = self._rows.get(rowid)
+            if row is None:
+                continue
+            if where is None or where(row):
+                out.append(dict(row))
+        return out
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @_synchronized
+    def select(self, where: Optional[Predicate] = None,
+               order_by: Optional[str] = None,
+               limit: Optional[int] = None) -> List[Row]:
+        """Rows matching ``where``, copied so callers cannot mutate state."""
+        rows = [dict(row) for _, row in sorted(self._rows.items())
+                if where is None or where(row)]
+        if order_by is not None:
+            if order_by not in self.schema.column_names:
+                raise QueryError(f"unknown order_by column {order_by!r}")
+            rows.sort(key=lambda r: r[order_by])
+        if limit is not None:
+            rows = rows[:limit]
+        return rows
+
+    @_synchronized
+    def select_one(self, where: Predicate) -> Optional[Row]:
+        """The first matching row, or ``None``."""
+        for _, row in sorted(self._rows.items()):
+            if where(row):
+                return dict(row)
+        return None
+
+    @_synchronized
+    def get(self, *key: Any) -> Optional[Row]:
+        """Primary-key lookup."""
+        if not self.schema.primary_key:
+            raise QueryError(f"table {self.name!r} has no primary key")
+        rowid = self._pk_index.get(tuple(key))
+        return dict(self._rows[rowid]) if rowid is not None else None
+
+    @_synchronized
+    def count(self, where: Optional[Predicate] = None) -> int:
+        if where is None:
+            return len(self._rows)
+        return sum(1 for row in self._rows.values() if where(row))
+
+    @staticmethod
+    def equals(**criteria: Any) -> Predicate:
+        """A predicate matching rows whose columns equal the criteria.
+
+        >>> where = Table.equals(sensor_type="RF")
+        """
+        def predicate(row: Row) -> bool:
+            return all(row.get(k) == v for k, v in criteria.items())
+        return predicate
+
+    # ------------------------------------------------------------------
+    # Triggers
+    # ------------------------------------------------------------------
+
+    @_synchronized
+    def create_trigger(self, trigger: Trigger) -> None:
+        if trigger.trigger_id in self._triggers:
+            raise QueryError(f"duplicate trigger {trigger.trigger_id!r}")
+        self._triggers[trigger.trigger_id] = trigger
+
+    @_synchronized
+    def drop_trigger(self, trigger_id: str) -> bool:
+        return self._triggers.pop(trigger_id, None) is not None
+
+    def trigger_count(self) -> int:
+        return len(self._triggers)
+
+    def triggers(self) -> List[Trigger]:
+        return list(self._triggers.values())
+
+    def _fire(self, event: str, row: Row) -> None:
+        for trigger in list(self._triggers.values()):
+            if trigger.enabled and trigger.event == event:
+                if trigger.condition(row):
+                    trigger.action(dict(row))

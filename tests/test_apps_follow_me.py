@@ -1,0 +1,144 @@
+"""Tests for the Follow Me application (Section 8.1)."""
+
+import pytest
+
+from repro.apps import FollowMeApp, FollowMePreferences
+from repro.apps.session import SessionManager
+from repro.core import ProbabilityBucket
+from repro.errors import ServiceError
+from repro.geometry import Point
+from repro.sensors import UbisenseAdapter
+from repro.service import LocationService
+from repro.sim import SimClock, siebel_floor
+from repro.spatialdb import SpatialDatabase
+
+
+@pytest.fixture
+def rig():
+    world = siebel_floor()
+    db = SpatialDatabase(world)
+    clock = SimClock()
+    service = LocationService(db, clock=clock)
+    ubi = UbisenseAdapter("Ubi-1", "SC/3", frame="").attach(db)
+    app = FollowMeApp(service)
+    return world, clock, service, ubi, app
+
+
+class TestSessions:
+    def test_create_and_get(self):
+        manager = SessionManager()
+        session = manager.create("alice", applications=["editor"])
+        assert manager.get("alice") is session
+        assert session.suspended
+
+    def test_duplicate_session_rejected(self):
+        manager = SessionManager()
+        manager.create("alice")
+        with pytest.raises(ServiceError):
+            manager.create("alice")
+
+    def test_unknown_session_rejected(self):
+        with pytest.raises(ServiceError):
+            SessionManager().get("nobody")
+
+    def test_resume_and_migrate_counting(self):
+        manager = SessionManager()
+        session = manager.create("alice")
+        session.resume_at("SC/3/3216/display1")
+        assert not session.suspended
+        assert session.migrations == 0
+        session.resume_at("SC/3/HCILab/display1")
+        assert session.migrations == 1
+        session.resume_at("SC/3/HCILab/display1")  # no-op
+        assert session.migrations == 1
+
+    def test_suspend(self):
+        manager = SessionManager()
+        session = manager.create("alice")
+        session.resume_at("d1")
+        session.suspend()
+        assert session.suspended
+        assert session.host is None
+
+
+class TestFollowMe:
+    def test_session_resumes_at_nearby_workstation(self, rig):
+        world, clock, service, ubi, app = rig
+        proxy = app.register_user("alice")
+        # alice is right at workstation1 in 3105 (usage region
+        # (141,0)-(151,9)).
+        ubi.tag_sighting("alice", Point(146, 4), 0.0)
+        clock.advance(1.0)
+        event = proxy.tick()
+        assert event is not None
+        assert event.action == "resume"
+        assert event.host == "SC/3/3105/workstation1"
+        assert not proxy.session.suspended
+
+    def test_session_suspends_when_user_walks_away(self, rig):
+        world, clock, service, ubi, app = rig
+        proxy = app.register_user("alice")
+        ubi.tag_sighting("alice", Point(146, 4), 0.0)
+        clock.advance(1.0)
+        proxy.tick()
+        # alice walks to the corridor, far from any usage region.
+        ubi.tag_sighting("alice", Point(250, 50), 1.0)
+        clock.advance(1.0)
+        event = proxy.tick()
+        assert event is not None
+        assert event.action == "suspend"
+        assert proxy.session.suspended
+
+    def test_session_migrates_between_hosts(self, rig):
+        world, clock, service, ubi, app = rig
+        proxy = app.register_user("alice")
+        ubi.tag_sighting("alice", Point(146, 4), 0.0)
+        clock.advance(1.0)
+        proxy.tick()
+        first_host = proxy.session.host
+        # alice reappears at the display in 3216's usage region.
+        ubi.tag_sighting("alice", Point(27, 95), 1.0)
+        clock.advance(1.0)
+        event = proxy.tick()
+        assert event is not None
+        assert event.action == "resume"
+        assert event.host != first_host
+        assert proxy.session.migrations == 1
+
+    def test_no_migration_when_disabled(self, rig):
+        world, clock, service, ubi, app = rig
+        prefs = FollowMePreferences(enabled=False)
+        proxy = app.register_user("alice", prefs)
+        ubi.tag_sighting("alice", Point(146, 4), 0.0)
+        clock.advance(1.0)
+        assert proxy.tick() is None
+        assert proxy.session.suspended
+
+    def test_low_confidence_blocks_migration(self, rig):
+        world, clock, service, ubi, app = rig
+        prefs = FollowMePreferences(
+            min_bucket=ProbabilityBucket.VERY_HIGH)
+        proxy = app.register_user("alice", prefs)
+        ubi.tag_sighting("alice", Point(146, 4), 0.0)
+        clock.advance(1.0)
+        # A single Ubisense reading grades below VERY_HIGH here.
+        estimate = service.locate("alice")
+        if estimate.bucket < ProbabilityBucket.VERY_HIGH:
+            assert proxy.tick() is None
+
+    def test_unlocatable_user_stays_suspended(self, rig):
+        _, _, _, _, app = rig
+        proxy = app.register_user("ghost")
+        assert proxy.tick() is None
+        assert proxy.session.suspended
+
+    def test_tick_all(self, rig):
+        world, clock, service, ubi, app = rig
+        app.register_user("alice")
+        app.register_user("bob")
+        ubi.tag_sighting("alice", Point(146, 4), 0.0)
+        ubi.tag_sighting("bob", Point(27, 95), 0.0)
+        clock.advance(1.0)
+        events = app.tick_all()
+        assert len(events) == 2
+        assert {e.user_id for e in events} == {"alice", "bob"}

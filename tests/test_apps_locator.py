@@ -1,0 +1,118 @@
+"""Tests for the Vocal Personnel Locator (Section 8.4)."""
+
+import pytest
+
+from repro.apps import VocalPersonnelLocator
+from repro.geometry import Point
+from repro.sensors import UbisenseAdapter
+from repro.service import DEPTH_BLOCKED, LocationService
+from repro.sim import SimClock, siebel_floor
+from repro.spatialdb import SpatialDatabase
+
+
+@pytest.fixture
+def rig():
+    world = siebel_floor()
+    db = SpatialDatabase(world)
+    clock = SimClock()
+    service = LocationService(db, clock=clock)
+    ubi = UbisenseAdapter("Ubi-1", "SC/3", frame="").attach(db)
+    locator = VocalPersonnelLocator(service)
+    return clock, service, ubi, locator
+
+
+class TestWhereIs:
+    def test_located_person(self, rig):
+        clock, service, ubi, locator = rig
+        ubi.tag_sighting("alice", Point(150, 20), 0.0)
+        clock.advance(1.0)
+        reply = locator.ask("where is alice?")
+        assert "alice is in SC/3/3105" in reply
+        assert "confidence" in reply
+
+    @pytest.mark.parametrize("utterance", [
+        "where is alice",
+        "Where's alice?",
+        "find alice",
+        "locate alice",
+    ])
+    def test_phrasings(self, rig, utterance):
+        clock, service, ubi, locator = rig
+        ubi.tag_sighting("alice", Point(150, 20), 0.0)
+        clock.advance(1.0)
+        assert "SC/3/3105" in locator.ask(utterance)
+
+    def test_unknown_person(self, rig):
+        _, _, _, locator = rig
+        assert "cannot locate" in locator.ask("where is nobody?")
+
+    def test_privacy_respected(self, rig):
+        clock, service, ubi, locator = rig
+        service.privacy.restrict("alice", DEPTH_BLOCKED)
+        ubi.tag_sighting("alice", Point(150, 20), 0.0)
+        clock.advance(1.0)
+        reply = locator.ask("where is alice?", requester="stranger")
+        assert "private" in reply
+
+
+class TestWhoIsIn:
+    def test_occupied_room(self, rig):
+        clock, service, ubi, locator = rig
+        ubi.tag_sighting("alice", Point(190, 80), 0.0)
+        ubi.tag_sighting("bob", Point(200, 85), 0.0)
+        clock.advance(1.0)
+        reply = locator.ask("who is in the conference room?")
+        assert "alice" in reply
+        assert "bob" in reply
+
+    def test_empty_room(self, rig):
+        _, _, _, locator = rig
+        reply = locator.ask("who is in HCILab?")
+        assert "Nobody" in reply
+
+    def test_unknown_region(self, rig):
+        _, _, _, locator = rig
+        reply = locator.ask("who is in the dungeon?")
+        assert "do not know" in reply
+
+    def test_exact_glob_accepted(self, rig):
+        clock, service, ubi, locator = rig
+        ubi.tag_sighting("alice", Point(150, 20), 0.0)
+        clock.advance(1.0)
+        assert "alice" in locator.ask("who is in SC/3/3105?")
+
+
+class TestNearest:
+    def test_nearest_display(self, rig):
+        clock, service, ubi, locator = rig
+        ubi.tag_sighting("alice", Point(290, 5), 0.0)
+        clock.advance(1.0)
+        reply = locator.ask("which display is nearest alice?")
+        assert "SC/3/HCILab/display1" in reply
+        assert "feet away" in reply
+
+    def test_nearest_workstation(self, rig):
+        clock, service, ubi, locator = rig
+        ubi.tag_sighting("alice", Point(150, 10), 0.0)
+        clock.advance(1.0)
+        reply = locator.ask("which computer is nearest alice?")
+        assert "workstation1" in reply
+
+    def test_unknown_kind(self, rig):
+        _, _, _, locator = rig
+        assert "cannot search" in locator.ask(
+            "which unicorn is nearest alice?")
+
+
+class TestFallbacks:
+    def test_unparseable_utterance(self, rig):
+        _, _, _, locator = rig
+        reply = locator.ask("make me a sandwich")
+        assert "Sorry" in reply
+
+    def test_transcript_recorded(self, rig):
+        _, _, _, locator = rig
+        locator.ask("where is alice?")
+        locator.ask("nonsense")
+        assert len(locator.transcript) == 2
+        assert locator.transcript[0][0] == "where is alice?"

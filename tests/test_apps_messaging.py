@@ -1,0 +1,124 @@
+"""Tests for Anywhere Instant Messaging (Section 8.2)."""
+
+import pytest
+
+from repro.apps import AnywhereIM
+from repro.core import ProbabilityBucket
+from repro.geometry import Point
+from repro.sensors import UbisenseAdapter
+from repro.service import LocationService
+from repro.sim import SimClock, siebel_floor
+from repro.spatialdb import SpatialDatabase
+
+
+@pytest.fixture
+def rig():
+    world = siebel_floor()
+    db = SpatialDatabase(world)
+    clock = SimClock()
+    service = LocationService(db, clock=clock)
+    ubi = UbisenseAdapter("Ubi-1", "SC/3", frame="").attach(db)
+    im = AnywhereIM(service)
+    return clock, service, ubi, im
+
+
+class TestRouting:
+    def test_delivered_to_nearest_display(self, rig):
+        clock, service, ubi, im = rig
+        im.add_buddy("bob", "alice")
+        # bob is in the HCILab near its display.
+        ubi.tag_sighting("bob", Point(290, 5), 0.0)
+        clock.advance(1.0)
+        delivery = im.send("alice", "bob", "lunch?")
+        assert delivery.status == "delivered"
+        assert delivery.display == "SC/3/HCILab/display1"
+        inbox = im.displays_inboxes[delivery.display]
+        assert inbox[0].text == "lunch?"
+
+    def test_non_buddy_blocked(self, rig):
+        clock, service, ubi, im = rig
+        ubi.tag_sighting("bob", Point(290, 5), 0.0)
+        clock.advance(1.0)
+        delivery = im.send("stranger", "bob", "hi")
+        assert delivery.status == "blocked"
+        assert "buddy" in delivery.reason
+
+    def test_unlocatable_recipient_queued(self, rig):
+        _, _, _, im = rig
+        im.add_buddy("bob", "alice")
+        delivery = im.send("alice", "bob", "hello?")
+        assert delivery.status == "queued"
+        assert im.queued
+
+    def test_flush_queue_after_recipient_appears(self, rig):
+        clock, service, ubi, im = rig
+        im.add_buddy("bob", "alice")
+        im.send("alice", "bob", "hello?")
+        ubi.tag_sighting("bob", Point(290, 5), 1.0)
+        clock.advance(1.0)
+        deliveries = im.flush_queue()
+        assert [d.status for d in deliveries] == ["delivered"]
+        assert not im.queued
+
+
+class TestLocationBlocking:
+    def test_sender_blocked_in_region(self, rig):
+        clock, service, ubi, im = rig
+        im.add_buddy("bob", "alice")
+        # bob blocks alice's messages while he is in the conference room.
+        im.block_at("bob", "alice", "SC/3/ConferenceRoom")
+        ubi.tag_sighting("bob", Point(190, 80), 0.0)  # conference room
+        clock.advance(1.0)
+        delivery = im.send("alice", "bob", "psst")
+        assert delivery.status == "blocked"
+        assert "ConferenceRoom" in delivery.reason
+
+    def test_block_lifts_outside_region(self, rig):
+        clock, service, ubi, im = rig
+        im.add_buddy("bob", "alice")
+        im.block_at("bob", "alice", "SC/3/ConferenceRoom")
+        ubi.tag_sighting("bob", Point(290, 5), 0.0)  # HCILab instead
+        clock.advance(1.0)
+        assert im.send("alice", "bob", "psst").status == "delivered"
+
+
+class TestPrivateMessages:
+    def test_private_needs_high_accuracy(self, rig):
+        clock, service, ubi, im = rig
+        im.add_buddy("bob", "alice")
+        im.preferences("bob").private_min_bucket = \
+            ProbabilityBucket.VERY_HIGH
+        ubi.tag_sighting("bob", Point(290, 5), 0.0)
+        clock.advance(1.0)
+        estimate = service.locate("bob")
+        delivery = im.send("alice", "bob", "secret", private=True)
+        if estimate.bucket < ProbabilityBucket.VERY_HIGH:
+            assert delivery.status == "queued"
+            assert "accuracy" in delivery.reason
+
+    def test_private_queued_when_others_nearby(self, rig):
+        clock, service, ubi, im = rig
+        im.add_buddy("bob", "alice")
+        im.preferences("bob").private_min_bucket = ProbabilityBucket.LOW
+        ubi.tag_sighting("bob", Point(290, 5), 0.0)
+        ubi.tag_sighting("eve", Point(292, 6), 0.0)  # right next to bob
+        clock.advance(1.0)
+        delivery = im.send("alice", "bob", "secret", private=True)
+        assert delivery.status == "queued"
+        assert "eve" in delivery.reason
+
+    def test_private_delivered_when_alone(self, rig):
+        clock, service, ubi, im = rig
+        im.add_buddy("bob", "alice")
+        im.preferences("bob").private_min_bucket = ProbabilityBucket.LOW
+        ubi.tag_sighting("bob", Point(290, 5), 0.0)
+        clock.advance(1.0)
+        delivery = im.send("alice", "bob", "secret", private=True)
+        assert delivery.status == "delivered"
+
+    def test_log_records_everything(self, rig):
+        clock, service, ubi, im = rig
+        im.add_buddy("bob", "alice")
+        im.send("stranger", "bob", "x")
+        im.send("alice", "bob", "y")
+        assert len(im.log) == 2

@@ -1,0 +1,89 @@
+"""Tests for Location-Based Notifications (Section 8.3)."""
+
+import pytest
+
+from repro.apps import NotificationCenter, RegionNotifier
+from repro.geometry import Point
+from repro.sensors import UbisenseAdapter
+from repro.service import LocationService
+from repro.sim import SimClock, siebel_floor
+from repro.spatialdb import SpatialDatabase
+
+
+@pytest.fixture
+def rig():
+    world = siebel_floor()
+    db = SpatialDatabase(world)
+    clock = SimClock()
+    service = LocationService(db, clock=clock)
+    ubi = UbisenseAdapter("Ubi-1", "SC/3", frame="").attach(db)
+    return clock, service, ubi
+
+
+class TestOccupancyTracking:
+    def test_enter_adds_leave_removes(self, rig):
+        clock, service, ubi = rig
+        notifier = RegionNotifier(service, "SC/3/ConferenceRoom")
+        ubi.tag_sighting("alice", Point(190, 80), 0.0)
+        assert notifier.occupants == {"alice"}
+        ubi.tag_sighting("alice", Point(250, 50), 5.0)  # corridor
+        assert notifier.occupants == set()
+
+    def test_greeting_on_entry(self, rig):
+        clock, service, ubi = rig
+        notifier = RegionNotifier(service, "SC/3/ConferenceRoom",
+                                  greeting="welcome to the meeting")
+        ubi.tag_sighting("alice", Point(190, 80), 0.0)
+        assert len(notifier.delivered) == 1
+        assert notifier.delivered[0].recipient == "alice"
+        assert notifier.delivered[0].message == "welcome to the meeting"
+
+    def test_no_greeting_without_configuring_one(self, rig):
+        clock, service, ubi = rig
+        notifier = RegionNotifier(service, "SC/3/ConferenceRoom")
+        ubi.tag_sighting("alice", Point(190, 80), 0.0)
+        assert notifier.delivered == []
+
+
+class TestBroadcast:
+    def test_store_closing_message(self, rig):
+        clock, service, ubi = rig
+        notifier = RegionNotifier(service, "SC/3/ConferenceRoom")
+        ubi.tag_sighting("alice", Point(190, 80), 0.0)
+        ubi.tag_sighting("bob", Point(200, 85), 0.0)
+        ubi.tag_sighting("carol", Point(30, 10), 0.0)  # elsewhere
+        clock.advance(1.0)
+        recipients = notifier.broadcast("The store is closing in five "
+                                        "minutes")
+        assert recipients == ["alice", "bob"]
+        assert len(notifier.delivered) == 2
+
+    def test_broadcast_reaches_people_present_before_watch(self, rig):
+        clock, service, ubi = rig
+        ubi.tag_sighting("early-bird", Point(190, 80), 0.0)
+        notifier = RegionNotifier(service, "SC/3/ConferenceRoom")
+        clock.advance(1.0)
+        recipients = notifier.broadcast("hello")
+        assert "early-bird" in recipients
+
+    def test_close_tears_down_trigger(self, rig):
+        clock, service, ubi = rig
+        notifier = RegionNotifier(service, "SC/3/ConferenceRoom",
+                                  greeting="hi")
+        notifier.close()
+        ubi.tag_sighting("alice", Point(190, 80), 0.0)
+        assert notifier.delivered == []
+
+
+class TestNotificationCenter:
+    def test_watch_multiple_regions(self, rig):
+        clock, service, ubi = rig
+        center = NotificationCenter(service)
+        center.watch("SC/3/ConferenceRoom")
+        center.watch("SC/3/HCILab")
+        ubi.tag_sighting("alice", Point(190, 80), 0.0)
+        ubi.tag_sighting("bob", Point(290, 5), 0.0)
+        clock.advance(1.0)
+        count = center.broadcast_all("fire drill")
+        assert count == 2
+        center.close()

@@ -1,0 +1,105 @@
+"""Tests for the route advisor application."""
+
+import pytest
+
+from repro.apps import RouteAdvisor
+from repro.geometry import Point
+from repro.sensors import UbisenseAdapter
+from repro.service import LocationService
+from repro.sim import SimClock, paper_floor, siebel_floor
+from repro.spatialdb import SpatialDatabase
+
+
+@pytest.fixture
+def rig():
+    world = siebel_floor()
+    db = SpatialDatabase(world)
+    clock = SimClock()
+    service = LocationService(db, clock=clock)
+    ubi = UbisenseAdapter("Ubi-1", "SC/3", frame="").attach(db)
+    return clock, service, ubi, RouteAdvisor(service)
+
+
+class TestRegionToRegion:
+    def test_simple_route(self, rig):
+        _, _, _, advisor = rig
+        directions = advisor.directions_between("SC/3/3102",
+                                                "SC/3/HCILab")
+        assert directions is not None
+        assert directions.origin == "SC/3/3102"
+        assert directions.destination == "SC/3/HCILab"
+        assert directions.distance_ft > 0
+        assert any("Corridor" in step for step in directions.steps)
+
+    def test_restricted_door_avoided_without_credentials(self, rig):
+        _, _, _, advisor = rig
+        # 3105 is behind a restricted door: unreachable badge-less.
+        assert advisor.directions_between("SC/3/3102",
+                                          "SC/3/3105") is None
+        with_badge = advisor.directions_between(
+            "SC/3/3102", "SC/3/3105", has_credentials=True)
+        assert with_badge is not None
+        assert with_badge.uses_restricted_doors
+        assert any("badge required" in step for step in with_badge.steps)
+
+    def test_paper_floor_route(self):
+        world = paper_floor()
+        db = SpatialDatabase(world)
+        service = LocationService(db, clock=SimClock())
+        db.register_sensor("dummy", "X", 50.0, 60.0)
+        advisor = RouteAdvisor(service)
+        directions = advisor.directions_between("CS/Floor3/NetLab",
+                                                "CS/Floor3/HCILab")
+        assert directions is not None
+        assert len(directions.steps) == 2
+
+    def test_str_rendering(self, rig):
+        _, _, _, advisor = rig
+        text = str(advisor.directions_between("SC/3/3102",
+                                              "SC/3/HCILab"))
+        assert "SC/3/3102 -> SC/3/HCILab" in text
+        assert "1." in text
+
+
+class TestPersonRouting:
+    def test_directions_for_located_person(self, rig):
+        clock, service, ubi, advisor = rig
+        ubi.tag_sighting("alice", Point(30, 20), 0.0)  # room 3102
+        clock.advance(1.0)
+        directions = advisor.directions_for("alice", "SC/3/HCILab")
+        assert directions is not None
+        assert directions.origin == "SC/3/3102"
+
+    def test_already_there(self, rig):
+        clock, service, ubi, advisor = rig
+        ubi.tag_sighting("alice", Point(290, 10), 0.0)  # HCILab
+        clock.advance(1.0)
+        directions = advisor.directions_for("alice", "SC/3/HCILab")
+        assert directions.distance_ft == 0.0
+        assert directions.steps == ["you are already there"]
+
+    def test_unlocatable_person(self, rig):
+        _, _, _, advisor = rig
+        assert advisor.directions_for("ghost", "SC/3/HCILab") is None
+
+    def test_guide_to_person(self, rig):
+        clock, service, ubi, advisor = rig
+        ubi.tag_sighting("alice", Point(30, 20), 0.0)   # 3102
+        ubi.tag_sighting("bob", Point(290, 10), 0.0)    # HCILab
+        clock.advance(1.0)
+        directions = advisor.guide_to_person("alice", "bob")
+        assert directions is not None
+        assert directions.destination == "SC/3/HCILab"
+
+    def test_advise_locked_destination(self, rig):
+        clock, service, ubi, advisor = rig
+        ubi.tag_sighting("alice", Point(30, 20), 0.0)
+        clock.advance(1.0)
+        answer = advisor.advise("alice", "SC/3/3105")
+        assert "no unrestricted path" in answer
+        assert "badge" in answer
+
+    def test_advise_unlocatable(self, rig):
+        _, _, _, advisor = rig
+        answer = advisor.advise("ghost", "SC/3/HCILab")
+        assert "cannot find a route" in answer

@@ -1,0 +1,178 @@
+"""Tests for the calibration estimators (the paper's future work)."""
+
+import math
+import random
+
+import pytest
+
+from repro.core import (
+    CalibrationReport,
+    CarryProbabilityEstimator,
+    DetectionProbabilityEstimator,
+    ExponentialTDF,
+    MisidentificationEstimator,
+    SensorSpec,
+    TdfFitter,
+    wilson_interval,
+)
+from repro.errors import CalibrationError
+
+
+class TestWilsonInterval:
+    def test_point_estimate_is_rate(self):
+        estimate = wilson_interval(70, 100)
+        assert estimate.value == pytest.approx(0.7)
+        assert estimate.low < 0.7 < estimate.high
+
+    def test_interval_narrows_with_trials(self):
+        wide = wilson_interval(7, 10)
+        narrow = wilson_interval(700, 1000)
+        assert narrow.width < wide.width
+
+    def test_bounds_clamped(self):
+        estimate = wilson_interval(0, 10)
+        assert estimate.low == 0.0
+        estimate = wilson_interval(10, 10)
+        assert estimate.high == 1.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(CalibrationError):
+            wilson_interval(1, 0)
+        with pytest.raises(CalibrationError):
+            wilson_interval(11, 10)
+
+
+class TestRateEstimators:
+    def test_detection_estimator_recovers_rate(self):
+        rng = random.Random(1)
+        estimator = DetectionProbabilityEstimator()
+        for _ in range(2000):
+            estimator.record_device_present_trial(rng.random() < 0.75)
+        estimate = estimator.estimate()
+        assert estimate.low <= 0.75 <= estimate.high
+
+    def test_misident_estimator(self):
+        rng = random.Random(2)
+        estimator = MisidentificationEstimator()
+        for _ in range(5000):
+            estimator.record_absence_trial(rng.random() < 0.02)
+        estimate = estimator.estimate()
+        assert estimate.low <= 0.02 <= estimate.high
+
+    def test_carry_estimator_divides_out_y(self):
+        rng = random.Random(3)
+        x_true, y_true = 0.8, 0.75
+        estimator = CarryProbabilityEstimator(y_true)
+        for _ in range(4000):
+            detected = rng.random() < x_true * y_true
+            estimator.record_presence_trial(detected)
+        estimate = estimator.estimate()
+        assert estimate.value == pytest.approx(x_true, abs=0.05)
+
+    def test_carry_estimator_invalid_y(self):
+        with pytest.raises(CalibrationError):
+            CarryProbabilityEstimator(0.0)
+
+    def test_no_trials_rejected(self):
+        with pytest.raises(CalibrationError):
+            DetectionProbabilityEstimator().estimate()
+
+
+class TestTdfFitter:
+    def test_recovers_half_life(self):
+        rng = random.Random(4)
+        fitter = TdfFitter(bucket_width=5.0)
+        true_half_life = 30.0
+        for _ in range(8000):
+            age = rng.uniform(0.0, 60.0)
+            survival = math.pow(0.5, age / true_half_life)
+            fitter.record(age, rng.random() < survival)
+        fit = fitter.fit()
+        assert fit.half_life == pytest.approx(true_half_life, rel=0.25)
+        assert isinstance(fit.tdf, ExponentialTDF)
+        assert fit.rmse < 0.15
+
+    def test_no_decay_gives_infinite_half_life(self):
+        fitter = TdfFitter(bucket_width=5.0)
+        for age in (1.0, 6.0, 11.0, 16.0, 21.0) * 20:
+            fitter.record(age, True)
+        fit = fitter.fit()
+        assert fit.half_life == float("inf")
+
+    def test_needs_two_buckets(self):
+        fitter = TdfFitter(bucket_width=100.0)
+        for _ in range(10):
+            fitter.record(1.0, True)
+        with pytest.raises(CalibrationError):
+            fitter.fit()
+
+    def test_negative_age_rejected(self):
+        with pytest.raises(CalibrationError):
+            TdfFitter().record(-1.0, True)
+
+    def test_invalid_bucket_width(self):
+        with pytest.raises(CalibrationError):
+            TdfFitter(bucket_width=0.0)
+
+
+class TestCalibrationReport:
+    def _report(self) -> CalibrationReport:
+        from repro.core.calibration import RateEstimate
+        return CalibrationReport(
+            sensor_type="RF",
+            x=RateEstimate(0.9, 0.85, 0.95, 300),
+            y=RateEstimate(0.75, 0.7, 0.8, 300),
+            z=RateEstimate(0.02, 0.01, 0.03, 2000),
+        )
+
+    def test_derived_pq(self):
+        report = self._report()
+        assert report.p == pytest.approx(0.75 * 0.9 + 0.02 * 0.1)
+        assert report.q == pytest.approx(0.02 + 0.75 * 0.1)
+
+    def test_to_spec_keeps_geometry(self):
+        report = self._report()
+        reference = SensorSpec("RF", 0.5, 0.5, 0.5, z_area_scaled=True,
+                               resolution=15.0, time_to_live=60.0)
+        spec = report.to_spec(reference)
+        assert spec.carry_probability == 0.9
+        assert spec.detection_probability == 0.75
+        assert spec.z_area_scaled
+        assert spec.resolution == 15.0
+
+    def test_summary_mentions_everything(self):
+        text = self._report().summary()
+        assert "x = 0.900" in text
+        assert "derived p" in text
+
+
+class TestSimulatedStudy:
+    def test_study_recovers_station_parameters(self):
+        from repro.sim import Scenario, SensorStudy
+
+        scenario = Scenario(seed=4)
+        station = scenario.deployment.install_rf_station(
+            "RF-S", "SC/3/Corridor", misident_rate=0.002)
+        scenario.add_people(8)
+        study = SensorStudy(scenario, station)
+        study.run(1800, dt=1.0)
+        report = study.report()
+        # True per-scan parameters: y = 0.75, z = 0.002.
+        assert report.y.value == pytest.approx(0.75, abs=0.12)
+        assert report.z.low <= 0.004
+        assert 0 < report.z.value < 0.02
+        assert report.x.trials > 50
+
+    def test_calibrated_spec_usable_by_fusion(self):
+        from repro.sim import Scenario, SensorStudy
+
+        scenario = Scenario(seed=9)
+        station = scenario.deployment.install_rf_station(
+            "RF-S", "SC/3/Corridor")
+        scenario.add_people(6)
+        study = SensorStudy(scenario, station)
+        study.run(900, dt=1.0)
+        spec = study.report(fit_tdf=False).to_spec(station.adapter.spec)
+        # The calibrated spec plugs straight into the error model.
+        p, q = spec.pq(900.0, scenario.db.universe().area)
+        assert 0.0 <= q <= p <= 1.0

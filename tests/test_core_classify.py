@@ -1,0 +1,74 @@
+"""Unit tests for probability-space classification (Section 4.4)."""
+
+import pytest
+
+from repro.core import ProbabilityBucket, ProbabilityClassifier
+from repro.errors import FusionError
+
+
+class TestBoundaries:
+    def test_boundaries_are_min_median_max(self):
+        classifier = ProbabilityClassifier([0.75, 0.95, 0.99])
+        assert classifier.boundaries == [0.75, 0.95, 0.99]
+
+    def test_even_count_uses_median(self):
+        classifier = ProbabilityClassifier([0.6, 0.8])
+        assert classifier.medium_bound == pytest.approx(0.7)
+
+    def test_empty_sensors_rejected(self):
+        with pytest.raises(FusionError):
+            ProbabilityClassifier([])
+
+    def test_invalid_p_rejected(self):
+        with pytest.raises(FusionError):
+            ProbabilityClassifier([0.5, 1.5])
+
+
+class TestClassification:
+    @pytest.fixture
+    def classifier(self):
+        # Deployed sensor ps as in the paper's technologies.
+        return ProbabilityClassifier([0.75, 0.95, 0.99])
+
+    def test_paper_bucket_scheme(self, classifier):
+        # (0, min] low; (min, median] medium; (median, max] high;
+        # (max, 1] very high.
+        assert classifier.classify(0.5) is ProbabilityBucket.LOW
+        assert classifier.classify(0.75) is ProbabilityBucket.LOW
+        assert classifier.classify(0.80) is ProbabilityBucket.MEDIUM
+        assert classifier.classify(0.95) is ProbabilityBucket.MEDIUM
+        assert classifier.classify(0.97) is ProbabilityBucket.HIGH
+        assert classifier.classify(0.99) is ProbabilityBucket.HIGH
+        assert classifier.classify(0.995) is ProbabilityBucket.VERY_HIGH
+        assert classifier.classify(1.0) is ProbabilityBucket.VERY_HIGH
+
+    def test_zero_probability_is_low(self, classifier):
+        assert classifier.classify(0.0) is ProbabilityBucket.LOW
+
+    def test_out_of_range_rejected(self, classifier):
+        with pytest.raises(FusionError):
+            classifier.classify(1.01)
+
+    def test_at_least(self, classifier):
+        assert classifier.at_least(0.97, ProbabilityBucket.HIGH)
+        assert classifier.at_least(0.97, ProbabilityBucket.MEDIUM)
+        assert not classifier.at_least(0.8, ProbabilityBucket.HIGH)
+
+
+class TestBucketOrdering:
+    def test_total_order(self):
+        order = [ProbabilityBucket.LOW, ProbabilityBucket.MEDIUM,
+                 ProbabilityBucket.HIGH, ProbabilityBucket.VERY_HIGH]
+        for i, lower in enumerate(order):
+            for higher in order[i + 1:]:
+                assert lower < higher
+                assert higher > lower
+                assert lower <= higher
+                assert higher >= higher
+
+    def test_equality(self):
+        assert ProbabilityBucket.HIGH >= ProbabilityBucket.HIGH
+        assert not ProbabilityBucket.HIGH > ProbabilityBucket.HIGH
+
+    def test_value_strings(self):
+        assert ProbabilityBucket.VERY_HIGH.value == "very_high"

@@ -1,0 +1,119 @@
+"""Unit tests for conflict resolution (Section 4.1.2, case 3)."""
+
+import pytest
+
+from repro.core import (
+    ConflictResolver,
+    FreshestReadingRule,
+    HighestProbabilityRule,
+    MovingRectangleRule,
+    NormalizedReading,
+    SensorSpec,
+)
+from repro.errors import ConflictError
+from repro.geometry import Rect
+
+UNIVERSE_AREA = 50000.0
+
+
+def reading(rect: Rect, p_like: float = 0.9, time: float = 0.0,
+            moving: bool = False, sensor: str = "S") -> NormalizedReading:
+    spec = SensorSpec("T", 1.0, p_like, 1.0 - p_like, resolution=5.0,
+                      time_to_live=1e9)
+    return NormalizedReading(sensor, "tom", rect, time, spec, moving)
+
+
+class TestMovingRule:
+    def test_moving_component_wins(self):
+        readings = [reading(Rect(0, 0, 10, 10), moving=False),
+                    reading(Rect(100, 0, 110, 10), moving=True)]
+        components = [{0}, {1}]
+        rule = MovingRectangleRule()
+        assert rule.filter(components, readings, [0, 1], 0.0,
+                           UNIVERSE_AREA) == [1]
+
+    def test_no_moving_passes_through(self):
+        readings = [reading(Rect(0, 0, 10, 10)),
+                    reading(Rect(100, 0, 110, 10))]
+        rule = MovingRectangleRule()
+        assert rule.filter([{0}, {1}], readings, [0, 1], 0.0,
+                           UNIVERSE_AREA) == [0, 1]
+
+    def test_both_moving_passes_both(self):
+        readings = [reading(Rect(0, 0, 10, 10), moving=True),
+                    reading(Rect(100, 0, 110, 10), moving=True)]
+        rule = MovingRectangleRule()
+        assert rule.filter([{0}, {1}], readings, [0, 1], 0.0,
+                           UNIVERSE_AREA) == [0, 1]
+
+
+class TestHighestProbabilityRule:
+    def test_stronger_sensor_wins(self):
+        readings = [reading(Rect(0, 0, 10, 10), p_like=0.99),
+                    reading(Rect(100, 0, 110, 10), p_like=0.6)]
+        rule = HighestProbabilityRule()
+        assert rule.filter([{0}, {1}], readings, [0, 1], 0.0,
+                           UNIVERSE_AREA) == [0]
+
+    def test_bigger_region_can_beat_better_sensor(self):
+        # Equation (5) weighs area: a room-sized claim from a modest
+        # sensor can outscore a pinpoint claim from a great one.
+        readings = [reading(Rect(0, 0, 1, 1), p_like=0.99),
+                    reading(Rect(100, 0, 200, 100), p_like=0.9)]
+        rule = HighestProbabilityRule()
+        assert rule.filter([{0}, {1}], readings, [0, 1], 0.0,
+                           UNIVERSE_AREA) == [1]
+
+
+class TestFreshestRule:
+    def test_newest_wins(self):
+        readings = [reading(Rect(0, 0, 10, 10), time=0.0),
+                    reading(Rect(100, 0, 110, 10), time=5.0)]
+        rule = FreshestReadingRule()
+        assert rule.filter([{0}, {1}], readings, [0, 1], 10.0,
+                           UNIVERSE_AREA) == [1]
+
+
+class TestResolver:
+    def test_single_component_short_circuits(self):
+        readings = [reading(Rect(0, 0, 10, 10))]
+        assert ConflictResolver().resolve([{0}], readings, 0.0,
+                                          UNIVERSE_AREA) == 0
+
+    def test_paper_rule_order_moving_first(self):
+        # Rule 1 beats rule 2: a moving weak reading wins over a
+        # stationary strong one.
+        readings = [reading(Rect(0, 0, 10, 10), p_like=0.99, moving=False),
+                    reading(Rect(100, 0, 110, 10), p_like=0.6,
+                            moving=True)]
+        winner = ConflictResolver().resolve([{0}, {1}], readings, 0.0,
+                                            UNIVERSE_AREA)
+        assert winner == 1
+
+    def test_probability_rule_when_nothing_moves(self):
+        readings = [reading(Rect(0, 0, 10, 10), p_like=0.99),
+                    reading(Rect(100, 0, 110, 10), p_like=0.6)]
+        winner = ConflictResolver().resolve([{0}, {1}], readings, 0.0,
+                                            UNIVERSE_AREA)
+        assert winner == 0
+
+    def test_freshness_tiebreak(self):
+        readings = [reading(Rect(0, 0, 10, 10), time=0.0),
+                    reading(Rect(100, 0, 110, 10), time=9.0)]
+        winner = ConflictResolver().resolve([{0}, {1}], readings, 10.0,
+                                            UNIVERSE_AREA)
+        assert winner == 1
+
+    def test_empty_components_rejected(self):
+        with pytest.raises(ConflictError):
+            ConflictResolver().resolve([], [], 0.0, UNIVERSE_AREA)
+
+    def test_three_way_conflict(self):
+        readings = [
+            reading(Rect(0, 0, 10, 10), p_like=0.7),
+            reading(Rect(100, 0, 110, 10), p_like=0.9),
+            reading(Rect(200, 0, 210, 10), p_like=0.8),
+        ]
+        winner = ConflictResolver().resolve([{0}, {1}, {2}], readings,
+                                            0.0, UNIVERSE_AREA)
+        assert winner == 1

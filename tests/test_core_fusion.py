@@ -1,0 +1,191 @@
+"""Tests for Equation (7), exact Bayes, support confidence and cells."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    CellDecomposition,
+    eq7_region_probability,
+    exact_region_probability,
+    support_confidence,
+)
+from repro.errors import FusionError
+from repro.geometry import Rect
+
+UNIVERSE = Rect(0.0, 0.0, 500.0, 100.0)
+
+
+class TestEq7:
+    def test_no_readings_gives_uniform_prior(self):
+        region = Rect(0, 0, 50, 50)
+        assert eq7_region_probability(region, [], UNIVERSE.area) == \
+            pytest.approx(region.area / UNIVERSE.area)
+
+    def test_single_reading_matches_eq5_shape(self):
+        region = Rect(10, 10, 40, 40)
+        value = eq7_region_probability(
+            region, [(region, 0.9, 0.1)], UNIVERSE.area)
+        # Eq. (7) with one sensor on its own rect:
+        # p*aR / (p*aR + q*aU) — note aU, not aU - aR (the printed
+        # general formula is slightly more conservative than Eq. 5).
+        a = region.area
+        expected = 0.9 * a / (0.9 * a + 0.1 * UNIVERSE.area)
+        assert value == pytest.approx(expected)
+
+    def test_result_in_unit_interval(self):
+        readings = [(Rect(0, 0, 30, 30), 0.9, 0.1),
+                    (Rect(10, 10, 50, 50), 0.8, 0.2)]
+        for region in (Rect(0, 0, 10, 10), Rect(5, 5, 45, 45), UNIVERSE):
+            value = eq7_region_probability(region, readings, UNIVERSE.area)
+            assert 0.0 <= value <= 1.0
+
+    def test_exact_reinforcement_property(self):
+        # The reinforcement the paper proves for Eq. (4) holds in the
+        # exact engine for the general case too.
+        region = Rect(10, 10, 40, 40)
+        one = exact_region_probability(
+            region, [(region, 0.9, 0.1)], UNIVERSE.area)
+        two = exact_region_probability(
+            region, [(region, 0.9, 0.1), (Rect(0, 0, 60, 60), 0.8, 0.2)],
+            UNIVERSE.area)
+        assert two > one
+
+    def test_printed_eq7_over_penalizes_extra_sensors(self):
+        # Documented inconsistency: the printed Eq. (7)'s denominator
+        # gains a ~q*aU factor per sensor, so at building scale a
+        # reinforcing reading *lowers* the printed value.  The exact
+        # mode (engine default) fixes this.
+        region = Rect(10, 10, 40, 40)
+        one = eq7_region_probability(
+            region, [(region, 0.9, 0.1)], UNIVERSE.area)
+        two = eq7_region_probability(
+            region, [(region, 0.9, 0.1), (Rect(0, 0, 60, 60), 0.8, 0.2)],
+            UNIVERSE.area)
+        assert two < one
+
+    def test_disjoint_reading_decreases_probability(self):
+        region = Rect(10, 10, 40, 40)
+        base = eq7_region_probability(
+            region, [(region, 0.9, 0.1)], UNIVERSE.area)
+        conflicted = eq7_region_probability(
+            region,
+            [(region, 0.9, 0.1), (Rect(400, 60, 450, 90), 0.9, 0.1)],
+            UNIVERSE.area)
+        assert conflicted < base
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(FusionError):
+            eq7_region_probability(
+                Rect(0, 0, 1, 1), [(Rect(0, 0, 1, 1), 1.1, 0.1)],
+                UNIVERSE.area)
+
+    def test_zero_universe_rejected(self):
+        with pytest.raises(FusionError):
+            eq7_region_probability(Rect(0, 0, 1, 1), [], 0.0)
+
+
+class TestExact:
+    def test_no_readings_gives_prior(self):
+        region = Rect(0, 0, 100, 100)
+        assert exact_region_probability(region, [], UNIVERSE.area) == \
+            pytest.approx(region.area / UNIVERSE.area)
+
+    def test_zero_area_region(self):
+        assert exact_region_probability(
+            Rect(5, 5, 5, 5), [(Rect(0, 0, 10, 10), 0.9, 0.1)],
+            UNIVERSE.area) == 0.0
+
+    def test_matches_cell_decomposition_on_reading_rect(self):
+        readings = [(Rect(0, 0, 30, 30), 0.9, 0.1),
+                    (Rect(20, 20, 60, 60), 0.8, 0.15)]
+        cells = CellDecomposition(readings, UNIVERSE)
+        for index, (rect, _, _) in enumerate(readings):
+            exact = exact_region_probability(rect, readings, UNIVERSE.area)
+            truth = cells.probability_in_reading(index)
+            # The region-level exact formula assumes within-region
+            # uniformity, so it agrees with the cell posterior closely
+            # but not perfectly on partially-overlapped rects.
+            assert exact == pytest.approx(truth, rel=0.15, abs=0.02)
+
+    def test_exact_matches_cells_perfectly_for_nested_rects(self):
+        inner = Rect(10, 10, 20, 20)
+        outer = Rect(0, 0, 40, 40)
+        readings = [(inner, 0.9, 0.05), (outer, 0.8, 0.1)]
+        cells = CellDecomposition(readings, UNIVERSE)
+        got = exact_region_probability(outer, readings, UNIVERSE.area)
+        truth = cells.probability_in_reading(1)
+        assert got == pytest.approx(truth, rel=1e-6)
+
+
+class TestSupportConfidence:
+    def test_empty_support_is_zero(self):
+        assert support_confidence([]) == 0.0
+
+    def test_single_sensor_with_complementary_q(self):
+        # q = 1 - p makes the confidence exactly p.
+        assert support_confidence([(0.8, 0.2)]) == pytest.approx(0.8)
+
+    def test_reinforcement_raises_confidence(self):
+        one = support_confidence([(0.9, 0.1)])
+        two = support_confidence([(0.9, 0.1), (0.8, 0.2)])
+        assert two > one
+
+    def test_uninformative_sensor_changes_nothing(self):
+        base = support_confidence([(0.9, 0.1)])
+        with_noise = support_confidence([(0.9, 0.1), (0.5, 0.5)])
+        assert with_noise == pytest.approx(base)
+
+    def test_anti_evidence_lowers_confidence(self):
+        base = support_confidence([(0.9, 0.1)])
+        doubted = support_confidence([(0.9, 0.1), (0.3, 0.7)])
+        assert doubted < base
+
+    def test_zero_p_gives_zero(self):
+        assert support_confidence([(0.0, 0.5)]) == 0.0
+
+    def test_invalid_pair_rejected(self):
+        with pytest.raises(FusionError):
+            support_confidence([(1.2, 0.1)])
+
+
+class TestCellDecomposition:
+    def test_posterior_sums_to_one(self):
+        readings = [(Rect(0, 0, 30, 30), 0.9, 0.1),
+                    (Rect(20, 20, 60, 60), 0.8, 0.15),
+                    (Rect(100, 0, 130, 30), 0.7, 0.2)]
+        cells = CellDecomposition(readings, UNIVERSE)
+        total = sum(cells.probability_of_signature(c.signature)
+                    for c in {frozenset(c.signature): c
+                              for c in cells.cells}.values())
+        assert total == pytest.approx(1.0)
+
+    def test_cell_areas_tile_universe(self):
+        readings = [(Rect(0, 0, 30, 30), 0.9, 0.1),
+                    (Rect(20, 20, 60, 60), 0.8, 0.15)]
+        cells = CellDecomposition(readings, UNIVERSE)
+        assert sum(c.area for c in cells.cells) == \
+            pytest.approx(UNIVERSE.area)
+
+    def test_probability_in_rect_of_universe_is_one(self):
+        readings = [(Rect(0, 0, 30, 30), 0.9, 0.1)]
+        cells = CellDecomposition(readings, UNIVERSE)
+        assert cells.probability_in_rect(UNIVERSE) == pytest.approx(1.0)
+
+    def test_intersection_cell_is_map_for_agreeing_sensors(self):
+        a = Rect(0, 0, 30, 30)
+        b = Rect(20, 20, 50, 50)
+        cells = CellDecomposition([(a, 0.9, 0.05), (b, 0.9, 0.05)],
+                                  UNIVERSE)
+        assert cells.map_signature() == frozenset({0, 1})
+
+    def test_reading_outside_universe_clipped(self):
+        readings = [(Rect(490, 90, 600, 200), 0.9, 0.1)]
+        cells = CellDecomposition(readings, UNIVERSE)
+        assert sum(c.area for c in cells.cells) == \
+            pytest.approx(UNIVERSE.area)
+
+    def test_unknown_reading_index_rejected(self):
+        cells = CellDecomposition([(Rect(0, 0, 1, 1), 0.9, 0.1)], UNIVERSE)
+        with pytest.raises(FusionError):
+            cells.probability_in_reading(5)

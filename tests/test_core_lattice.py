@@ -1,0 +1,141 @@
+"""Tests for the containment lattice (Section 4.1.2, Figures 5-6)."""
+
+import pytest
+
+from repro.core import BOTTOM, TOP, RegionLattice
+from repro.errors import FusionError
+from repro.geometry import Rect
+
+UNIVERSE = Rect(0.0, 0.0, 500.0, 100.0)
+
+
+def paper_five_sensor_layout():
+    """An arrangement shaped like the paper's Figure 5: S1, S2, S3
+    overlapping in a chain (making D, E), S4 inside S3, S5 disjoint."""
+    s1 = Rect(10, 10, 60, 60)
+    s2 = Rect(40, 20, 110, 70)
+    s3 = Rect(90, 10, 180, 80)
+    s4 = Rect(120, 30, 150, 60)     # inside S3
+    s5 = Rect(300, 20, 360, 70)     # disjoint from everyone
+    return [s1, s2, s3, s4, s5]
+
+
+class TestConstruction:
+    def test_single_rect(self):
+        lattice = RegionLattice([Rect(0, 0, 10, 10)], UNIVERSE)
+        assert len(lattice) == 3  # Top, the rect, Bottom
+        parents = lattice.parents_of_bottom()
+        assert len(parents) == 1
+        assert parents[0].rect == Rect(0, 0, 10, 10)
+
+    def test_empty_input(self):
+        lattice = RegionLattice([], UNIVERSE)
+        assert lattice.parents_of_bottom() == []
+
+    def test_duplicate_rects_are_interned(self):
+        r = Rect(0, 0, 10, 10)
+        lattice = RegionLattice([r, r], UNIVERSE)
+        node_ids = lattice.sensor_node_ids()
+        assert node_ids[0] == node_ids[1]
+        assert len(lattice) == 3
+
+    def test_intersections_create_new_nodes(self):
+        a = Rect(0, 0, 30, 30)
+        b = Rect(20, 20, 50, 50)
+        lattice = RegionLattice([a, b], UNIVERSE)
+        intersection_ids = lattice.intersection_node_ids()
+        assert len(intersection_ids) == 1
+        node = lattice.node(intersection_ids[0])
+        assert node.rect == Rect(20, 20, 30, 30)
+        assert node.sources == frozenset({0, 1})
+
+    def test_triple_intersection_closed(self):
+        a = Rect(0, 0, 30, 30)
+        b = Rect(10, 0, 40, 30)
+        c = Rect(20, 0, 50, 30)
+        lattice = RegionLattice([a, b, c], UNIVERSE)
+        triple = Rect(20, 0, 30, 30)
+        node = lattice.node_for_rect(triple)
+        assert node is not None
+        assert node.sources == frozenset({0, 1, 2})
+
+    def test_rect_outside_universe_rejected(self):
+        with pytest.raises(FusionError):
+            RegionLattice([Rect(1000, 1000, 1001, 1001)], UNIVERSE)
+
+    def test_node_cap_enforced(self):
+        rects = [Rect(i, 0, i + 50, 50) for i in range(0, 40)]
+        with pytest.raises(FusionError):
+            RegionLattice(rects, UNIVERSE, max_nodes=20)
+
+    def test_unknown_node_rejected(self):
+        lattice = RegionLattice([], UNIVERSE)
+        with pytest.raises(FusionError):
+            lattice.node("R99")
+
+
+class TestHasseStructure:
+    def test_paper_figure6_shape(self):
+        lattice = RegionLattice(paper_five_sensor_layout(), UNIVERSE)
+        lattice.check_invariants()
+        top = lattice.node(TOP)
+        sensor_ids = lattice.sensor_node_ids()
+        # S1, S2, S3 and S5 are maximal -> children of Top.  S4 sits
+        # inside S3 so it is NOT a child of Top.
+        assert set(sensor_ids[:3] + sensor_ids[4:]) <= top.children
+        assert sensor_ids[3] not in top.children
+
+    def test_s4_parent_is_s3(self):
+        lattice = RegionLattice(paper_five_sensor_layout(), UNIVERSE)
+        s3_id = lattice.sensor_node_ids()[2]
+        s4_id = lattice.sensor_node_ids()[3]
+        assert s3_id in lattice.node(s4_id).parents
+
+    def test_bottom_parents_are_minimal_regions(self):
+        lattice = RegionLattice(paper_five_sensor_layout(), UNIVERSE)
+        minimal = lattice.parents_of_bottom()
+        minimal_ids = {n.node_id for n in minimal}
+        # Minimal regions contain no other region.
+        for node in minimal:
+            assert node.children == {BOTTOM}
+        # S5 (disjoint, no intersections) must be minimal.
+        assert lattice.sensor_node_ids()[4] in minimal_ids
+
+    def test_sources_are_containing_rects(self):
+        rects = paper_five_sensor_layout()
+        lattice = RegionLattice(rects, UNIVERSE)
+        for node in lattice.region_nodes():
+            for i, rect in enumerate(rects):
+                if i in node.sources:
+                    assert rect.contains_rect(node.rect)
+                else:
+                    assert not rect.contains_rect(node.rect)
+
+    def test_invariants_on_grids(self):
+        rects = [Rect(10 * i, 10 * j, 10 * i + 15, 10 * j + 15)
+                 for i in range(3) for j in range(3)]
+        lattice = RegionLattice(rects, UNIVERSE)
+        lattice.check_invariants()
+
+
+class TestComponents:
+    def test_single_component_when_chained(self):
+        rects = paper_five_sensor_layout()[:4]
+        lattice = RegionLattice(rects, UNIVERSE)
+        assert lattice.components() == [{0, 1, 2, 3}]
+
+    def test_disjoint_rect_is_its_own_component(self):
+        lattice = RegionLattice(paper_five_sensor_layout(), UNIVERSE)
+        components = lattice.components()
+        assert len(components) == 2
+        assert {4} in components
+
+    def test_touching_rects_are_not_reinforcing(self):
+        # Zero-area intersection does not connect components.
+        a = Rect(0, 0, 10, 10)
+        b = Rect(10, 0, 20, 10)
+        lattice = RegionLattice([a, b], UNIVERSE)
+        assert len(lattice.components()) == 2
+
+    def test_empty_components(self):
+        assert RegionLattice([], UNIVERSE).components() == []

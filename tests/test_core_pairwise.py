@@ -1,0 +1,153 @@
+"""Tests for the paper's two-sensor formulas (Equations 4-6).
+
+These reproduce the analytic behaviour shown in the paper's Figures
+2-4: reinforcement under containment, intersection sharpening, and
+consistency between the equations.
+"""
+
+import pytest
+
+from repro.core import (
+    eq4_containment,
+    eq4_from_rects,
+    eq5_single_sensor,
+    eq6_corrected,
+    eq6_from_rects,
+    eq6_intersection,
+    exact_region_probability,
+)
+from repro.errors import FusionError
+from repro.geometry import Rect
+
+AREA_U = 50000.0  # the paper's building floor area scale
+
+
+class TestEq5:
+    def test_value_in_unit_interval(self):
+        p = eq5_single_sensor(600.0, AREA_U, 0.95, 0.05)
+        assert 0.0 <= p <= 1.0
+
+    def test_better_sensor_gives_higher_probability(self):
+        weak = eq5_single_sensor(600.0, AREA_U, 0.75, 0.25)
+        strong = eq5_single_sensor(600.0, AREA_U, 0.99, 0.01)
+        assert strong > weak
+
+    def test_whole_universe_is_certain(self):
+        assert eq5_single_sensor(AREA_U, AREA_U, 0.9, 0.1) == 1.0
+
+    def test_zero_area_region_is_impossible(self):
+        assert eq5_single_sensor(0.0, AREA_U, 0.9, 0.1) == 0.0
+
+    def test_matches_exact_bayes(self):
+        # Eq. (5) is exact Bayes with a uniform prior.
+        region = Rect(0, 0, 30, 20)
+        universe_area = AREA_U
+        expected = exact_region_probability(
+            region, [(region, 0.9, 0.1)], universe_area)
+        got = eq5_single_sensor(region.area, universe_area, 0.9, 0.1)
+        assert got == pytest.approx(expected)
+
+    def test_area_out_of_range_rejected(self):
+        with pytest.raises(FusionError):
+            eq5_single_sensor(100.0, 50.0, 0.9, 0.1)
+
+
+class TestEq4:
+    def test_reinforcement_property(self):
+        """The paper: P(B | s1, s2) > P(B | s2) whenever p1 > q1."""
+        area_a, area_b = 100.0, 900.0
+        p1, q1, p2, q2 = 0.9, 0.05, 0.8, 0.1
+        both = eq4_containment(area_a, area_b, AREA_U, p1, q1, p2, q2)
+        single = eq5_single_sensor(area_b, AREA_U, p2, q2)
+        assert both > single
+
+    def test_no_reinforcement_when_p_equals_q(self):
+        # An uninformative inner sensor must not change the answer.
+        area_a, area_b = 100.0, 900.0
+        both = eq4_containment(area_a, area_b, AREA_U, 0.5, 0.5, 0.8, 0.1)
+        single = eq5_single_sensor(area_b, AREA_U, 0.8, 0.1)
+        assert both == pytest.approx(single)
+
+    def test_matches_exact_bayes(self):
+        # Eq. (4) is derived exactly in the paper; our exact engine
+        # must agree with the printed closed form.
+        inner = Rect(100, 10, 110, 20)
+        outer = Rect(90, 0, 140, 50)
+        universe = Rect(0, 0, 500, 100)
+        p1, q1, p2, q2 = 0.9, 0.05, 0.8, 0.1
+        printed = eq4_from_rects(inner, outer, universe, p1, q1, p2, q2)
+        exact = exact_region_probability(
+            outer, [(inner, p1, q1), (outer, p2, q2)], universe.area)
+        assert printed == pytest.approx(exact, rel=1e-9)
+
+    def test_rect_variant_requires_containment(self):
+        with pytest.raises(FusionError):
+            eq4_from_rects(Rect(0, 0, 10, 10), Rect(5, 5, 8, 8),
+                           Rect(0, 0, 100, 100), 0.9, 0.1, 0.9, 0.1)
+
+    def test_inconsistent_areas_rejected(self):
+        with pytest.raises(FusionError):
+            eq4_containment(900.0, 100.0, AREA_U, 0.9, 0.1, 0.9, 0.1)
+
+
+class TestEq6:
+    def test_corrected_intersection_beats_prior(self):
+        # Two agreeing sensors concentrate probability in C = A ∩ B.
+        area_a = area_b = 400.0
+        area_c = 100.0
+        value = eq6_corrected(area_a, area_b, area_c, AREA_U,
+                              0.9, 0.05, 0.9, 0.05)
+        prior = area_c / AREA_U
+        assert value > prior
+
+    def test_printed_form_underestimates_by_outside_area(self):
+        # The printed Eq. (6) omits a 1/(aU - aC) normalization; at
+        # building scale it is therefore smaller than the corrected
+        # posterior by almost exactly that factor.
+        area_a = area_b = 400.0
+        area_c = 100.0
+        printed = eq6_intersection(area_a, area_b, area_c, AREA_U,
+                                   0.9, 0.05, 0.9, 0.05)
+        corrected = eq6_corrected(area_a, area_b, area_c, AREA_U,
+                                  0.9, 0.05, 0.9, 0.05)
+        assert printed < corrected
+        # Odds ratio between the two equals (aU - aC).
+        printed_odds = printed / (1.0 - printed)
+        corrected_odds = corrected / (1.0 - corrected)
+        assert corrected_odds / printed_odds == \
+            pytest.approx(AREA_U - area_c)
+
+    def test_corrected_matches_exact_bayes(self):
+        a = Rect(0, 0, 20, 20)
+        b = Rect(10, 10, 30, 30)
+        universe = Rect(0, 0, 500, 100)
+        c_area = a.intersection_area(b)
+        corrected = eq6_corrected(a.area, b.area, c_area, universe.area,
+                                  0.9, 0.05, 0.8, 0.1)
+        exact = exact_region_probability(
+            a.intersection(b), [(a, 0.9, 0.05), (b, 0.8, 0.1)],
+            universe.area)
+        assert corrected == pytest.approx(exact, rel=1e-9)
+
+    def test_larger_overlap_means_higher_probability(self):
+        small = eq6_intersection(400.0, 400.0, 50.0, AREA_U,
+                                 0.9, 0.05, 0.9, 0.05)
+        large = eq6_intersection(400.0, 400.0, 300.0, AREA_U,
+                                 0.9, 0.05, 0.9, 0.05)
+        assert large > small
+
+    def test_rect_variant(self):
+        a = Rect(0, 0, 20, 20)
+        b = Rect(10, 10, 30, 30)
+        universe = Rect(0, 0, 500, 100)
+        value = eq6_from_rects(a, b, universe, 0.9, 0.05, 0.9, 0.05)
+        assert 0.0 < value < 1.0
+
+    def test_rect_variant_requires_overlap(self):
+        with pytest.raises(FusionError):
+            eq6_from_rects(Rect(0, 0, 1, 1), Rect(5, 5, 6, 6),
+                           Rect(0, 0, 100, 100), 0.9, 0.1, 0.9, 0.1)
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(FusionError):
+            eq6_intersection(10, 10, 5, 100, 1.2, 0.1, 0.9, 0.1)

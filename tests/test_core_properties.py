@@ -1,0 +1,133 @@
+"""Property-based tests (hypothesis) on fusion invariants."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    CellDecomposition,
+    RegionLattice,
+    eq5_single_sensor,
+    eq7_region_probability,
+    exact_region_probability,
+    support_confidence,
+)
+from repro.geometry import Rect
+
+UNIVERSE = Rect(0.0, 0.0, 500.0, 100.0)
+
+probs = st.floats(min_value=0.01, max_value=0.99, allow_nan=False)
+
+
+@st.composite
+def inner_rects(draw):
+    x = draw(st.floats(0, 450))
+    y = draw(st.floats(0, 80))
+    w = draw(st.floats(1, 50))
+    h = draw(st.floats(1, 20))
+    return Rect(x, y, min(500.0, x + w), min(100.0, y + h))
+
+
+@st.composite
+def weighted_readings(draw):
+    rect = draw(inner_rects())
+    p = draw(probs)
+    q = draw(probs)
+    return (rect, p, q)
+
+
+class TestPosteriorInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(weighted_readings(), min_size=0, max_size=5),
+           inner_rects())
+    def test_eq7_in_unit_interval(self, readings, region):
+        value = eq7_region_probability(region, readings, UNIVERSE.area)
+        assert 0.0 <= value <= 1.0
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(weighted_readings(), min_size=0, max_size=5),
+           inner_rects())
+    def test_exact_in_unit_interval(self, readings, region):
+        value = exact_region_probability(region, readings, UNIVERSE.area)
+        assert 0.0 <= value <= 1.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(weighted_readings(), min_size=1, max_size=4))
+    def test_cell_posterior_normalized(self, readings):
+        cells = CellDecomposition(readings, UNIVERSE)
+        total = sum(cells._posterior.values())
+        assert math.isclose(total, 1.0, rel_tol=1e-9)
+        assert math.isclose(sum(c.area for c in cells.cells),
+                            UNIVERSE.area, rel_tol=1e-9)
+
+    @settings(max_examples=40, deadline=None)
+    @given(inner_rects(), probs, probs)
+    def test_single_sensor_exact_equals_eq5(self, rect, p, q):
+        exact = exact_region_probability(rect, [(rect, p, q)],
+                                         UNIVERSE.area)
+        printed = eq5_single_sensor(rect.area, UNIVERSE.area, p, q)
+        assert math.isclose(exact, printed, rel_tol=1e-9, abs_tol=1e-12)
+
+    @settings(max_examples=40, deadline=None)
+    @given(inner_rects(), probs)
+    def test_reinforcement_monotone_in_exact_mode(self, rect, p):
+        # Adding an identical reading with p > q never lowers the
+        # exact posterior of the region.
+        q = min(0.99, max(0.01, 1.0 - p))
+        if p <= q:
+            p, q = q, p
+        if p == q:
+            return
+        one = exact_region_probability(rect, [(rect, p, q)],
+                                       UNIVERSE.area)
+        two = exact_region_probability(rect, [(rect, p, q)] * 2,
+                                       UNIVERSE.area)
+        assert two >= one - 1e-12
+
+
+class TestSupportConfidenceInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.tuples(probs, probs), min_size=1, max_size=6))
+    def test_in_unit_interval(self, pairs):
+        assert 0.0 <= support_confidence(pairs) <= 1.0
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.tuples(probs, probs), min_size=1, max_size=5),
+           probs)
+    def test_adding_good_sensor_never_hurts(self, pairs, p):
+        base = support_confidence(pairs)
+        q = p * 0.5  # strictly better than uninformative
+        assert support_confidence(pairs + [(p, q)]) >= base - 1e-12
+
+
+class TestLatticeInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(inner_rects(), min_size=0, max_size=6))
+    def test_structural_invariants(self, rects):
+        lattice = RegionLattice(rects, UNIVERSE)
+        lattice.check_invariants()
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(inner_rects(), min_size=1, max_size=6))
+    def test_components_partition_inputs(self, rects):
+        lattice = RegionLattice(rects, UNIVERSE)
+        components = lattice.components()
+        union = set()
+        for component in components:
+            assert not (union & component)
+            union |= component
+        assert union == set(range(len(rects)))
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(inner_rects(), min_size=1, max_size=5))
+    def test_minimal_regions_contain_no_other_node(self, rects):
+        lattice = RegionLattice(rects, UNIVERSE)
+        region_rects = [n.rect for n in lattice.region_nodes()]
+        for node in lattice.parents_of_bottom():
+            for other in region_rects:
+                if other == node.rect:
+                    continue
+                contained = node.rect.contains_rect(other) and \
+                    node.rect.area > other.area + 1e-9
+                assert not contained

@@ -1,0 +1,70 @@
+"""Unit tests for normalized readings."""
+
+import pytest
+
+from repro.core import (
+    LinearTDF,
+    NormalizedReading,
+    SensorSpec,
+    reading_from_coordinate,
+    reading_from_region,
+)
+from repro.errors import SensorError
+from repro.geometry import Point, Rect
+
+
+@pytest.fixture
+def spec() -> SensorSpec:
+    return SensorSpec("T", 1.0, 0.9, 0.05, resolution=5.0,
+                      time_to_live=60.0, tdf=LinearTDF(zero_at=120.0))
+
+
+class TestNormalization:
+    def test_coordinate_reading_becomes_bounding_square(self, spec):
+        reading = reading_from_coordinate("S1", "tom", spec,
+                                          Point(100, 50), time=0.0)
+        assert reading.rect == Rect(95, 45, 105, 55)
+
+    def test_explicit_error_radius_overrides_resolution(self, spec):
+        reading = reading_from_coordinate("S1", "tom", spec, Point(0, 0),
+                                          time=0.0, error_radius=1.0)
+        assert reading.rect == Rect(-1, -1, 1, 1)
+
+    def test_missing_radius_rejected(self):
+        symbolic_spec = SensorSpec("Card", 1.0, 0.98, 0.02,
+                                   resolution=None)
+        with pytest.raises(SensorError):
+            reading_from_coordinate("S1", "tom", symbolic_spec,
+                                    Point(0, 0), time=0.0)
+
+    def test_region_reading_keeps_rect(self, spec):
+        room = Rect(0, 0, 20, 30)
+        reading = reading_from_region("S1", "tom", spec, room, time=0.0)
+        assert reading.rect == room
+
+
+class TestFreshness:
+    def test_age(self, spec):
+        reading = reading_from_coordinate("S1", "tom", spec, Point(0, 0),
+                                          time=10.0)
+        assert reading.age_at(25.0) == 15.0
+        assert reading.age_at(5.0) == 0.0  # clock skew clamped
+
+    def test_expiry(self, spec):
+        reading = reading_from_coordinate("S1", "tom", spec, Point(0, 0),
+                                          time=0.0)
+        assert not reading.is_expired_at(60.0)
+        assert reading.is_expired_at(60.1)
+
+    def test_pq_degrades_with_time(self, spec):
+        reading = reading_from_coordinate("S1", "tom", spec, Point(0, 0),
+                                          time=0.0)
+        p_fresh, q_fresh = reading.pq_at(0.0, 50000.0)
+        p_stale, q_stale = reading.pq_at(60.0, 50000.0)
+        assert p_stale < p_fresh
+        assert q_stale == q_fresh  # q is time-invariant
+
+    def test_moving_flag_defaults_false(self, spec):
+        reading = reading_from_region("S1", "tom", spec,
+                                      Rect(0, 0, 1, 1), time=0.0)
+        assert not reading.moving

@@ -1,0 +1,116 @@
+"""Unit tests for the sensor error model (Section 4.1.1)."""
+
+import pytest
+
+from repro.core import ConstantTDF, LinearTDF, SensorSpec, derive_pq
+from repro.errors import SensorError
+
+
+class TestDerivePq:
+    def test_biometric_case(self):
+        # x = 1: p = y, q = z exactly.
+        p, q = derive_pq(x=1.0, y=0.99, z=0.01)
+        assert p == pytest.approx(0.99)
+        assert q == pytest.approx(0.01)
+
+    def test_paper_algebra_for_q(self):
+        # q = z*x + (y+z)*(1-x) = z + y*(1-x).
+        x, y, z = 0.9, 0.95, 0.05
+        _, q = derive_pq(x, y, z)
+        assert q == pytest.approx(z + y * (1 - x))
+
+    def test_detection_probability(self):
+        # p = y*x + z*(1-x): carrying -> detected at y, else misID at z.
+        x, y, z = 0.8, 0.9, 0.1
+        p, _ = derive_pq(x, y, z)
+        assert p == pytest.approx(0.9 * 0.8 + 0.1 * 0.2)
+
+    def test_q_clamped_to_one(self):
+        _, q = derive_pq(x=0.0, y=1.0, z=0.5)
+        assert q == 1.0
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(SensorError):
+            derive_pq(1.5, 0.5, 0.5)
+        with pytest.raises(SensorError):
+            derive_pq(0.5, -0.1, 0.5)
+
+    def test_p_greater_than_q_for_good_sensors(self):
+        # A sensor worth deploying detects better than it hallucinates.
+        for x in (0.85, 0.9, 1.0):
+            p, q = derive_pq(x, 0.95, 0.05)
+            assert p > q
+
+
+class TestSpecValidation:
+    def test_negative_resolution_rejected(self):
+        with pytest.raises(SensorError):
+            SensorSpec("T", 1.0, 0.9, 0.1, resolution=-1.0)
+
+    def test_zero_ttl_rejected(self):
+        with pytest.raises(SensorError):
+            SensorSpec("T", 1.0, 0.9, 0.1, time_to_live=0.0)
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(SensorError):
+            SensorSpec("T", 2.0, 0.9, 0.1)
+
+
+class TestAreaScaledZ:
+    def test_ubisense_calibration(self):
+        # "z = 0.05 * area(A)/area(U)" for Ubisense (Section 6).
+        spec = SensorSpec("Ubisense", 0.9, 0.95, 0.05, z_area_scaled=True,
+                          resolution=0.5, time_to_live=3.0)
+        z = spec.effective_z(reading_area=1.0, universe_area=50000.0)
+        assert z == pytest.approx(0.05 / 50000.0)
+
+    def test_fixed_z_ignores_area(self):
+        spec = SensorSpec("Bio", 1.0, 0.99, 0.01)
+        assert spec.effective_z(1.0, 50000.0) == 0.01
+        assert spec.effective_z(10000.0, 50000.0) == 0.01
+
+    def test_ratio_clamped(self):
+        spec = SensorSpec("X", 0.9, 0.9, 0.2, z_area_scaled=True)
+        assert spec.effective_z(99999.0, 100.0) == pytest.approx(0.2)
+
+    def test_zero_universe_rejected(self):
+        spec = SensorSpec("X", 0.9, 0.9, 0.2, z_area_scaled=True)
+        with pytest.raises(SensorError):
+            spec.effective_z(1.0, 0.0)
+
+    def test_pq_uses_effective_z(self):
+        spec = SensorSpec("X", 1.0, 0.9, 0.5, z_area_scaled=True)
+        p_small, q_small = spec.pq(1.0, 1000.0)
+        p_big, q_big = spec.pq(500.0, 1000.0)
+        assert q_small < q_big          # bigger claims are easier to fake
+        assert p_small <= p_big
+
+
+class TestTemporalDegradation:
+    def test_degraded_p_decreases_with_age(self):
+        spec = SensorSpec("T", 1.0, 0.9, 0.05,
+                          tdf=LinearTDF(zero_at=100.0))
+        fresh = spec.degraded_p(1.0, 1000.0, 0.0)
+        stale = spec.degraded_p(1.0, 1000.0, 50.0)
+        assert stale < fresh
+
+    def test_degraded_p_floored_at_q(self):
+        # Degradation never turns a reading into anti-evidence.
+        spec = SensorSpec("T", 1.0, 0.9, 0.05,
+                          tdf=LinearTDF(zero_at=10.0))
+        _, q = spec.pq(1.0, 1000.0)
+        assert spec.degraded_p(1.0, 1000.0, 1e6) == pytest.approx(q)
+
+    def test_constant_tdf_keeps_p(self):
+        spec = SensorSpec("T", 1.0, 0.9, 0.05, tdf=ConstantTDF())
+        assert spec.degraded_p(1.0, 1000.0, 500.0) == \
+            spec.degraded_p(1.0, 1000.0, 0.0)
+
+    def test_expiry(self):
+        spec = SensorSpec("T", 1.0, 0.9, 0.05, time_to_live=60.0)
+        assert not spec.is_expired(60.0)
+        assert spec.is_expired(60.01)
+
+    def test_confidence_percent(self):
+        spec = SensorSpec("T", 1.0, 0.93, 0.01)
+        assert spec.confidence_percent() == pytest.approx(93.0)

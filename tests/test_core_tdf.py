@@ -1,0 +1,100 @@
+"""Unit tests for temporal degradation functions (Section 3.2)."""
+
+import math
+
+import pytest
+
+from repro.core import ConstantTDF, ExponentialTDF, LinearTDF, StepTDF
+from repro.errors import SensorError
+
+
+class TestConstant:
+    def test_no_decay(self):
+        tdf = ConstantTDF()
+        assert tdf.degrade(0.9, 0.0) == 0.9
+        assert tdf.degrade(0.9, 1e6) == 0.9
+
+    def test_input_validation(self):
+        with pytest.raises(SensorError):
+            ConstantTDF().degrade(1.5, 0.0)
+        with pytest.raises(SensorError):
+            ConstantTDF().degrade(0.5, -1.0)
+
+
+class TestLinear:
+    def test_zero_age_identity(self):
+        assert LinearTDF(zero_at=60.0).degrade(0.8, 0.0) == 0.8
+
+    def test_halfway(self):
+        assert LinearTDF(zero_at=60.0).degrade(0.8, 30.0) == \
+            pytest.approx(0.4)
+
+    def test_floor_at_zero(self):
+        assert LinearTDF(zero_at=60.0).degrade(0.8, 120.0) == 0.0
+
+    def test_invalid_zero_at(self):
+        with pytest.raises(SensorError):
+            LinearTDF(zero_at=0.0)
+
+
+class TestExponential:
+    def test_half_life(self):
+        tdf = ExponentialTDF(half_life=30.0)
+        assert tdf.degrade(0.8, 30.0) == pytest.approx(0.4)
+        assert tdf.degrade(0.8, 60.0) == pytest.approx(0.2)
+
+    def test_zero_age_identity(self):
+        assert ExponentialTDF(half_life=30.0).degrade(0.8, 0.0) == 0.8
+
+    def test_invalid_half_life(self):
+        with pytest.raises(SensorError):
+            ExponentialTDF(half_life=-1.0)
+
+
+class TestStep:
+    def test_steps_apply_in_order(self):
+        tdf = StepTDF([(10.0, 0.8), (20.0, 0.5)])
+        assert tdf.degrade(1.0, 5.0) == 1.0
+        assert tdf.degrade(1.0, 10.0) == 0.8
+        assert tdf.degrade(1.0, 15.0) == 0.8
+        assert tdf.degrade(1.0, 25.0) == 0.5
+
+    def test_empty_steps_rejected(self):
+        with pytest.raises(SensorError):
+            StepTDF([])
+
+    def test_non_increasing_ages_rejected(self):
+        with pytest.raises(SensorError):
+            StepTDF([(10.0, 0.8), (5.0, 0.5)])
+
+    def test_increasing_factors_rejected(self):
+        with pytest.raises(SensorError):
+            StepTDF([(10.0, 0.5), (20.0, 0.8)])
+
+    def test_factor_out_of_range_rejected(self):
+        with pytest.raises(SensorError):
+            StepTDF([(10.0, 1.5)])
+
+
+@pytest.mark.parametrize("tdf", [
+    ConstantTDF(),
+    LinearTDF(zero_at=100.0),
+    ExponentialTDF(half_life=25.0),
+    StepTDF([(10.0, 0.9), (50.0, 0.4)]),
+])
+class TestCommonContract:
+    def test_identity_at_zero_age(self, tdf):
+        assert tdf.degrade(0.7, 0.0) == pytest.approx(0.7)
+
+    def test_monotone_non_increasing(self, tdf):
+        ages = [0.0, 1.0, 5.0, 10.0, 25.0, 50.0, 75.0, 100.0, 200.0]
+        values = [tdf.degrade(0.9, age) for age in ages]
+        assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_result_within_bounds(self, tdf):
+        for age in (0.0, 13.0, 97.0, 1000.0):
+            value = tdf.degrade(0.6, age)
+            assert 0.0 <= value <= 0.6 + 1e-12
+
+    def test_zero_confidence_stays_zero(self, tdf):
+        assert tdf.degrade(0.0, 42.0) == 0.0

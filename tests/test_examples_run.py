@@ -1,0 +1,34 @@
+"""Every shipped example must run clean end to end."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_is_populated():
+    assert len(EXAMPLES) >= 5
+
+
+@pytest.mark.parametrize("example", EXAMPLES,
+                         ids=[e.stem for e in EXAMPLES])
+def test_example_runs_clean(example):
+    completed = subprocess.run(
+        [sys.executable, str(example)],
+        capture_output=True, text=True, timeout=240)
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    # Every example narrates what it does.
+    assert completed.stdout.strip()
+
+
+@pytest.mark.parametrize("example", EXAMPLES,
+                         ids=[e.stem for e in EXAMPLES])
+def test_example_has_module_docstring(example):
+    source = example.read_text(encoding="utf-8")
+    assert source.lstrip().startswith('"""'), \
+        f"{example.name} needs a docstring explaining itself"
+    assert "Run:" in source, f"{example.name} should say how to run it"

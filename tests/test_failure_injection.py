@@ -1,0 +1,149 @@
+"""Failure injection: stale data, conflicts, crashes, lost badges."""
+
+import pytest
+
+from repro.errors import UnknownObjectError
+from repro.geometry import Point, Rect
+from repro.sensors import RfBadgeAdapter, UbisenseAdapter
+from repro.service import LocationService
+from repro.sim import MovementModel, Scenario, SimClock, siebel_floor
+from repro.spatialdb import SpatialDatabase
+
+
+@pytest.fixture
+def rig():
+    world = siebel_floor()
+    db = SpatialDatabase(world)
+    clock = SimClock()
+    service = LocationService(db, clock=clock)
+    return world, db, clock, service
+
+
+class TestStaleData:
+    def test_everything_expired_means_unknown(self, rig):
+        world, db, clock, service = rig
+        ubi = UbisenseAdapter("Ubi-1", "SC/3", frame="").attach(db)
+        ubi.tag_sighting("alice", Point(150, 20), 0.0)
+        clock.advance(300.0)
+        with pytest.raises(UnknownObjectError):
+            service.locate("alice")
+
+    def test_fresh_sensor_outlives_stale_one(self, rig):
+        world, db, clock, service = rig
+        ubi = UbisenseAdapter("Ubi-1", "SC/3", frame="").attach(db)
+        rf = RfBadgeAdapter("RF-1", "SC/3/3105", Point(170, 20),
+                            frame="").attach(db)
+        ubi.tag_sighting("alice", Point(150, 20), 0.0)  # TTL 3 s
+        rf.badge_sighting("alice", 0.0)                  # TTL 60 s
+        clock.advance(30.0)
+        estimate = service.locate("alice")
+        assert estimate.sources == ("RF-1",)
+
+    def test_purge_keeps_database_bounded(self, rig):
+        world, db, clock, service = rig
+        ubi = UbisenseAdapter("Ubi-1", "SC/3", frame="").attach(db)
+        for i in range(100):
+            ubi.tag_sighting("alice", Point(150 + i * 0.01, 20),
+                             float(i))
+        purged = db.purge_expired(now=200.0)
+        assert purged == 100
+        assert len(db.sensor_readings) == 0
+
+
+class TestConflictingSensors:
+    def test_badge_left_behind(self, rig):
+        """The paper's motivating conflict: a stationary badge in the
+        office while the person walks elsewhere."""
+        world, db, clock, service = rig
+        rf_office = RfBadgeAdapter("RF-office", "SC/3/3102",
+                                   Point(50, 20), frame="").attach(db)
+        ubi = UbisenseAdapter("Ubi-1", "SC/3", frame="").attach(db)
+        # The badge pings repeatedly from the same spot (not moving).
+        rf_office.badge_sighting("alice", 0.0)
+        rf_office.badge_sighting("alice", 5.0)
+        # Meanwhile the person's Ubisense tag tracks her walking.
+        ubi.tag_sighting("alice", Point(250, 50), 8.0)
+        ubi.tag_sighting("alice", Point(254, 50), 9.0)
+        clock.advance(10.0)
+        estimate = service.locate("alice")
+        # The moving rectangle wins (conflict rule 1).
+        assert estimate.moving
+        assert estimate.rect.contains_point(Point(254, 50))
+        assert "Ubi-1" in estimate.sources
+
+    def test_disjoint_equal_sensors_resolved_deterministically(self, rig):
+        world, db, clock, service = rig
+        rf_a = RfBadgeAdapter("RF-A", "SC/3/3102", Point(50, 20),
+                              frame="").attach(db)
+        rf_b = RfBadgeAdapter("RF-B", "SC/3/3110", Point(350, 20),
+                              frame="").attach(db)
+        rf_a.badge_sighting("alice", 0.0)
+        rf_b.badge_sighting("alice", 0.0)
+        clock.advance(1.0)
+        first = service.locate("alice")
+        second = service.locate("alice")
+        assert first.rect == second.rect
+
+
+class TestCrashingConsumers:
+    def test_crashing_subscriber_is_isolated(self, rig):
+        world, db, clock, service = rig
+        ubi = UbisenseAdapter("Ubi-1", "SC/3", frame="").attach(db)
+        healthy_events = []
+
+        def crashing(event):
+            raise RuntimeError("app died")
+
+        # The crashing consumer subscribes first.
+        crashed_id = service.subscribe("SC/3/3105", consumer=crashing)
+        service.subscribe("SC/3/3105", consumer=healthy_events.append)
+        # Ingest survives, the healthy app is served, the failure is
+        # recorded against the crashed subscription.
+        ubi.tag_sighting("alice", Point(150, 20), 0.0)
+        assert db.readings_for("alice", now=1.0)
+        assert len(healthy_events) == 1
+        assert service.notification_failures
+        assert service.notification_failures[0][0] == crashed_id
+        assert "app died" in service.notification_failures[0][1]
+
+    def test_dead_remote_subscriber_is_isolated(self, rig):
+        from repro.orb import Orb
+        world, db, clock, _ = rig
+        orb = Orb()
+        service = LocationService(db, orb=orb, clock=clock)
+        ubi = UbisenseAdapter("Ubi-9", "SC/3", frame="").attach(db)
+        # A TCP reference to a port nothing listens on.
+        service.subscribe("SC/3/3105",
+                          remote_reference="tcp://127.0.0.1:1/ghost")
+        ubi.tag_sighting("alice", Point(150, 20), 0.0)
+        assert db.readings_for("alice", now=1.0)
+        assert service.notification_failures
+
+
+class TestLostDevices:
+    def test_person_without_badge_is_invisible_to_badge_sensors(self):
+        scenario = Scenario(seed=2).standard_deployment()
+        model = scenario.movement
+        person = model.add_person("forgetful")
+        person.carrying_badge = False
+        scenario.run(300)
+        badge_rows = [
+            row for row in scenario.db.sensor_readings.select()
+            if row["mobile_object_id"] == "forgetful"
+            and row["sensor_type"] in ("Ubisense", "RF")
+        ]
+        assert badge_rows == []
+
+    def test_badgeless_person_still_caught_by_card_reader(self):
+        scenario = Scenario(seed=6).standard_deployment()
+        person = scenario.movement.add_person("forgetful")
+        person.carrying_badge = False
+        scenario.run(900)
+        rows = [row for row in scenario.db.sensor_readings.select()
+                if row["mobile_object_id"] == "forgetful"]
+        # Card readers and fingerprint devices need no badge, so some
+        # readings exist if the person entered a covered room.
+        for row in rows:
+            assert row["sensor_type"] in ("CardReader", "Biometric",
+                                          "Biometric-room",
+                                          "Biometric-logout")

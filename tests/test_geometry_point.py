@@ -1,0 +1,66 @@
+"""Unit tests for repro.geometry.point."""
+
+import math
+
+import pytest
+
+from repro.geometry import Point
+
+
+class TestDistances:
+    def test_planar_distance_is_pythagorean(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == 5.0
+
+    def test_planar_distance_ignores_height(self):
+        assert Point(0, 0, 0).distance_to(Point(3, 4, 100)) == 5.0
+
+    def test_3d_distance_includes_height(self):
+        d = Point(0, 0, 0).distance_to_3d(Point(0, 0, 7))
+        assert d == 7.0
+
+    def test_distance_is_symmetric(self):
+        a, b = Point(1.5, -2.0), Point(-4.0, 9.0)
+        assert a.distance_to(b) == b.distance_to(a)
+
+    def test_distance_to_self_is_zero(self):
+        p = Point(12.3, 45.6, 7.0)
+        assert p.distance_to(p) == 0.0
+
+
+class TestTransforms:
+    def test_translated(self):
+        assert Point(1, 2, 3).translated(10, -2, 1) == Point(11, 0, 4)
+
+    def test_scaled_leaves_height(self):
+        assert Point(2, 3, 5).scaled(2, 10) == Point(4, 30, 5)
+
+    def test_rotated_quarter_turn(self):
+        rotated = Point(1, 0).rotated(math.pi / 2)
+        assert rotated.almost_equals(Point(0, 1), 1e-12)
+
+    def test_rotated_preserves_norm(self):
+        p = Point(3, 4)
+        r = p.rotated(1.234)
+        assert math.isclose(math.hypot(r.x, r.y), 5.0)
+
+    def test_midpoint(self):
+        assert Point(0, 0, 0).midpoint(Point(2, 4, 6)) == Point(1, 2, 3)
+
+
+class TestEquality:
+    def test_points_are_hashable_values(self):
+        assert {Point(1, 2), Point(1, 2)} == {Point(1, 2)}
+
+    def test_almost_equals_tolerance(self):
+        assert Point(1, 2).almost_equals(Point(1 + 1e-12, 2), 1e-9)
+        assert not Point(1, 2).almost_equals(Point(1.1, 2), 1e-9)
+
+    def test_iteration_yields_xyz(self):
+        assert list(Point(1, 2, 3)) == [1, 2, 3]
+
+    def test_xy_tuple(self):
+        assert Point(7, 8, 9).xy == (7, 8)
+
+    def test_repr_omits_zero_height(self):
+        assert "Point(1, 2)" == repr(Point(1, 2))
+        assert "3" in repr(Point(1, 2, 3))

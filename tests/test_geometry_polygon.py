@@ -1,0 +1,139 @@
+"""Unit tests for repro.geometry.polygon."""
+
+import math
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry import Point, Polygon, Rect
+
+
+def square(size: float = 10.0, x0: float = 0.0, y0: float = 0.0) -> Polygon:
+    return Polygon([Point(x0, y0), Point(x0 + size, y0),
+                    Point(x0 + size, y0 + size), Point(x0, y0 + size)])
+
+
+class TestConstruction:
+    def test_too_few_vertices_rejected(self):
+        with pytest.raises(GeometryError):
+            Polygon([Point(0, 0), Point(1, 1)])
+
+    def test_collinear_vertices_rejected(self):
+        with pytest.raises(GeometryError):
+            Polygon([Point(0, 0), Point(1, 1), Point(2, 2)])
+
+    def test_from_rect(self):
+        p = Polygon.from_rect(Rect(0, 0, 4, 3))
+        assert p.area == 12.0
+
+    def test_regular_polygon_area_converges_to_circle(self):
+        p = Polygon.regular(Point(0, 0), 10.0, 64)
+        assert math.isclose(p.area, math.pi * 100.0, rel_tol=0.01)
+
+    def test_regular_needs_three_sides(self):
+        with pytest.raises(GeometryError):
+            Polygon.regular(Point(0, 0), 1.0, 2)
+
+
+class TestMeasures:
+    def test_area_independent_of_winding(self):
+        ccw = square()
+        cw = Polygon(list(reversed(ccw.vertices)))
+        assert ccw.area == cw.area == 100.0
+        assert ccw.signed_area() == -cw.signed_area()
+
+    def test_centroid_of_square(self):
+        assert square().centroid.almost_equals(Point(5, 5))
+
+    def test_mbr(self):
+        p = Polygon([Point(0, 0), Point(10, 2), Point(4, 8)])
+        assert p.mbr == Rect(0, 0, 10, 8)
+
+    def test_l_shape_area(self):
+        # An L: 10x10 square minus its 5x5 top-right quadrant.
+        l_shape = Polygon([
+            Point(0, 0), Point(10, 0), Point(10, 5), Point(5, 5),
+            Point(5, 10), Point(0, 10),
+        ])
+        assert l_shape.area == 75.0
+
+
+class TestContainsPoint:
+    def test_interior(self):
+        assert square().contains_point(Point(5, 5))
+
+    def test_boundary_counts_as_inside(self):
+        assert square().contains_point(Point(0, 5))
+        assert square().contains_point(Point(10, 10))
+
+    def test_outside(self):
+        assert not square().contains_point(Point(11, 5))
+        assert not square().contains_point(Point(-0.001, 5))
+
+    def test_l_shape_notch_is_outside(self):
+        l_shape = Polygon([
+            Point(0, 0), Point(10, 0), Point(10, 5), Point(5, 5),
+            Point(5, 10), Point(0, 10),
+        ])
+        assert not l_shape.contains_point(Point(8, 8))  # in the notch
+        assert l_shape.contains_point(Point(2, 8))
+
+
+class TestPolygonRelations:
+    def test_contains_polygon(self):
+        assert square(10).contains_polygon(square(4, 2, 2))
+        assert not square(4, 2, 2).contains_polygon(square(10))
+
+    def test_intersects_polygon_overlap(self):
+        assert square(10).intersects_polygon(square(10, 5, 5))
+
+    def test_intersects_polygon_disjoint(self):
+        assert not square(2).intersects_polygon(square(2, 10, 10))
+
+    def test_shares_edge_with_adjacent(self):
+        left = square(10)
+        right = square(10, 10, 0)
+        assert left.shares_edge_with(right)
+
+    def test_no_shared_edge_when_apart(self):
+        assert not square(10).shares_edge_with(square(10, 11, 0))
+
+
+class TestClipping:
+    def test_clip_fully_inside_returns_same_area(self):
+        clipped = square(4, 2, 2).clipped_to_rect(Rect(0, 0, 10, 10))
+        assert clipped is not None
+        assert math.isclose(clipped.area, 16.0)
+
+    def test_clip_partial(self):
+        clipped = square(10).clipped_to_rect(Rect(5, 5, 20, 20))
+        assert clipped is not None
+        assert math.isclose(clipped.area, 25.0)
+
+    def test_clip_outside_returns_none(self):
+        assert square(2).clipped_to_rect(Rect(10, 10, 20, 20)) is None
+
+    def test_clip_triangle_fully_covering_window(self):
+        # The hypotenuse x + y = 10 only grazes the window's far corner,
+        # so the whole 5x5 window survives.
+        tri = Polygon([Point(0, 0), Point(10, 0), Point(0, 10)])
+        clipped = tri.clipped_to_rect(Rect(0, 0, 5, 5))
+        assert clipped is not None
+        assert math.isclose(clipped.area, 25.0, rel_tol=1e-9)
+
+    def test_clip_triangle_cut_by_window(self):
+        # A window pushed into the hypotenuse: the far corner triangle
+        # (4,6)-(5,5)-(6,4) region outside x+y<=10 is cut away.
+        tri = Polygon([Point(0, 0), Point(10, 0), Point(0, 10)])
+        clipped = tri.clipped_to_rect(Rect(4, 4, 6, 6))
+        assert clipped is not None
+        assert math.isclose(clipped.area, 2.0, rel_tol=1e-9)
+
+    def test_intersection_area_with_rect(self):
+        assert math.isclose(
+            square(10).intersection_area_with_rect(Rect(5, 0, 15, 10)),
+            50.0)
+
+    def test_mbr_area_at_least_polygon_area(self):
+        tri = Polygon([Point(0, 0), Point(10, 0), Point(0, 10)])
+        assert tri.mbr.area >= tri.area

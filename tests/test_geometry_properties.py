@@ -1,0 +1,104 @@
+"""Property-based tests (hypothesis) for the geometry substrate."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Point, Polygon, Rect, union_area
+
+coords = st.floats(min_value=-1000.0, max_value=1000.0,
+                   allow_nan=False, allow_infinity=False)
+sizes = st.floats(min_value=0.01, max_value=500.0,
+                  allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def rects(draw):
+    x = draw(coords)
+    y = draw(coords)
+    w = draw(sizes)
+    h = draw(sizes)
+    return Rect(x, y, x + w, y + h)
+
+
+@st.composite
+def points(draw):
+    return Point(draw(coords), draw(coords))
+
+
+class TestRectProperties:
+    @given(rects(), rects())
+    def test_intersection_area_commutative(self, a, b):
+        assert math.isclose(a.intersection_area(b), b.intersection_area(a),
+                            rel_tol=1e-12, abs_tol=1e-12)
+
+    @given(rects(), rects())
+    def test_intersection_area_bounded_by_smaller(self, a, b):
+        overlap = a.intersection_area(b)
+        assert overlap <= min(a.area, b.area) + 1e-9
+        assert overlap >= 0.0
+
+    @given(rects(), rects())
+    def test_intersection_contained_in_both(self, a, b):
+        overlap = a.intersection(b)
+        if overlap is not None:
+            assert a.contains_rect(overlap)
+            assert b.contains_rect(overlap)
+
+    @given(rects(), rects())
+    def test_union_mbr_contains_both(self, a, b):
+        union = a.union_mbr(b)
+        assert union.contains_rect(a)
+        assert union.contains_rect(b)
+
+    @given(rects(), rects())
+    def test_disjoint_iff_zero_gap_is_false(self, a, b):
+        if a.is_disjoint(b):
+            assert a.intersection_area(b) == 0.0
+            assert a.distance_to_rect(b) >= 0.0
+        else:
+            assert a.distance_to_rect(b) == 0.0
+
+    @given(rects(), rects(), rects())
+    def test_containment_transitive(self, a, b, c):
+        if a.contains_rect(b) and b.contains_rect(c):
+            assert a.contains_rect(c)
+
+    @given(rects(), points())
+    def test_point_distance_zero_iff_contained(self, r, p):
+        if r.contains_point(p):
+            assert r.distance_to_point(p) == 0.0
+        else:
+            assert r.distance_to_point(p) > 0.0
+
+    @given(rects())
+    def test_corners_inside(self, r):
+        for corner in r.corners:
+            assert r.contains_point(corner)
+
+    @given(st.lists(rects(), min_size=1, max_size=6))
+    def test_union_area_bounds(self, rect_list):
+        total = union_area(rect_list)
+        assert total <= sum(r.area for r in rect_list) + 1e-6
+        assert total >= max(r.area for r in rect_list) - 1e-6
+
+
+class TestPolygonProperties:
+    @given(rects())
+    def test_polygon_of_rect_matches_rect(self, r):
+        poly = Polygon.from_rect(r)
+        assert math.isclose(poly.area, r.area, rel_tol=1e-9, abs_tol=1e-9)
+        assert poly.mbr.almost_equals(r, 1e-9)
+
+    @given(rects(), rects())
+    def test_clip_area_equals_rect_intersection(self, a, b):
+        poly = Polygon.from_rect(a)
+        clipped_area = poly.intersection_area_with_rect(b)
+        assert math.isclose(clipped_area, a.intersection_area(b),
+                            rel_tol=1e-6, abs_tol=1e-6)
+
+    @given(rects(), points())
+    def test_polygon_point_containment_matches_rect(self, r, p):
+        poly = Polygon.from_rect(r)
+        assert poly.contains_point(p) == r.contains_point(p)

@@ -1,0 +1,161 @@
+"""Unit tests for repro.geometry.rect."""
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry import Point, Rect, mbr_of_rects, union_area
+
+
+class TestConstruction:
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(GeometryError):
+            Rect(10, 0, 0, 10)
+        with pytest.raises(GeometryError):
+            Rect(0, 10, 10, 0)
+
+    def test_degenerate_rect_allowed(self):
+        r = Rect(5, 5, 5, 5)
+        assert r.area == 0.0
+        assert r.is_degenerate()
+
+    def test_from_points(self):
+        r = Rect.from_points([Point(3, 7), Point(-1, 2), Point(5, 0)])
+        assert r == Rect(-1, 0, 5, 7)
+
+    def test_from_points_empty_rejected(self):
+        with pytest.raises(GeometryError):
+            Rect.from_points([])
+
+    def test_from_center_square(self):
+        r = Rect.from_center(Point(10, 10), 2.5)
+        assert r == Rect(7.5, 7.5, 12.5, 12.5)
+
+    def test_from_center_rectangular(self):
+        r = Rect.from_center(Point(0, 0), 2, 3)
+        assert (r.width, r.height) == (4, 6)
+
+    def test_from_center_negative_extent_rejected(self):
+        with pytest.raises(GeometryError):
+            Rect.from_center(Point(0, 0), -1)
+
+
+class TestMeasures:
+    def test_area_and_perimeter(self):
+        r = Rect(0, 0, 4, 3)
+        assert r.area == 12
+        assert r.perimeter == 14
+
+    def test_center(self):
+        assert Rect(0, 0, 10, 20).center == Point(5, 10)
+
+    def test_corners_counter_clockwise(self):
+        corners = Rect(0, 0, 1, 2).corners
+        assert corners == (Point(0, 0), Point(1, 0), Point(1, 2), Point(0, 2))
+
+
+class TestPredicates:
+    def test_contains_point_boundary_inclusive(self):
+        r = Rect(0, 0, 10, 10)
+        assert r.contains_point(Point(0, 0))
+        assert r.contains_point(Point(10, 10))
+        assert not r.contains_point(Point(10.01, 5))
+
+    def test_contains_rect(self):
+        outer = Rect(0, 0, 10, 10)
+        assert outer.contains_rect(Rect(2, 2, 8, 8))
+        assert outer.contains_rect(outer)
+        assert not outer.contains_rect(Rect(5, 5, 11, 8))
+
+    def test_strict_containment_excludes_shared_edges(self):
+        outer = Rect(0, 0, 10, 10)
+        assert outer.contains_rect_strictly(Rect(1, 1, 9, 9))
+        assert not outer.contains_rect_strictly(Rect(0, 1, 9, 9))
+
+    def test_touching_rects_intersect_but_do_not_overlap(self):
+        a = Rect(0, 0, 5, 5)
+        b = Rect(5, 0, 10, 5)
+        assert a.intersects(b)
+        assert not a.overlaps(b)
+        assert a.touches(b)
+
+    def test_disjoint(self):
+        assert Rect(0, 0, 1, 1).is_disjoint(Rect(2, 2, 3, 3))
+        assert not Rect(0, 0, 1, 1).is_disjoint(Rect(1, 1, 3, 3))
+
+
+class TestCombinators:
+    def test_intersection_of_overlapping(self):
+        a = Rect(0, 0, 10, 10)
+        b = Rect(5, 5, 15, 15)
+        assert a.intersection(b) == Rect(5, 5, 10, 10)
+        assert a.intersection_area(b) == 25
+
+    def test_intersection_of_disjoint_is_none(self):
+        assert Rect(0, 0, 1, 1).intersection(Rect(5, 5, 6, 6)) is None
+        assert Rect(0, 0, 1, 1).intersection_area(Rect(5, 5, 6, 6)) == 0.0
+
+    def test_intersection_commutative(self):
+        a = Rect(0, 0, 7, 3)
+        b = Rect(2, 1, 9, 8)
+        assert a.intersection(b) == b.intersection(a)
+
+    def test_union_mbr(self):
+        assert Rect(0, 0, 1, 1).union_mbr(Rect(5, 5, 6, 6)) == \
+            Rect(0, 0, 6, 6)
+
+    def test_expanded_and_shrunk(self):
+        r = Rect(5, 5, 10, 10).expanded(2)
+        assert r == Rect(3, 3, 12, 12)
+        assert Rect(0, 0, 10, 10).expanded(-2) == Rect(2, 2, 8, 8)
+
+    def test_over_shrinking_rejected(self):
+        with pytest.raises(GeometryError):
+            Rect(0, 0, 2, 2).expanded(-2)
+
+    def test_translated(self):
+        assert Rect(0, 0, 1, 1).translated(5, -1) == Rect(5, -1, 6, 0)
+
+    def test_clipped_to(self):
+        assert Rect(-5, -5, 5, 5).clipped_to(Rect(0, 0, 10, 10)) == \
+            Rect(0, 0, 5, 5)
+
+
+class TestDistances:
+    def test_distance_to_point_inside_is_zero(self):
+        assert Rect(0, 0, 10, 10).distance_to_point(Point(5, 5)) == 0.0
+
+    def test_distance_to_point_diagonal(self):
+        assert Rect(0, 0, 10, 10).distance_to_point(Point(13, 14)) == 5.0
+
+    def test_distance_between_rects(self):
+        a = Rect(0, 0, 10, 10)
+        b = Rect(13, 14, 20, 20)
+        assert a.distance_to_rect(b) == 5.0
+        assert a.distance_to_rect(Rect(5, 5, 20, 20)) == 0.0
+
+    def test_center_distance(self):
+        a = Rect(0, 0, 2, 2)       # center (1, 1)
+        b = Rect(3, 4, 5, 6)       # center (4, 5)
+        assert a.center_distance(b) == 5.0
+
+
+class TestHelpers:
+    def test_mbr_of_rects(self):
+        mbr = mbr_of_rects([Rect(0, 0, 1, 1), Rect(5, -2, 6, 0)])
+        assert mbr == Rect(0, -2, 6, 1)
+
+    def test_mbr_of_empty_rejected(self):
+        with pytest.raises(GeometryError):
+            mbr_of_rects([])
+
+    def test_union_area_disjoint(self):
+        assert union_area([Rect(0, 0, 1, 1), Rect(5, 5, 6, 6)]) == 2.0
+
+    def test_union_area_overlapping_not_double_counted(self):
+        assert union_area([Rect(0, 0, 2, 2), Rect(1, 0, 3, 2)]) == 6.0
+
+    def test_union_area_contained(self):
+        assert union_area([Rect(0, 0, 10, 10), Rect(2, 2, 4, 4)]) == 100.0
+
+    def test_union_area_empty(self):
+        assert union_area([]) == 0.0

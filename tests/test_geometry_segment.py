@@ -1,0 +1,94 @@
+"""Unit tests for repro.geometry.segment."""
+
+import math
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry import Point, Segment
+
+
+class TestConstruction:
+    def test_degenerate_segment_rejected(self):
+        with pytest.raises(GeometryError):
+            Segment(Point(1, 1), Point(1, 1))
+
+    def test_length(self):
+        assert Segment(Point(0, 0), Point(3, 4)).length == 5.0
+
+    def test_midpoint(self):
+        mid = Segment(Point(0, 0), Point(10, 0)).midpoint
+        assert mid == Point(5, 0)
+
+    def test_angle(self):
+        assert math.isclose(
+            Segment(Point(0, 0), Point(0, 5)).angle(), math.pi / 2)
+
+
+class TestContainsPoint:
+    def test_endpoint_is_on_segment(self):
+        s = Segment(Point(0, 0), Point(10, 10))
+        assert s.contains_point(Point(0, 0))
+        assert s.contains_point(Point(10, 10))
+
+    def test_interior_point(self):
+        assert Segment(Point(0, 0), Point(10, 10)).contains_point(Point(5, 5))
+
+    def test_collinear_but_beyond_is_out(self):
+        assert not Segment(Point(0, 0), Point(10, 10)).contains_point(
+            Point(11, 11))
+
+    def test_off_line_point_is_out(self):
+        assert not Segment(Point(0, 0), Point(10, 0)).contains_point(
+            Point(5, 1))
+
+
+class TestIntersection:
+    def test_crossing_segments(self):
+        a = Segment(Point(0, 0), Point(10, 10))
+        b = Segment(Point(0, 10), Point(10, 0))
+        assert a.intersects(b)
+        crossing = a.intersection_point(b)
+        assert crossing is not None
+        assert crossing.almost_equals(Point(5, 5))
+
+    def test_touching_at_endpoint(self):
+        a = Segment(Point(0, 0), Point(5, 5))
+        b = Segment(Point(5, 5), Point(10, 0))
+        assert a.intersects(b)
+
+    def test_parallel_disjoint(self):
+        a = Segment(Point(0, 0), Point(10, 0))
+        b = Segment(Point(0, 1), Point(10, 1))
+        assert not a.intersects(b)
+        assert a.intersection_point(b) is None
+
+    def test_collinear_overlap_has_no_unique_point(self):
+        a = Segment(Point(0, 0), Point(10, 0))
+        b = Segment(Point(5, 0), Point(15, 0))
+        assert a.intersects(b)
+        assert a.intersection_point(b) is None
+
+    def test_near_miss(self):
+        a = Segment(Point(0, 0), Point(10, 0))
+        b = Segment(Point(5, 0.01), Point(5, 10))
+        assert not a.intersects(b)
+
+
+class TestDistance:
+    def test_distance_to_point_perpendicular(self):
+        s = Segment(Point(0, 0), Point(10, 0))
+        assert s.distance_to_point(Point(5, 3)) == 3.0
+
+    def test_distance_clamps_to_endpoints(self):
+        s = Segment(Point(0, 0), Point(10, 0))
+        assert s.distance_to_point(Point(13, 4)) == 5.0
+
+    def test_distance_zero_on_segment(self):
+        s = Segment(Point(0, 0), Point(10, 0))
+        assert s.distance_to_point(Point(4, 0)) == 0.0
+
+    def test_translated(self):
+        s = Segment(Point(0, 0), Point(1, 1)).translated(5, 5)
+        assert s.start == Point(5, 5)
+        assert s.end == Point(6, 6)

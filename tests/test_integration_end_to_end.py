@@ -1,0 +1,119 @@
+"""End-to-end integration: simulator -> adapters -> database -> fusion
+-> service -> applications, including the distributed (TCP) path."""
+
+import pytest
+
+from repro.apps import AnywhereIM, FollowMeApp, VocalPersonnelLocator
+from repro.errors import UnknownObjectError
+from repro.geometry import Point, Rect
+from repro.orb import NamingService, Orb
+from repro.service import SERVICE_NAME
+from repro.sim import Scenario
+
+
+class TestFullPipeline:
+    def test_hour_of_building_life(self):
+        scenario = Scenario(seed=17).standard_deployment()
+        people = scenario.add_people(5)
+        scenario.run(600, dt=1.0, trace_accuracy=True)
+
+        # The database accumulated readings from several technologies.
+        sensor_types = {row["sensor_type"]
+                        for row in scenario.db.sensor_readings.select()}
+        assert len(sensor_types) >= 2
+
+        # Everyone was locatable at least sometimes.
+        summary = scenario.trace.summary()
+        assert summary.samples > 0
+
+        # Fused estimates are close to ground truth on average: the
+        # widest sensor is 30 ft across, so mean error far beyond that
+        # would mean fusion is broken.
+        assert summary.mean_error_ft < 60.0
+
+        # Estimated regions should usually contain or neighbour the
+        # truth.
+        assert summary.room_accuracy > 0.3
+
+    def test_applications_share_one_service(self):
+        scenario = Scenario(seed=23).standard_deployment()
+        people = scenario.add_people(4)
+        scenario.run(120)
+
+        follow_me = FollowMeApp(scenario.service)
+        im = AnywhereIM(scenario.service)
+        locator = VocalPersonnelLocator(scenario.service)
+        for person in people:
+            follow_me.register_user(person)
+            im.add_buddy(person, people[0])
+
+        follow_me.tick_all()
+        im.send(people[0], people[1], "status?")
+        reply = locator.ask(f"where is {people[0]}?")
+        assert people[0] in reply
+        # Nothing crashed and the shared service answered everyone.
+        assert len(im.log) == 1
+
+    def test_subscriptions_fire_during_simulation(self):
+        scenario = Scenario(seed=31).standard_deployment()
+        scenario.add_people(6)
+        events = []
+        scenario.service.subscribe("SC/3/Corridor",
+                                   consumer=events.append,
+                                   threshold=0.3, kind="both")
+        scenario.run(600, dt=1.0)
+        # Six wanderers over ten minutes cross the corridor RF cell.
+        assert events
+        assert all(e["region_glob"] == "SC/3/Corridor" for e in events)
+
+
+class TestDistributedDeployment:
+    def test_remote_app_over_tcp_with_discovery(self):
+        scenario = Scenario(seed=11).standard_deployment()
+        people = scenario.add_people(2)
+        naming = NamingService()
+        reference = scenario.publish(naming=naming, listen_tcp=True)
+        assert reference.startswith("tcp://")
+
+        client = Orb("remote-app")
+        try:
+            service_ref = naming.resolve(SERVICE_NAME)
+            proxy = client.resolve(service_ref)
+            scenario.run(90)
+            tracked = proxy.tracked_objects()
+            assert set(tracked) <= set(people)
+            for person in tracked:
+                estimate = proxy.locate(person)
+                assert estimate.object_id == person
+        finally:
+            client.shutdown()
+            scenario.orb.shutdown()
+
+    def test_remote_push_notifications_over_tcp(self):
+        scenario = Scenario(seed=29).standard_deployment()
+        scenario.add_people(4)
+        scenario.publish(listen_tcp=True)
+
+        client = Orb("subscriber-app")
+        client.listen()
+
+        class App:
+            def __init__(self):
+                self.events = []
+
+            def notify(self, event):
+                self.events.append(event)
+
+        app = App()
+        app_ref = client.register("app", app)
+        try:
+            service_ref = scenario.orb.reference_for("location-service")
+            proxy = client.resolve(service_ref)
+            corridor = scenario.world.canonical_mbr("SC/3/Corridor")
+            proxy.subscribe(corridor, app_ref, threshold=0.3)
+            scenario.run(300, dt=1.0)
+            assert app.events
+            assert app.events[0]["transition"] == "enter"
+        finally:
+            client.shutdown()
+            scenario.orb.shutdown()

@@ -1,0 +1,123 @@
+"""The paper's headline property: new technologies plug in on the fly.
+
+"This makes it possible to extend the infrastructure with new location
+technologies on the fly, as they become available, without any change
+to existing applications and services" (Section 1).
+
+These tests run an application against the Location Service, then
+install a brand-new (never-seen) sensor technology mid-run, and verify
+the application keeps working — better — without touching a line of
+application code.
+"""
+
+import pytest
+
+from repro.apps import VocalPersonnelLocator
+from repro.core import ConstantTDF, SensorSpec
+from repro.geometry import Point
+from repro.sensors import (
+    AdapterRegistry,
+    LocationAdapter,
+    UbisenseAdapter,
+    default_registry,
+)
+from repro.service import LocationService
+from repro.sim import SimClock, siebel_floor
+from repro.spatialdb import SpatialDatabase
+
+
+class FloorMatAdapter(LocationAdapter):
+    """A brand-new technology: pressure mats reporting footsteps.
+
+    Small footprint, high certainty of *presence* (you stand on it),
+    modest identification quality (gait matching).
+    """
+
+    ADAPTER_TYPE = "FloorMat"
+
+    def __init__(self, adapter_id: str, glob_prefix: str,
+                 mat_position: Point, frame=None) -> None:
+        spec = SensorSpec(
+            sensor_type=self.ADAPTER_TYPE,
+            carry_probability=1.0,      # feet are always carried
+            detection_probability=0.9,
+            misident_probability=0.08,  # gait confusion
+            resolution=1.5,
+            time_to_live=20.0,
+            tdf=ConstantTDF(),
+        )
+        super().__init__(adapter_id, glob_prefix, spec, frame)
+        self.mat_position = mat_position
+
+    def footstep(self, person_id: str, time: float):
+        return self._emit_circle(person_id, self.mat_position, 1.5, time)
+
+
+@pytest.fixture
+def rig():
+    world = siebel_floor()
+    db = SpatialDatabase(world)
+    clock = SimClock()
+    service = LocationService(db, clock=clock)
+    rf = UbisenseAdapter("Ubi-1", "SC/3", frame="").attach(db)
+    return world, db, clock, service, rf
+
+
+class TestOnTheFlyAddition:
+    def test_new_technology_improves_running_application(self, rig):
+        world, db, clock, service, ubi = rig
+        locator = VocalPersonnelLocator(service)
+
+        # Phase 1: the app runs with the existing deployment.
+        ubi.tag_sighting("alice", Point(150, 20), clock.advance(1.0))
+        before = locator.ask("where is alice?")
+        assert "SC/3/3105" in before
+        confidence_before = service.locate("alice").probability
+
+        # Phase 2: facilities installs floor mats — a technology that
+        # did not exist when the application was written.
+        mat = FloorMatAdapter("Mat-1", "SC/3/3105",
+                              Point(150, 20), frame="")
+        mat.attach(db)   # plug-and-play: adapter + metadata, no more
+        now = clock.advance(1.0)
+        ubi.tag_sighting("alice", Point(150, 20), now)
+        mat.footstep("alice", now)
+
+        # The untouched application now gets a reinforced answer.
+        after = locator.ask("where is alice?")
+        assert "SC/3/3105" in after
+        estimate = service.locate("alice")
+        assert confidence_before < estimate.probability
+        assert "Mat-1" in estimate.sources
+
+    def test_new_sensor_enters_classifier_population(self, rig):
+        world, db, clock, service, _ = rig
+        boundaries_before = service.classifier().boundaries
+        FloorMatAdapter("Mat-1", "SC/3/3105", Point(150, 20),
+                        frame="").attach(db)
+        boundaries_after = service.classifier().boundaries
+        # Section 4.4's buckets follow the deployed population.
+        assert boundaries_after != boundaries_before
+
+    def test_registry_based_installation(self, rig):
+        world, db, clock, service, _ = rig
+        registry = default_registry()
+        registry.register(FloorMatAdapter)
+        adapter = registry.create("FloorMat", "Mat-7", "SC/3/3216",
+                                  Point(27, 95), frame="")
+        adapter.attach(db)
+        adapter.footstep("bob", clock.advance(1.0))
+        estimate = service.locate("bob")
+        assert estimate.symbolic == "SC/3/3216"
+        assert estimate.sources == ("Mat-7",)
+
+    def test_new_technology_participates_in_triggers(self, rig):
+        world, db, clock, service, _ = rig
+        events = []
+        service.subscribe("SC/3/3105", consumer=events.append,
+                          threshold=0.5)
+        mat = FloorMatAdapter("Mat-1", "SC/3/3105",
+                              Point(150, 20), frame="").attach(db)
+        mat.footstep("carol", clock.advance(1.0))
+        assert len(events) == 1
+        assert events[0]["object_id"] == "carol"

@@ -1,0 +1,122 @@
+"""Edge-case tests across modules (small gaps the big suites skip)."""
+
+import pytest
+
+from repro.core import (
+    FusionEngine,
+    LocationEstimate,
+    NormalizedReading,
+    ProbabilityBucket,
+    SensorSpec,
+)
+from repro.errors import (
+    FusionError,
+    GeometryError,
+    MiddleWhereError,
+    OrbError,
+    PrivacyError,
+    ReasoningError,
+    SensorError,
+    ServiceError,
+    UnknownObjectError,
+)
+from repro.geometry import Point, Rect
+from repro.model import WorldModel
+from repro.sim import AccuracyTrace, siebel_floor
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize("error_class", [
+        FusionError, GeometryError, OrbError, PrivacyError,
+        ReasoningError, SensorError, ServiceError, UnknownObjectError,
+    ])
+    def test_all_errors_are_middlewhere_errors(self, error_class):
+        with pytest.raises(MiddleWhereError):
+            raise error_class("boom")
+
+    def test_privacy_error_is_service_error(self):
+        with pytest.raises(ServiceError):
+            raise PrivacyError("hidden")
+
+    def test_unknown_object_is_service_error(self):
+        with pytest.raises(ServiceError):
+            raise UnknownObjectError("who?")
+
+
+class TestEstimateRendering:
+    def test_str_with_symbolic(self):
+        estimate = LocationEstimate(
+            "alice", Rect(0, 0, 1, 1), 0.91, ProbabilityBucket.HIGH,
+            1.0, symbolic="SC/3/3105")
+        text = str(estimate)
+        assert "alice" in text
+        assert "SC/3/3105" in text
+        assert "0.910" in text
+        assert "high" in text
+
+    def test_str_without_symbolic_shows_rect(self):
+        estimate = LocationEstimate(
+            "alice", Rect(0, 0, 1, 1), 0.5, ProbabilityBucket.LOW, 1.0)
+        assert "Rect" in str(estimate)
+
+
+class TestAccuracyTraceEdges:
+    def test_empty_trace_summary(self):
+        trace = AccuracyTrace(siebel_floor())
+        summary = trace.summary()
+        assert summary.samples == 0
+        assert summary.misses == 0
+        assert summary.room_accuracy == 0.0
+
+    def test_misses_counted_without_samples(self):
+        from repro.sim.movement import PersonState
+        trace = AccuracyTrace(siebel_floor())
+        person = PersonState("ghost", Point(0, 0), "SC/3")
+        trace.record_miss(person, 1.0)
+        trace.record_miss(person, 2.0)
+        assert trace.summary().misses == 2
+
+
+class TestEngineEdges:
+    def test_zero_area_reading_fuses(self):
+        # A degenerate (point) reading must not divide by zero.
+        spec = SensorSpec("T", 1.0, 0.9, 0.1, resolution=1.0,
+                          time_to_live=1e9)
+        reading = NormalizedReading("S", "tom", Rect(5, 5, 5, 5), 0.0,
+                                    spec)
+        engine = FusionEngine()
+        result = engine.fuse("tom", [reading], Rect(0, 0, 100, 100), 0.0)
+        node = result.minimal_regions()[0]
+        assert node.probability == 0.0  # zero-area region: no mass
+        assert 0.0 <= node.confidence <= 1.0
+
+    def test_reading_covering_whole_universe(self):
+        spec = SensorSpec("T", 1.0, 0.9, 0.1, resolution=1.0,
+                          time_to_live=1e9)
+        universe = Rect(0, 0, 100, 100)
+        reading = NormalizedReading("S", "tom", universe, 0.0, spec)
+        result = FusionEngine().fuse("tom", [reading], universe, 0.0)
+        assert result.probability_of_region(universe) == \
+            pytest.approx(1.0)
+
+    def test_confidence_in_degenerate_region(self):
+        spec = SensorSpec("T", 1.0, 0.9, 0.1, resolution=1.0,
+                          time_to_live=1e9)
+        reading = NormalizedReading("S", "tom", Rect(0, 0, 10, 10), 0.0,
+                                    spec)
+        result = FusionEngine().fuse("tom", [reading],
+                                     Rect(0, 0, 100, 100), 0.0)
+        probe = Rect(5, 5, 5, 5)  # zero-area query region
+        assert result.confidence_in_region(probe) == 0.0
+
+
+class TestWorldModelEdges:
+    def test_empty_world_entities(self):
+        world = WorldModel()
+        assert world.entities() == []
+        assert world.doors() == []
+
+    def test_smallest_region_prefers_smaller(self):
+        world = siebel_floor()
+        entity = world.smallest_region_containing(Point(150, 20))
+        assert entity.identifier == "3105"  # not the floor

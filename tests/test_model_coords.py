@@ -1,0 +1,141 @@
+"""Unit tests for repro.model.coords — hierarchical coordinate frames."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import CoordinateFrameError
+from repro.geometry import Point, Polygon, Rect, Segment
+from repro.model import FrameRegistry, FrameTransform
+
+
+@pytest.fixture
+def building() -> FrameRegistry:
+    """SC building at (100, 50) world; floor 3 at z=30; room 3216 at
+    (20, 60) on the floor."""
+    registry = FrameRegistry()
+    registry.register("SC", "", FrameTransform(dx=100.0, dy=50.0))
+    registry.register("SC/3", "SC", FrameTransform(dz=30.0))
+    registry.register("SC/3/3216", "SC/3", FrameTransform(dx=20.0, dy=60.0))
+    registry.register("SC/3/3105", "SC/3", FrameTransform(dx=140.0))
+    return registry
+
+
+class TestTransform:
+    def test_apply_translation(self):
+        t = FrameTransform(dx=10, dy=-5, dz=2)
+        assert t.apply(Point(1, 1, 1)) == Point(11, -4, 3)
+
+    def test_invert_undoes_apply(self):
+        t = FrameTransform(dx=3, dy=4, dz=5, rotation=0.7)
+        p = Point(1.5, -2.5, 3.0)
+        assert t.invert(t.apply(p)).almost_equals(p, 1e-9)
+
+    def test_rotation_quarter_turn(self):
+        t = FrameTransform(rotation=math.pi / 2)
+        assert t.apply(Point(1, 0)).almost_equals(Point(0, 1), 1e-12)
+
+
+class TestRegistry:
+    def test_register_duplicate_rejected(self, building):
+        with pytest.raises(CoordinateFrameError):
+            building.register("SC", "", FrameTransform())
+
+    def test_register_under_unknown_parent_rejected(self):
+        registry = FrameRegistry()
+        with pytest.raises(CoordinateFrameError):
+            registry.register("SC/3", "SC", FrameTransform())
+
+    def test_cannot_register_root(self):
+        with pytest.raises(CoordinateFrameError):
+            FrameRegistry().register("", "", FrameTransform())
+
+    def test_knows(self, building):
+        assert building.knows("")
+        assert building.knows("SC/3/3216")
+        assert not building.knows("XX")
+
+    def test_parent_of(self, building):
+        assert building.parent_of("SC/3/3216") == "SC/3"
+        with pytest.raises(CoordinateFrameError):
+            building.parent_of("")
+
+    def test_frames_listing(self, building):
+        assert "SC/3" in building.frames()
+
+
+class TestConversion:
+    def test_room_to_world(self, building):
+        # Room origin -> floor (20, 60, 0) -> building (20, 60, 30)
+        # -> world (120, 110, 30).
+        world = building.convert_point(Point(0, 0), "SC/3/3216", "")
+        assert world == Point(120.0, 110.0, 30.0)
+
+    def test_world_back_to_room(self, building):
+        room = building.convert_point(Point(120, 110, 30), "", "SC/3/3216")
+        assert room.almost_equals(Point(0, 0, 0))
+
+    def test_room_to_sibling_room(self, building):
+        # The paper: "coordinates can be easily converted from one
+        # system to another" — here 3216-frame to 3105-frame.
+        p = building.convert_point(Point(5, 5), "SC/3/3216", "SC/3/3105")
+        assert p.almost_equals(Point(5 + 20 - 140, 5 + 60, 0))
+
+    def test_same_frame_is_identity(self, building):
+        p = Point(3, 4, 5)
+        assert building.convert_point(p, "SC/3", "SC/3") is p
+
+    def test_unknown_frames_rejected(self, building):
+        with pytest.raises(CoordinateFrameError):
+            building.convert_point(Point(0, 0), "nope", "")
+        with pytest.raises(CoordinateFrameError):
+            building.convert_point(Point(0, 0), "", "nope")
+
+    def test_convert_rect(self, building):
+        rect = building.convert_rect(Rect(0, 0, 10, 10), "SC/3/3216", "SC/3")
+        assert rect == Rect(20, 60, 30, 70)
+
+    def test_convert_rect_with_rotation_returns_mbr(self):
+        registry = FrameRegistry()
+        registry.register("R", "", FrameTransform(rotation=math.pi / 4))
+        rect = registry.convert_rect(Rect(0, 0, 10, 10), "R", "")
+        # A rotated unit square's MBR is larger than the square.
+        assert rect.area > 100.0
+
+    def test_convert_polygon(self, building):
+        poly = Polygon([Point(0, 0), Point(10, 0), Point(0, 10)])
+        moved = building.convert_polygon(poly, "SC/3/3216", "SC/3")
+        assert moved.vertices[0] == Point(20, 60)
+        assert math.isclose(moved.area, poly.area)
+
+    def test_convert_segment(self, building):
+        seg = building.convert_segment(
+            Segment(Point(0, 0), Point(1, 0)), "SC", "")
+        assert seg.start == Point(100, 50)
+
+
+class TestConversionProperties:
+    @given(st.floats(-100, 100), st.floats(-100, 100))
+    def test_roundtrip_through_room(self, x, y):
+        registry = FrameRegistry()
+        registry.register("B", "", FrameTransform(dx=7, dy=-3, rotation=0.3))
+        registry.register("B/r", "B", FrameTransform(dx=1, dy=2,
+                                                     rotation=-1.1))
+        p = Point(x, y)
+        there = registry.convert_point(p, "B/r", "")
+        back = registry.convert_point(there, "", "B/r")
+        assert back.almost_equals(p, 1e-6)
+
+    @given(st.floats(-100, 100), st.floats(-100, 100))
+    def test_sibling_conversion_composes(self, x, y):
+        registry = FrameRegistry()
+        registry.register("B", "", FrameTransform(dx=5))
+        registry.register("B/a", "B", FrameTransform(dx=10, dy=10))
+        registry.register("B/b", "B", FrameTransform(dx=-10, dy=4))
+        p = Point(x, y)
+        direct = registry.convert_point(p, "B/a", "B/b")
+        via_root = registry.convert_point(
+            registry.convert_point(p, "B/a", ""), "", "B/b")
+        assert direct.almost_equals(via_root, 1e-6)

@@ -1,0 +1,143 @@
+"""Unit tests for repro.model.glob — the GLOB representation."""
+
+import pytest
+
+from repro.errors import GlobError
+from repro.geometry import Point
+from repro.model import Glob
+
+
+class TestParsing:
+    def test_symbolic_point_location(self):
+        g = Glob.parse("SC/3/3216/lightswitch1")
+        assert g.is_symbolic
+        assert g.path == ("SC", "3", "3216", "lightswitch1")
+        assert g.leaf == "lightswitch1"
+        assert g.prefix == ("SC", "3", "3216")
+
+    def test_coordinate_point_location(self):
+        g = Glob.parse("SC/3/3216/(12,3,4)")
+        assert g.is_coordinate
+        assert g.kind == "point"
+        assert g.coordinates == (Point(12, 3, 4),)
+        assert g.prefix == ("SC", "3", "3216")
+
+    def test_line_location_from_paper(self):
+        g = Glob.parse("SC/3/3216/(1,3),(4,5)")
+        assert g.kind == "line"
+        assert g.coordinates == (Point(1, 3), Point(4, 5))
+
+    def test_polygon_location_from_paper(self):
+        g = Glob.parse("SC/3/(45,12), (45,40), (65,40), (65,12)")
+        assert g.kind == "polygon"
+        assert len(g.coordinates) == 4
+        assert g.path == ("SC", "3")
+
+    def test_negative_and_decimal_coordinates(self):
+        g = Glob.parse("B/(-1.5,2.25)")
+        assert g.coordinates[0] == Point(-1.5, 2.25)
+
+    def test_two_dimensional_coordinate_gets_zero_height(self):
+        assert Glob.parse("B/(3,4)").coordinates[0].z == 0.0
+
+    def test_leading_and_trailing_slashes_tolerated(self):
+        assert Glob.parse("/SC/3/") == Glob.parse("SC/3")
+
+    def test_empty_string_rejected(self):
+        with pytest.raises(GlobError):
+            Glob.parse("")
+        with pytest.raises(GlobError):
+            Glob.parse("   ")
+
+    def test_symbolic_after_coordinates_rejected(self):
+        with pytest.raises(GlobError):
+            Glob.parse("SC/(1,2)/room")
+
+    def test_unbalanced_parentheses_rejected(self):
+        with pytest.raises(GlobError):
+            Glob.parse("SC/(1,2")
+
+    def test_invalid_segment_characters_rejected(self):
+        with pytest.raises(GlobError):
+            Glob.parse("SC/ro om")
+
+
+class TestFormatting:
+    @pytest.mark.parametrize("text", [
+        "SC/3/3216/lightswitch1",
+        "SC/3/3216/(12,3,4)",
+        "SC/3/3216",
+        "CS/Floor3/NetLab",
+    ])
+    def test_roundtrip(self, text):
+        assert Glob.parse(text).format() == text
+
+    def test_polygon_roundtrip_canonicalizes_spacing(self):
+        g = Glob.parse("SC/3/(45,12), (45,40)")
+        assert g.format() == "SC/3/(45,12)/(45,40)"
+        assert Glob.parse(g.format()) == g
+
+    def test_integral_floats_render_without_decimal(self):
+        g = Glob(("A",), (Point(1.0, 2.0),))
+        assert g.format() == "A/(1,2)"
+
+    def test_str_matches_format(self):
+        g = Glob.parse("SC/3")
+        assert str(g) == g.format()
+
+
+class TestHierarchy:
+    def test_parent_of_symbolic(self):
+        assert Glob.parse("SC/3/3216").parent() == Glob.parse("SC/3")
+
+    def test_parent_of_coordinate_drops_coordinates(self):
+        assert Glob.parse("SC/3/(1,2)").parent() == Glob.parse("SC/3")
+
+    def test_root_has_no_parent(self):
+        with pytest.raises(GlobError):
+            Glob.parse("SC").parent()
+
+    def test_ancestors_outermost_first(self):
+        ancestors = Glob.parse("SC/3/3216/light").ancestors()
+        assert [str(a) for a in ancestors] == ["SC", "SC/3", "SC/3/3216"]
+
+    def test_child(self):
+        assert str(Glob.parse("SC/3").child("3216")) == "SC/3/3216"
+
+    def test_child_of_coordinate_rejected(self):
+        with pytest.raises(GlobError):
+            Glob.parse("SC/(1,2)").child("x")
+
+    def test_is_within(self):
+        inner = Glob.parse("SC/3/3216/light1")
+        assert inner.is_within(Glob.parse("SC"))
+        assert inner.is_within(Glob.parse("SC/3"))
+        assert inner.is_within(Glob.parse("SC/3/3216"))
+        assert not inner.is_within(Glob.parse("SC/2"))
+        assert not inner.is_within(Glob.parse("CS"))
+
+    def test_depth(self):
+        assert Glob.parse("SC/3/3216").depth == 3
+
+    def test_with_coordinates(self):
+        g = Glob.parse("SC/3").with_coordinates([Point(1, 1)])
+        assert g.is_coordinate
+        assert g.path == ("SC", "3")
+
+
+class TestPrivacyTruncation:
+    def test_truncate_room_to_floor(self):
+        g = Glob.parse("SC/3/3216")
+        assert str(g.truncated_to_depth(2)) == "SC/3"
+
+    def test_truncate_beyond_depth_is_identity(self):
+        g = Glob.parse("SC/3")
+        assert g.truncated_to_depth(10) == g
+
+    def test_truncate_coordinate_glob_drops_coordinates(self):
+        g = Glob.parse("SC/3/3216/(1,2)")
+        assert str(g.truncated_to_depth(3)) == "SC/3/3216"
+
+    def test_zero_depth_rejected(self):
+        with pytest.raises(GlobError):
+            Glob.parse("SC/3").truncated_to_depth(0)

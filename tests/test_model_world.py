@@ -1,0 +1,150 @@
+"""Unit tests for repro.model.world — the world model."""
+
+import pytest
+
+from repro.errors import WorldModelError
+from repro.geometry import Point, Polygon, Rect, Segment
+from repro.model import (
+    Door,
+    Entity,
+    EntityType,
+    FrameTransform,
+    Glob,
+    PassageKind,
+    WorldModel,
+    geometry_kind,
+)
+
+
+@pytest.fixture
+def world() -> WorldModel:
+    w = WorldModel()
+    w.add_frame("B", "", FrameTransform())
+    w.add_frame("B/1", "B", FrameTransform())
+    w.add_region(Glob.parse("B/1"), EntityType.FLOOR,
+                 Polygon.from_rect(Rect(0, 0, 100, 50)), "B")
+    w.add_region(Glob.parse("B/1/r1"), EntityType.ROOM,
+                 Polygon.from_rect(Rect(0, 0, 40, 50)), "B/1")
+    w.add_region(Glob.parse("B/1/r2"), EntityType.ROOM,
+                 Polygon.from_rect(Rect(40, 0, 100, 50)), "B/1",
+                 power_outlets=True)
+    w.add_door(Door(Glob.parse("B/1/d12"), Glob.parse("B/1/r1"),
+                    Glob.parse("B/1/r2"),
+                    Segment(Point(40, 20), Point(40, 30)), "B/1"))
+    return w
+
+
+class TestEntities:
+    def test_duplicate_entity_rejected(self, world):
+        with pytest.raises(WorldModelError):
+            world.add_region(Glob.parse("B/1/r1"), EntityType.ROOM,
+                             Polygon.from_rect(Rect(0, 0, 1, 1)), "B/1")
+
+    def test_unknown_frame_rejected(self, world):
+        with pytest.raises(WorldModelError):
+            world.add_region(Glob.parse("B/1/r3"), EntityType.ROOM,
+                             Polygon.from_rect(Rect(0, 0, 1, 1)), "B/9")
+
+    def test_get_and_has(self, world):
+        assert world.has("B/1/r1")
+        assert not world.has("B/1/zzz")
+        entity = world.get("B/1/r2")
+        assert entity.properties["power_outlets"] is True
+
+    def test_get_unknown_raises(self, world):
+        with pytest.raises(WorldModelError):
+            world.get("B/2")
+
+    def test_identifier_and_prefix(self, world):
+        entity = world.get("B/1/r1")
+        assert entity.identifier == "r1"
+        assert entity.glob_prefix == "B/1"
+
+    def test_entities_of_type(self, world):
+        rooms = world.entities_of_type(EntityType.ROOM)
+        assert {e.identifier for e in rooms} == {"r1", "r2"}
+
+    def test_children_and_descendants(self, world):
+        children = world.children_of("B/1")
+        assert {e.identifier for e in children} == {"r1", "r2"}
+        descendants = world.descendants_of("B")
+        assert len(descendants) == 3
+
+    def test_geometry_kind(self):
+        assert geometry_kind(Point(1, 2)) == "point"
+        assert geometry_kind(Segment(Point(0, 0), Point(1, 1))) == "line"
+        assert geometry_kind(
+            Polygon.from_rect(Rect(0, 0, 1, 1))) == "polygon"
+
+
+class TestDoors:
+    def test_doors_between(self, world):
+        doors = world.doors_between("B/1/r1", "B/1/r2")
+        assert len(doors) == 1
+        assert doors[0].kind is PassageKind.FREE
+
+    def test_doors_between_order_insensitive(self, world):
+        assert world.doors_between("B/1/r2", "B/1/r1")
+
+    def test_doors_of(self, world):
+        assert len(world.doors_of("B/1/r1")) == 1
+        assert world.doors_of("B/1") == []
+
+    def test_door_to_unknown_region_rejected(self, world):
+        with pytest.raises(WorldModelError):
+            world.add_door(Door(
+                Glob.parse("B/1/dx"), Glob.parse("B/1/r1"),
+                Glob.parse("B/1/nope"),
+                Segment(Point(0, 0), Point(1, 1)), "B/1"))
+
+    def test_duplicate_door_rejected(self, world):
+        with pytest.raises(WorldModelError):
+            world.add_door(Door(
+                Glob.parse("B/1/d12"), Glob.parse("B/1/r1"),
+                Glob.parse("B/1/r2"),
+                Segment(Point(0, 0), Point(1, 1)), "B/1"))
+
+
+class TestCanonicalGeometry:
+    def test_canonical_mbr(self, world):
+        assert world.canonical_mbr("B/1/r1") == Rect(0, 0, 40, 50)
+
+    def test_canonical_geometry_with_offset_frame(self):
+        w = WorldModel()
+        w.add_frame("B", "", FrameTransform(dx=100))
+        w.add_region(Glob.parse("B/r"), EntityType.ROOM,
+                     Polygon.from_rect(Rect(0, 0, 10, 10)), "B")
+        assert w.canonical_mbr("B/r") == Rect(100, 0, 110, 10)
+
+    def test_canonical_polygon_of_non_polygon_raises(self, world):
+        world.add_entity(Entity(Glob.parse("B/1/switch"),
+                                EntityType.LIGHT_SWITCH,
+                                Point(1, 1), "B/1"))
+        with pytest.raises(WorldModelError):
+            world.canonical_polygon("B/1/switch")
+
+    def test_universe_covers_everything(self, world):
+        assert world.universe() == Rect(0, 0, 100, 50)
+        assert world.universe_area() == 5000.0
+
+    def test_empty_world_has_no_universe(self):
+        with pytest.raises(WorldModelError):
+            WorldModel().universe()
+
+
+class TestSymbolicResolution:
+    def test_smallest_region_containing(self, world):
+        entity = world.smallest_region_containing(Point(10, 10))
+        assert entity is not None
+        assert entity.identifier == "r1"
+
+    def test_point_outside_everything(self, world):
+        assert world.smallest_region_containing(Point(500, 500)) is None
+
+    def test_regions_overlapping(self, world):
+        overlapping = world.regions_overlapping(Rect(30, 10, 50, 20))
+        names = {e.identifier for e in overlapping}
+        assert {"r1", "r2", "1"} <= names
+
+    def test_resolve_symbolic(self, world):
+        assert world.resolve_symbolic("B/1/r2") == Rect(40, 0, 100, 50)

@@ -1,0 +1,90 @@
+"""ORB robustness: malformed clients must not take the server down."""
+
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.orb import Orb
+
+
+class Echo:
+    def ping(self):
+        return "pong"
+
+
+@pytest.fixture
+def server():
+    orb = Orb("server")
+    orb.register("echo", Echo())
+    host, port = orb.listen()
+    yield orb, host, port
+    orb.shutdown()
+
+
+def good_client_works(host: str, port: int) -> bool:
+    client = Orb("probe")
+    try:
+        return client.resolve(f"tcp://{host}:{port}/echo").ping() == "pong"
+    finally:
+        client.shutdown()
+
+
+class TestMalformedClients:
+    def test_garbage_bytes_then_server_still_serves(self, server):
+        orb, host, port = server
+        raw = socket.create_connection((host, port), timeout=5.0)
+        raw.sendall(b"\x00\x00\x00\x05notjs")
+        # The server answers with a framed error (or closes); either
+        # way it keeps serving well-formed clients.
+        raw.settimeout(2.0)
+        try:
+            raw.recv(4096)
+        except OSError:
+            pass
+        raw.close()
+        assert good_client_works(host, port)
+
+    def test_oversized_frame_rejected(self, server):
+        orb, host, port = server
+        raw = socket.create_connection((host, port), timeout=5.0)
+        # Claim a 1 GiB frame; the server must drop the connection
+        # rather than try to buffer it.
+        raw.sendall(struct.pack(">I", 1 << 30))
+        raw.settimeout(2.0)
+        try:
+            data = raw.recv(4096)
+        except OSError:
+            data = b""
+        raw.close()
+        assert good_client_works(host, port)
+
+    def test_half_frame_then_disconnect(self, server):
+        orb, host, port = server
+        raw = socket.create_connection((host, port), timeout=5.0)
+        raw.sendall(struct.pack(">I", 100) + b"only-part")
+        raw.close()
+        assert good_client_works(host, port)
+
+    def test_valid_json_wrong_shape(self, server):
+        orb, host, port = server
+        raw = socket.create_connection((host, port), timeout=5.0)
+        payload = b'["not", "a", "request"]'
+        raw.sendall(struct.pack(">I", len(payload)) + payload)
+        raw.settimeout(5.0)
+        header = raw.recv(4)
+        (length,) = struct.unpack(">I", header)
+        body = b""
+        while len(body) < length:
+            body += raw.recv(length - len(body))
+        assert b"error" in body
+        raw.close()
+        assert good_client_works(host, port)
+
+    def test_many_connect_disconnect_cycles(self, server):
+        orb, host, port = server
+        for _ in range(30):
+            raw = socket.create_connection((host, port), timeout=5.0)
+            raw.close()
+        assert good_client_works(host, port)

@@ -1,0 +1,85 @@
+"""Tests for the ORB wire codec."""
+
+import pytest
+
+from repro.core import LocationEstimate, ProbabilityBucket
+from repro.errors import OrbError
+from repro.geometry import Point, Rect, Segment
+from repro.model import Glob
+from repro.orb import dumps, loads
+
+
+def roundtrip(value):
+    return loads(dumps(value))
+
+
+class TestPrimitives:
+    @pytest.mark.parametrize("value", [
+        None, True, False, 0, -17, 3.25, "hello", "",
+        [1, 2, 3], {"a": 1, "b": [True, None]},
+    ])
+    def test_json_values(self, value):
+        assert roundtrip(value) == value
+
+    def test_tuples_become_lists(self):
+        assert roundtrip((1, 2)) == [1, 2]
+
+    def test_nested_structures(self):
+        value = {"rects": [Rect(0, 0, 1, 1), Rect(2, 2, 3, 3)],
+                 "meta": {"point": Point(1, 2, 3)}}
+        back = roundtrip(value)
+        assert back["rects"][1] == Rect(2, 2, 3, 3)
+        assert back["meta"]["point"] == Point(1, 2, 3)
+
+
+class TestValueTypes:
+    def test_point(self):
+        assert roundtrip(Point(1.5, -2.5, 3.0)) == Point(1.5, -2.5, 3.0)
+
+    def test_rect(self):
+        assert roundtrip(Rect(0, 1, 2, 3)) == Rect(0, 1, 2, 3)
+
+    def test_segment(self):
+        seg = Segment(Point(0, 0), Point(1, 1))
+        assert roundtrip(seg) == seg
+
+    def test_glob(self):
+        glob = Glob.parse("SC/3/3216/(12,3,4)")
+        assert roundtrip(glob) == glob
+
+    def test_bucket(self):
+        assert roundtrip(ProbabilityBucket.HIGH) is ProbabilityBucket.HIGH
+
+    def test_location_estimate(self):
+        estimate = LocationEstimate(
+            object_id="tom", rect=Rect(0, 0, 1, 1), probability=0.9,
+            bucket=ProbabilityBucket.HIGH, time=12.5,
+            sources=("Ubi-1", "RF-2"), moving=True,
+            symbolic="SC/3/3105", posterior=0.1)
+        back = roundtrip(estimate)
+        assert back == estimate
+        assert back.sources == ("Ubi-1", "RF-2")
+
+
+class TestErrors:
+    def test_unknown_type_rejected(self):
+        class Mystery:
+            pass
+        with pytest.raises(OrbError):
+            dumps(Mystery())
+
+    def test_non_string_keys_rejected(self):
+        with pytest.raises(OrbError):
+            dumps({1: "a"})
+
+    def test_reserved_key_rejected(self):
+        with pytest.raises(OrbError):
+            dumps({"__type__": "sneaky"})
+
+    def test_unknown_wire_type_rejected(self):
+        with pytest.raises(OrbError):
+            loads(b'{"__type__": "NoSuchThing"}')
+
+    def test_garbage_bytes_rejected(self):
+        with pytest.raises(OrbError):
+            loads(b"not json at all {")

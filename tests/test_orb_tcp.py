@@ -1,0 +1,136 @@
+"""Tests for the TCP transport: a real request path across sockets."""
+
+import threading
+
+import pytest
+
+from repro.errors import RemoteInvocationError, TransportError
+from repro.geometry import Rect
+from repro.orb import Orb, TcpTransport
+
+
+class Counter:
+    def __init__(self):
+        self.lock = threading.Lock()
+        self.value = 0
+
+    def increment(self, by=1):
+        with self.lock:
+            self.value += by
+            return self.value
+
+    def snapshot(self):
+        return {"value": self.value, "rect": Rect(0, 0, 1, 1)}
+
+    def fail(self):
+        raise KeyError("kaboom")
+
+
+@pytest.fixture
+def server_orb():
+    orb = Orb("server")
+    orb.register("counter", Counter())
+    orb.listen()
+    yield orb
+    orb.shutdown()
+
+
+@pytest.fixture
+def client_orb():
+    orb = Orb("client")
+    yield orb
+    orb.shutdown()
+
+
+class TestTcpInvocation:
+    def test_reference_names_tcp_endpoint(self, server_orb):
+        ref = server_orb.reference_for("counter")
+        assert ref.startswith("tcp://127.0.0.1:")
+
+    def test_roundtrip(self, server_orb, client_orb):
+        proxy = client_orb.resolve(server_orb.reference_for("counter"))
+        assert proxy.increment() == 1
+        assert proxy.increment(by=5) == 6
+        snap = proxy.snapshot()
+        assert snap["value"] == 6
+        assert snap["rect"] == Rect(0, 0, 1, 1)
+
+    def test_remote_exception(self, server_orb, client_orb):
+        proxy = client_orb.resolve(server_orb.reference_for("counter"))
+        with pytest.raises(RemoteInvocationError) as exc_info:
+            proxy.fail()
+        assert exc_info.value.remote_type == "KeyError"
+
+    def test_many_sequential_requests_one_connection(self, server_orb,
+                                                     client_orb):
+        proxy = client_orb.resolve(server_orb.reference_for("counter"))
+        for expected in range(1, 101):
+            assert proxy.increment() == expected
+
+    def test_concurrent_clients(self, server_orb):
+        ref = server_orb.reference_for("counter")
+        errors = []
+
+        def worker():
+            orb = Orb()
+            try:
+                proxy = orb.resolve(ref)
+                for _ in range(20):
+                    proxy.increment()
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+            finally:
+                orb.shutdown()
+
+        threads = [threading.Thread(target=worker) for _ in range(5)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        local = server_orb.resolve("inproc://counter")
+        assert local.increment() == 101
+
+    def test_double_listen_rejected(self, server_orb):
+        from repro.errors import OrbError
+        with pytest.raises(OrbError):
+            server_orb.listen()
+
+
+class TestTransportFailures:
+    def test_connect_refused(self):
+        transport = TcpTransport("127.0.0.1", 1)  # nothing listens there
+        with pytest.raises(TransportError):
+            transport.invoke({"object": "x", "method": "y"})
+
+    def test_reconnect_after_server_restart(self, client_orb):
+        server = Orb("restartable")
+        server.register("counter", Counter())
+        host, port = server.listen()
+        ref = f"tcp://{host}:{port}/counter"
+        proxy = client_orb.resolve(ref)
+        assert proxy.increment() == 1
+        server.shutdown()
+
+        # Bring a fresh server up on the same port.
+        server2 = Orb("reborn")
+        server2.register("counter", Counter())
+        server2.listen(host=host, port=port)
+        try:
+            # The client's cached connection is dead; invoke() must
+            # transparently reconnect.
+            assert proxy.increment() == 1
+        finally:
+            server2.shutdown()
+
+    def test_call_after_shutdown_fails(self, client_orb):
+        server = Orb()
+        server.register("counter", Counter())
+        ref = server.reference_for("counter")
+        host, port = server.listen()
+        tcp_ref = server.reference_for("counter")
+        proxy = client_orb.resolve(tcp_ref)
+        proxy.increment()
+        server.shutdown()
+        with pytest.raises(TransportError):
+            proxy.increment()

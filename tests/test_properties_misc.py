@@ -1,0 +1,123 @@
+"""Cross-cutting property tests: GLOBs, blueprints, the wire codec."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Point, Polygon, Rect
+from repro.model import (
+    EntityType,
+    FrameTransform,
+    Glob,
+    WorldModel,
+    world_from_json,
+    world_to_json,
+)
+from repro.orb import dumps, loads
+
+name_alphabet = string.ascii_letters + string.digits + "_-."
+names = st.text(alphabet=name_alphabet, min_size=1, max_size=12).filter(
+    lambda s: s.strip("."))
+coords = st.floats(min_value=-5000, max_value=5000,
+                   allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def glob_strings(draw):
+    segments = draw(st.lists(names, min_size=1, max_size=5))
+    if draw(st.booleans()):
+        # Append a coordinate leaf.
+        point_count = draw(st.integers(1, 4))
+        points = []
+        for _ in range(point_count):
+            x = draw(st.integers(-999, 999))
+            y = draw(st.integers(-999, 999))
+            points.append(f"({x},{y})")
+        return "/".join(segments + points)
+    return "/".join(segments)
+
+
+class TestGlobProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(glob_strings())
+    def test_parse_format_roundtrip(self, text):
+        glob = Glob.parse(text)
+        again = Glob.parse(glob.format())
+        assert again == glob
+
+    @settings(max_examples=100, deadline=None)
+    @given(glob_strings())
+    def test_is_within_every_ancestor(self, text):
+        glob = Glob.parse(text)
+        for ancestor in glob.ancestors():
+            assert glob.is_within(ancestor)
+
+    @settings(max_examples=100, deadline=None)
+    @given(glob_strings(), st.integers(1, 6))
+    def test_truncation_never_deepens(self, text, depth):
+        glob = Glob.parse(text)
+        truncated = glob.truncated_to_depth(depth)
+        assert truncated.depth <= max(depth, glob.depth)
+        assert truncated.is_symbolic or truncated == glob
+
+
+@st.composite
+def random_worlds(draw):
+    """Small random office worlds: disjoint rooms on one floor."""
+    world = WorldModel()
+    world.add_frame("B", "", FrameTransform(
+        dx=draw(st.floats(-50, 50)), dy=draw(st.floats(-50, 50))))
+    room_count = draw(st.integers(1, 5))
+    world.add_region(Glob.parse("B/1"), EntityType.FLOOR,
+                     Polygon.from_rect(Rect(0, 0, room_count * 30.0,
+                                            40.0)), "B")
+    for i in range(room_count):
+        x0 = i * 30.0
+        world.add_region(
+            Glob.parse(f"B/1/r{i}"), EntityType.ROOM,
+            Polygon.from_rect(Rect(x0 + 1, 1, x0 + 29, 39)), "B",
+            capacity=draw(st.integers(1, 20)))
+    return world
+
+
+class TestBlueprintProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(random_worlds())
+    def test_roundtrip_preserves_geometry(self, world):
+        rebuilt = world_from_json(world_to_json(world))
+        for entity in world.entities():
+            key = str(entity.glob)
+            assert rebuilt.canonical_mbr(key).almost_equals(
+                world.canonical_mbr(key), 1e-6)
+            assert rebuilt.get(key).properties == entity.properties
+
+
+json_values = st.recursive(
+    st.none() | st.booleans() | st.integers(-10**9, 10**9)
+    | st.floats(allow_nan=False, allow_infinity=False)
+    | st.text(max_size=20),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(alphabet=string.ascii_letters, min_size=1,
+                              max_size=8), children, max_size=4),
+    max_leaves=20,
+)
+
+
+class TestCodecProperties:
+    @settings(max_examples=150, deadline=None)
+    @given(json_values)
+    def test_json_roundtrip(self, value):
+        assert loads(dumps(value)) == value
+
+    @settings(max_examples=100, deadline=None)
+    @given(coords, coords, st.floats(0.1, 100, allow_nan=False),
+           st.floats(0.1, 100, allow_nan=False))
+    def test_rect_roundtrip(self, x, y, w, h):
+        rect = Rect(x, y, x + w, y + h)
+        assert loads(dumps(rect)) == rect
+
+    @settings(max_examples=100, deadline=None)
+    @given(coords, coords, coords)
+    def test_point_roundtrip(self, x, y, z):
+        assert loads(dumps(Point(x, y, z))) == Point(x, y, z)

@@ -1,0 +1,85 @@
+"""Fuzz tests: the query and clause parsers never crash unexpectedly."""
+
+import string
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import QueryError, ReasoningError
+from repro.reasoning import parse_clause
+from repro.sim import siebel_floor
+from repro.spatialdb import SpatialDatabase, parse_query
+
+
+class TestQueryParserFuzz:
+    @settings(max_examples=300, deadline=None)
+    @given(st.text(max_size=80))
+    def test_arbitrary_text_never_crashes(self, text):
+        """Garbage in -> QueryError (or a parse), never another error."""
+        try:
+            parse_query(text)
+        except QueryError:
+            pass
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.text(alphabet=string.printable, max_size=120))
+    def test_printable_garbage(self, text):
+        try:
+            parse_query(text)
+        except QueryError:
+            pass
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.sampled_from(["object_type", "glob_prefix",
+                         "properties.power_outlets",
+                         "properties.capacity"]),
+        st.sampled_from(["=", "!=", "<", "<=", ">", ">="]),
+        st.one_of(st.integers(-100, 100),
+                  st.sampled_from(["'Room'", "'Floor'", "true",
+                                   "false", "null"])),
+        st.integers(0, 5),
+    )
+    def test_generated_valid_queries_execute(self, column, op, literal,
+                                             limit):
+        db = SpatialDatabase(siebel_floor())
+        text = (f"SELECT glob FROM spatial_objects "
+                f"WHERE {column} {op} {literal} LIMIT {limit}")
+        rows = db.query(text)
+        assert len(rows) <= limit
+
+
+class TestClauseParserFuzz:
+    @settings(max_examples=300, deadline=None)
+    @given(st.text(max_size=60))
+    def test_arbitrary_text_never_crashes(self, text):
+        try:
+            parse_clause(text)
+        except ReasoningError:
+            pass
+
+
+class TestLatticeDot:
+    def test_dot_export_shape(self):
+        from repro.core import FusionEngine, NormalizedReading, SensorSpec
+        from repro.geometry import Rect
+
+        spec = SensorSpec("T", 1.0, 0.9, 0.1, resolution=5.0,
+                          time_to_live=1e9)
+        readings = [
+            NormalizedReading("S1", "tom", Rect(0, 0, 30, 30), 0.0, spec),
+            NormalizedReading("S2", "tom", Rect(20, 20, 50, 50), 0.0,
+                              spec),
+        ]
+        result = FusionEngine().fuse("tom", readings,
+                                     Rect(0, 0, 500, 100), 0.0)
+        dot = result.lattice.to_dot()
+        assert dot.startswith("digraph lattice {")
+        assert dot.rstrip().endswith("}")
+        assert '"Top"' in dot and '"Bottom"' in dot
+        # Every Hasse edge appears exactly once as an arrow.
+        arrow_count = dot.count("->")
+        edge_count = sum(len(n.children)
+                         for n in result.lattice.nodes())
+        assert arrow_count == edge_count

@@ -1,0 +1,150 @@
+"""Tests for RCC-8 composition and the relation network."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReasoningError
+from repro.geometry import Rect
+from repro.reasoning import RCC8, rcc8_rects
+from repro.reasoning.composition import (
+    ALL,
+    RelationNetwork,
+    compose,
+    invert,
+)
+
+
+def random_rect(rng: random.Random) -> Rect:
+    # Integer-ish coordinates make EC/TPP cases actually occur.
+    x = rng.randint(0, 20)
+    y = rng.randint(0, 20)
+    w = rng.randint(1, 12)
+    h = rng.randint(1, 12)
+    return Rect(float(x), float(y), float(x + w), float(y + h))
+
+
+class TestComposeBasics:
+    def test_eq_is_identity(self):
+        for relation in RCC8:
+            assert compose(RCC8.EQ, relation) == {relation}
+            assert compose(relation, RCC8.EQ) == {relation}
+
+    def test_ntpp_chains(self):
+        # part-of composes transitively.
+        assert compose(RCC8.NTPP, RCC8.NTPP) == {RCC8.NTPP}
+        assert compose(RCC8.TPP, RCC8.NTPP) == {RCC8.NTPP}
+
+    def test_inside_disjoint_is_disjoint(self):
+        # a inside b, b disconnected from c => a disconnected from c.
+        assert compose(RCC8.NTPP, RCC8.DC) == {RCC8.DC}
+        assert compose(RCC8.TPP, RCC8.DC) == {RCC8.DC}
+
+    def test_dc_dc_is_uninformative(self):
+        assert compose(RCC8.DC, RCC8.DC) == ALL
+
+    def test_invert(self):
+        assert invert({RCC8.TPP, RCC8.DC}) == {RCC8.TPPI, RCC8.DC}
+
+
+class TestCompositionSoundness:
+    def test_exhaustive_random_triples(self):
+        """For every random triple of rectangles, the actual relation
+        R(a, c) must be in compose(R(a, b), R(b, c)) — soundness of
+        every table entry that random geometry can exercise."""
+        rng = random.Random(12345)
+        seen_pairs = set()
+        for _ in range(30000):
+            a, b, c = (random_rect(rng) for _ in range(3))
+            r_ab = rcc8_rects(a, b)
+            r_bc = rcc8_rects(b, c)
+            r_ac = rcc8_rects(a, c)
+            seen_pairs.add((r_ab, r_bc))
+            allowed = compose(r_ab, r_bc)
+            assert r_ac in allowed, (
+                f"R(a,b)={r_ab.value}, R(b,c)={r_bc.value} gave "
+                f"R(a,c)={r_ac.value} not in "
+                f"{{{', '.join(r.value for r in allowed)}}} "
+                f"for a={a}, b={b}, c={c}")
+        # Random rectangles should exercise a good share of the table.
+        assert len(seen_pairs) > 40
+
+
+class TestRelationNetwork:
+    def test_transitive_containment_inferred(self):
+        network = RelationNetwork(["room", "floor", "building"])
+        network.set_relation("room", "floor", [RCC8.NTPP])
+        network.set_relation("floor", "building", [RCC8.NTPP])
+        assert network.propagate()
+        assert network.relation("room", "building") == {RCC8.NTPP}
+        assert network.is_determined("room", "building")
+
+    def test_disjointness_inferred(self):
+        network = RelationNetwork(["desk", "office", "other_office"])
+        network.set_relation("desk", "office", [RCC8.NTPP])
+        network.set_relation("office", "other_office", [RCC8.DC])
+        assert network.propagate()
+        assert network.relation("desk", "other_office") == {RCC8.DC}
+
+    def test_inconsistency_detected(self):
+        network = RelationNetwork(["a", "b", "c"])
+        network.set_relation("a", "b", [RCC8.NTPP])
+        network.set_relation("b", "c", [RCC8.NTPP])
+        # a strictly inside b inside c, yet a allegedly contains c.
+        with pytest.raises(ReasoningError):
+            network.set_relation("a", "c", [RCC8.NTPPI])
+            if not network.propagate():
+                raise ReasoningError("inconsistent")
+
+    def test_propagate_flags_inconsistency(self):
+        network = RelationNetwork(["a", "b", "c", "d"])
+        network.set_relation("a", "b", [RCC8.NTPP])
+        network.set_relation("b", "c", [RCC8.NTPP])
+        network.set_relation("c", "d", [RCC8.NTPP])
+        network.set_relation("a", "d", [RCC8.DC, RCC8.NTPP])
+        assert network.propagate()
+        # Only NTPP survives for (a, d).
+        assert network.relation("a", "d") == {RCC8.NTPP}
+
+    def test_converse_maintained(self):
+        network = RelationNetwork(["a", "b"])
+        network.set_relation("a", "b", [RCC8.TPP])
+        assert network.relation("b", "a") == {RCC8.TPPI}
+
+    def test_disjunctive_constraints(self):
+        network = RelationNetwork(["a", "b"])
+        network.set_relation("a", "b", [RCC8.EC, RCC8.PO])
+        network.set_relation("a", "b", [RCC8.PO, RCC8.TPP])
+        assert network.relation("a", "b") == {RCC8.PO}
+
+    def test_empty_constraint_rejected(self):
+        network = RelationNetwork(["a", "b"])
+        with pytest.raises(ReasoningError):
+            network.set_relation("a", "b", [])
+
+    def test_unknown_region_rejected(self):
+        network = RelationNetwork(["a", "b"])
+        with pytest.raises(ReasoningError):
+            network.set_relation("a", "zzz", [RCC8.DC])
+
+    def test_needs_two_regions(self):
+        with pytest.raises(ReasoningError):
+            RelationNetwork(["only"])
+
+    def test_self_relation_is_eq(self):
+        network = RelationNetwork(["a", "b"])
+        assert network.relation("a", "a") == {RCC8.EQ}
+
+    def test_world_model_relations_consistent(self, siebel_world):
+        """Feed measured relations from the real floor into the
+        network: they must be path-consistent."""
+        from repro.reasoning import region_rcc8
+        regions = ["SC/3", "SC/3/3105", "SC/3/NetLab", "SC/3/Corridor"]
+        network = RelationNetwork(regions)
+        for i, a in enumerate(regions):
+            for b in regions[i + 1:]:
+                network.set_relation(a, b,
+                                     [region_rcc8(siebel_world, a, b)])
+        assert network.propagate()

@@ -1,0 +1,129 @@
+"""Tests for the navigation graph and path distance."""
+
+import pytest
+
+from repro.errors import ReasoningError
+from repro.geometry import Point
+from repro.reasoning import Graph, NavigationGraph
+from repro.sim import generate_office_floor, paper_floor, siebel_floor
+
+
+class TestGraph:
+    def test_add_and_query(self):
+        g = Graph()
+        g.add_edge("a", "b", 1.0)
+        g.add_edge("b", "c", 2.0)
+        assert g.nodes() == ["a", "b", "c"]
+        assert g.edge_count() == 2
+        assert {e.target for e in g.neighbors("b")} == {"a", "c"}
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ReasoningError):
+            Graph().add_edge("a", "b", -1.0)
+
+    def test_shortest_path_simple(self):
+        g = Graph()
+        g.add_edge("a", "b", 1.0)
+        g.add_edge("b", "c", 1.0)
+        g.add_edge("a", "c", 5.0)
+        distance, path = g.shortest_path("a", "c")
+        assert distance == 2.0
+        assert path == ["a", "b", "c"]
+
+    def test_same_node(self):
+        g = Graph()
+        g.add_node("a")
+        assert g.shortest_path("a", "a") == (0.0, ["a"])
+
+    def test_unreachable(self):
+        g = Graph()
+        g.add_node("a")
+        g.add_node("z")
+        assert g.shortest_path("a", "z") is None
+
+    def test_unknown_node_rejected(self):
+        g = Graph()
+        g.add_node("a")
+        with pytest.raises(ReasoningError):
+            g.shortest_path("a", "zzz")
+        with pytest.raises(ReasoningError):
+            g.neighbors("zzz")
+
+    def test_restricted_edges_excluded_by_default(self):
+        g = Graph()
+        g.add_edge("a", "b", 1.0, restricted=True)
+        assert g.shortest_path("a", "b") is None
+        assert g.shortest_path("a", "b", allow_restricted=True) == \
+            (1.0, ["a", "b"])
+
+    def test_restricted_edge_avoided_when_detour_exists(self):
+        g = Graph()
+        g.add_edge("a", "b", 1.0, restricted=True)
+        g.add_edge("a", "c", 2.0)
+        g.add_edge("c", "b", 2.0)
+        distance, path = g.shortest_path("a", "b")
+        assert path == ["a", "c", "b"]
+        assert distance == 4.0
+
+    def test_reachable_from(self):
+        g = Graph()
+        g.add_edge("a", "b", 1.0)
+        g.add_edge("b", "c", 1.0, restricted=True)
+        g.add_node("z")
+        assert g.reachable_from("a") == {"a", "b"}
+        assert g.reachable_from("a", allow_restricted=True) == \
+            {"a", "b", "c"}
+
+
+class TestNavigationGraph:
+    def test_paper_floor_connectivity(self):
+        nav = NavigationGraph(paper_floor())
+        # 3105 is behind restricted doors.
+        assert nav.path_distance("CS/Floor3/NetLab",
+                                 "CS/Floor3/3105") is None
+        assert nav.path_distance("CS/Floor3/NetLab", "CS/Floor3/3105",
+                                 allow_restricted=True) is not None
+
+    def test_route_lists_doors(self):
+        nav = NavigationGraph(paper_floor())
+        route = nav.route("CS/Floor3/NetLab", "CS/Floor3/HCILab")
+        assert route is not None
+        assert route.regions[0] == "CS/Floor3/NetLab"
+        assert route.regions[-1] == "CS/Floor3/HCILab"
+        assert "CS/Floor3/Door-NetLab" in route.doors
+        assert "CS/Floor3/Door-HCILab" in route.doors
+
+    def test_path_distance_at_least_euclidean(self):
+        nav = NavigationGraph(siebel_floor())
+        pairs = [("SC/3/3102", "SC/3/3110"),
+                 ("SC/3/3216", "SC/3/3226"),
+                 ("SC/3/3104", "SC/3/ConferenceRoom")]
+        for a, b in pairs:
+            path = nav.path_distance(a, b, allow_restricted=True)
+            euclid = nav.euclidean_distance(a, b)
+            assert path is not None
+            assert path >= euclid - 1e-9
+
+    def test_point_to_point_same_room_is_straight_line(self):
+        nav = NavigationGraph(siebel_floor())
+        a = Point(150, 10)
+        b = Point(160, 20)
+        assert nav.path_distance_between_points(
+            a, b, allow_restricted=True) == pytest.approx(
+                a.distance_to(b))
+
+    def test_point_to_point_across_rooms(self):
+        nav = NavigationGraph(siebel_floor())
+        a = Point(50, 20)     # room 3102
+        b = Point(350, 20)    # room 3110
+        distance = nav.path_distance_between_points(a, b)
+        assert distance is not None
+        assert distance > a.distance_to(b)
+
+    def test_generated_floor_fully_connected(self):
+        world = generate_office_floor(rooms_per_side=5)
+        nav = NavigationGraph(world)
+        rooms = [n for n in nav.graph.nodes() if n != "GEN/1"]
+        start = rooms[0]
+        reachable = nav.graph.reachable_from(start)
+        assert set(rooms) <= reachable

@@ -1,0 +1,109 @@
+"""Tests for ECFP/ECRP/ECNP passage relations (Section 4.6.1)."""
+
+import pytest
+
+from repro.geometry import Point, Polygon, Rect, Segment
+from repro.model import (
+    Door,
+    EntityType,
+    FrameTransform,
+    Glob,
+    PassageKind,
+    WorldModel,
+)
+from repro.reasoning import (
+    PassageRelation,
+    RCC8,
+    connected_pairs,
+    passage_between,
+    region_rcc8,
+    traversable,
+)
+
+
+@pytest.fixture
+def world() -> WorldModel:
+    """Three rooms in a row: a|b share a free door, b|c share only a
+    wall, a|c are not adjacent.  Room d is reached through a locked
+    door from c."""
+    w = WorldModel()
+    w.add_frame("B", "", FrameTransform())
+    bounds = {
+        "a": Rect(0, 0, 10, 10),
+        "b": Rect(10, 0, 20, 10),
+        "c": Rect(20, 0, 30, 10),
+        "d": Rect(30, 0, 40, 10),
+    }
+    for name, rect in bounds.items():
+        w.add_region(Glob.parse(f"B/{name}"), EntityType.ROOM,
+                     Polygon.from_rect(rect), "B")
+    w.add_door(Door(Glob.parse("B/dab"), Glob.parse("B/a"),
+                    Glob.parse("B/b"),
+                    Segment(Point(10, 4), Point(10, 6)), "B",
+                    PassageKind.FREE))
+    w.add_door(Door(Glob.parse("B/dcd"), Glob.parse("B/c"),
+                    Glob.parse("B/d"),
+                    Segment(Point(30, 4), Point(30, 6)), "B",
+                    PassageKind.RESTRICTED))
+    return w
+
+
+class TestPassageBetween:
+    def test_free_door_is_ecfp(self, world):
+        assert passage_between(world, "B/a", "B/b") is PassageRelation.ECFP
+
+    def test_wall_only_is_ecnp(self, world):
+        assert passage_between(world, "B/b", "B/c") is PassageRelation.ECNP
+
+    def test_restricted_door_is_ecrp(self, world):
+        assert passage_between(world, "B/c", "B/d") is PassageRelation.ECRP
+
+    def test_non_adjacent_rooms_have_no_passage_relation(self, world):
+        assert passage_between(world, "B/a", "B/c") is None
+
+    def test_order_insensitive(self, world):
+        assert passage_between(world, "B/b", "B/a") is PassageRelation.ECFP
+
+    def test_free_door_beats_locked_door(self, world):
+        # Add a second, free door between c and d: most permissive wins.
+        world.add_door(Door(Glob.parse("B/dcd2"), Glob.parse("B/c"),
+                            Glob.parse("B/d"),
+                            Segment(Point(30, 7), Point(30, 9)), "B",
+                            PassageKind.FREE))
+        assert passage_between(world, "B/c", "B/d") is PassageRelation.ECFP
+
+
+class TestRegionRcc8:
+    def test_adjacent_rooms_are_ec(self, world):
+        assert region_rcc8(world, "B/a", "B/b") is RCC8.EC
+
+    def test_separated_rooms_are_dc(self, world):
+        assert region_rcc8(world, "B/a", "B/d") is RCC8.DC
+
+    def test_coarse_mode(self, world):
+        assert region_rcc8(world, "B/a", "B/b", exact=False) is RCC8.EC
+
+
+class TestConnectedPairs:
+    def test_all_adjacencies_found(self, world):
+        pairs = connected_pairs(world)
+        as_dict = {(a.split("/")[-1], b.split("/")[-1]): rel
+                   for a, b, rel in pairs}
+        assert as_dict[("a", "b")] is PassageRelation.ECFP
+        assert as_dict[("b", "c")] is PassageRelation.ECNP
+        assert as_dict[("c", "d")] is PassageRelation.ECRP
+        assert ("a", "c") not in as_dict
+        assert ("a", "d") not in as_dict
+
+
+class TestTraversable:
+    def test_free_always(self):
+        assert traversable(PassageRelation.ECFP)
+        assert traversable(PassageRelation.ECFP, with_credentials=True)
+
+    def test_restricted_needs_credentials(self):
+        assert not traversable(PassageRelation.ECRP)
+        assert traversable(PassageRelation.ECRP, with_credentials=True)
+
+    def test_wall_never(self):
+        assert not traversable(PassageRelation.ECNP, with_credentials=True)

@@ -1,0 +1,154 @@
+"""Tests for the mini logic engine (the XSB Prolog stand-in)."""
+
+import pytest
+
+from repro.errors import ReasoningError
+from repro.reasoning import (
+    Atom,
+    KnowledgeBase,
+    Struct,
+    Var,
+    parse_clause,
+    parse_query,
+    unify,
+)
+
+
+class TestParsing:
+    def test_fact(self):
+        rule = parse_clause("room(r1)")
+        assert rule.head == Struct("room", (Atom("r1"),))
+        assert rule.body == ()
+
+    def test_rule(self):
+        rule = parse_clause("reachable(X, Y) :- ecfp(X, Y)")
+        assert rule.head.functor == "reachable"
+        assert rule.head.args == (Var("X"), Var("Y"))
+        assert len(rule.body) == 1
+
+    def test_rule_with_multiple_goals(self):
+        rule = parse_clause("r(X, Y) :- a(X, Z), b(Z, Y)")
+        assert len(rule.body) == 2
+
+    def test_quoted_atoms_preserve_slashes(self):
+        rule = parse_clause("room('SC/3/3105')")
+        assert rule.head.args == (Atom("SC/3/3105"),)
+
+    def test_trailing_period_tolerated(self):
+        assert parse_clause("room(r1).").head.functor == "room"
+
+    def test_variables_start_uppercase_or_underscore(self):
+        rule = parse_clause("p(X, _y, atom)")
+        assert isinstance(rule.head.args[0], Var)
+        assert isinstance(rule.head.args[1], Var)
+        assert isinstance(rule.head.args[2], Atom)
+
+    def test_nested_structures(self):
+        rule = parse_clause("p(f(a, X), b)")
+        inner = rule.head.args[0]
+        assert isinstance(inner, Struct)
+        assert inner.functor == "f"
+
+    def test_bad_syntax_rejected(self):
+        with pytest.raises(ReasoningError):
+            parse_clause("p(a,,b)")
+        with pytest.raises(ReasoningError):
+            parse_clause("p(a")
+        with pytest.raises(ReasoningError):
+            parse_query("p(a), q(b)")
+
+
+class TestUnification:
+    def test_atom_with_atom(self):
+        assert unify(Atom("a"), Atom("a"), {}) == {}
+        assert unify(Atom("a"), Atom("b"), {}) is None
+
+    def test_var_binds_atom(self):
+        bindings = unify(Var("X"), Atom("a"), {})
+        assert bindings == {"X": Atom("a")}
+
+    def test_struct_unification_propagates(self):
+        a = Struct("p", (Var("X"), Atom("b")))
+        b = Struct("p", (Atom("a"), Var("Y")))
+        bindings = unify(a, b, {})
+        assert bindings["X"] == Atom("a")
+        assert bindings["Y"] == Atom("b")
+
+    def test_functor_mismatch(self):
+        assert unify(Struct("p", (Atom("a"),)),
+                     Struct("q", (Atom("a"),)), {}) is None
+
+    def test_arity_mismatch(self):
+        assert unify(Struct("p", (Atom("a"),)),
+                     Struct("p", (Atom("a"), Atom("b"))), {}) is None
+
+    def test_bound_variable_consistency(self):
+        a = Struct("p", (Var("X"), Var("X")))
+        b = Struct("p", (Atom("a"), Atom("b")))
+        assert unify(a, b, {}) is None
+
+
+class TestSolving:
+    def test_fact_query(self):
+        kb = KnowledgeBase()
+        kb.add("room(r1)")
+        kb.add("room(r2)")
+        answers = sorted(a["X"] for a in kb.query("room(X)"))
+        assert answers == ["r1", "r2"]
+
+    def test_ground_query(self):
+        kb = KnowledgeBase()
+        kb.add("room(r1)")
+        assert kb.ask("room(r1)")
+        assert not kb.ask("room(r9)")
+
+    def test_conjunction_join(self):
+        kb = KnowledgeBase()
+        kb.add("in(tom, r1)")
+        kb.add("in(ann, r1)")
+        kb.add("in(bob, r2)")
+        kb.add("together(A, B) :- in(A, R), in(B, R)")
+        answers = {a["B"] for a in kb.query("together(tom, B)")
+                   if a["B"] != "tom"}
+        assert answers == {"ann"}
+
+    def test_recursive_transitive_closure(self):
+        kb = KnowledgeBase()
+        for a, b in [("a", "b"), ("b", "c"), ("c", "d")]:
+            kb.add_fact("edge", a, b)
+        kb.add("path(X, Y) :- edge(X, Y)")
+        kb.add("path(X, Y) :- edge(X, Z), path(Z, Y)")
+        answers = sorted(a["Y"] for a in kb.query("path(a, Y)"))
+        assert answers == ["b", "c", "d"]
+
+    def test_cyclic_graph_terminates(self):
+        kb = KnowledgeBase()
+        for a, b in [("a", "b"), ("b", "c"), ("c", "a")]:
+            kb.add_fact("edge", a, b)
+        kb.add("path(X, Y) :- edge(X, Y)")
+        kb.add("path(X, Y) :- edge(X, Z), path(Z, Y)")
+        answers = sorted(a["Y"] for a in kb.query("path(a, Y)"))
+        assert answers == ["a", "b", "c"]
+
+    def test_duplicate_answers_collapsed(self):
+        kb = KnowledgeBase()
+        kb.add("p(a)")
+        kb.add("q(X) :- p(X)")
+        kb.add("q(X) :- p(X)")  # second proof, same answer
+        assert len(list(kb.query("q(X)"))) == 1
+
+    def test_depth_limit_stops_runaway(self):
+        kb = KnowledgeBase(max_depth=10)
+        kb.add("loop(X) :- loop(f(X))")  # grows forever, never repeats
+        assert not kb.ask("loop(a)")
+
+    def test_add_fact_helper(self):
+        kb = KnowledgeBase()
+        kb.add_fact("ecfp", "SC/3/3105", "SC/3/Corridor")
+        assert kb.ask("ecfp('SC/3/3105', 'SC/3/Corridor')")
+
+    def test_clause_count(self):
+        kb = KnowledgeBase()
+        kb.add("p(a)")
+        kb.add("q(X) :- p(X)")
+        assert kb.clause_count() == 2

@@ -1,0 +1,141 @@
+"""Tests for RCC-8 relations (Section 4.6.1)."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Point, Polygon, Rect
+from repro.reasoning import RCC8, rcc8_polygons, rcc8_rects, relate
+
+
+class TestRectRelations:
+    @pytest.mark.parametrize("a,b,expected", [
+        (Rect(0, 0, 10, 10), Rect(0, 0, 10, 10), RCC8.EQ),
+        (Rect(0, 0, 10, 10), Rect(20, 0, 30, 10), RCC8.DC),
+        (Rect(0, 0, 10, 10), Rect(10, 0, 20, 10), RCC8.EC),
+        (Rect(0, 0, 10, 10), Rect(10, 10, 20, 20), RCC8.EC),  # corner
+        (Rect(0, 0, 10, 10), Rect(5, 5, 15, 15), RCC8.PO),
+        (Rect(2, 2, 8, 8), Rect(0, 0, 10, 10), RCC8.NTPP),
+        (Rect(0, 2, 8, 8), Rect(0, 0, 10, 10), RCC8.TPP),
+        (Rect(0, 0, 10, 10), Rect(2, 2, 8, 8), RCC8.NTPPI),
+        (Rect(0, 0, 10, 10), Rect(0, 2, 8, 8), RCC8.TPPI),
+    ])
+    def test_cases(self, a, b, expected):
+        assert rcc8_rects(a, b) is expected
+
+    def test_inverse_consistency(self):
+        pairs = [
+            (Rect(0, 0, 10, 10), Rect(2, 2, 8, 8)),
+            (Rect(0, 0, 10, 10), Rect(5, 5, 15, 15)),
+            (Rect(0, 0, 10, 10), Rect(10, 0, 20, 10)),
+            (Rect(0, 0, 10, 10), Rect(50, 50, 60, 60)),
+        ]
+        for a, b in pairs:
+            assert rcc8_rects(a, b).inverse is rcc8_rects(b, a)
+
+    def test_relation_predicates(self):
+        assert RCC8.NTPP.is_proper_part
+        assert RCC8.TPP.is_proper_part
+        assert not RCC8.NTPPI.is_proper_part
+        assert RCC8.EC.is_connected
+        assert not RCC8.DC.is_connected
+
+
+rect_strategy = st.builds(
+    lambda x, y, w, h: Rect(x, y, x + w, y + h),
+    st.floats(0, 50, allow_nan=False), st.floats(0, 50, allow_nan=False),
+    st.floats(1, 30, allow_nan=False), st.floats(1, 30, allow_nan=False),
+)
+
+
+class TestExactlyOneRelation:
+    @settings(max_examples=100, deadline=None)
+    @given(rect_strategy, rect_strategy)
+    def test_jointly_exhaustive_pairwise_disjoint(self, a, b):
+        """Any two regions are related by exactly one RCC-8 relation."""
+        relation = rcc8_rects(a, b)
+        assert relation in RCC8
+        # The result is a function — recomputing gives the same answer,
+        # and the inverse of the inverse is the original.
+        assert rcc8_rects(a, b) is relation
+        assert relation.inverse.inverse is relation
+
+
+class TestPolygonRelations:
+    def square(self, size=10.0, x0=0.0, y0=0.0):
+        return Polygon([Point(x0, y0), Point(x0 + size, y0),
+                        Point(x0 + size, y0 + size), Point(x0, y0 + size)])
+
+    def test_identical_polygons_eq(self):
+        assert rcc8_polygons(self.square(), self.square()) is RCC8.EQ
+
+    def test_shared_wall_is_ec(self):
+        assert rcc8_polygons(self.square(10),
+                             self.square(10, 10, 0)) is RCC8.EC
+
+    def test_overlap_is_po(self):
+        assert rcc8_polygons(self.square(10),
+                             self.square(10, 5, 5)) is RCC8.PO
+
+    def test_nested_is_ntpp(self):
+        assert rcc8_polygons(self.square(4, 3, 3),
+                             self.square(10)) is RCC8.NTPP
+
+    def test_far_apart_is_dc(self):
+        assert rcc8_polygons(self.square(5),
+                             self.square(5, 50, 50)) is RCC8.DC
+
+    def test_room_sharing_wall_with_floor_is_tpp(self):
+        # Regression: a room flush against its floor's boundary shares
+        # collinear wall segments with it; that is containment-with-
+        # boundary-contact (TPP), not partial overlap.
+        floor = self.square(100)
+        corner_room = self.square(20)          # shares two floor walls
+        edge_room = Polygon([Point(40, 0), Point(60, 0),
+                             Point(60, 20), Point(40, 20)])
+        assert rcc8_polygons(corner_room, floor) is RCC8.TPP
+        assert rcc8_polygons(edge_room, floor) is RCC8.TPP
+        assert rcc8_polygons(floor, corner_room) is RCC8.TPPI
+
+    def test_interior_room_is_ntpp_of_floor(self):
+        floor = self.square(100)
+        inner = self.square(20, 30, 30)
+        assert rcc8_polygons(inner, floor) is RCC8.NTPP
+
+    def test_world_model_room_floor_relation(self):
+        from repro.reasoning import region_rcc8
+        from repro.sim import siebel_floor
+        world = siebel_floor()
+        # Every Siebel room touches the floor's south/north boundary.
+        assert region_rcc8(world, "SC/3/3105", "SC/3") is RCC8.TPP
+        # The corridor is interior to the floor.
+        assert region_rcc8(world, "SC/3/Corridor", "SC/3") is RCC8.TPP
+
+    def test_l_shapes_with_overlapping_mbrs_are_dc(self):
+        # The refine pass: MBRs overlap, actual regions don't touch.
+        l1 = Polygon([Point(0, 0), Point(10, 0), Point(10, 2),
+                      Point(2, 2), Point(2, 10), Point(0, 10)])
+        l2 = Polygon([Point(4, 4), Point(12, 4), Point(12, 12),
+                      Point(10, 12), Point(10, 6), Point(4, 6)])
+        assert rcc8_rects(l1.mbr, l2.mbr) is not RCC8.DC
+        assert rcc8_polygons(l1, l2) is RCC8.DC
+
+
+class TestRelate:
+    def test_mbr_only(self):
+        assert relate(Rect(0, 0, 5, 5), Rect(10, 10, 20, 20)) is RCC8.DC
+
+    def test_refinement_changes_coarse_answer(self):
+        l1 = Polygon([Point(0, 0), Point(10, 0), Point(10, 2),
+                      Point(2, 2), Point(2, 10), Point(0, 10)])
+        l2 = Polygon([Point(4, 4), Point(12, 4), Point(12, 12),
+                      Point(10, 12), Point(10, 6), Point(4, 6)])
+        refined = relate(l1.mbr, l2.mbr, l1, l2)
+        assert refined is RCC8.DC
+
+    def test_dc_mbrs_skip_refinement(self):
+        square = Polygon.from_rect(Rect(0, 0, 5, 5))
+        other = Polygon.from_rect(Rect(50, 50, 60, 60))
+        assert relate(square.mbr, other.mbr, square, other) is RCC8.DC

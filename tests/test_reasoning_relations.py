@@ -1,0 +1,160 @@
+"""Tests for probabilistic spatial relations and the rule base."""
+
+import pytest
+
+from repro.core import LocationEstimate, ProbabilityBucket
+from repro.geometry import Rect
+from repro.reasoning import (
+    SpatialRelations,
+    accessible_regions,
+    build_knowledge_base,
+    is_reachable,
+    reachable_regions,
+)
+from repro.sim import paper_floor, siebel_floor
+
+
+def estimate(rect: Rect, probability: float = 0.9,
+             object_id: str = "tom") -> LocationEstimate:
+    return LocationEstimate(
+        object_id=object_id, rect=rect, probability=probability,
+        bucket=ProbabilityBucket.HIGH, time=0.0)
+
+
+@pytest.fixture
+def relations() -> SpatialRelations:
+    return SpatialRelations(siebel_floor())
+
+
+class TestContainment:
+    def test_fully_inside(self, relations):
+        est = estimate(Rect(150, 10, 155, 15), 0.9)
+        result = relations.containment(est, "SC/3/3105")
+        assert result.holds
+        assert result.probability == pytest.approx(0.9)
+
+    def test_partially_inside_scales(self, relations):
+        # Estimate straddling the 3105/NetLab wall at x=200.
+        est = estimate(Rect(190, 10, 210, 20), 0.9)
+        result = relations.containment(est, "SC/3/3105")
+        assert result.probability == pytest.approx(0.45)
+
+    def test_outside(self, relations):
+        est = estimate(Rect(350, 80, 360, 90), 0.9)
+        result = relations.containment(est, "SC/3/3105")
+        assert not result.holds
+        assert result.probability == 0.0
+
+    def test_rect_region_accepted(self, relations):
+        est = estimate(Rect(10, 10, 12, 12), 0.8)
+        assert relations.containment(est, Rect(0, 0, 20, 20)).holds
+
+
+class TestUsage:
+    def test_inside_usage_region(self, relations):
+        # workstation1 in 3105 has usage region (141,0)-(151,9).
+        est = estimate(Rect(144, 2, 148, 6), 0.95)
+        result = relations.usage(est, "SC/3/3105/workstation1")
+        assert result.holds
+
+    def test_outside_usage_region(self, relations):
+        est = estimate(Rect(180, 30, 185, 35), 0.95)
+        result = relations.usage(est, "SC/3/3105/workstation1")
+        assert not result.holds
+
+    def test_default_margin_when_no_usage_region(self, relations):
+        world = relations.world
+        entity = world.get("SC/3/3105/workstation1")
+        entity.properties.pop("usage_region")
+        est = estimate(Rect(145, 3, 147, 5), 0.95)
+        assert relations.usage(est, "SC/3/3105/workstation1").holds
+
+
+class TestProximityAndColocation:
+    def test_close_objects(self, relations):
+        a = estimate(Rect(100, 50, 102, 52), 0.9, "a")
+        b = estimate(Rect(104, 50, 106, 52), 0.8, "b")
+        result = relations.proximity(a, b, threshold=10.0)
+        assert result.holds
+        assert result.probability == pytest.approx(0.72)
+
+    def test_far_objects(self, relations):
+        a = estimate(Rect(0, 0, 2, 2), 0.9, "a")
+        b = estimate(Rect(300, 80, 302, 82), 0.9, "b")
+        assert not relations.proximity(a, b, threshold=10.0).holds
+
+    def test_invalid_threshold(self, relations):
+        a = estimate(Rect(0, 0, 2, 2))
+        with pytest.raises(Exception):
+            relations.proximity(a, a, threshold=0.0)
+
+    def test_colocated_same_room(self, relations):
+        a = estimate(Rect(150, 10, 152, 12), 0.9, "a")
+        b = estimate(Rect(180, 20, 182, 22), 0.9, "b")
+        result = relations.colocation(a, b, granularity_depth=3)
+        assert result.holds
+
+    def test_different_rooms_not_colocated_at_room_depth(self, relations):
+        a = estimate(Rect(150, 10, 152, 12), 0.9, "a")   # 3105
+        b = estimate(Rect(30, 10, 32, 12), 0.9, "b")     # 3102
+        assert not relations.colocation(a, b, granularity_depth=3).holds
+
+    def test_same_floor_colocated_at_floor_depth(self, relations):
+        a = estimate(Rect(150, 10, 152, 12), 0.9, "a")
+        b = estimate(Rect(30, 10, 32, 12), 0.9, "b")
+        assert relations.colocation(a, b, granularity_depth=2).holds
+
+
+class TestDistances:
+    def test_euclidean_between_objects(self, relations):
+        a = estimate(Rect(0, 0, 2, 2), 0.9, "a")
+        b = estimate(Rect(3, 4, 5, 8), 0.9, "b")
+        assert relations.distance_between(a, b) == \
+            pytest.approx(a.rect.center_distance(b.rect))
+
+    def test_path_distance_between_objects(self, relations):
+        a = estimate(Rect(49, 19, 51, 21), 0.9, "a")    # 3102 center
+        b = estimate(Rect(349, 19, 351, 21), 0.9, "b")  # 3110 center
+        path = relations.distance_between(a, b, path=True)
+        euclid = relations.distance_between(a, b)
+        assert path is not None
+        assert path > euclid
+
+    def test_region_distance(self, relations):
+        euclid = relations.region_distance("SC/3/3102", "SC/3/3110")
+        path = relations.region_distance("SC/3/3102", "SC/3/3110",
+                                         path=True)
+        assert path >= euclid
+
+
+class TestRuleBase:
+    def test_reachability_over_free_doors(self):
+        world = paper_floor()
+        kb = build_knowledge_base(world)
+        reachable = reachable_regions(kb, "CS/Floor3/NetLab")
+        assert "CS/Floor3/Corridor3" in reachable
+        assert "CS/Floor3/HCILab" in reachable
+        # 3105 is behind restricted doors: not freely reachable.
+        assert "CS/Floor3/3105" not in reachable
+
+    def test_accessibility_includes_restricted(self):
+        world = paper_floor()
+        kb = build_knowledge_base(world)
+        accessible = accessible_regions(kb, "CS/Floor3/NetLab")
+        assert "CS/Floor3/3105" in accessible
+
+    def test_is_reachable_helper(self):
+        kb = build_knowledge_base(paper_floor())
+        assert is_reachable(kb, "CS/Floor3/NetLab", "CS/Floor3/HCILab")
+        assert not is_reachable(kb, "CS/Floor3/NetLab", "CS/Floor3/3105")
+
+    def test_hierarchy_facts(self):
+        kb = build_knowledge_base(paper_floor())
+        assert kb.ask("within('CS/Floor3/NetLab', 'CS/Floor3')")
+        assert kb.ask("within('CS/Floor3/NetLab', 'CS')")
+
+    def test_colocated_rule(self):
+        kb = build_knowledge_base(paper_floor())
+        assert kb.ask(
+            "colocated_in('CS/Floor3/NetLab', 'CS/Floor3/HCILab', "
+            "'CS/Floor3')")

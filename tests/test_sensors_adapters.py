@@ -1,0 +1,162 @@
+"""Tests for the concrete adapters and their paper calibrations."""
+
+import pytest
+
+from repro.geometry import Point, Rect
+from repro.sensors import (
+    BiometricAdapter,
+    BluetoothAdapter,
+    CardReaderAdapter,
+    DesktopLoginAdapter,
+    RfBadgeAdapter,
+    UbisenseAdapter,
+    rf_badge_spec,
+    ubisense_spec,
+)
+from repro.sim import siebel_floor
+from repro.spatialdb import SpatialDatabase
+
+
+@pytest.fixture
+def db() -> SpatialDatabase:
+    return SpatialDatabase(siebel_floor())
+
+
+class TestUbisense:
+    def test_paper_calibration(self):
+        spec = ubisense_spec()
+        assert spec.detection_probability == 0.95   # "95% of the time"
+        assert spec.misident_probability == 0.05    # z0 = 0.05
+        assert spec.z_area_scaled
+        assert spec.resolution == 0.5               # 6 inches in feet
+        assert spec.time_to_live == 3.0             # Table 2
+
+    def test_tag_sighting_is_six_inch_square(self, db):
+        adapter = UbisenseAdapter("Ubi-18", "SC/3/3105", frame="")
+        adapter.attach(db)
+        adapter.tag_sighting("ralph-badge", Point(150, 20), 1.0)
+        row = db.readings_for("ralph-badge", now=2.0)[0]
+        assert row["rect"] == Rect(149.5, 19.5, 150.5, 20.5)
+        assert row["detection_radius"] == 0.5
+
+    def test_reading_expires_after_three_seconds(self, db):
+        adapter = UbisenseAdapter("Ubi-18", "SC/3/3105", frame="")
+        adapter.attach(db)
+        adapter.tag_sighting("ralph-badge", Point(150, 20), 0.0)
+        assert db.readings_for("ralph-badge", now=2.9)
+        assert not db.readings_for("ralph-badge", now=3.1)
+
+
+class TestRfBadge:
+    def test_paper_calibration(self):
+        spec = rf_badge_spec()
+        assert spec.detection_probability == 0.75   # "y = 0.75"
+        assert spec.misident_probability == 0.25    # z0 = 0.25
+        assert spec.z_area_scaled
+        assert spec.resolution == 15.0              # "approx. 15 ft"
+
+    def test_sighting_covers_area_of_interest(self, db):
+        adapter = RfBadgeAdapter("RF-12", "SC/3/3102", Point(50, 20),
+                                 frame="")
+        adapter.attach(db)
+        adapter.badge_sighting("tom-pda", 1.0)
+        row = db.readings_for("tom-pda", now=2.0)[0]
+        assert row["rect"] == adapter.area_of_interest()
+        assert row["rect"].width == 30.0
+
+    def test_station_frame_conversion(self, db):
+        # Station position given in the room's own frame.
+        adapter = RfBadgeAdapter("RF-12", "SC/3/3102", Point(30, 20),
+                                 frame="SC/3/3102")
+        adapter.attach(db)
+        # Room 3102 origin is (20, 0): canonical center (50, 20).
+        assert adapter.area_of_interest().center.almost_equals(
+            Point(50, 20))
+
+
+class TestCardReader:
+    def test_symbolic_reading_covers_room(self, db):
+        adapter = CardReaderAdapter("Card-3105", "SC/3/3105", frame="")
+        adapter.attach(db)
+        adapter.swipe("tom", 1.0)
+        row = db.readings_for("tom", now=2.0)[0]
+        assert row["rect"] == db.world.canonical_mbr("SC/3/3105")
+
+    def test_ten_second_ttl(self, db):
+        adapter = CardReaderAdapter("Card-3105", "SC/3/3105", frame="")
+        adapter.attach(db)
+        adapter.swipe("tom", 0.0)
+        assert db.readings_for("tom", now=9.9)
+        assert not db.readings_for("tom", now=10.1)
+
+
+class TestBiometric:
+    @pytest.fixture
+    def adapter(self, db) -> BiometricAdapter:
+        a = BiometricAdapter("Finger-1", "SC/3/3105", Point(150, 10),
+                             frame="")
+        a.attach(db)
+        return a
+
+    def test_authentication_emits_short_and_long(self, db, adapter):
+        adapter.authentication("alice", 0.0)
+        rows = db.readings_for("alice", now=1.0)
+        sensors = {row["sensor_id"] for row in rows}
+        assert sensors == {"Finger-1", "Finger-1-room"}
+        by_sensor = {row["sensor_id"]: row for row in rows}
+        # Short: 2 ft circle; long: the whole room.
+        assert by_sensor["Finger-1"]["rect"].width == 4.0
+        assert by_sensor["Finger-1-room"]["rect"] == \
+            db.world.canonical_mbr("SC/3/3105")
+
+    def test_short_reading_expires_at_30s(self, db, adapter):
+        adapter.authentication("alice", 0.0)
+        sensors = {row["sensor_id"]
+                   for row in db.readings_for("alice", now=31.0)}
+        assert sensors == {"Finger-1-room"}
+
+    def test_long_reading_expires_at_15min(self, db, adapter):
+        adapter.authentication("alice", 0.0)
+        assert db.readings_for("alice", now=899.0)
+        assert not db.readings_for("alice", now=901.0)
+
+    def test_logout_expires_and_emits_short_reading(self, db, adapter):
+        adapter.authentication("alice", 0.0)
+        adapter.logout("alice", 60.0)
+        rows = db.readings_for("alice", now=61.0)
+        assert {row["sensor_id"] for row in rows} == {"Finger-1-logout"}
+        # The logout reading itself dies after 15 seconds.
+        assert not db.readings_for("alice", now=76.0)
+
+    def test_three_sensor_rows_registered(self, db, adapter):
+        for sensor_id in ("Finger-1", "Finger-1-room", "Finger-1-logout"):
+            assert db.sensor_row(sensor_id)
+
+
+class TestBluetoothAndDesktop:
+    def test_bluetooth_inquiry_batches(self, db):
+        adapter = BluetoothAdapter("BT-1", "SC/3/ConferenceRoom",
+                                   Point(190, 80), frame="")
+        adapter.attach(db)
+        ids = adapter.inquiry_result(["phone-a", "phone-b"], 0.0)
+        assert len(ids) == 2
+        assert db.readings_for("phone-a", now=1.0)
+        assert db.readings_for("phone-b", now=1.0)
+
+    def test_desktop_login_and_logout(self, db):
+        adapter = DesktopLoginAdapter("WS-1", "SC/3/3102",
+                                      Point(26, 4), frame="")
+        adapter.attach(db)
+        adapter.login("carol", 0.0)
+        assert db.readings_for("carol", now=1.0)
+        adapter.logout("carol", 100.0)
+        assert not db.readings_for("carol", now=101.0)
+
+    def test_desktop_activity_refreshes(self, db):
+        adapter = DesktopLoginAdapter("WS-1", "SC/3/3102",
+                                      Point(26, 4), frame="")
+        adapter.attach(db)
+        adapter.login("carol", 0.0)
+        adapter.activity("carol", 500.0)
+        rows = db.readings_for("carol", now=501.0)
+        assert rows[0]["detection_time"] == 500.0

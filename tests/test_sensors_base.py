@@ -1,0 +1,130 @@
+"""Tests for the adapter framework (Section 6)."""
+
+import pytest
+
+from repro.core import SensorSpec
+from repro.errors import CalibrationError, SensorError
+from repro.geometry import Point, Rect
+from repro.sensors import AdapterRegistry, LocationAdapter, default_registry
+from repro.sim import siebel_floor
+from repro.spatialdb import SpatialDatabase
+
+
+class ProbeAdapter(LocationAdapter):
+    ADAPTER_TYPE = "Probe"
+
+    def see(self, object_id: str, position: Point, time: float):
+        return self._emit_circle(object_id, position, 5.0, time)
+
+
+@pytest.fixture
+def db() -> SpatialDatabase:
+    return SpatialDatabase(siebel_floor())
+
+
+@pytest.fixture
+def spec() -> SensorSpec:
+    return SensorSpec("Probe", 1.0, 0.9, 0.05, resolution=5.0,
+                      time_to_live=30.0)
+
+
+class TestAttachment:
+    def test_attach_registers_metadata(self, db, spec):
+        adapter = ProbeAdapter("P-1", "SC/3/3105", spec, frame="")
+        adapter.attach(db)
+        row = db.sensor_row("P-1")
+        assert row["sensor_type"] == "Probe"
+        assert row["time_to_live"] == 30.0
+        assert row["confidence"] == pytest.approx(90.0)
+
+    def test_double_attach_rejected(self, db, spec):
+        adapter = ProbeAdapter("P-1", "SC/3/3105", spec, frame="")
+        adapter.attach(db)
+        with pytest.raises(SensorError):
+            adapter.attach(db)
+
+    def test_unknown_frame_rejected(self, db, spec):
+        adapter = ProbeAdapter("P-1", "SC/3/9999", spec)  # frame = prefix
+        with pytest.raises(CalibrationError):
+            adapter.attach(db)
+
+    def test_emit_before_attach_rejected(self, spec):
+        adapter = ProbeAdapter("P-1", "SC/3/3105", spec, frame="")
+        with pytest.raises(SensorError):
+            adapter.see("tom", Point(0, 0), 0.0)
+
+    def test_empty_id_rejected(self, spec):
+        with pytest.raises(SensorError):
+            ProbeAdapter("", "SC/3/3105", spec)
+
+
+class TestEmission:
+    def test_reading_lands_in_database(self, db, spec):
+        adapter = ProbeAdapter("P-1", "SC/3/3105", spec, frame="")
+        adapter.attach(db)
+        adapter.see("tom", Point(150, 20), 1.0)
+        rows = db.readings_for("tom", now=2.0)
+        assert len(rows) == 1
+        assert rows[0]["rect"] == Rect(145, 15, 155, 25)
+
+    def test_frame_conversion_applied(self, db, spec):
+        # Calibrated in room 3105's frame (origin at 140, 0).
+        adapter = ProbeAdapter("P-1", "SC/3/3105", spec,
+                               frame="SC/3/3105")
+        adapter.attach(db)
+        adapter.see("tom", Point(10, 20), 1.0)
+        row = db.readings_for("tom", now=2.0)[0]
+        assert row["location"].almost_equals(Point(150, 20))
+
+    def test_event_filter_vetoes(self, db, spec):
+        adapter = ProbeAdapter("P-1", "SC/3/3105", spec, frame="")
+        adapter.attach(db)
+        adapter.set_event_filter(lambda obj, rect, t: obj != "ghost")
+        assert adapter.see("ghost", Point(150, 20), 1.0) is None
+        assert adapter.see("tom", Point(150, 20), 1.0) is not None
+
+    def test_rate_limit(self, db, spec):
+        adapter = ProbeAdapter("P-1", "SC/3/3105", spec, frame="")
+        adapter.attach(db)
+        adapter.set_min_interval(5.0)
+        assert adapter.see("tom", Point(150, 20), 0.0) is not None
+        assert adapter.see("tom", Point(151, 20), 2.0) is None
+        assert adapter.see("tom", Point(152, 20), 5.0) is not None
+
+    def test_rate_limit_is_per_object(self, db, spec):
+        adapter = ProbeAdapter("P-1", "SC/3/3105", spec, frame="")
+        adapter.attach(db)
+        adapter.set_min_interval(5.0)
+        assert adapter.see("tom", Point(150, 20), 0.0) is not None
+        assert adapter.see("ann", Point(150, 20), 1.0) is not None
+
+    def test_negative_interval_rejected(self, db, spec):
+        adapter = ProbeAdapter("P-1", "SC/3/3105", spec, frame="")
+        with pytest.raises(SensorError):
+            adapter.set_min_interval(-1.0)
+
+
+class TestRegistry:
+    def test_register_and_create(self, db):
+        registry = AdapterRegistry()
+        registry.register(ProbeAdapter)
+        spec = SensorSpec("Probe", 1.0, 0.9, 0.05, resolution=5.0)
+        adapter = registry.create("Probe", "P-9", "SC/3/3105", spec)
+        assert isinstance(adapter, ProbeAdapter)
+        assert adapter.adapter_id == "P-9"
+
+    def test_duplicate_type_rejected(self):
+        registry = AdapterRegistry()
+        registry.register(ProbeAdapter)
+        with pytest.raises(SensorError):
+            registry.register(ProbeAdapter)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(SensorError):
+            AdapterRegistry().create("NoSuch")
+
+    def test_default_registry_has_paper_technologies(self):
+        types = default_registry().types()
+        for expected in ("Ubisense", "RF", "Biometric", "CardReader",
+                         "GPS", "Bluetooth", "DesktopLogin"):
+            assert expected in types

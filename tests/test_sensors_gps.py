@@ -1,0 +1,102 @@
+"""Tests for the GPS adapter and geodetic calibration."""
+
+import math
+
+import pytest
+
+from repro.errors import CalibrationError
+from repro.geometry import Point
+from repro.model import EntityType, FrameTransform, Glob, WorldModel
+from repro.geometry import Polygon, Rect
+from repro.sensors import GeodeticCalibration, GpsAdapter
+from repro.spatialdb import SpatialDatabase
+
+# Siebel Center, roughly.
+REF_LAT = 40.1138
+REF_LON = -88.2249
+
+
+@pytest.fixture
+def campus_db() -> SpatialDatabase:
+    world = WorldModel()
+    world.add_frame("Campus", "", FrameTransform())
+    world.add_region(Glob.parse("Campus/quad"), EntityType.REGION,
+                     Polygon.from_rect(Rect(-2000, -2000, 2000, 2000)),
+                     "Campus")
+    return SpatialDatabase(world)
+
+
+class TestCalibration:
+    def test_reference_maps_to_origin(self):
+        cal = GeodeticCalibration(REF_LAT, REF_LON)
+        local = cal.to_local(REF_LAT, REF_LON)
+        assert local.almost_equals(Point(0, 0), 1e-6)
+
+    def test_north_is_positive_y(self):
+        cal = GeodeticCalibration(REF_LAT, REF_LON)
+        north = cal.to_local(REF_LAT + 0.001, REF_LON)
+        assert north.y > 0
+        assert abs(north.x) < 1e-6
+        # 0.001 degree of latitude is about 364 feet.
+        assert north.y == pytest.approx(365, rel=0.01)
+
+    def test_east_is_positive_x_scaled_by_latitude(self):
+        cal = GeodeticCalibration(REF_LAT, REF_LON)
+        east = cal.to_local(REF_LAT, REF_LON + 0.001)
+        assert east.x > 0
+        # Longitude degrees shrink by cos(latitude).
+        assert east.x == pytest.approx(365 * math.cos(
+            math.radians(REF_LAT)), rel=0.01)
+
+    def test_roundtrip(self):
+        cal = GeodeticCalibration(REF_LAT, REF_LON, origin_x=100.0,
+                                  origin_y=-50.0)
+        lat, lon = cal.to_geodetic(Point(740.0, 220.0))
+        back = cal.to_local(lat, lon)
+        assert back.almost_equals(Point(740.0, 220.0), 1e-3)
+
+    def test_invalid_reference_rejected(self):
+        with pytest.raises(CalibrationError):
+            GeodeticCalibration(95.0, 0.0)
+        with pytest.raises(CalibrationError):
+            GeodeticCalibration(0.0, 200.0)
+
+
+class TestGpsAdapter:
+    def test_fix_uses_device_accuracy(self, campus_db):
+        cal = GeodeticCalibration(REF_LAT, REF_LON)
+        adapter = GpsAdapter("GPS-1", "Campus", cal, frame="")
+        adapter.attach(campus_db)
+        adapter.fix("walker", REF_LAT, REF_LON, 0.0, accuracy_ft=15.0)
+        row = campus_db.readings_for("walker", now=1.0)[0]
+        # "If the GPS receiver estimates an accuracy of 15 feet, we set
+        # area A to a sphere with a radius of 15 feet."
+        assert row["rect"].width == pytest.approx(30.0)
+
+    def test_fix_falls_back_to_spec_resolution(self, campus_db):
+        cal = GeodeticCalibration(REF_LAT, REF_LON)
+        adapter = GpsAdapter("GPS-1", "Campus", cal, frame="")
+        adapter.attach(campus_db)
+        adapter.fix("walker", REF_LAT, REF_LON, 0.0)
+        row = campus_db.readings_for("walker", now=1.0)[0]
+        assert row["rect"].width == pytest.approx(100.0)  # 50 ft default
+
+    def test_fix_position_projected(self, campus_db):
+        cal = GeodeticCalibration(REF_LAT, REF_LON)
+        adapter = GpsAdapter("GPS-1", "Campus", cal, frame="")
+        adapter.attach(campus_db)
+        adapter.fix("walker", REF_LAT + 0.001, REF_LON, 0.0,
+                    accuracy_ft=10.0)
+        row = campus_db.readings_for("walker", now=1.0)[0]
+        assert row["location"].y == pytest.approx(365, rel=0.01)
+
+    def test_carry_probability_affects_pq(self):
+        cal = GeodeticCalibration(REF_LAT, REF_LON)
+        devoted = GpsAdapter("G1", "Campus", cal, carry_probability=0.99,
+                             frame="")
+        forgetful = GpsAdapter("G2", "Campus", cal, carry_probability=0.5,
+                               frame="")
+        p_devoted, q_devoted = devoted.spec.pq(100.0, 1e6)
+        p_forgetful, q_forgetful = forgetful.spec.pq(100.0, 1e6)
+        assert p_devoted > p_forgetful
+        assert q_devoted < q_forgetful

@@ -1,0 +1,67 @@
+"""Tests for the shared-fusion memo behind trigger evaluation."""
+
+import pytest
+
+from repro.geometry import Point
+from repro.sensors import UbisenseAdapter
+from repro.service import LocationService
+from repro.sim import SimClock, siebel_floor
+from repro.spatialdb import SpatialDatabase
+
+
+@pytest.fixture
+def rig():
+    world = siebel_floor()
+    db = SpatialDatabase(world)
+    clock = SimClock()
+    service = LocationService(db, clock=clock)
+    ubi = UbisenseAdapter("Ubi-1", "SC/3", frame="").attach(db)
+    return world, db, clock, service, ubi
+
+
+class TestFusionCache:
+    def test_many_triggers_one_fusion(self, rig):
+        world, db, clock, service, ubi = rig
+        room = world.canonical_mbr("SC/3/3105")
+        for _ in range(50):
+            service.subscribe(room, consumer=lambda e: None,
+                              kind="both", threshold=0.2)
+        ubi.tag_sighting("alice", Point(150, 20), clock.advance(1.0))
+        # 50 trigger evaluations, one fusion: 49 hits.
+        assert service.fusion_cache_hits == 49
+
+    def test_new_reading_invalidates(self, rig):
+        world, db, clock, service, ubi = rig
+        ubi.tag_sighting("alice", Point(150, 20), clock.advance(1.0))
+        first = service.fusion_result("alice")
+        # Same instant, no new reading: cached object returned.
+        assert service.fusion_result("alice") is first
+        # A fresh reading must produce a fresh fusion.
+        ubi.tag_sighting("alice", Point(151, 20), clock.advance(1.0))
+        second = service.fusion_result("alice")
+        assert second is not first
+        assert len(second.readings) == 2 or len(second.readings) == 1
+
+    def test_different_timestamps_not_conflated(self, rig):
+        world, db, clock, service, ubi = rig
+        ubi.tag_sighting("alice", Point(150, 20), 0.0)
+        early = service.fusion_result("alice", now=1.0)
+        late = service.fusion_result("alice", now=2.5)
+        assert early is not late
+        assert late.now == 2.5
+
+    def test_cache_bounded(self, rig):
+        world, db, clock, service, ubi = rig
+        ubi.tag_sighting("alice", Point(150, 20), 0.0)
+        for i in range(100):
+            service.fusion_result("alice", now=1.0 + i * 0.01)
+        assert len(service._fusion_cache) <= \
+            service._fusion_cache_capacity
+
+    def test_estimates_unaffected_by_caching(self, rig):
+        world, db, clock, service, ubi = rig
+        ubi.tag_sighting("alice", Point(150, 20), clock.advance(1.0))
+        direct = service.locate("alice")
+        cached = service.locate("alice")
+        assert cached.rect == direct.rect
+        assert cached.probability == direct.probability

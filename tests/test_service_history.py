@@ -1,0 +1,159 @@
+"""Tests for location history (trajectories, interpolation, speed)."""
+
+import pytest
+
+from repro.core import LocationEstimate, ProbabilityBucket
+from repro.errors import ServiceError
+from repro.geometry import Point, Rect
+from repro.service import LocationHistory
+
+
+def estimate(x: float, y: float, t: float, object_id: str = "alice",
+             symbolic: str = None) -> LocationEstimate:
+    return LocationEstimate(
+        object_id=object_id, rect=Rect.from_center(Point(x, y), 1.0),
+        probability=0.9, bucket=ProbabilityBucket.HIGH, time=t,
+        symbolic=symbolic)
+
+
+class TestRecording:
+    def test_record_and_last(self):
+        history = LocationHistory()
+        history.record(estimate(0, 0, 1.0))
+        history.record(estimate(5, 0, 2.0))
+        assert history.last("alice").time == 2.0
+        assert history.sample_count("alice") == 2
+
+    def test_out_of_order_dropped(self):
+        history = LocationHistory()
+        history.record(estimate(0, 0, 5.0))
+        history.record(estimate(9, 9, 1.0))
+        assert history.sample_count("alice") == 1
+        assert history.last("alice").time == 5.0
+
+    def test_min_interval_coalesces(self):
+        history = LocationHistory(min_interval=1.0)
+        history.record(estimate(0, 0, 1.0))
+        history.record(estimate(1, 0, 1.2))  # replaces, not appends
+        assert history.sample_count("alice") == 1
+        assert history.last("alice").center.x == 1.0
+
+    def test_capacity_ring(self):
+        history = LocationHistory(max_samples_per_object=4,
+                                  min_interval=0.0)
+        for i in range(10):
+            history.record(estimate(i, 0, float(i)))
+        assert history.sample_count("alice") == 4
+        assert history.trajectory("alice")[0].time == 6.0
+
+    def test_forget(self):
+        history = LocationHistory()
+        history.record(estimate(0, 0, 1.0))
+        assert history.forget("alice")
+        assert not history.forget("alice")
+        with pytest.raises(ServiceError):
+            history.last("alice")
+
+    def test_capacity_validation(self):
+        with pytest.raises(ServiceError):
+            LocationHistory(max_samples_per_object=1)
+
+
+class TestQueries:
+    @pytest.fixture
+    def walk(self) -> LocationHistory:
+        history = LocationHistory(min_interval=0.0)
+        # alice walks east 4 ft/s for 10 s.
+        for i in range(11):
+            history.record(estimate(4.0 * i, 0.0, float(i),
+                                    symbolic="SC/3/Corridor" if i > 4
+                                    else "SC/3/3105"))
+        return history
+
+    def test_trajectory_window(self, walk):
+        samples = walk.trajectory("alice", t0=3.0, t1=6.0)
+        assert [s.time for s in samples] == [3.0, 4.0, 5.0, 6.0]
+
+    def test_at_nearest(self, walk):
+        assert walk.at("alice", 4.4).time == 4.0
+        assert walk.at("alice", 4.6).time == 5.0
+
+    def test_position_interpolated(self, walk):
+        p = walk.position_at("alice", 2.5)
+        assert p.x == pytest.approx(10.0)
+
+    def test_position_clamped_outside_span(self, walk):
+        assert walk.position_at("alice", -5.0).x == 0.0
+        assert walk.position_at("alice", 99.0).x == 40.0
+
+    def test_speed(self, walk):
+        assert walk.speed("alice", window=10.0) == pytest.approx(4.0)
+
+    def test_speed_needs_two_samples(self):
+        history = LocationHistory()
+        history.record(estimate(0, 0, 1.0))
+        assert history.speed("alice") is None
+
+    def test_distance_travelled(self, walk):
+        assert walk.distance_travelled("alice") == pytest.approx(40.0)
+        assert walk.distance_travelled("alice", t0=2.0, t1=5.0) == \
+            pytest.approx(12.0)
+
+    def test_regions_visited_deduplicates_runs(self, walk):
+        assert walk.regions_visited("alice") == ["SC/3/3105",
+                                                 "SC/3/Corridor"]
+
+    def test_is_stationary(self, walk):
+        assert walk.is_stationary("alice") is False
+        still = LocationHistory(min_interval=0.0)
+        for i in range(5):
+            still.record(estimate(10.0, 10.0, float(i), "badge"))
+        assert still.is_stationary("badge", window=10.0) is True
+
+    def test_per_object_isolation(self):
+        history = LocationHistory()
+        history.record(estimate(0, 0, 1.0, "alice"))
+        history.record(estimate(9, 9, 1.0, "bob"))
+        assert history.tracked_objects() == ["alice", "bob"]
+        assert history.last("alice").center.x == 0.0
+        assert history.last("bob").center.x == 9.0
+
+
+class TestServiceIntegration:
+    def test_locate_records_history(self):
+        from repro.sensors import UbisenseAdapter
+        from repro.service import LocationService
+        from repro.sim import SimClock, siebel_floor
+        from repro.spatialdb import SpatialDatabase
+
+        db = SpatialDatabase(siebel_floor())
+        clock = SimClock()
+        history = LocationHistory(min_interval=0.0)
+        service = LocationService(db, clock=clock, history=history)
+        ubi = UbisenseAdapter("Ubi-1", "SC/3", frame="").attach(db)
+
+        ubi.tag_sighting("alice", Point(150, 20), 0.0)
+        clock.advance(1.0)
+        service.locate("alice")
+        ubi.tag_sighting("alice", Point(154, 20), 1.5)
+        clock.advance(1.0)
+        service.locate("alice")
+        assert history.sample_count("alice") == 2
+        assert history.speed("alice", window=10.0) > 0.0
+
+    def test_privacy_coarsened_answers_not_archived(self):
+        from repro.sensors import UbisenseAdapter
+        from repro.service import DEPTH_FLOOR, LocationService
+        from repro.sim import SimClock, siebel_floor
+        from repro.spatialdb import SpatialDatabase
+
+        db = SpatialDatabase(siebel_floor())
+        clock = SimClock()
+        history = LocationHistory(min_interval=0.0)
+        service = LocationService(db, clock=clock, history=history)
+        service.privacy.restrict("alice", DEPTH_FLOOR)
+        ubi = UbisenseAdapter("Ubi-1", "SC/3", frame="").attach(db)
+        ubi.tag_sighting("alice", Point(150, 20), 0.0)
+        clock.advance(1.0)
+        service.locate("alice", requester="stranger")
+        assert history.sample_count("alice") == 0

@@ -1,0 +1,206 @@
+"""Tests for the Location Service (Section 4) over a deterministic feed."""
+
+import pytest
+
+from repro.core import ProbabilityBucket
+from repro.errors import PrivacyError, ServiceError, UnknownObjectError
+from repro.geometry import Point, Rect
+from repro.sensors import (
+    CardReaderAdapter,
+    RfBadgeAdapter,
+    UbisenseAdapter,
+)
+from repro.service import DEPTH_FLOOR, LocationService, PrivacyPolicy
+from repro.sim import SimClock, siebel_floor
+from repro.spatialdb import SpatialDatabase
+
+
+@pytest.fixture
+def rig():
+    """A service over the Siebel floor with three adapters, fed by hand."""
+    world = siebel_floor()
+    db = SpatialDatabase(world)
+    clock = SimClock()
+    service = LocationService(db, clock=clock)
+    ubi = UbisenseAdapter("Ubi-18", "SC/3/3105", frame="").attach(db)
+    rf = RfBadgeAdapter("RF-12", "SC/3/3105", Point(170, 20),
+                        frame="").attach(db)
+    card = CardReaderAdapter("Card-3105", "SC/3/3105", frame="").attach(db)
+    return world, db, clock, service, ubi, rf, card
+
+
+class TestLocate:
+    def test_unknown_object(self, rig):
+        _, _, _, service, *_ = rig
+        with pytest.raises(UnknownObjectError):
+            service.locate("nobody")
+
+    def test_single_sensor_locate(self, rig):
+        _, _, clock, service, ubi, _, _ = rig
+        ubi.tag_sighting("alice", Point(150, 20), 0.0)
+        clock.advance(1.0)
+        estimate = service.locate("alice")
+        assert estimate.symbolic == "SC/3/3105"
+        assert estimate.rect.contains_point(Point(150, 20))
+        assert estimate.probability > 0.5
+
+    def test_reinforcement_bumps_bucket(self, rig):
+        _, _, clock, service, ubi, rf, card = rig
+        rf.badge_sighting("alice", 0.0)
+        clock.advance(1.0)
+        weak = service.locate("alice")
+        ubi.tag_sighting("alice", Point(165, 18), 1.0)
+        card.swipe("alice", 1.0)
+        strong = service.locate("alice")
+        assert strong.probability > weak.probability
+        assert set(strong.sources) == {"Ubi-18", "RF-12", "Card-3105"}
+
+    def test_stale_readings_expire(self, rig):
+        _, _, clock, service, ubi, _, _ = rig
+        ubi.tag_sighting("alice", Point(150, 20), 0.0)
+        clock.advance(10.0)  # past the 3 s Ubisense TTL
+        with pytest.raises(UnknownObjectError):
+            service.locate("alice")
+
+    def test_temporal_degradation_lowers_confidence(self, rig):
+        _, _, clock, service, _, rf, _ = rig
+        rf.badge_sighting("alice", 0.0)
+        clock.advance(1.0)
+        fresh = service.locate("alice").probability
+        clock.advance(45.0)  # within the 60 s TTL, but decayed
+        stale = service.locate("alice").probability
+        assert stale < fresh
+
+    def test_explicit_timestamp_query(self, rig):
+        _, _, _, service, ubi, _, _ = rig
+        ubi.tag_sighting("alice", Point(150, 20), 5.0)
+        estimate = service.locate("alice", now=6.0)
+        assert estimate.time == 6.0
+
+    def test_locate_symbolic(self, rig):
+        _, _, clock, service, ubi, _, _ = rig
+        ubi.tag_sighting("alice", Point(150, 20), 0.0)
+        clock.advance(1.0)
+        assert service.locate_symbolic("alice") == "SC/3/3105"
+
+
+class TestPrivacy:
+    def test_granularity_coarsens_symbolic_and_rect(self, rig):
+        world, db, clock, service, ubi, _, _ = rig
+        service.privacy.restrict("alice", DEPTH_FLOOR)
+        ubi.tag_sighting("alice", Point(150, 20), 0.0)
+        clock.advance(1.0)
+        estimate = service.locate("alice", requester="stranger")
+        assert estimate.symbolic == "SC/3"
+        assert estimate.rect == world.canonical_mbr("SC/3")
+
+    def test_blocked_object(self, rig):
+        _, _, clock, service, ubi, _, _ = rig
+        service.privacy.restrict("alice", 0)
+        ubi.tag_sighting("alice", Point(150, 20), 0.0)
+        clock.advance(1.0)
+        with pytest.raises(PrivacyError):
+            service.locate("alice", requester="stranger")
+
+    def test_trusted_requester_sees_room(self, rig):
+        _, _, clock, service, ubi, _, _ = rig
+        service.privacy.restrict("alice", DEPTH_FLOOR)
+        service.privacy.allow("alice", "bob", 99)
+        ubi.tag_sighting("alice", Point(150, 20), 0.0)
+        clock.advance(1.0)
+        assert service.locate("alice",
+                              requester="bob").symbolic == "SC/3/3105"
+
+
+class TestRegionQueries:
+    def test_confidence_in_region(self, rig):
+        _, _, clock, service, ubi, _, _ = rig
+        ubi.tag_sighting("alice", Point(150, 20), 0.0)
+        clock.advance(1.0)
+        assert service.confidence_in_region("alice", "SC/3/3105") > 0.5
+        assert service.confidence_in_region("alice", "SC/3/3110") == 0.0
+
+    def test_probability_in_region(self, rig):
+        _, _, clock, service, ubi, _, _ = rig
+        ubi.tag_sighting("alice", Point(150, 20), 0.0)
+        clock.advance(1.0)
+        inside = service.probability_in_region("alice", "SC/3/3105")
+        outside = service.probability_in_region("alice", "SC/3/3110")
+        assert inside > outside
+
+    def test_objects_in_region(self, rig):
+        _, _, clock, service, ubi, _, card = rig
+        ubi.tag_sighting("alice", Point(150, 20), 0.0)
+        card.swipe("bob", 0.0)
+        clock.advance(1.0)
+        found = service.objects_in_region("SC/3/3105")
+        names = [object_id for object_id, _ in found]
+        assert "alice" in names
+        assert "bob" in names
+
+    def test_objects_in_region_threshold(self, rig):
+        _, _, clock, service, ubi, _, _ = rig
+        ubi.tag_sighting("alice", Point(150, 20), 0.0)
+        clock.advance(1.0)
+        assert service.objects_in_region("SC/3/3105",
+                                         min_confidence=0.999) == []
+
+    def test_nearest_entities_with_properties(self, rig):
+        _, _, clock, service, ubi, _, _ = rig
+        ubi.tag_sighting("alice", Point(150, 20), 0.0)
+        clock.advance(1.0)
+        found = service.nearest_entities("alice", count=1,
+                                         object_type="Workstation")
+        assert found[0][0] == "SC/3/3105/workstation1"
+
+
+class TestRelationsThroughService:
+    def test_proximity(self, rig):
+        _, _, clock, service, ubi, _, _ = rig
+        ubi.tag_sighting("alice", Point(150, 20), 0.0)
+        ubi.tag_sighting("bob", Point(152, 20), 0.0)
+        ubi.tag_sighting("carol", Point(370, 90), 0.0)
+        clock.advance(1.0)
+        assert service.proximity("alice", "bob", threshold=10.0).holds
+        assert not service.proximity("alice", "carol",
+                                     threshold=10.0).holds
+
+    def test_colocation(self, rig):
+        _, _, clock, service, ubi, _, _ = rig
+        ubi.tag_sighting("alice", Point(150, 20), 0.0)
+        ubi.tag_sighting("bob", Point(180, 30), 0.0)
+        clock.advance(1.0)
+        assert service.colocation("alice", "bob",
+                                  granularity_depth=3).holds
+
+    def test_containment(self, rig):
+        _, _, clock, service, ubi, _, _ = rig
+        ubi.tag_sighting("alice", Point(150, 20), 0.0)
+        clock.advance(1.0)
+        assert service.containment("alice", "SC/3/3105").holds
+
+    def test_distance_between(self, rig):
+        _, _, clock, service, ubi, _, _ = rig
+        ubi.tag_sighting("alice", Point(150, 20), 0.0)
+        ubi.tag_sighting("bob", Point(160, 20), 0.0)
+        clock.advance(1.0)
+        assert service.distance_between("alice", "bob") == \
+            pytest.approx(10.0, abs=0.5)
+
+
+class TestClassifier:
+    def test_classifier_built_from_deployed_sensors(self, rig):
+        _, _, _, service, *_ = rig
+        classifier = service.classifier()
+        assert len(classifier.boundaries) == 3
+
+    def test_no_sensors_rejected(self):
+        db = SpatialDatabase(siebel_floor())
+        service = LocationService(db)
+        with pytest.raises(ServiceError):
+            service.classifier()
+
+    def test_grade(self, rig):
+        _, _, _, service, *_ = rig
+        assert service.grade(0.01) is ProbabilityBucket.LOW
+        assert service.grade(1.0) is ProbabilityBucket.VERY_HIGH

@@ -1,0 +1,65 @@
+"""Tests for privacy granularity policies (Section 4.5)."""
+
+import pytest
+
+from repro.errors import PrivacyError
+from repro.service import (
+    DEPTH_BLOCKED,
+    DEPTH_BUILDING,
+    DEPTH_FLOOR,
+    DEPTH_FULL,
+    DEPTH_ROOM,
+    PrivacyPolicy,
+)
+
+
+class TestDepthResolution:
+    def test_default_is_full(self):
+        policy = PrivacyPolicy()
+        assert policy.depth_for("alice", "bob") == DEPTH_FULL
+
+    def test_wildcard_rule(self):
+        policy = PrivacyPolicy()
+        policy.restrict("alice", DEPTH_FLOOR)
+        assert policy.depth_for("alice", "anyone") == DEPTH_FLOOR
+        assert policy.depth_for("carol", "anyone") == DEPTH_FULL
+
+    def test_specific_requester_beats_wildcard(self):
+        policy = PrivacyPolicy()
+        policy.restrict("alice", DEPTH_BUILDING)
+        policy.allow("alice", "best-friend", DEPTH_ROOM)
+        assert policy.depth_for("alice", "best-friend") == DEPTH_ROOM
+        assert policy.depth_for("alice", "stranger") == DEPTH_BUILDING
+
+    def test_anonymous_requester_gets_wildcard(self):
+        policy = PrivacyPolicy()
+        policy.restrict("alice", DEPTH_FLOOR)
+        assert policy.depth_for("alice", None) == DEPTH_FLOOR
+
+    def test_invalid_depth_rejected(self):
+        with pytest.raises(PrivacyError):
+            PrivacyPolicy().restrict("alice", -1)
+
+
+class TestBlocking:
+    def test_blocked_raises(self):
+        policy = PrivacyPolicy()
+        policy.restrict("alice", DEPTH_BLOCKED)
+        with pytest.raises(PrivacyError):
+            policy.check_allowed("alice", "stranger")
+
+    def test_blocked_for_one_requester_only(self):
+        policy = PrivacyPolicy()
+        policy.restrict("alice", DEPTH_BLOCKED, requester="stalker")
+        with pytest.raises(PrivacyError):
+            policy.check_allowed("alice", "stalker")
+        assert policy.check_allowed("alice", "friend") == DEPTH_FULL
+
+    def test_check_allowed_returns_depth(self):
+        policy = PrivacyPolicy()
+        policy.restrict("alice", DEPTH_FLOOR)
+        assert policy.check_allowed("alice", "bob") == DEPTH_FLOOR
+
+    def test_restrictive_default(self):
+        policy = PrivacyPolicy(default_depth=DEPTH_BUILDING)
+        assert policy.depth_for("anyone", "x") == DEPTH_BUILDING

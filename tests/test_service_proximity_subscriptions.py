@@ -1,0 +1,110 @@
+"""Tests for proximity subscriptions (Section 5.3's distance trigger)."""
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.geometry import Point
+from repro.sensors import UbisenseAdapter
+from repro.service import LocationService
+from repro.service.subscriptions import ProximitySubscription
+from repro.sim import SimClock, siebel_floor
+from repro.spatialdb import SpatialDatabase
+
+
+@pytest.fixture
+def rig():
+    world = siebel_floor()
+    db = SpatialDatabase(world)
+    clock = SimClock()
+    service = LocationService(db, clock=clock)
+    ubi = UbisenseAdapter("Ubi-1", "SC/3", frame="").attach(db)
+    return clock, service, ubi
+
+
+class TestValidation:
+    def test_same_object_rejected(self):
+        with pytest.raises(ServiceError):
+            ProximitySubscription("p1", "alice", "alice", 10.0,
+                                  consumer=lambda e: None)
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(ServiceError):
+            ProximitySubscription("p1", "a", "b", 0.0,
+                                  consumer=lambda e: None)
+
+    def test_needs_consumer(self):
+        with pytest.raises(ServiceError):
+            ProximitySubscription("p1", "a", "b", 10.0)
+
+
+class TestEvents:
+    def test_enter_fires_when_pair_closes(self, rig):
+        clock, service, ubi = rig
+        events = []
+        service.subscribe_proximity("alice", "bob", 10.0,
+                                    consumer=events.append)
+        ubi.tag_sighting("alice", Point(150, 20), 0.0)
+        ubi.tag_sighting("bob", Point(350, 90), 0.0)   # far apart
+        assert events == []
+        ubi.tag_sighting("bob", Point(154, 20), 1.0)   # walks over
+        assert len(events) == 1
+        event = events[0]
+        assert event["transition"] == "enter"
+        assert {event["first"], event["second"]} == {"alice", "bob"}
+        assert event["distance_ft"] < 10.0
+
+    def test_enter_fires_once_until_separation(self, rig):
+        clock, service, ubi = rig
+        events = []
+        service.subscribe_proximity("alice", "bob", 10.0,
+                                    consumer=events.append)
+        ubi.tag_sighting("alice", Point(150, 20), 0.0)
+        ubi.tag_sighting("bob", Point(153, 20), 0.0)
+        ubi.tag_sighting("bob", Point(154, 21), 1.0)  # still close
+        assert len(events) == 1
+
+    def test_leave_event(self, rig):
+        clock, service, ubi = rig
+        events = []
+        service.subscribe_proximity("alice", "bob", 10.0, kind="both",
+                                    consumer=events.append)
+        ubi.tag_sighting("alice", Point(150, 20), 0.0)
+        ubi.tag_sighting("bob", Point(153, 20), 0.5)
+        ubi.tag_sighting("bob", Point(350, 90), 2.0)
+        assert [e["transition"] for e in events] == ["enter", "leave"]
+
+    def test_unlocatable_partner_means_no_event(self, rig):
+        clock, service, ubi = rig
+        events = []
+        service.subscribe_proximity("alice", "bob", 10.0,
+                                    consumer=events.append)
+        ubi.tag_sighting("alice", Point(150, 20), 0.0)  # bob unseen
+        assert events == []
+
+    def test_triggers_on_either_objects_readings(self, rig):
+        clock, service, ubi = rig
+        events = []
+        service.subscribe_proximity("alice", "bob", 10.0,
+                                    consumer=events.append)
+        ubi.tag_sighting("bob", Point(150, 20), 0.0)
+        # alice's reading (the *other* object) completes the pair.
+        ubi.tag_sighting("alice", Point(152, 20), 0.5)
+        assert len(events) == 1
+
+    def test_unsubscribe(self, rig):
+        clock, service, ubi = rig
+        events = []
+        sub_id = service.subscribe_proximity("alice", "bob", 10.0,
+                                             consumer=events.append)
+        assert service.unsubscribe(sub_id)
+        ubi.tag_sighting("alice", Point(150, 20), 0.0)
+        ubi.tag_sighting("bob", Point(152, 20), 0.0)
+        assert events == []
+
+    def test_third_party_readings_ignored(self, rig):
+        clock, service, ubi = rig
+        events = []
+        service.subscribe_proximity("alice", "bob", 10.0,
+                                    consumer=events.append)
+        ubi.tag_sighting("carol", Point(150, 20), 0.0)
+        assert events == []

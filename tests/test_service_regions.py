@@ -1,0 +1,91 @@
+"""Tests for the symbolic region lattice (Section 4.5)."""
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.geometry import Point, Polygon, Rect
+from repro.service import SymbolicRegionLattice
+from repro.sim import siebel_floor
+
+
+@pytest.fixture
+def lattice() -> SymbolicRegionLattice:
+    return SymbolicRegionLattice(siebel_floor())
+
+
+class TestStructure:
+    def test_rooms_present(self, lattice):
+        regions = lattice.regions()
+        assert "SC/3/3105" in regions
+        assert "SC/3/Corridor" in regions
+        assert "SC/3" in regions
+
+    def test_room_parent_is_floor(self, lattice):
+        assert lattice.parents_of("SC/3/3105") == ["SC/3"]
+
+    def test_floor_children_include_rooms(self, lattice):
+        children = lattice.children_of("SC/3")
+        assert "SC/3/3105" in children
+        assert "SC/3/Corridor" in children
+
+    def test_unknown_region_rejected(self, lattice):
+        with pytest.raises(ServiceError):
+            lattice.parents_of("SC/9")
+
+    def test_ancestors_sorted_by_area(self, lattice):
+        ancestors = lattice.ancestors_of("SC/3/3105")
+        assert ancestors == ["SC/3"]
+
+
+class TestResolution:
+    def test_finest_region_for_point(self, lattice):
+        assert lattice.finest_region_containing_point(
+            Point(150, 10)) == "SC/3/3105"
+        assert lattice.finest_region_containing_point(
+            Point(200, 50)) == "SC/3/Corridor"
+
+    def test_point_outside_world(self, lattice):
+        assert lattice.finest_region_containing_point(
+            Point(9999, 9999)) is None
+
+    def test_finest_region_for_rect(self, lattice):
+        assert lattice.finest_region_containing_rect(
+            Rect(150, 10, 160, 20)) == "SC/3/3105"
+
+    def test_rect_straddling_rooms_resolves_to_floor(self, lattice):
+        straddling = Rect(190, 10, 210, 20)  # 3105 | NetLab wall
+        assert lattice.finest_region_containing_rect(
+            straddling) == "SC/3"
+
+    def test_regions_overlapping_ordered_smallest_first(self, lattice):
+        overlapping = lattice.regions_overlapping(Rect(150, 10, 160, 20))
+        assert overlapping[0] == "SC/3/3105"
+        assert overlapping[-1] == "SC/3"
+
+
+class TestCoarsening:
+    def test_coarsen_room_to_floor(self, lattice):
+        assert lattice.coarsen("SC/3/3105", 2) == "SC/3"
+
+    def test_coarsen_room_to_building(self, lattice):
+        assert lattice.coarsen("SC/3/3105", 1) == "SC"
+
+    def test_coarsen_noop_when_deep_enough(self, lattice):
+        assert lattice.coarsen("SC/3/3105", 5) == "SC/3/3105"
+
+
+class TestApplicationDefinedRegions:
+    def test_define_region_joins_lattice(self, lattice):
+        # "East wing of the building" (Section 4.5).
+        east_wing = Polygon.from_rect(Rect(300, 0, 400, 100))
+        lattice.define_region("SC/3/EastWing", east_wing)
+        assert lattice.has("SC/3/EastWing")
+        # Room 3110 (at x 320-380) now has the wing as a parent.
+        assert "SC/3/EastWing" in lattice.parents_of("SC/3/3110")
+
+    def test_work_region_inside_a_room(self, lattice):
+        work = Polygon.from_rect(Rect(145, 5, 160, 15))
+        lattice.define_region("SC/3/3105/work", work)
+        assert "SC/3/3105" in lattice.parents_of("SC/3/3105/work")
+        assert lattice.finest_region_containing_point(
+            Point(150, 10)) == "SC/3/3105/work"

@@ -1,0 +1,129 @@
+"""Tests for the remote Location Service servant over the ORB."""
+
+import pytest
+
+from repro.core import ProbabilityBucket
+from repro.errors import RemoteInvocationError
+from repro.geometry import Point, Rect
+from repro.orb import NamingService, Orb
+from repro.sensors import UbisenseAdapter
+from repro.service import (
+    SERVICE_NAME,
+    LocationService,
+    publish_service,
+)
+from repro.sim import SimClock, siebel_floor
+from repro.spatialdb import SpatialDatabase
+
+
+@pytest.fixture
+def rig():
+    world = siebel_floor()
+    db = SpatialDatabase(world)
+    clock = SimClock()
+    orb = Orb("server")
+    service = LocationService(db, orb=orb, clock=clock)
+    ubi = UbisenseAdapter("Ubi-1", "SC/3", frame="").attach(db)
+    naming = NamingService()
+    reference, _ = publish_service(service, orb, naming)
+    yield orb, naming, clock, ubi, reference
+    orb.shutdown()
+
+
+class TestInProcessServant:
+    def test_discovery_via_naming(self, rig):
+        orb, naming, clock, ubi, _ = rig
+        ref = naming.resolve(SERVICE_NAME)
+        proxy = orb.resolve(ref)
+        ubi.tag_sighting("alice", Point(150, 20), 0.0)
+        clock.advance(1.0)
+        estimate = proxy.locate("alice")
+        assert estimate.object_id == "alice"
+        assert estimate.symbolic == "SC/3/3105"
+
+    def test_unknown_object_error_crosses_boundary(self, rig):
+        orb, _, _, _, ref = rig
+        proxy = orb.resolve(ref)
+        with pytest.raises(RemoteInvocationError) as exc_info:
+            proxy.locate("nobody")
+        assert exc_info.value.remote_type == "UnknownObjectError"
+
+    def test_region_queries(self, rig):
+        orb, _, clock, ubi, ref = rig
+        proxy = orb.resolve(ref)
+        ubi.tag_sighting("alice", Point(150, 20), 0.0)
+        clock.advance(1.0)
+        room = Rect(140, 0, 200, 40)
+        assert proxy.confidence_in_region("alice", room) > 0.5
+        found = proxy.objects_in_region(room)
+        assert found[0][0] == "alice"
+
+    def test_relations(self, rig):
+        orb, _, clock, ubi, ref = rig
+        proxy = orb.resolve(ref)
+        ubi.tag_sighting("alice", Point(150, 20), 0.0)
+        ubi.tag_sighting("bob", Point(152, 22), 0.0)
+        clock.advance(1.0)
+        result = proxy.proximity("alice", "bob", 10.0)
+        assert result["holds"] is True
+        colocated = proxy.colocation("alice", "bob", 3)
+        assert colocated["holds"] is True
+
+    def test_tracked_objects(self, rig):
+        orb, _, _, ubi, ref = rig
+        proxy = orb.resolve(ref)
+        ubi.tag_sighting("alice", Point(150, 20), 0.0)
+        assert proxy.tracked_objects() == ["alice"]
+
+    def test_grade(self, rig):
+        orb, _, _, _, ref = rig
+        proxy = orb.resolve(ref)
+        assert proxy.grade(1.0) is ProbabilityBucket.VERY_HIGH
+
+
+class TestRemotePush:
+    def test_subscribe_via_servant(self, rig):
+        orb, _, _, ubi, ref = rig
+        proxy = orb.resolve(ref)
+
+        class App:
+            def __init__(self):
+                self.events = []
+
+            def notify(self, event):
+                self.events.append(event)
+
+        app = App()
+        app_ref = orb.register("app", app)
+        sub_id = proxy.subscribe(Rect(140, 0, 200, 40), app_ref,
+                                 threshold=0.5)
+        ubi.tag_sighting("alice", Point(150, 20), 0.0)
+        assert len(app.events) == 1
+        assert proxy.unsubscribe(sub_id)
+        ubi.tag_sighting("alice", Point(151, 21), 1.0)
+        assert len(app.events) == 1
+
+
+class TestOverTcp:
+    def test_full_path_over_sockets(self):
+        world = siebel_floor()
+        db = SpatialDatabase(world)
+        clock = SimClock()
+        server_orb = Orb("server")
+        server_orb.listen()
+        service = LocationService(db, orb=server_orb, clock=clock)
+        ubi = UbisenseAdapter("Ubi-1", "SC/3", frame="").attach(db)
+        reference, _ = publish_service(service, server_orb)
+        assert reference.startswith("tcp://")
+
+        client_orb = Orb("client")
+        try:
+            proxy = client_orb.resolve(reference)
+            ubi.tag_sighting("alice", Point(150, 20), 0.0)
+            clock.advance(1.0)
+            estimate = proxy.locate("alice")
+            assert estimate.symbolic == "SC/3/3105"
+            assert estimate.bucket in list(ProbabilityBucket)
+        finally:
+            client_orb.shutdown()
+            server_orb.shutdown()

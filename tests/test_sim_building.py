@@ -1,0 +1,99 @@
+"""Tests for building construction (paper floor, Siebel floor, generator)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.geometry import Rect
+from repro.model import EntityType, PassageKind
+from repro.sim import generate_office_floor, paper_floor, siebel_floor
+
+
+class TestPaperFloor:
+    def test_table1_coordinates_exact(self):
+        world = paper_floor()
+        assert world.canonical_mbr("CS/Floor3/3105") == \
+            Rect(330, 0, 350, 30)
+        assert world.canonical_mbr("CS/Floor3/NetLab") == \
+            Rect(360, 0, 380, 30)
+        assert world.canonical_mbr("CS/Floor3/LabCorridor") == \
+            Rect(310, 0, 330, 30)
+
+    def test_floor_is_500_by_100(self):
+        world = paper_floor()
+        assert world.canonical_mbr("CS/Floor3") == Rect(0, 0, 500, 100)
+
+    def test_types(self):
+        world = paper_floor()
+        assert world.get("CS/Floor3").entity_type is EntityType.FLOOR
+        assert world.get("CS/Floor3/3105").entity_type is EntityType.ROOM
+        assert world.get(
+            "CS/Floor3/LabCorridor").entity_type is EntityType.CORRIDOR
+
+    def test_3105_door_is_restricted(self):
+        world = paper_floor()
+        doors = world.doors_between("CS/Floor3/3105",
+                                    "CS/Floor3/Corridor3")
+        assert doors[0].kind is PassageKind.RESTRICTED
+
+
+class TestSiebelFloor:
+    def test_rooms_have_own_frames(self):
+        world = siebel_floor()
+        assert world.frames.knows("SC/3/3105")
+        assert world.frames.knows("SC/3/ConferenceRoom")
+
+    def test_room_frame_origin_at_sw_corner(self):
+        world = siebel_floor()
+        from repro.geometry import Point
+        canonical = world.frames.convert_point(Point(0, 0),
+                                               "SC/3/3105", "")
+        assert canonical.almost_equals(Point(140, 0))
+
+    def test_static_objects_present(self):
+        world = siebel_floor()
+        displays = world.entities_of_type(EntityType.DISPLAY)
+        workstations = world.entities_of_type(EntityType.WORKSTATION)
+        assert len(displays) >= 3
+        assert len(workstations) >= 2
+
+    def test_every_room_has_a_door_to_the_corridor(self):
+        world = siebel_floor()
+        for room in world.entities_of_type(EntityType.ROOM):
+            doors = world.doors_between(room.glob, "SC/3/Corridor")
+            assert doors, str(room.glob)
+
+    def test_restricted_rooms(self):
+        world = siebel_floor()
+        locked = world.doors_between("SC/3/3105", "SC/3/Corridor")[0]
+        open_door = world.doors_between("SC/3/3102", "SC/3/Corridor")[0]
+        assert locked.kind is PassageKind.RESTRICTED
+        assert open_door.kind is PassageKind.FREE
+
+    def test_usage_regions_attached(self):
+        world = siebel_floor()
+        entity = world.get("SC/3/3216/display1")
+        assert isinstance(entity.properties["usage_region"], Rect)
+
+
+class TestGenerator:
+    def test_room_count(self):
+        world = generate_office_floor(rooms_per_side=4)
+        rooms = world.entities_of_type(EntityType.ROOM)
+        assert len(rooms) == 8
+
+    def test_dimensions_scale(self):
+        world = generate_office_floor(rooms_per_side=10, room_width=20.0)
+        assert world.canonical_mbr("GEN/1").width == 200.0
+
+    def test_every_room_has_a_door(self):
+        world = generate_office_floor(rooms_per_side=3)
+        for room in world.entities_of_type(EntityType.ROOM):
+            assert world.doors_of(room.glob)
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(SimulationError):
+            generate_office_floor(rooms_per_side=0)
+
+    def test_custom_prefix(self):
+        world = generate_office_floor(rooms_per_side=2, prefix="X/9")
+        assert world.has("X/9/Corridor")

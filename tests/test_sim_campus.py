@@ -1,0 +1,99 @@
+"""Tests for the campus world and outdoor/indoor handoff."""
+
+import pytest
+
+from repro.errors import UnknownObjectError
+from repro.geometry import Point
+from repro.reasoning import NavigationGraph, PassageRelation, passage_between
+from repro.sensors import GeodeticCalibration, GpsAdapter, UbisenseAdapter
+from repro.service import LocationService
+from repro.sim import SimClock, campus_world
+from repro.spatialdb import SpatialDatabase
+
+CAL = GeodeticCalibration(40.1138, -88.2249)
+
+
+@pytest.fixture
+def rig():
+    world = campus_world()
+    db = SpatialDatabase(world)
+    clock = SimClock()
+    service = LocationService(db, clock=clock)
+    gps = GpsAdapter("GPS-1", "Campus", CAL,
+                     carry_probability=0.95, frame="").attach(db)
+    indoor = UbisenseAdapter("Ubi-1", "SC/1", frame="").attach(db)
+    return world, clock, service, gps, indoor
+
+
+class TestCampusWorld:
+    def test_building_positioned_inside_quad(self):
+        world = campus_world()
+        campus = world.canonical_mbr("Campus")
+        building = world.canonical_mbr("SC/1")
+        assert campus.contains_rect(building)
+
+    def test_entrance_joins_outdoors_to_lobby(self):
+        world = campus_world()
+        doors = world.doors_between("Campus/Quad", "SC/1/Lobby")
+        assert len(doors) == 1
+
+    def test_outdoor_region_flagged(self):
+        world = campus_world()
+        assert world.get("Campus/Quad").properties["outdoors"] is True
+
+    def test_navigable_from_quad_to_east_wing(self):
+        nav = NavigationGraph(campus_world())
+        route = nav.route("Campus/Quad", "SC/1/EastWing")
+        assert route is not None
+        assert route.regions == ["Campus/Quad", "SC/1/Lobby",
+                                 "SC/1/EastWing"]
+
+    def test_quad_and_lobby_share_passage(self):
+        world = campus_world()
+        # Their MBRs overlap (the building sits on the quad) so the EC
+        # check does not apply; doors_between is the passage truth.
+        assert world.doors_between("Campus/Quad", "SC/1/Lobby")
+
+
+class TestHandoff:
+    def test_gps_locates_outdoors(self, rig):
+        world, clock, service, gps, _ = rig
+        lat, lon = CAL.to_geodetic(Point(100, 80))
+        gps.fix("walker", lat, lon, clock.advance(1.0),
+                accuracy_ft=20.0)
+        estimate = service.locate("walker")
+        assert estimate.symbolic == "Campus/Quad"
+        assert estimate.sources == ("GPS-1",)
+
+    def test_indoor_takes_over_after_gps_expiry(self, rig):
+        world, clock, service, gps, indoor = rig
+        lat, lon = CAL.to_geodetic(Point(320, 148))
+        gps.fix("walker", lat, lon, clock.advance(1.0),
+                accuracy_ft=15.0)
+        # Walk inside; GPS TTL is 30 s, so advance beyond it.
+        clock.advance(40.0)
+        indoor.tag_sighting("walker", Point(320, 200), clock.now())
+        estimate = service.locate("walker")
+        assert estimate.sources == ("Ubi-1",)
+        assert estimate.symbolic == "SC/1/Lobby"
+
+    def test_moving_indoor_readings_beat_stale_gps(self, rig):
+        world, clock, service, gps, indoor = rig
+        lat, lon = CAL.to_geodetic(Point(320, 148))
+        gps.fix("walker", lat, lon, clock.advance(1.0),
+                accuracy_ft=15.0)
+        # Two indoor sightings within the GPS TTL: indoor rect moves,
+        # GPS rect is stationary -> conflict rule 1 prefers indoors.
+        indoor.tag_sighting("walker", Point(320, 200),
+                            clock.advance(5.0))
+        indoor.tag_sighting("walker", Point(324, 200),
+                            clock.advance(1.0))
+        estimate = service.locate("walker")
+        assert "Ubi-1" in estimate.sources
+        assert estimate.symbolic == "SC/1/Lobby"
+
+    def test_nobody_outdoors_without_gps(self, rig):
+        world, clock, service, _, _ = rig
+        clock.advance(1.0)
+        with pytest.raises(UnknownObjectError):
+            service.locate("walker")

@@ -1,0 +1,129 @@
+"""Tests for the clock and the person-movement model."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import MovementModel, SimClock, siebel_floor
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now() == 0.0
+
+    def test_advance(self):
+        clock = SimClock()
+        assert clock.advance(5.0) == 5.0
+        assert clock.now() == 5.0
+
+    def test_callable_protocol(self):
+        clock = SimClock(start=3.0)
+        assert clock() == 3.0
+
+    def test_no_negative_advance(self):
+        with pytest.raises(SimulationError):
+            SimClock().advance(-1.0)
+
+    def test_no_backwards_set(self):
+        clock = SimClock(start=10.0)
+        with pytest.raises(SimulationError):
+            clock.set_time(5.0)
+        clock.set_time(20.0)
+        assert clock.now() == 20.0
+
+
+class TestMovement:
+    @pytest.fixture
+    def model(self) -> MovementModel:
+        return MovementModel(siebel_floor(), seed=7,
+                             dwell_range=(1.0, 2.0))
+
+    def test_add_person_at_room_center(self, model):
+        person = model.add_person("alice", start_region="SC/3/3105")
+        assert person.region == "SC/3/3105"
+        assert person.position.almost_equals(
+            model.world.canonical_mbr("SC/3/3105").center)
+
+    def test_unknown_start_region_rejected(self, model):
+        with pytest.raises(SimulationError):
+            model.add_person("alice", start_region="SC/3/nope")
+
+    def test_unknown_person_rejected(self, model):
+        with pytest.raises(SimulationError):
+            model.person("ghost")
+
+    def test_positions_stay_inside_the_floor(self, model):
+        model.add_person("alice")
+        model.add_person("bob")
+        floor = model.world.canonical_mbr("SC/3")
+        now = 0.0
+        for _ in range(300):
+            now += 1.0
+            model.step(now, 1.0)
+            for person in model.people:
+                assert floor.contains_point(person.position)
+
+    def test_people_actually_move(self, model):
+        person = model.add_person("alice", start_region="SC/3/3105")
+        start = person.position
+        now = 0.0
+        moved = False
+        for _ in range(120):
+            now += 1.0
+            model.step(now, 1.0)
+            if person.position.distance_to(start) > 1.0:
+                moved = True
+                break
+        assert moved
+
+    def test_region_tracks_position(self, model):
+        model.add_person("alice")
+        now = 0.0
+        for _ in range(300):
+            now += 1.0
+            model.step(now, 1.0)
+            for person in model.people:
+                region_mbr = model.world.canonical_mbr(person.region)
+                # The person's claimed region contains them (tolerating
+                # the door sill, which sits on the boundary).
+                assert region_mbr.expanded(1.0).contains_point(
+                    person.position)
+
+    def test_speed_limit_respected(self, model):
+        person = model.add_person("alice")
+        now = 0.0
+        previous = person.position
+        for _ in range(200):
+            now += 1.0
+            model.step(now, 1.0)
+            step_distance = person.position.distance_to(previous)
+            assert step_distance <= person.speed + 1e-6
+            previous = person.position
+
+    def test_deterministic_given_seed(self):
+        world = siebel_floor()
+        runs = []
+        for _ in range(2):
+            model = MovementModel(world, seed=99, dwell_range=(1.0, 2.0))
+            person = model.add_person("alice")
+            now = 0.0
+            for _ in range(100):
+                now += 1.0
+                model.step(now, 1.0)
+            runs.append((person.position, person.region))
+        assert runs[0][0].almost_equals(runs[1][0])
+        assert runs[0][1] == runs[1][1]
+
+    def test_invalid_dt_rejected(self, model):
+        model.add_person("alice")
+        with pytest.raises(SimulationError):
+            model.step(1.0, 0.0)
+
+    def test_badge_carrying_sampled(self):
+        model = MovementModel(siebel_floor(), seed=1,
+                              badge_carry_probability=0.0)
+        person = model.add_person("alice")
+        assert not person.carrying_badge
+        model2 = MovementModel(siebel_floor(), seed=1,
+                               badge_carry_probability=1.0)
+        person2 = model2.add_person("bob")
+        assert person2.carrying_badge

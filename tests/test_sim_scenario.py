@@ -1,0 +1,96 @@
+"""Tests for the deployment model and scenario wiring."""
+
+import pytest
+
+from repro.errors import UnknownObjectError
+from repro.sim import Scenario, paper_floor
+
+
+class TestDeployment:
+    def test_standard_deployment_registers_sensors(self, scenario):
+        sensor_ids = {row["sensor_id"]
+                      for row in scenario.db.sensor_specs.select()}
+        assert "Ubi-18" in sensor_ids
+        assert "RF-12" in sensor_ids
+        assert "Card-3105" in sensor_ids
+        assert "Finger-3105" in sensor_ids
+
+    def test_sensors_produce_readings(self, populated_scenario):
+        assert len(populated_scenario.db.sensor_readings) > 0
+        assert populated_scenario.db.tracked_objects()
+
+    def test_people_get_located(self, populated_scenario):
+        located = 0
+        for person in populated_scenario.people:
+            try:
+                estimate = populated_scenario.service.locate(
+                    person.person_id)
+            except UnknownObjectError:
+                continue
+            located += 1
+            assert 0.0 <= estimate.probability <= 1.0
+        assert located >= 1
+
+    def test_estimates_are_plausible(self, populated_scenario):
+        # When a person is locatable, the estimated region should be
+        # within tens of feet of the truth (sensor ranges are 15-30 ft).
+        for person in populated_scenario.people:
+            try:
+                estimate = populated_scenario.service.locate(
+                    person.person_id)
+            except UnknownObjectError:
+                continue
+            error = estimate.rect.center.distance_to(person.position)
+            assert error < 120.0
+
+    def test_determinism(self):
+        def run():
+            scenario = Scenario(seed=13).standard_deployment()
+            scenario.add_people(2)
+            scenario.run(45)
+            return [(row["sensor_id"], row["mobile_object_id"],
+                     row["detection_time"])
+                    for row in scenario.db.sensor_readings.select()]
+        assert run() == run()
+
+    def test_accuracy_trace(self):
+        scenario = Scenario(seed=21).standard_deployment()
+        scenario.add_people(3)
+        scenario.run(60, trace_accuracy=True)
+        summary = scenario.trace.summary()
+        assert summary.samples + summary.misses >= 60 * 3 * 0.9
+        if summary.samples:
+            assert 0.0 <= summary.room_accuracy <= 1.0
+            assert summary.mean_error_ft >= 0.0
+
+    def test_scenario_on_paper_floor(self):
+        scenario = Scenario(world=paper_floor(), seed=5)
+        scenario.deployment.install_card_reader("Card-3105",
+                                                "CS/Floor3/3105")
+        scenario.deployment.install_rf_station("RF-1",
+                                               "CS/Floor3/Corridor3")
+        scenario.add_people(2)
+        scenario.run(60)
+        assert scenario.now == pytest.approx(60.0)
+
+    def test_publish_over_orb(self):
+        scenario = Scenario(seed=3).standard_deployment()
+        scenario.add_people(1)
+        ref = scenario.publish()
+        assert ref.startswith("inproc://")
+        proxy = scenario.orb.resolve(ref)
+        scenario.run(30)
+        tracked = proxy.tracked_objects()
+        assert isinstance(tracked, list)
+
+
+class TestCardReaderEvents:
+    def test_swipe_on_restricted_room_entry(self):
+        scenario = Scenario(seed=8).standard_deployment()
+        scenario.add_people(6)
+        scenario.run(600, dt=1.0)
+        swipes = scenario.db.sensor_readings.select(
+            lambda row: row["sensor_type"] == "CardReader")
+        # Six people wandering for ten minutes should hit a card-swipe
+        # room at least once.
+        assert swipes

@@ -1,0 +1,135 @@
+"""Concurrency tests: ingest and queries on separate threads."""
+
+import threading
+
+import pytest
+
+from repro.geometry import Point, Rect
+from repro.sensors import UbisenseAdapter
+from repro.service import LocationService
+from repro.sim import SimClock, siebel_floor
+from repro.spatialdb import Column, Schema, SpatialDatabase, Table
+
+
+class TestTableConcurrency:
+    def test_parallel_inserts_all_land(self):
+        table = Table("t", Schema([Column("k", int), Column("v", str)]))
+        table.create_index("k")
+        errors = []
+
+        def writer(base: int) -> None:
+            try:
+                for i in range(200):
+                    table.insert({"k": base + i, "v": f"w{base}"})
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer, args=(n * 1000,))
+                   for n in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(table) == 800
+        for n in range(4):
+            assert len(table.select_eq("k", n * 1000)) == 1
+
+    def test_reads_during_writes_are_consistent(self):
+        table = Table("t", Schema([Column("k", int)]))
+        stop = threading.Event()
+        anomalies = []
+
+        def writer() -> None:
+            i = 0
+            while not stop.is_set():
+                table.insert({"k": i})
+                i += 1
+
+        def reader() -> None:
+            while not stop.is_set():
+                rows = table.select()
+                keys = [row["k"] for row in rows]
+                # Insertion order must always be visible in order.
+                if keys != sorted(keys):
+                    anomalies.append(keys)
+
+        w = threading.Thread(target=writer)
+        r = threading.Thread(target=reader)
+        w.start()
+        r.start()
+        import time
+        time.sleep(0.3)
+        stop.set()
+        w.join()
+        r.join()
+        assert not anomalies
+
+
+class TestServiceConcurrency:
+    def test_remote_queries_during_ingest(self):
+        """TCP locate() calls race adapter ingest without corruption."""
+        from repro.orb import Orb
+        from repro.service import publish_service
+
+        world = siebel_floor()
+        db = SpatialDatabase(world)
+        clock = SimClock()
+        server = Orb("server")
+        server.listen()
+        service = LocationService(db, orb=server, clock=clock)
+        adapter = UbisenseAdapter("Ubi-1", "SC/3", frame="").attach(db)
+        adapter.tag_sighting("alice", Point(150, 20), 0.0)
+        clock.advance(1.0)
+        reference, _ = publish_service(service, server)
+
+        stop = threading.Event()
+        errors = []
+
+        def ingest() -> None:
+            step = 0
+            while not stop.is_set():
+                step += 1
+                now = clock.advance(0.5)
+                adapter.tag_sighting("alice",
+                                     Point(150 + step % 5, 20), now)
+                db.purge_expired(now)
+
+        successes = [0]
+
+        def query() -> None:
+            from repro.errors import RemoteInvocationError
+
+            client = Orb("client")
+            try:
+                proxy = client.resolve(reference)
+                while not stop.is_set():
+                    try:
+                        estimate = proxy.locate("alice")
+                    except RemoteInvocationError as exc:
+                        # Momentarily-stale readings are legitimate
+                        # (the ingest thread purges between inserts);
+                        # anything else is a real failure.
+                        if exc.remote_type != "UnknownObjectError":
+                            errors.append(exc)
+                        continue
+                    successes[0] += 1
+                    if not (0.0 <= estimate.probability <= 1.0):
+                        errors.append(estimate)
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+            finally:
+                client.shutdown()
+
+        threads = [threading.Thread(target=ingest)] + [
+            threading.Thread(target=query) for _ in range(3)]
+        for t in threads:
+            t.start()
+        import time
+        time.sleep(1.0)
+        stop.set()
+        for t in threads:
+            t.join()
+        server.shutdown()
+        assert not errors
+        assert successes[0] > 0  # queries really ran against ingest

@@ -1,0 +1,98 @@
+"""Tests for secondary hash indexes on tables."""
+
+import random
+
+import pytest
+
+from repro.errors import QueryError
+from repro.spatialdb import Column, Schema, Table
+
+
+@pytest.fixture
+def readings() -> Table:
+    schema = Schema([
+        Column("reading_id", int),
+        Column("object_id", str),
+        Column("value", float),
+    ], primary_key=("reading_id",))
+    table = Table("readings", schema)
+    table.create_index("object_id")
+    return table
+
+
+def _fill(table: Table, count: int = 60) -> None:
+    rng = random.Random(9)
+    for i in range(count):
+        table.insert({"reading_id": i,
+                      "object_id": f"obj-{rng.randint(0, 5)}",
+                      "value": float(i)})
+
+
+class TestIndexMaintenance:
+    def test_select_eq_matches_scan(self, readings):
+        _fill(readings)
+        for key in (f"obj-{i}" for i in range(6)):
+            indexed = readings.select_eq("object_id", key)
+            scanned = readings.select(Table.equals(object_id=key))
+            assert indexed == scanned
+
+    def test_select_eq_with_extra_predicate(self, readings):
+        _fill(readings)
+        rows = readings.select_eq("object_id", "obj-1",
+                                  where=lambda r: r["value"] >= 30.0)
+        assert all(r["object_id"] == "obj-1" and r["value"] >= 30.0
+                   for r in rows)
+
+    def test_missing_value_returns_empty(self, readings):
+        _fill(readings)
+        assert readings.select_eq("object_id", "ghost") == []
+
+    def test_delete_updates_index(self, readings):
+        _fill(readings)
+        readings.delete(Table.equals(object_id="obj-2"))
+        assert readings.select_eq("object_id", "obj-2") == []
+
+    def test_update_moves_index_entry(self, readings):
+        readings.insert({"reading_id": 1000, "object_id": "before",
+                         "value": 1.0})
+        readings.update(Table.equals(reading_id=1000),
+                        {"object_id": "after"})
+        assert readings.select_eq("object_id", "before") == []
+        assert len(readings.select_eq("object_id", "after")) == 1
+
+    def test_clear_empties_index(self, readings):
+        _fill(readings)
+        readings.clear()
+        assert readings.select_eq("object_id", "obj-0") == []
+
+    def test_backfill_on_late_creation(self):
+        schema = Schema([Column("k", str), Column("v", int)])
+        table = Table("t", schema)
+        table.insert({"k": "a", "v": 1})
+        table.insert({"k": "b", "v": 2})
+        table.create_index("k")
+        assert [r["v"] for r in table.select_eq("k", "a")] == [1]
+
+    def test_unindexed_select_eq_falls_back_to_scan(self):
+        schema = Schema([Column("k", str), Column("v", int)])
+        table = Table("t", schema)
+        table.insert({"k": "a", "v": 1})
+        assert table.select_eq("k", "a")[0]["v"] == 1
+        assert not table.has_index("k")
+
+    def test_unknown_column_rejected(self, readings):
+        with pytest.raises(QueryError):
+            readings.create_index("nope")
+
+    def test_create_index_idempotent(self, readings):
+        readings.create_index("object_id")
+        _fill(readings, 10)
+        assert readings.select_eq("object_id", "obj-0") == \
+            readings.select(Table.equals(object_id="obj-0"))
+
+    def test_rows_from_index_are_copies(self, readings):
+        _fill(readings, 10)
+        row = readings.select_eq("object_id", "obj-0")[0]
+        row["value"] = -1.0
+        again = readings.select_eq("object_id", "obj-0")[0]
+        assert again["value"] != -1.0

@@ -1,0 +1,140 @@
+"""Tests for the spatial SQL dialect (Section 5.1)."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.sim import siebel_floor
+from repro.spatialdb import SpatialDatabase, parse_query
+
+
+@pytest.fixture
+def db() -> SpatialDatabase:
+    world = siebel_floor()
+    # Decorate some rooms for the paper's example query.
+    world.get("SC/3/3105").properties["bluetooth_signal"] = 0.9
+    world.get("SC/3/NetLab").properties["bluetooth_signal"] = 0.4
+    world.get("SC/3/3216").properties["bluetooth_signal"] = 0.85
+    return SpatialDatabase(world)
+
+
+class TestParsing:
+    def test_select_star(self):
+        query = parse_query("SELECT * FROM spatial_objects")
+        assert query.columns is None
+        assert query.conditions == []
+
+    def test_full_query_shape(self):
+        query = parse_query(
+            "SELECT glob FROM spatial_objects "
+            "WHERE object_type = 'Room' AND properties.x >= 2 "
+            "NEAREST TO (10, 20) LIMIT 3")
+        assert query.columns == ["glob"]
+        assert len(query.conditions) == 2
+        assert query.nearest is not None
+        assert query.limit == 3
+
+    @pytest.mark.parametrize("bad", [
+        "SELECT",
+        "SELECT * FROM other_table",
+        "SELECT * FROM spatial_objects WHERE",
+        "SELECT * FROM spatial_objects LIMIT -1",
+        "SELECT * FROM spatial_objects trailing",
+        "UPDATE spatial_objects",
+        "SELECT * FROM spatial_objects WHERE nope ~ 3",
+    ])
+    def test_bad_queries_rejected(self, bad):
+        with pytest.raises(QueryError):
+            parse_query(bad)
+
+
+class TestExecution:
+    def test_select_star_returns_all(self, db):
+        rows = db.query("SELECT * FROM spatial_objects")
+        assert len(rows) == len(db.spatial_objects.select())
+
+    def test_type_filter(self, db):
+        rows = db.query("SELECT glob FROM spatial_objects "
+                        "WHERE object_type = 'Display'")
+        assert all("display" in row["glob"] for row in rows)
+        assert len(rows) >= 3
+
+    def test_paper_example_query(self, db):
+        # "Where is the nearest region that has power outlets and high
+        # Bluetooth signal?" — asked from inside the NetLab.
+        rows = db.query(
+            "SELECT glob FROM spatial_objects "
+            "WHERE object_type = 'Room' "
+            "AND properties.power_outlets = true "
+            "AND properties.bluetooth_signal >= 0.8 "
+            "NEAREST TO (230, 20) LIMIT 1")
+        assert rows[0]["glob"] == "SC/3/3105"
+        assert "distance" in rows[0]
+
+    def test_string_comparison(self, db):
+        rows = db.query("SELECT * FROM spatial_objects "
+                        "WHERE glob_prefix = 'SC/3/3105'")
+        assert {row["object_identifier"] for row in rows} == \
+            {"workstation1"}
+
+    def test_numeric_comparisons(self, db):
+        low = db.query("SELECT glob FROM spatial_objects "
+                       "WHERE properties.bluetooth_signal < 0.5")
+        assert [row["glob"] for row in low] == ["SC/3/NetLab"]
+
+    def test_contains_predicate(self, db):
+        rows = db.query("SELECT glob FROM spatial_objects "
+                        "WHERE object_type = 'Room' "
+                        "AND CONTAINS(150, 20)")
+        assert [row["glob"] for row in rows] == ["SC/3/3105"]
+
+    def test_intersects_predicate(self, db):
+        rows = db.query("SELECT glob FROM spatial_objects "
+                        "WHERE object_type = 'Room' "
+                        "AND INTERSECTS(140, 0, 260, 40)")
+        globs = {row["glob"] for row in rows}
+        assert {"SC/3/3105", "SC/3/NetLab"} <= globs
+        assert "SC/3/3216" not in globs
+
+    def test_disjoint_prefilters_short_circuit(self, db):
+        rows = db.query("SELECT * FROM spatial_objects "
+                        "WHERE INTERSECTS(0, 0, 10, 10) "
+                        "AND INTERSECTS(300, 80, 380, 100)")
+        assert rows == []
+
+    def test_nearest_ordering(self, db):
+        rows = db.query("SELECT glob FROM spatial_objects "
+                        "WHERE object_type = 'Room' "
+                        "NEAREST TO (30, 20) LIMIT 3")
+        assert rows[0]["glob"] == "SC/3/3102"
+        distances = [row["distance"] for row in rows]
+        assert distances == sorted(distances)
+
+    def test_limit_zero(self, db):
+        assert db.query("SELECT * FROM spatial_objects LIMIT 0") == []
+
+    def test_missing_property_is_false(self, db):
+        rows = db.query("SELECT glob FROM spatial_objects "
+                        "WHERE properties.nonexistent = 7")
+        assert rows == []
+
+    def test_boolean_and_null_literals(self, db):
+        rows = db.query("SELECT glob FROM spatial_objects "
+                        "WHERE properties.power_outlets = true "
+                        "AND object_type = 'Room'")
+        assert len(rows) == 11  # every Siebel room has outlets
+
+    def test_column_projection(self, db):
+        rows = db.query("SELECT object_identifier, object_type "
+                        "FROM spatial_objects "
+                        "WHERE object_type = 'Corridor'")
+        assert rows == [{"object_identifier": "Corridor",
+                         "object_type": "Corridor"}]
+
+    def test_case_insensitive_keywords(self, db):
+        rows = db.query("select glob from spatial_objects "
+                        "where object_type = 'Floor'")
+        assert rows[0]["glob"] == "SC/3"
+
+    def test_unknown_column_rejected(self, db):
+        with pytest.raises(QueryError):
+            db.query("SELECT nope FROM spatial_objects")

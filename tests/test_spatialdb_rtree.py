@@ -1,0 +1,205 @@
+"""Unit and property tests for the Guttman R-tree."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Point, Rect
+from repro.spatialdb import RTree
+
+
+def random_rects(count: int, seed: int, span: float = 1000.0):
+    rng = random.Random(seed)
+    out = []
+    for _ in range(count):
+        x = rng.uniform(0, span)
+        y = rng.uniform(0, span)
+        w = rng.uniform(0.1, span / 10)
+        h = rng.uniform(0.1, span / 10)
+        out.append(Rect(x, y, x + w, y + h))
+    return out
+
+
+class TestBasics:
+    def test_empty_tree(self):
+        tree = RTree()
+        assert len(tree) == 0
+        assert tree.search(Rect(0, 0, 10, 10)) == []
+
+    def test_insert_and_search(self):
+        tree = RTree()
+        tree.insert(Rect(0, 0, 10, 10), "a")
+        tree.insert(Rect(20, 20, 30, 30), "b")
+        assert tree.search(Rect(5, 5, 6, 6)) == ["a"]
+        assert sorted(tree.search(Rect(0, 0, 30, 30))) == ["a", "b"]
+
+    def test_search_point(self):
+        tree = RTree()
+        tree.insert(Rect(0, 0, 10, 10), 1)
+        assert tree.search_point(Point(5, 5)) == [1]
+        assert tree.search_point(Point(50, 50)) == []
+
+    def test_duplicate_rects_allowed(self):
+        tree = RTree()
+        r = Rect(0, 0, 1, 1)
+        tree.insert(r, "a")
+        tree.insert(r, "b")
+        assert sorted(tree.search(r)) == ["a", "b"]
+
+    def test_invalid_fanout_rejected(self):
+        with pytest.raises(ValueError):
+            RTree(max_entries=2)
+        with pytest.raises(ValueError):
+            RTree(max_entries=8, min_entries=5)
+
+    def test_contained_in(self):
+        tree = RTree()
+        tree.insert(Rect(1, 1, 2, 2), "in")
+        tree.insert(Rect(0, 0, 20, 20), "big")
+        entries = tree.search_contained_in(Rect(0, 0, 5, 5))
+        assert [v for _, v in entries] == ["in"]
+
+
+class TestScale:
+    def test_growth_keeps_invariants(self):
+        tree = RTree(max_entries=6)
+        for i, rect in enumerate(random_rects(300, seed=1)):
+            tree.insert(rect, i)
+        assert len(tree) == 300
+        tree.check_invariants()
+        assert tree.height() >= 2
+
+    def test_search_matches_brute_force(self):
+        rects = random_rects(400, seed=2)
+        tree = RTree(max_entries=8)
+        for i, rect in enumerate(rects):
+            tree.insert(rect, i)
+        for probe in random_rects(25, seed=3, span=1000.0):
+            expected = sorted(i for i, r in enumerate(rects)
+                              if r.intersects(probe))
+            assert sorted(tree.search(probe)) == expected
+
+    def test_items_enumerates_everything(self):
+        rects = random_rects(100, seed=4)
+        tree = RTree()
+        for i, rect in enumerate(rects):
+            tree.insert(rect, i)
+        assert sorted(v for _, v in tree.items()) == list(range(100))
+
+
+class TestNearest:
+    def test_nearest_single(self):
+        tree = RTree()
+        tree.insert(Rect(0, 0, 1, 1), "near")
+        tree.insert(Rect(100, 100, 101, 101), "far")
+        results = tree.nearest(Point(2, 2), 1)
+        assert results[0][1] == "near"
+
+    def test_nearest_k_ordering(self):
+        rects = random_rects(200, seed=5)
+        tree = RTree()
+        for i, rect in enumerate(rects):
+            tree.insert(rect, i)
+        probe = Point(500, 500)
+        got = tree.nearest(probe, 10)
+        distances = [r.distance_to_point(probe) for r, _ in got]
+        assert distances == sorted(distances)
+        brute = sorted(r.distance_to_point(probe) for r in rects)[:10]
+        assert all(abs(a - b) < 1e-9 for a, b in zip(distances, brute))
+
+    def test_nearest_more_than_size(self):
+        tree = RTree()
+        tree.insert(Rect(0, 0, 1, 1), "only")
+        assert len(tree.nearest(Point(0, 0), 10)) == 1
+
+    def test_nearest_zero(self):
+        tree = RTree()
+        tree.insert(Rect(0, 0, 1, 1), "only")
+        assert tree.nearest(Point(0, 0), 0) == []
+
+
+class TestDeletion:
+    def test_delete_existing(self):
+        tree = RTree()
+        r = Rect(0, 0, 1, 1)
+        tree.insert(r, "a")
+        assert tree.delete(r, lambda v: v == "a")
+        assert len(tree) == 0
+        assert tree.search(r) == []
+
+    def test_delete_missing_returns_false(self):
+        tree = RTree()
+        tree.insert(Rect(0, 0, 1, 1), "a")
+        assert not tree.delete(Rect(5, 5, 6, 6), lambda v: True)
+        assert not tree.delete(Rect(0, 0, 1, 1), lambda v: v == "b")
+
+    def test_delete_specific_among_duplicates(self):
+        tree = RTree()
+        r = Rect(0, 0, 1, 1)
+        tree.insert(r, "a")
+        tree.insert(r, "b")
+        assert tree.delete(r, lambda v: v == "a")
+        assert tree.search(r) == ["b"]
+
+    def test_mass_delete_keeps_invariants(self):
+        rects = random_rects(200, seed=6)
+        tree = RTree(max_entries=6)
+        for i, rect in enumerate(rects):
+            tree.insert(rect, i)
+        rng = random.Random(7)
+        doomed = rng.sample(range(200), 150)
+        for i in doomed:
+            assert tree.delete(rects[i], lambda v, i=i: v == i)
+        assert len(tree) == 50
+        tree.check_invariants()
+        survivors = sorted(v for _, v in tree.items())
+        assert survivors == sorted(set(range(200)) - set(doomed))
+
+    def test_delete_everything_then_reuse(self):
+        rects = random_rects(50, seed=8)
+        tree = RTree()
+        for i, rect in enumerate(rects):
+            tree.insert(rect, i)
+        for i, rect in enumerate(rects):
+            assert tree.delete(rect, lambda v, i=i: v == i)
+        assert len(tree) == 0
+        tree.insert(Rect(0, 0, 1, 1), "fresh")
+        assert tree.search(Rect(0, 0, 2, 2)) == ["fresh"]
+
+
+rect_strategy = st.builds(
+    lambda x, y, w, h: Rect(x, y, x + w, y + h),
+    st.floats(0, 100, allow_nan=False),
+    st.floats(0, 100, allow_nan=False),
+    st.floats(0.1, 20, allow_nan=False),
+    st.floats(0.1, 20, allow_nan=False),
+)
+
+
+class TestProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(rect_strategy, min_size=0, max_size=60), rect_strategy)
+    def test_search_equals_brute_force(self, rects, probe):
+        tree = RTree(max_entries=4)
+        for i, rect in enumerate(rects):
+            tree.insert(rect, i)
+        expected = sorted(i for i, r in enumerate(rects)
+                          if r.intersects(probe))
+        assert sorted(tree.search(probe)) == expected
+        tree.check_invariants()
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(rect_strategy, min_size=1, max_size=40),
+           st.randoms(use_true_random=False))
+    def test_insert_delete_roundtrip(self, rects, rng):
+        tree = RTree(max_entries=4)
+        for i, rect in enumerate(rects):
+            tree.insert(rect, i)
+        order = list(range(len(rects)))
+        rng.shuffle(order)
+        for i in order:
+            assert tree.delete(rects[i], lambda v, i=i: v == i)
+            tree.check_invariants()
+        assert len(tree) == 0

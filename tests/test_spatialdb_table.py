@@ -1,0 +1,190 @@
+"""Unit tests for repro.spatialdb.table — typed tables and triggers."""
+
+import pytest
+
+from repro.errors import QueryError, SchemaError
+from repro.spatialdb import Column, Schema, Table, Trigger
+
+
+@pytest.fixture
+def people() -> Table:
+    schema = Schema(
+        [Column("name", str), Column("age", int),
+         Column("office", str, nullable=True)],
+        primary_key=("name",),
+    )
+    return Table("people", schema)
+
+
+class TestSchema:
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([Column("a", int), Column("a", str)])
+
+    def test_primary_key_must_exist(self):
+        with pytest.raises(SchemaError):
+            Schema([Column("a", int)], primary_key=("b",))
+
+    def test_unknown_column_rejected(self, people):
+        with pytest.raises(SchemaError):
+            people.insert({"name": "ann", "age": 30, "height": 170})
+
+    def test_type_validation(self, people):
+        with pytest.raises(SchemaError):
+            people.insert({"name": "ann", "age": "thirty", "office": None})
+
+    def test_not_nullable(self, people):
+        with pytest.raises(SchemaError):
+            people.insert({"name": "ann", "age": None, "office": None})
+
+    def test_int_accepted_for_float_column(self):
+        table = Table("t", Schema([Column("x", float)]))
+        table.insert({"x": 3})
+        assert table.select()[0]["x"] == 3
+
+
+class TestCrud:
+    def test_insert_and_select(self, people):
+        people.insert({"name": "ann", "age": 30, "office": "3105"})
+        people.insert({"name": "bob", "age": 25, "office": None})
+        assert len(people) == 2
+        rows = people.select(order_by="age")
+        assert [r["name"] for r in rows] == ["bob", "ann"]
+
+    def test_primary_key_uniqueness(self, people):
+        people.insert({"name": "ann", "age": 30, "office": None})
+        with pytest.raises(SchemaError):
+            people.insert({"name": "ann", "age": 31, "office": None})
+
+    def test_get_by_primary_key(self, people):
+        people.insert({"name": "ann", "age": 30, "office": None})
+        assert people.get("ann")["age"] == 30
+        assert people.get("zoe") is None
+
+    def test_select_returns_copies(self, people):
+        people.insert({"name": "ann", "age": 30, "office": None})
+        row = people.select()[0]
+        row["age"] = 99
+        assert people.get("ann")["age"] == 30
+
+    def test_select_where_and_limit(self, people):
+        for i in range(10):
+            people.insert({"name": f"p{i}", "age": i, "office": None})
+        rows = people.select(lambda r: r["age"] >= 5, limit=3)
+        assert len(rows) == 3
+        assert all(r["age"] >= 5 for r in rows)
+
+    def test_select_one(self, people):
+        people.insert({"name": "ann", "age": 30, "office": None})
+        assert people.select_one(Table.equals(name="ann"))["age"] == 30
+        assert people.select_one(Table.equals(name="zzz")) is None
+
+    def test_update(self, people):
+        people.insert({"name": "ann", "age": 30, "office": None})
+        count = people.update(Table.equals(name="ann"), {"age": 31})
+        assert count == 1
+        assert people.get("ann")["age"] == 31
+
+    def test_update_changing_primary_key(self, people):
+        people.insert({"name": "ann", "age": 30, "office": None})
+        people.update(Table.equals(name="ann"), {"name": "anne"})
+        assert people.get("ann") is None
+        assert people.get("anne")["age"] == 30
+
+    def test_update_pk_collision_rejected(self, people):
+        people.insert({"name": "ann", "age": 30, "office": None})
+        people.insert({"name": "bob", "age": 25, "office": None})
+        with pytest.raises(SchemaError):
+            people.update(Table.equals(name="bob"), {"name": "ann"})
+
+    def test_delete(self, people):
+        people.insert({"name": "ann", "age": 30, "office": None})
+        people.insert({"name": "bob", "age": 25, "office": None})
+        assert people.delete(lambda r: r["age"] < 28) == 1
+        assert people.get("bob") is None
+        assert len(people) == 1
+
+    def test_count(self, people):
+        for i in range(5):
+            people.insert({"name": f"p{i}", "age": i, "office": None})
+        assert people.count() == 5
+        assert people.count(lambda r: r["age"] % 2 == 0) == 3
+
+    def test_order_by_unknown_column(self, people):
+        with pytest.raises(QueryError):
+            people.select(order_by="nope")
+
+
+class TestTriggers:
+    def test_insert_trigger_fires_on_match(self, people):
+        fired = []
+        people.create_trigger(Trigger(
+            "t1", "insert", Table.equals(office="3105"), fired.append))
+        people.insert({"name": "ann", "age": 30, "office": "3105"})
+        people.insert({"name": "bob", "age": 25, "office": "3102"})
+        assert len(fired) == 1
+        assert fired[0]["name"] == "ann"
+
+    def test_delete_trigger(self, people):
+        fired = []
+        people.create_trigger(Trigger(
+            "t1", "delete", lambda r: True, fired.append))
+        people.insert({"name": "ann", "age": 30, "office": None})
+        people.delete(Table.equals(name="ann"))
+        assert [r["name"] for r in fired] == ["ann"]
+
+    def test_update_trigger_sees_new_row(self, people):
+        fired = []
+        people.create_trigger(Trigger(
+            "t1", "update", lambda r: True, fired.append))
+        people.insert({"name": "ann", "age": 30, "office": None})
+        people.update(Table.equals(name="ann"), {"age": 31})
+        assert fired[0]["age"] == 31
+
+    def test_invalid_event_rejected(self):
+        with pytest.raises(QueryError):
+            Trigger("t", "upsert", lambda r: True, lambda r: None)
+
+    def test_duplicate_trigger_id_rejected(self, people):
+        people.create_trigger(Trigger("t", "insert", lambda r: True,
+                                      lambda r: None))
+        with pytest.raises(QueryError):
+            people.create_trigger(Trigger("t", "insert", lambda r: True,
+                                          lambda r: None))
+
+    def test_drop_trigger(self, people):
+        fired = []
+        people.create_trigger(Trigger("t", "insert", lambda r: True,
+                                      fired.append))
+        assert people.drop_trigger("t")
+        assert not people.drop_trigger("t")
+        people.insert({"name": "ann", "age": 30, "office": None})
+        assert fired == []
+
+    def test_disabled_trigger_does_not_fire(self, people):
+        fired = []
+        trigger = Trigger("t", "insert", lambda r: True, fired.append)
+        trigger.enabled = False
+        people.create_trigger(trigger)
+        people.insert({"name": "ann", "age": 30, "office": None})
+        assert fired == []
+
+    def test_trigger_receives_copy(self, people):
+        captured = []
+        people.create_trigger(Trigger("t", "insert", lambda r: True,
+                                      captured.append))
+        people.insert({"name": "ann", "age": 30, "office": None})
+        captured[0]["age"] = 99
+        assert people.get("ann")["age"] == 30
+
+    def test_many_triggers_all_evaluated(self, people):
+        counters = []
+        for i in range(50):
+            counter = []
+            counters.append(counter)
+            people.create_trigger(Trigger(
+                f"t{i}", "insert", Table.equals(age=i), counter.append))
+        people.insert({"name": "ann", "age": 7, "office": None})
+        fired = [i for i, c in enumerate(counters) if c]
+        assert fired == [7]
+        assert people.trigger_count() == 50
