@@ -1,0 +1,115 @@
+"""Ingestion pipeline throughput and latency vs worker count.
+
+The streaming pipeline (docs/PIPELINE.md) decouples adapter emission
+rates from fusion cost with bounded per-object queues, per-object
+batching and a worker pool.  This bench measures what that buys:
+readings/second through the full submit → flush → fuse → notify path,
+and the p50/p95 of the two latency spans the pipeline histograms
+(enqueue→fused, fused→notified), at 1, 4 and 8 workers.
+
+Results are written to benchmarks/results/pipeline_throughput.txt.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List
+
+import pytest
+
+from _support import write_result
+from repro.geometry import Point, Rect
+from repro.pipeline import (
+    LocationPipeline,
+    PipelineConfig,
+    PipelineReading,
+    PipelineStats,
+)
+from repro.sensors import UbisenseAdapter
+from repro.service import LocationService
+from repro.sim import siebel_floor
+from repro.spatialdb import SpatialDatabase
+
+WORKER_COUNTS = [1, 4, 8]
+OBJECTS = 10
+PER_OBJECT = 100
+
+
+def _readings() -> List[PipelineReading]:
+    """The workload: 10 objects x 100 readings inside room 3105."""
+    world = siebel_floor()
+    room = world.canonical_mbr("SC/3/3105")
+    out = []
+    for i in range(PER_OBJECT):
+        for obj in range(OBJECTS):
+            center = Point(room.center.x + obj * 0.1, room.center.y)
+            out.append(PipelineReading(
+                sensor_id="Ubi-1", glob_prefix="SC/3",
+                sensor_type="ubisense", object_id=f"person-{obj}",
+                rect=Rect.from_center(center, 1.0),
+                detection_time=float(i), location=center,
+                detection_radius=1.0))
+    return out
+
+
+def run_pipeline(workers: int) -> tuple:
+    """One full run; returns (wall seconds, PipelineStats)."""
+    world = siebel_floor()
+    db = SpatialDatabase(world)
+    service = LocationService(db)
+    UbisenseAdapter("Ubi-1", "SC/3", frame="").attach(db)
+    service.subscribe(world.canonical_mbr("SC/3/3105"),
+                      consumer=lambda event: None, kind="both",
+                      threshold=0.2)
+    readings = _readings()
+    pipeline = LocationPipeline(service, PipelineConfig(
+        workers=workers, max_batch=16, max_wait=0.01))
+    pipeline.start()
+    start = time.perf_counter()
+    try:
+        for reading in readings:
+            pipeline.submit(reading)
+        assert pipeline.drain(timeout=120.0)
+    finally:
+        pipeline.stop()
+    elapsed = time.perf_counter() - start
+    stats = pipeline.stats()
+    assert stats.fused == len(readings)
+    assert stats.reconciles()
+    return elapsed, stats
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_pipeline_throughput(benchmark, workers, results_dir):
+    benchmark.pedantic(lambda: run_pipeline(workers),
+                       rounds=3, iterations=1)
+
+
+def test_pipeline_throughput_table(results_dir):
+    """The summary table: readings/sec and latency by worker count."""
+    total = OBJECTS * PER_OBJECT
+    lines = [
+        "Ingestion pipeline throughput "
+        f"({OBJECTS} objects x {PER_OBJECT} readings)",
+        f"{'workers':>7}  {'readings/s':>10}  "
+        f"{'enq->fused p50':>14}  {'enq->fused p95':>14}  "
+        f"{'fused->notif p50':>16}  {'fused->notif p95':>16}",
+    ]
+    rates = {}
+    for workers in WORKER_COUNTS:
+        elapsed, stats = run_pipeline(workers)
+        rates[workers] = total / elapsed
+        lines.append(
+            f"{workers:>7}  {total / elapsed:>10.0f}  "
+            f"{stats.enqueue_to_fused.p50 * 1e3:>12.2f}ms  "
+            f"{stats.enqueue_to_fused.p95 * 1e3:>12.2f}ms  "
+            f"{stats.fused_to_notified.p50 * 1e3:>14.2f}ms  "
+            f"{stats.fused_to_notified.p95 * 1e3:>14.2f}ms")
+    lines.append(
+        f"4-vs-1 worker speedup: {rates[4] / rates[1]:.2f}x; "
+        f"8-vs-1: {rates[8] / rates[1]:.2f}x")
+    write_result(results_dir, "pipeline_throughput", lines)
+    # Sanity, not a strict scaling assertion (CI boxes vary): more
+    # workers must never collapse throughput.
+    assert rates[4] > rates[1] * 0.5
+    assert rates[8] > rates[1] * 0.5

@@ -7,6 +7,11 @@ over the socket, and registers its own callback servant to receive
 push notifications — the full CORBA-style deployment, in one process
 for convenience but crossing a real TCP boundary.
 
+Sensor readings travel the streaming ingestion pipeline: adapters
+emit into a bounded intake queue, worker threads batch and fuse, and
+region triggers are evaluated once per fused batch.  The pipeline is
+drained before the pull-mode queries so every reading is visible.
+
 Run:  python examples/distributed_deployment.py
 """
 
@@ -33,6 +38,7 @@ def main() -> None:
     # --- server side: the middleware deployment --------------------
     scenario = Scenario(seed=19).standard_deployment()
     people = scenario.add_people(4)
+    pipeline = scenario.use_pipeline(workers=2)
     naming = NamingService()
     reference = scenario.publish(naming=naming, listen_tcp=True)
     print(f"location service published at {reference}")
@@ -54,6 +60,7 @@ def main() -> None:
         print(f"subscribed remotely: {subscription}\n"
               f"running five simulated minutes...\n")
         scenario.run(300, dt=1.0)
+        pipeline.drain()
 
         # Pull mode: query over the socket.  Remote errors arrive as
         # RemoteInvocationError with the server-side type preserved.
@@ -72,7 +79,11 @@ def main() -> None:
                   f"p={estimate.probability:.2f})")
         print(f"\npush events received: {len(sink.events)}")
         location.unsubscribe(subscription)
+
+        print("\npipeline statistics:")
+        print(pipeline.stats().summary())
     finally:
+        pipeline.stop()
         app_orb.shutdown()
         scenario.orb.shutdown()
 

@@ -31,6 +31,9 @@ Package map (see DESIGN.md for the full inventory):
 * :mod:`repro.orb` — the CORBA-role object request broker.
 * :mod:`repro.sensors` — plug-and-play adapters for the paper's
   technologies.
+* :mod:`repro.pipeline` — the streaming ingestion pipeline: batched,
+  back-pressured reading intake with worker-pool fusion and a
+  dead-letter queue.
 * :mod:`repro.service` — the Location Service (queries,
   subscriptions, privacy, symbolic regions).
 * :mod:`repro.sim` — simulated buildings, people and sensors.
@@ -49,6 +52,12 @@ from repro.core import (
 from repro.geometry import Point, Polygon, Rect, Segment
 from repro.model import Glob, WorldModel
 from repro.orb import NamingService, Orb
+from repro.pipeline import (
+    LocationPipeline,
+    PipelineConfig,
+    PipelineReading,
+    PipelineStats,
+)
 from repro.service import (
     LocationHistory,
     LocationService,
@@ -73,9 +82,13 @@ __all__ = [
     "Glob",
     "LocationEstimate",
     "LocationHistory",
+    "LocationPipeline",
     "LocationService",
     "NamingService",
     "Orb",
+    "PipelineConfig",
+    "PipelineReading",
+    "PipelineStats",
     "Point",
     "Polygon",
     "PrivacyPolicy",

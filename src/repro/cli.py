@@ -8,6 +8,8 @@ Commands:
   questions from the command line.
 * ``blueprint`` — export a built-in floor as a blueprint JSON.
 * ``calibrate`` — run the simulated user study and print the report.
+* ``pipeline`` — run a scenario through the async ingestion pipeline
+  and print its throughput/latency statistics.
 """
 
 from __future__ import annotations
@@ -18,6 +20,11 @@ from typing import List, Optional
 
 from repro.apps import VocalPersonnelLocator
 from repro.model.serialize import world_to_json
+from repro.pipeline import (
+    OVERFLOW_BLOCK,
+    OVERFLOW_POLICIES,
+    PipelineConfig,
+)
 from repro.sim import (
     Scenario,
     campus_world,
@@ -75,6 +82,20 @@ def _build_parser() -> argparse.ArgumentParser:
     calibrate.add_argument("--seconds", type=float, default=1800.0)
     calibrate.add_argument("--people", type=int, default=8)
     calibrate.add_argument("--seed", type=int, default=4)
+
+    pipeline = sub.add_parser(
+        "pipeline",
+        help="run a scenario through the streaming ingestion pipeline")
+    pipeline.add_argument("--people", type=int, default=6)
+    pipeline.add_argument("--seconds", type=float, default=300.0)
+    pipeline.add_argument("--seed", type=int, default=7)
+    pipeline.add_argument("--workers", type=int, default=2)
+    pipeline.add_argument("--policy", choices=OVERFLOW_POLICIES,
+                          default=OVERFLOW_BLOCK)
+    pipeline.add_argument("--batch", type=int, default=16,
+                          help="max readings coalesced per fusion pass")
+    pipeline.add_argument("--max-wait", type=float, default=0.05,
+                          help="seconds a partial batch may wait")
     return parser
 
 
@@ -122,12 +143,37 @@ def _cmd_calibrate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_pipeline(args: argparse.Namespace) -> int:
+    scenario = Scenario(seed=args.seed).standard_deployment()
+    scenario.add_people(args.people)
+    config = PipelineConfig(
+        overflow_policy=args.policy,
+        max_batch=args.batch,
+        max_wait=args.max_wait,
+        workers=args.workers,
+    )
+    pipeline = scenario.use_pipeline(config=config)
+    try:
+        scenario.run(args.seconds, dt=1.0)
+        pipeline.drain()
+    finally:
+        pipeline.stop()
+    stats = pipeline.stats()
+    print(stats.summary())
+    if not stats.reconciles():
+        print("WARNING: pipeline accounting does not reconcile",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 _COMMANDS = {
     "demo": _cmd_demo,
     "floor": _cmd_floor,
     "locate": _cmd_locate,
     "blueprint": _cmd_blueprint,
     "calibrate": _cmd_calibrate,
+    "pipeline": _cmd_pipeline,
 }
 
 

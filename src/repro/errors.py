@@ -84,6 +84,14 @@ class RemoteInvocationError(OrbError):
         self.remote_message = remote_message
 
 
+class PipelineError(MiddleWhereError):
+    """Streaming ingestion pipeline failure (misuse, shutdown races)."""
+
+
+class IntakeOverflowError(PipelineError):
+    """A bounded intake queue refused a reading (``reject`` policy)."""
+
+
 class ReasoningError(MiddleWhereError):
     """Logic-engine failure (bad rule, unbound variable, ...)."""
 

@@ -1,0 +1,143 @@
+"""Per-object coalescing of queued readings into fusion batches.
+
+A burst of readings for one person — a Ubisense cell fixing a tag every
+second while an RF station and a card reader also report — should cost
+*one* fusion pass, not one per reading.  The batcher forms per-object
+batches from the intake using a time/count window:
+
+* a batch is released as soon as an object has ``max_batch`` readings
+  queued, or
+* once its oldest queued reading has waited ``max_wait`` seconds, or
+* immediately during a drain (``force_flush``).
+
+At most one batch per object is in flight at a time, so readings are
+flushed to the spatial database in arrival order and per-object fusion
+state never races between workers.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Set
+
+from repro.errors import PipelineError
+from repro.pipeline.intake import IntakeQueue, QueuedReading
+
+Clock = Callable[[], float]
+
+
+@dataclass(frozen=True)
+class Batch:
+    """One object's coalesced readings, ready for a single fusion pass."""
+
+    object_id: str
+    entries: List[QueuedReading]
+    created_at: float
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @property
+    def detection_time(self) -> float:
+        """The batch's fusion timestamp: its newest detection time."""
+        return max(entry.reading.detection_time for entry in self.entries)
+
+
+class Batcher:
+    """Turns the intake's per-object queues into ready batches.
+
+    Args:
+        intake: the bounded intake to drain.
+        max_batch: release a batch once an object has this many queued.
+        max_wait: release a partial batch once its oldest reading has
+            waited this long (seconds); the latency/throughput knob.
+        clock: wall-clock source (injectable for tests).
+    """
+
+    def __init__(self, intake: IntakeQueue, max_batch: int = 16,
+                 max_wait: float = 0.05,
+                 clock: Optional[Clock] = None) -> None:
+        if max_batch <= 0:
+            raise PipelineError("max_batch must be positive")
+        if max_wait < 0.0:
+            raise PipelineError("max_wait must be >= 0")
+        self.intake = intake
+        self.max_batch = max_batch
+        self.max_wait = max_wait
+        self.clock = clock if clock is not None else time.monotonic
+        self._lock = threading.Lock()
+        self._in_flight: Set[str] = set()
+        self._force_flush = threading.Event()
+        self.batches_formed = 0
+
+    # ------------------------------------------------------------------
+    # Flush control (drain path)
+    # ------------------------------------------------------------------
+
+    def force_flush(self, on: bool = True) -> None:
+        """Make every pending reading immediately batchable."""
+        if on:
+            self._force_flush.set()
+        else:
+            self._force_flush.clear()
+        self.intake.notify_consumers()
+
+    # ------------------------------------------------------------------
+    # Batch formation
+    # ------------------------------------------------------------------
+
+    def _pick(self) -> Optional[str]:
+        """The next object whose queue is ready, honouring in-flight."""
+        now = self.clock()
+        flush = self._force_flush.is_set()
+        best: Optional[str] = None
+        best_oldest = float("inf")
+        for object_id, (count, oldest) in self.intake.snapshot().items():
+            if object_id in self._in_flight:
+                continue
+            ready = (flush or count >= self.max_batch
+                     or now - oldest >= self.max_wait)
+            if ready and oldest < best_oldest:
+                best = object_id
+                best_oldest = oldest
+        return best
+
+    def next_batch(self, timeout: float = 0.05) -> Optional[Batch]:
+        """The next ready batch, or ``None`` if none within ``timeout``.
+
+        The caller owns the returned batch's object until it calls
+        :meth:`complete` — no other worker will be handed that object.
+        """
+        deadline = self.clock() + timeout
+        while True:
+            with self._lock:
+                candidate = self._pick()
+                if candidate is not None:
+                    # Claim before taking: drain observes either queued
+                    # entries or an in-flight object, never a gap.
+                    self._in_flight.add(candidate)
+                    entries = self.intake.take(candidate, self.max_batch)
+                    if not entries:
+                        self._in_flight.discard(candidate)
+                        continue
+                    self.batches_formed += 1
+                    return Batch(candidate, entries, self.clock())
+            remaining = deadline - self.clock()
+            if remaining <= 0.0:
+                return None
+            # Readiness can also arrive by time passing (a max_wait
+            # window expiring), so never sleep past the window.
+            tick = min(remaining, max(self.max_wait / 2.0, 1e-3))
+            self.intake.wait_for_item(tick)
+
+    def complete(self, object_id: str) -> None:
+        """Release an object so its next batch can be formed."""
+        with self._lock:
+            self._in_flight.discard(object_id)
+        self.intake.notify_consumers()
+
+    def in_flight_count(self) -> int:
+        with self._lock:
+            return len(self._in_flight)

@@ -1,0 +1,261 @@
+"""Bounded reading intake with overflow policies and a dead-letter queue.
+
+The seed reproduction writes every adapter reading straight into the
+spatial database, which couples sensing rates to fusion cost.  The
+intake tier decouples them: adapters ``put`` raw readings into bounded
+per-object queues; worker threads drain them in batches.  When a queue
+is full the configured overflow policy decides what happens:
+
+* ``block``       — the producer waits for space (lossless back-pressure);
+* ``drop-oldest`` — the oldest queued reading for that object is evicted
+  (freshest-data-wins, with exact drop accounting);
+* ``reject``      — the put raises :class:`~repro.errors.IntakeOverflowError`.
+
+Malformed or uncalibratable readings never enter the queues at all —
+the pipeline routes them to a :class:`DeadLetterQueue` with a
+human-readable reason, so a misbehaving adapter is observable instead
+of silently corrupting fusion.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.errors import IntakeOverflowError, PipelineError
+from repro.geometry import Point, Rect
+
+Clock = Callable[[], float]
+
+OVERFLOW_BLOCK = "block"
+OVERFLOW_DROP_OLDEST = "drop-oldest"
+OVERFLOW_REJECT = "reject"
+OVERFLOW_POLICIES = (OVERFLOW_BLOCK, OVERFLOW_DROP_OLDEST, OVERFLOW_REJECT)
+
+
+@dataclass(frozen=True)
+class PipelineReading:
+    """One raw adapter emission, not yet in the spatial database.
+
+    Mirrors the arguments of
+    :meth:`repro.spatialdb.SpatialDatabase.insert_reading` so a worker
+    can flush it verbatim once its batch is drained.
+    """
+
+    sensor_id: str
+    glob_prefix: str
+    sensor_type: str
+    object_id: str
+    rect: Rect
+    detection_time: float
+    location: Optional[Point] = None
+    detection_radius: float = 0.0
+
+
+@dataclass(frozen=True)
+class QueuedReading:
+    """A reading plus the wall-clock instant it entered the intake."""
+
+    reading: PipelineReading
+    enqueued_at: float
+
+
+@dataclass(frozen=True)
+class DeadLetter:
+    """One reading the pipeline refused, and why."""
+
+    reading: PipelineReading
+    reason: str
+    time: float
+
+
+class DeadLetterQueue:
+    """Bounded capture of refused readings with reasons.
+
+    The queue keeps the most recent ``capacity`` letters (oldest are
+    evicted) but counts every letter ever added, so totals stay exact
+    even after eviction.
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity <= 0:
+            raise PipelineError("dead-letter capacity must be positive")
+        self._letters: Deque[DeadLetter] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._total = 0
+
+    def add(self, reading: PipelineReading, reason: str,
+            time_: float) -> DeadLetter:
+        letter = DeadLetter(reading, reason, time_)
+        with self._lock:
+            self._letters.append(letter)
+            self._total += 1
+        return letter
+
+    def items(self) -> List[DeadLetter]:
+        with self._lock:
+            return list(self._letters)
+
+    def reasons(self) -> Dict[str, int]:
+        """Letter counts grouped by reason (retained letters only)."""
+        out: Dict[str, int] = {}
+        for letter in self.items():
+            out[letter.reason] = out.get(letter.reason, 0) + 1
+        return out
+
+    @property
+    def total(self) -> int:
+        """Every letter ever added, including evicted ones."""
+        with self._lock:
+            return self._total
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._letters)
+
+
+@dataclass
+class _ObjectQueue:
+    entries: Deque[QueuedReading] = field(default_factory=deque)
+
+    @property
+    def oldest_at(self) -> float:
+        return self.entries[0].enqueued_at
+
+
+class IntakeQueue:
+    """Bounded per-object reading queues with pluggable overflow policy.
+
+    Args:
+        capacity: maximum queued readings *per object*.
+        policy: one of ``block`` / ``drop-oldest`` / ``reject``.
+        clock: wall-clock source for enqueue timestamps (injectable so
+            latency accounting is testable).
+    """
+
+    def __init__(self, capacity: int = 256,
+                 policy: str = OVERFLOW_BLOCK,
+                 clock: Optional[Clock] = None) -> None:
+        if capacity <= 0:
+            raise PipelineError("intake capacity must be positive")
+        if policy not in OVERFLOW_POLICIES:
+            raise PipelineError(
+                f"unknown overflow policy {policy!r}; "
+                f"expected one of {OVERFLOW_POLICIES}")
+        self.capacity = capacity
+        self.policy = policy
+        self.clock = clock if clock is not None else time.monotonic
+        self._queues: Dict[str, _ObjectQueue] = {}
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._not_full = threading.Condition(self._lock)
+        self._closed = False
+        self.enqueued_total = 0
+        self.dropped_total = 0
+
+    # ------------------------------------------------------------------
+    # Producer side
+    # ------------------------------------------------------------------
+
+    def put(self, reading: PipelineReading,
+            timeout: Optional[float] = None) -> int:
+        """Enqueue one reading; returns the number of evicted readings.
+
+        ``block`` waits until there is room (or ``timeout`` elapses, in
+        which case :class:`IntakeOverflowError` is raised so producers
+        cannot silently lose data).  ``drop-oldest`` evicts and returns
+        1.  ``reject`` raises immediately when full.
+        """
+        with self._lock:
+            if self._closed:
+                raise PipelineError("intake is closed")
+            queue = self._queues.setdefault(reading.object_id,
+                                            _ObjectQueue())
+            dropped = 0
+            if len(queue.entries) >= self.capacity:
+                if self.policy == OVERFLOW_REJECT:
+                    raise IntakeOverflowError(
+                        f"intake full for {reading.object_id!r} "
+                        f"(capacity {self.capacity})")
+                if self.policy == OVERFLOW_DROP_OLDEST:
+                    queue.entries.popleft()
+                    dropped = 1
+                    self.dropped_total += 1
+                else:  # block
+                    deadline = (None if timeout is None
+                                else self.clock() + timeout)
+                    while len(queue.entries) >= self.capacity:
+                        if self._closed:
+                            raise PipelineError("intake is closed")
+                        if deadline is None:
+                            self._not_full.wait()
+                        else:
+                            remaining = deadline - self.clock()
+                            if remaining <= 0.0 or not self._not_full.wait(
+                                    remaining):
+                                raise IntakeOverflowError(
+                                    f"timed out enqueueing for "
+                                    f"{reading.object_id!r}")
+            queue.entries.append(
+                QueuedReading(reading, self.clock()))
+            self.enqueued_total += 1
+            self._not_empty.notify_all()
+            return dropped
+
+    def close(self) -> None:
+        """Refuse further puts and wake every blocked producer."""
+        with self._lock:
+            self._closed = True
+            self._not_full.notify_all()
+            self._not_empty.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    # ------------------------------------------------------------------
+    # Consumer side (used by the batcher)
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Tuple[int, float]]:
+        """Per-object (pending count, oldest enqueue time) view."""
+        with self._lock:
+            return {object_id: (len(q.entries), q.oldest_at)
+                    for object_id, q in self._queues.items()
+                    if q.entries}
+
+    def take(self, object_id: str, limit: int) -> List[QueuedReading]:
+        """Pop up to ``limit`` queued readings for one object."""
+        if limit <= 0:
+            raise PipelineError("take limit must be positive")
+        with self._lock:
+            queue = self._queues.get(object_id)
+            if queue is None or not queue.entries:
+                return []
+            out = []
+            while queue.entries and len(out) < limit:
+                out.append(queue.entries.popleft())
+            self._not_full.notify_all()
+            return out
+
+    def total_pending(self) -> int:
+        with self._lock:
+            return sum(len(q.entries) for q in self._queues.values())
+
+    def wait_for_item(self, timeout: float) -> bool:
+        """Block until any reading is queued (or ``timeout`` elapses)."""
+        with self._lock:
+            if any(q.entries for q in self._queues.values()):
+                return True
+            if self._closed:
+                return False
+            return self._not_empty.wait(timeout)
+
+    def notify_consumers(self) -> None:
+        """Wake batcher waiters (an in-flight object was released)."""
+        with self._lock:
+            self._not_empty.notify_all()

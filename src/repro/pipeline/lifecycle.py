@@ -1,0 +1,312 @@
+"""The pipeline facade: configuration, wiring and graceful shutdown.
+
+:class:`LocationPipeline` assembles the intake, batcher, worker pool,
+retry policy and stats recorder into the asynchronous path between
+location adapters (paper Section 6) and the Location Service (Section
+4)::
+
+    adapter._emit ──▶ submit() ──▶ IntakeQueue ──▶ Batcher ──▶ WorkerPool
+                         │                                        │
+                         ▼                                        ▼
+                   DeadLetterQueue            flush → FusionEngine → notify
+
+Workers flush each batch into the spatial database with triggers
+suppressed (the pipeline replaces the per-insert trigger path), run one
+fusion pass per batch, and hand the :class:`~repro.core.FusionResult`
+to :meth:`LocationService.apply_fusion_result` for subscription
+evaluation — optionally fanning the events out over an existing
+:class:`~repro.orb.EventChannel`.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, List, Optional
+
+from repro.core import SensorSpec
+from repro.errors import IntakeOverflowError, PipelineError
+from repro.geometry import Rect
+from repro.pipeline.batcher import Batch, Batcher
+from repro.pipeline.intake import (
+    OVERFLOW_BLOCK,
+    OVERFLOW_POLICIES,
+    DeadLetter,
+    DeadLetterQueue,
+    IntakeQueue,
+    PipelineReading,
+    QueuedReading,
+)
+from repro.pipeline.retry import TRANSIENT_ERRORS, RetryPolicy, call_with_retry
+from repro.pipeline.stats import PipelineStats, PipelineStatsRecorder
+from repro.pipeline.workers import WorkerPool
+
+if TYPE_CHECKING:  # pragma: no cover — import cycle guard
+    from repro.orb.events import EventChannel
+    from repro.service.location_service import LocationService
+
+Clock = Callable[[], float]
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Tuning knobs for one :class:`LocationPipeline`.
+
+    Attributes:
+        queue_capacity: bounded intake size *per tracked object*.
+        overflow_policy: ``block`` / ``drop-oldest`` / ``reject``.
+        max_batch: fuse at most this many readings per object per pass.
+        max_wait: release a partial batch after this many seconds.
+        workers: worker-thread count.
+        retry: backoff schedule for transient flush/notify failures.
+        dead_letter_capacity: letters retained for inspection.
+    """
+
+    queue_capacity: int = 256
+    overflow_policy: str = OVERFLOW_BLOCK
+    max_batch: int = 16
+    max_wait: float = 0.05
+    workers: int = 2
+    retry: RetryPolicy = RetryPolicy()
+    dead_letter_capacity: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.overflow_policy not in OVERFLOW_POLICIES:
+            raise PipelineError(
+                f"unknown overflow policy {self.overflow_policy!r}")
+
+
+class LocationPipeline:
+    """Batched, back-pressured ingestion in front of a LocationService.
+
+    Adapters with ``sink=pipeline`` emit here instead of writing the
+    database directly; :meth:`submit` is also the public entry point
+    for replayed traces and remote feeds.
+
+    Args:
+        service: the Location Service whose database and subscriptions
+            the pipeline feeds.
+        config: tuning knobs (see :class:`PipelineConfig`).
+        channel: optional event channel; every subscription event
+            produced by pipeline fusions is additionally published on
+            it (remote fan-out of the fused stream).
+        clock: wall-clock source for latency accounting (injectable).
+    """
+
+    def __init__(self, service: "LocationService",
+                 config: Optional[PipelineConfig] = None,
+                 channel: Optional["EventChannel"] = None,
+                 clock: Optional[Clock] = None) -> None:
+        self.service = service
+        self.config = config if config is not None else PipelineConfig()
+        self.channel = channel
+        self.clock = clock if clock is not None else time.monotonic
+        self.stats_recorder = PipelineStatsRecorder()
+        self.dead_letters = DeadLetterQueue(
+            self.config.dead_letter_capacity)
+        self.intake = IntakeQueue(self.config.queue_capacity,
+                                  self.config.overflow_policy,
+                                  clock=self.clock)
+        self.batcher = Batcher(self.intake, self.config.max_batch,
+                               self.config.max_wait, clock=self.clock)
+        self.workers = WorkerPool(self.batcher, self._process_batch,
+                                  count=self.config.workers)
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> "LocationPipeline":
+        if self._started:
+            raise PipelineError("pipeline already started")
+        self.workers.start()
+        self._started = True
+        return self
+
+    def drain(self, timeout: float = 30.0) -> bool:
+        """Flush every queued and in-flight reading; True when empty.
+
+        Partial batches are force-released so nothing waits out its
+        ``max_wait`` window.  Producers still submitting concurrently
+        can keep a drain from settling — quiesce them first.
+        """
+        if not self._started and self.intake.total_pending() > 0:
+            raise PipelineError("cannot drain a pipeline that never "
+                                "started its workers")
+        self.batcher.force_flush(True)
+        try:
+            deadline = self.clock() + timeout
+            while self.clock() < deadline:
+                if (self.intake.total_pending() == 0
+                        and self.batcher.in_flight_count() == 0):
+                    return True
+                time.sleep(0.002)
+            return False
+        finally:
+            self.batcher.force_flush(False)
+
+    def stop(self, timeout: float = 10.0) -> bool:
+        """Graceful shutdown: drain in-flight batches, then stop workers.
+
+        Returns whether the drain completed inside ``timeout``.  After
+        ``stop`` the pipeline refuses further submissions.
+        """
+        drained = self.drain(timeout) if self._started else True
+        self.intake.close()
+        self.workers.stop()
+        self._started = False
+        return drained
+
+    def __enter__(self) -> "LocationPipeline":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Producer entry point (the adapters' sink target)
+    # ------------------------------------------------------------------
+
+    def submit(self, reading: PipelineReading) -> bool:
+        """Accept one reading; False when it was dead-lettered.
+
+        Malformed or uncalibratable readings go to the dead-letter
+        queue with a reason.  Under the ``reject`` policy a full queue
+        raises :class:`~repro.errors.IntakeOverflowError` (counted in
+        ``rejected``); the other policies never raise.
+        """
+        reason = self._validate(reading)
+        if reason is not None:
+            self._dead_letter(reading, reason, accepted=True)
+            return False
+        try:
+            dropped = self.intake.put(reading)
+        except IntakeOverflowError:
+            self.stats_recorder.incr("rejected")
+            raise
+        self.stats_recorder.incr("enqueued")
+        if dropped:
+            self.stats_recorder.incr("dropped", dropped)
+        return True
+
+    def _validate(self, reading: PipelineReading) -> Optional[str]:
+        """A refusal reason, or ``None`` for a well-formed reading."""
+        if not isinstance(reading, PipelineReading):
+            return f"not a PipelineReading: {type(reading).__name__}"
+        if not reading.object_id:
+            return "missing mobile object id"
+        if not reading.sensor_id:
+            return "missing sensor id"
+        if not isinstance(reading.rect, Rect):
+            return "reading carries no rectangle"
+        if not all(math.isfinite(v) for v in (reading.rect.min_x,
+                                              reading.rect.min_y,
+                                              reading.rect.max_x,
+                                              reading.rect.max_y)):
+            return "rectangle has non-finite bounds"
+        if (not isinstance(reading.detection_time, (int, float))
+                or not math.isfinite(reading.detection_time)
+                or reading.detection_time < 0.0):
+            return f"invalid detection time {reading.detection_time!r}"
+        spec_row = self.service.db.sensor_specs.get(reading.sensor_id)
+        if spec_row is None:
+            return f"unknown sensor {reading.sensor_id!r}"
+        if not isinstance(spec_row["spec"], SensorSpec):
+            return (f"sensor {reading.sensor_id!r} has no calibrated "
+                    f"spec; readings cannot be fused")
+        return None
+
+    def _dead_letter(self, reading: PipelineReading, reason: str,
+                     accepted: bool = False) -> DeadLetter:
+        if accepted:
+            # Letters from submit() count as enqueued so totals
+            # reconcile: enqueued = fused + dropped + dead_lettered.
+            self.stats_recorder.incr("enqueued")
+        self.stats_recorder.incr("dead_lettered")
+        return self.dead_letters.add(reading, reason, self.clock())
+
+    # ------------------------------------------------------------------
+    # Worker-side processing
+    # ------------------------------------------------------------------
+
+    def _flush_entry(self, entry: QueuedReading) -> bool:
+        """Persist one reading (with retry); False if dead-lettered."""
+        reading = entry.reading
+        db = self.service.db
+
+        def insert() -> int:
+            return db.insert_reading(
+                sensor_id=reading.sensor_id,
+                glob_prefix=reading.glob_prefix,
+                sensor_type=reading.sensor_type,
+                mobile_object_id=reading.object_id,
+                rect=reading.rect,
+                detection_time=reading.detection_time,
+                location=reading.location,
+                detection_radius=reading.detection_radius,
+                fire_triggers=False,
+            )
+
+        try:
+            call_with_retry(insert, self.config.retry,
+                            on_retry=self._count_retry)
+            return True
+        except TRANSIENT_ERRORS as exc:
+            self.dead_letters.add(reading,
+                                  f"flush failed after retries: {exc}",
+                                  self.clock())
+            self.stats_recorder.incr("dead_lettered")
+            return False
+
+    def _count_retry(self, attempt: int, exc: BaseException) -> None:
+        self.stats_recorder.incr("retries")
+
+    def _process_batch(self, batch: Batch) -> None:
+        """Flush → fuse once → evaluate subscriptions → record stats."""
+        self.stats_recorder.incr("batches")
+        flushed: List[QueuedReading] = [
+            entry for entry in batch.entries if self._flush_entry(entry)]
+        if not flushed:
+            return
+        at = max(entry.reading.detection_time for entry in flushed)
+        self.stats_recorder.incr("fused", len(flushed))
+        try:
+            readings = self.service.normalized_readings(batch.object_id, at)
+            result = self.service.engine.fuse(
+                batch.object_id, readings, self.service.db.universe(), at)
+        except Exception:  # noqa: BLE001 — readings are persisted
+            self.stats_recorder.incr("fusion_failures")
+            now = self.clock()
+            for entry in flushed:
+                self.stats_recorder.enqueue_to_fused.record(
+                    now - entry.enqueued_at)
+            raise
+        fused_at = self.clock()
+        for entry in flushed:
+            self.stats_recorder.enqueue_to_fused.record(
+                fused_at - entry.enqueued_at)
+
+        def apply() -> int:
+            return self.service.apply_fusion_result(
+                result, channel=self.channel)
+
+        notified = call_with_retry(apply, self.config.retry,
+                                   on_retry=self._count_retry)
+        if notified:
+            self.stats_recorder.incr("notifications", notified)
+            self.stats_recorder.fused_to_notified.record(
+                self.clock() - fused_at)
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+
+    def stats(self) -> PipelineStats:
+        """A consistent snapshot of counters and latency histograms."""
+        return self.stats_recorder.snapshot()
+
+    @property
+    def started(self) -> bool:
+        return self._started

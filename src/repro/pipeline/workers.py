@@ -1,0 +1,94 @@
+"""The worker pool that drains batches through fusion and notification.
+
+Each worker loops: claim the next ready batch from the batcher, hand it
+to the processor (the pipeline's flush→fuse→notify closure), then
+release the batch's object so its next batch can form.  Workers never
+die on a processor exception — the error is recorded and the loop
+continues, because one malformed burst must not stall ingestion for
+every other tracked object.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import PipelineError
+from repro.pipeline.batcher import Batch, Batcher
+
+Processor = Callable[[Batch], None]
+
+
+class WorkerPool:
+    """A fixed pool of daemon threads draining the batcher.
+
+    Args:
+        batcher: source of ready batches.
+        processor: called with each claimed batch; exceptions are
+            captured into :attr:`errors` rather than killing the worker.
+        count: number of worker threads.
+        poll_interval: how long an idle worker waits per claim attempt.
+    """
+
+    def __init__(self, batcher: Batcher, processor: Processor,
+                 count: int = 2, poll_interval: float = 0.05,
+                 name: str = "pipeline-worker") -> None:
+        if count <= 0:
+            raise PipelineError("worker count must be positive")
+        self.batcher = batcher
+        self.processor = processor
+        self.count = count
+        self.poll_interval = poll_interval
+        self.name = name
+        self._threads: List[threading.Thread] = []
+        self._stop = threading.Event()
+        self._lock = threading.Lock()
+        self.batches_processed = 0
+        # (object_id, repr(exc)) for every processor crash.
+        self.errors: List[Tuple[str, str]] = []
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        if self._threads:
+            raise PipelineError("worker pool already started")
+        self._stop.clear()
+        for i in range(self.count):
+            thread = threading.Thread(target=self._run,
+                                      name=f"{self.name}-{i + 1}",
+                                      daemon=True)
+            thread.start()
+            self._threads.append(thread)
+
+    def stop(self, timeout: Optional[float] = 5.0) -> None:
+        """Signal workers to exit and join them."""
+        self._stop.set()
+        self.batcher.intake.notify_consumers()
+        for thread in self._threads:
+            thread.join(timeout)
+        self._threads = []
+
+    @property
+    def running(self) -> bool:
+        return any(t.is_alive() for t in self._threads)
+
+    # ------------------------------------------------------------------
+    # Worker loop
+    # ------------------------------------------------------------------
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            batch = self.batcher.next_batch(self.poll_interval)
+            if batch is None:
+                continue
+            try:
+                self.processor(batch)
+            except Exception as exc:  # noqa: BLE001 — keep draining
+                with self._lock:
+                    self.errors.append((batch.object_id, repr(exc)))
+            finally:
+                with self._lock:
+                    self.batches_processed += 1
+                self.batcher.complete(batch.object_id)

@@ -7,7 +7,12 @@ and feeds the spatial database.  Ships the paper's four technologies
 Bluetooth stations and desktop logins.
 """
 
-from repro.sensors.base import AdapterRegistry, LocationAdapter, default_registry
+from repro.sensors.base import (
+    AdapterRegistry,
+    LocationAdapter,
+    ReadingSink,
+    default_registry,
+)
 from repro.sensors.biometric import (
     BiometricAdapter,
     biometric_long_spec,
@@ -29,6 +34,7 @@ __all__ = [
     "GeodeticCalibration",
     "GpsAdapter",
     "LocationAdapter",
+    "ReadingSink",
     "RfBadgeAdapter",
     "UbisenseAdapter",
     "biometric_long_spec",

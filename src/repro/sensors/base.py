@@ -23,13 +23,29 @@ which is the paper's headline middleware property.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Type
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Type
 
 from repro.core import SensorSpec
 from repro.errors import CalibrationError, SensorError
 from repro.geometry import Point, Rect
 from repro.model import Glob
 from repro.spatialdb import SpatialDatabase
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.pipeline.intake import PipelineReading
+
+
+class ReadingSink:
+    """Anything adapters can emit into instead of the database.
+
+    The canonical implementation is
+    :class:`repro.pipeline.LocationPipeline`; tests use in-memory
+    stubs.  ``submit`` returns False when the reading was refused
+    (dead-lettered).
+    """
+
+    def submit(self, reading: "PipelineReading") -> bool:
+        raise NotImplementedError
 
 
 class LocationAdapter:
@@ -43,12 +59,17 @@ class LocationAdapter:
         frame: the coordinate frame native readings are expressed in;
             defaults to ``glob_prefix`` (a sensor naturally reports in
             its own room's frame).
+        sink: when set, canonical readings are submitted to this
+            ingestion pipeline (any object with a
+            ``submit(PipelineReading)`` method) instead of being
+            written to the spatial database synchronously.
     """
 
     ADAPTER_TYPE = "generic"
 
     def __init__(self, adapter_id: str, glob_prefix: str, spec: SensorSpec,
-                 frame: Optional[str] = None) -> None:
+                 frame: Optional[str] = None,
+                 sink: Optional["ReadingSink"] = None) -> None:
         if not adapter_id:
             raise SensorError("adapter id must be non-empty")
         self.adapter_id = adapter_id
@@ -56,6 +77,7 @@ class LocationAdapter:
         self.spec = spec
         self.frame = frame if frame is not None else glob_prefix
         self._db: Optional[SpatialDatabase] = None
+        self._sink: Optional["ReadingSink"] = sink
         self._filter: Optional[Callable[[str, Rect, float], bool]] = None
         self._min_interval = 0.0
         self._last_emit: Dict[str, float] = {}
@@ -111,6 +133,20 @@ class LocationAdapter:
             raise SensorError("minimum interval must be >= 0")
         self._min_interval = seconds
 
+    def set_sink(self, sink: Optional["ReadingSink"]) -> None:
+        """Route emissions into an ingestion pipeline (None = direct).
+
+        With a sink the adapter stops writing the spatial database
+        synchronously; readings travel the batched, back-pressured
+        path instead and land in the database when their batch is
+        flushed by a pipeline worker.
+        """
+        self._sink = sink
+
+    @property
+    def sink(self) -> Optional["ReadingSink"]:
+        return self._sink
+
     # ------------------------------------------------------------------
     # Emission helpers for subclasses
     # ------------------------------------------------------------------
@@ -135,6 +171,19 @@ class LocationAdapter:
             if last is not None and time - last < self._min_interval:
                 return None
         self._last_emit[object_id] = time
+        if self._sink is not None:
+            from repro.pipeline.intake import PipelineReading
+            self._sink.submit(PipelineReading(
+                sensor_id=self.adapter_id,
+                glob_prefix=self.glob_prefix,
+                sensor_type=self.adapter_type,
+                object_id=object_id,
+                rect=rect,
+                detection_time=time,
+                location=location,
+                detection_radius=detection_radius,
+            ))
+            return None  # no reading id until the batch is flushed
         return self.database.insert_reading(
             sensor_id=self.adapter_id,
             glob_prefix=self.glob_prefix,

@@ -10,6 +10,7 @@ relationships.
 
 from __future__ import annotations
 
+import threading
 import time as _time
 from collections import OrderedDict
 from typing import Any, Callable, Dict, List, Optional, Tuple, Union
@@ -60,6 +61,8 @@ class LocationService:
         history: when given, every successful :meth:`locate` is
             recorded into it (trajectories, speed — see
             :class:`repro.service.history.LocationHistory`).
+        fusion_cache_capacity: entries kept in the shared fusion memo
+            (trigger storms evaluate against one fused distribution).
     """
 
     def __init__(self, db: SpatialDatabase,
@@ -67,7 +70,10 @@ class LocationService:
                  orb: Optional[Orb] = None,
                  clock: Optional[Clock] = None,
                  privacy: Optional[PrivacyPolicy] = None,
-                 history: Optional["LocationHistory"] = None) -> None:
+                 history: Optional["LocationHistory"] = None,
+                 fusion_cache_capacity: int = 32) -> None:
+        if fusion_cache_capacity <= 0:
+            raise ServiceError("fusion cache capacity must be positive")
         self.db = db
         self.engine = engine if engine is not None else FusionEngine()
         self.orb = orb
@@ -85,8 +91,12 @@ class LocationService:
         # shared lattice of Section 4.3.
         self._fusion_cache: "OrderedDict[Tuple[str, float, int], FusionResult]" = \
             OrderedDict()
-        self._fusion_cache_capacity = 32
+        self._fusion_cache_capacity = fusion_cache_capacity
+        # Pipeline workers share this cache across threads.
+        self._fusion_cache_lock = threading.RLock()
         self.fusion_cache_hits = 0
+        self.fusion_cache_misses = 0
+        self.fusion_cache_evictions = 0
         self.history = history
         # (subscription_id, error message) for every failed delivery;
         # a crashing application must not stall sensor ingest.
@@ -104,21 +114,34 @@ class LocationService:
     def classifier(self) -> ProbabilityClassifier:
         """The Section 4.4 classifier over the deployed sensors' ps.
 
-        Rebuilt when sensors are added or removed; cached otherwise.
+        Rebuilt whenever the sensor table mutates; cached otherwise.
+        The cache keys on the table's monotonically bumped version (a
+        row count would serve a stale classifier after a same-count
+        replace).
         """
+        version = self.db.sensor_specs.version
+        cache = self._classifier_cache
+        if cache is not None and cache[0] == version:
+            return cache[1]
         rows = self.db.sensor_specs.select()
         if not rows:
             raise ServiceError("no sensors registered; cannot classify")
-        cache = self._classifier_cache
-        if cache is not None and cache[0] == len(rows):
-            return cache[1]
         ps = [row["confidence"] / 100.0 for row in rows]
         classifier = ProbabilityClassifier(ps)
-        self._classifier_cache = (len(rows), classifier)
+        self._classifier_cache = (version, classifier)
         return classifier
 
     def _now(self, now: Optional[float]) -> float:
         return self.clock() if now is None else now
+
+    def normalized_readings(self, object_id: str,
+                            now: float) -> List[NormalizedReading]:
+        """Fresh, fully-specified readings for an object at ``now``.
+
+        The fusion engine's input; the ingestion pipeline calls this to
+        run its own batch fusion pass.
+        """
+        return self._readings_for(object_id, now)
 
     def _readings_for(self, object_id: str,
                       now: float) -> List[NormalizedReading]:
@@ -151,21 +174,40 @@ class LocationService:
         """
         at = self._now(now)
         key = (object_id, at, len(self.db.sensor_readings))
-        cached = self._fusion_cache.get(key)
-        if cached is not None:
-            self.fusion_cache_hits += 1
-            self._fusion_cache.move_to_end(key)
-            return cached
+        with self._fusion_cache_lock:
+            cached = self._fusion_cache.get(key)
+            if cached is not None:
+                self.fusion_cache_hits += 1
+                self._fusion_cache.move_to_end(key)
+                return cached
+            self.fusion_cache_misses += 1
         readings = self._readings_for(object_id, at)
         if not readings:
             raise UnknownObjectError(
                 f"no fresh readings for {object_id!r} at t={at:.3f}")
         result = self.engine.fuse(object_id, readings,
                                   self.db.universe(), at)
-        self._fusion_cache[key] = result
-        while len(self._fusion_cache) > self._fusion_cache_capacity:
-            self._fusion_cache.popitem(last=False)
+        self._cache_fusion(key, result)
         return result
+
+    def _cache_fusion(self, key: Tuple[str, float, int],
+                      result: FusionResult) -> None:
+        with self._fusion_cache_lock:
+            self._fusion_cache[key] = result
+            while len(self._fusion_cache) > self._fusion_cache_capacity:
+                self._fusion_cache.popitem(last=False)
+                self.fusion_cache_evictions += 1
+
+    def cache_stats(self) -> Dict[str, int]:
+        """Fusion-memo effectiveness: hits, misses, evictions, size."""
+        with self._fusion_cache_lock:
+            return {
+                "hits": self.fusion_cache_hits,
+                "misses": self.fusion_cache_misses,
+                "evictions": self.fusion_cache_evictions,
+                "size": len(self._fusion_cache),
+                "capacity": self._fusion_cache_capacity,
+            }
 
     # ------------------------------------------------------------------
     # Object-based queries (pull mode)
@@ -410,7 +452,9 @@ class LocationService:
         return subscription.subscription_id
 
     def _on_proximity_trigger(self, subscription, row: Row) -> None:
-        at = row["detection_time"]
+        self._evaluate_proximity(subscription, row["detection_time"])
+
+    def _evaluate_proximity(self, subscription, at: float) -> None:
         try:
             first = self.locate(subscription.first, at)
             second = self.locate(subscription.second, at)
@@ -462,6 +506,47 @@ class LocationService:
         grade = self.classifier().classify(min(1.0, max(0.0, confidence)))
         self.subscriptions.evaluate(
             subscription, object_id, confidence, grade, at, self._notify)
+
+    def apply_fusion_result(self, result: FusionResult,
+                            channel: Optional[Any] = None) -> int:
+        """Evaluate push subscriptions against an external fusion.
+
+        The ingestion pipeline's entry point: its workers insert
+        readings with database triggers suppressed, fuse once per
+        batch, and hand the :class:`FusionResult` here.  The result is
+        memoized into the shared fusion cache (so follow-up pull
+        queries at the same instant are free), every matching region
+        subscription is evaluated exactly once, and proximity
+        subscriptions involving the object are re-checked.
+
+        ``channel`` (an :class:`repro.orb.EventChannel`) additionally
+        receives every event produced — the fused stream's remote
+        fan-out.  Returns the number of events delivered.
+        """
+        object_id = result.object_id
+        at = result.now
+        self._cache_fusion((object_id, at, len(self.db.sensor_readings)),
+                           result)
+        delivered = 0
+
+        def deliver(subscription: Subscription,
+                    event: Dict[str, Any]) -> None:
+            nonlocal delivered
+            self._notify(subscription, event)
+            if channel is not None:
+                channel.publish(event)
+            delivered += 1
+
+        for subscription in self.subscriptions.matching(object_id):
+            confidence = result.confidence_in_region(subscription.region)
+            grade = self.classifier().classify(
+                min(1.0, max(0.0, confidence)))
+            self.subscriptions.evaluate(
+                subscription, object_id, confidence, grade, at, deliver)
+        for subscription in list(self._proximity_subscriptions.values()):
+            if subscription.involves(object_id):
+                self._evaluate_proximity(subscription, at)
+        return delivered
 
     def _notify(self, subscription: Subscription,
                 event: Dict[str, Any]) -> None:

@@ -197,6 +197,11 @@ class Deployment:
     def world(self) -> WorldModel:
         return self.db.world
 
+    def adapters(self) -> List[object]:
+        """Every installed sensor's adapter (pipeline wiring helper)."""
+        return [sensor.adapter for sensor in self.sensors
+                if hasattr(sensor, "adapter")]
+
     def _fork_rng(self) -> random.Random:
         return random.Random(self.rng.getrandbits(64))
 

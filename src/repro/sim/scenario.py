@@ -52,6 +52,7 @@ class Scenario:
             self.db, engine=engine, orb=orb, clock=self.clock,
             privacy=privacy)
         self.trace = AccuracyTrace(self.world)
+        self.pipeline = None  # set by use_pipeline()
         self._published_reference: Optional[str] = None
 
     # ------------------------------------------------------------------
@@ -94,6 +95,26 @@ class Scenario:
             self.movement.add_person(person_id)
             ids.append(person_id)
         return ids
+
+    def use_pipeline(self, workers: int = 2, config=None, channel=None):
+        """Route every deployed adapter through an ingestion pipeline.
+
+        Readings stop hitting the spatial database synchronously:
+        adapters emit into the returned (already started)
+        :class:`repro.pipeline.LocationPipeline`, whose workers batch,
+        fuse and notify.  Call ``pipeline.drain()`` before querying if
+        you need every emitted reading visible.  Adapters installed
+        *after* this call must be wired with ``adapter.set_sink``.
+        """
+        from repro.pipeline import LocationPipeline, PipelineConfig
+        if config is None:
+            config = PipelineConfig(workers=workers)
+        self.pipeline = LocationPipeline(self.service, config=config,
+                                         channel=channel)
+        for adapter in self.deployment.adapters():
+            adapter.set_sink(self.pipeline)
+        self.pipeline.start()
+        return self.pipeline
 
     def publish(self, naming: Optional[NamingService] = None,
                 listen_tcp: bool = False) -> str:

@@ -9,6 +9,7 @@ the same operations, indexed by a from-scratch R-tree.
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.errors import QueryError, SensorError, WorldModelError
@@ -81,6 +82,9 @@ class SpatialDatabase:
         self._history_limit = history_limit
         # (sensor_id, object_id) -> recent [(time, rect)] for movement
         self._history: Dict[Tuple[str, str], List[Tuple[float, Rect]]] = {}
+        # Guards reading-id allocation and movement history: pipeline
+        # workers insert readings concurrently from several threads.
+        self._ingest_lock = threading.Lock()
         if world is not None:
             self.load_world(world)
 
@@ -261,21 +265,27 @@ class SpatialDatabase:
                        sensor_type: str, mobile_object_id: str,
                        rect: Rect, detection_time: float,
                        location: Optional[Point] = None,
-                       detection_radius: float = 0.0) -> int:
+                       detection_radius: float = 0.0,
+                       fire_triggers: bool = True) -> int:
         """Record a normalized sensor reading; fires insert triggers.
 
         The ``moving`` flag is computed against this sensor's previous
         reading for the same object — the paper's conflict rule 1
         prefers "a rectangle moving with time" (Section 4.1.2).
+        ``fire_triggers=False`` is the ingestion pipeline's path: it
+        evaluates subscriptions once per fused batch instead of once
+        per insert.
         """
-        key = (sensor_id, mobile_object_id)
-        history = self._history.setdefault(key, [])
-        moving = bool(history) and not history[-1][1].almost_equals(rect, 1e-9)
-        history.append((detection_time, rect))
-        if len(history) > self._history_limit:
-            history.pop(0)
-        reading_id = self._next_reading_id
-        self._next_reading_id += 1
+        with self._ingest_lock:
+            key = (sensor_id, mobile_object_id)
+            history = self._history.setdefault(key, [])
+            moving = (bool(history)
+                      and not history[-1][1].almost_equals(rect, 1e-9))
+            history.append((detection_time, rect))
+            if len(history) > self._history_limit:
+                history.pop(0)
+            reading_id = self._next_reading_id
+            self._next_reading_id += 1
         self.sensor_readings.insert({
             "reading_id": reading_id,
             "sensor_id": sensor_id,
@@ -287,7 +297,7 @@ class SpatialDatabase:
             "rect": rect,
             "detection_time": float(detection_time),
             "moving": moving,
-        })
+        }, fire_triggers=fire_triggers)
         return reading_id
 
     def readings_for(self, mobile_object_id: str, now: float,

@@ -132,6 +132,8 @@ class Table:
         # Secondary hash indexes: column -> value -> set of rowids.
         self._indexes: Dict[str, Dict[Any, set]] = {}
         self._lock = threading.RLock()
+        # Bumped on every mutation; caches key derived state on it.
+        self.version = 0
 
     def __len__(self) -> int:
         return len(self._rows)
@@ -141,8 +143,13 @@ class Table:
     # ------------------------------------------------------------------
 
     @_synchronized
-    def insert(self, row: Row) -> int:
-        """Insert a row; returns its rowid.  Fires insert triggers."""
+    def insert(self, row: Row, fire_triggers: bool = True) -> int:
+        """Insert a row; returns its rowid.  Fires insert triggers.
+
+        ``fire_triggers=False`` suppresses them for writers that run
+        their own evaluation pass afterwards (the ingestion pipeline
+        evaluates subscriptions once per fused batch, not per insert).
+        """
         self.schema.validate_row(row)
         stored = dict(row)
         if self.schema.primary_key:
@@ -156,7 +163,9 @@ class Table:
             self._pk_index[self.schema.key_of(stored)] = rowid
         for column, index in self._indexes.items():
             index.setdefault(stored.get(column), set()).add(rowid)
-        self._fire("insert", stored)
+        self.version += 1
+        if fire_triggers:
+            self._fire("insert", stored)
         return rowid
 
     @_synchronized
@@ -186,6 +195,7 @@ class Table:
                     index.setdefault(new_value, set()).add(rowid)
             self._rows[rowid] = updated
             count += 1
+            self.version += 1
             self._fire("update", updated)
         return count
 
@@ -200,6 +210,8 @@ class Table:
                 self._pk_index.pop(self.schema.key_of(row), None)
             for column, index in self._indexes.items():
                 index.get(row.get(column), set()).discard(rowid)
+        if doomed:
+            self.version += len(doomed)
         for _, row in doomed:
             self._fire("delete", row)
         return len(doomed)
@@ -211,6 +223,7 @@ class Table:
         self._pk_index.clear()
         for index in self._indexes.values():
             index.clear()
+        self.version += 1
 
     # ------------------------------------------------------------------
     # Secondary indexes

@@ -1,0 +1,118 @@
+"""EventChannel behaviour under concurrent publishers.
+
+The ingestion pipeline publishes trigger events from several worker
+threads at once; the channel must neither lose deliveries nor corrupt
+its failure log, and one crashed consumer must never block the rest.
+"""
+
+import threading
+
+from repro.orb import Orb
+from repro.orb.events import EventChannel
+
+
+class _FlakyConsumer:
+    """Fails every ``period``-th delivery; counts the rest."""
+
+    def __init__(self, period: int) -> None:
+        self.period = period
+        self.delivered = 0
+        self._calls = 0
+        self._lock = threading.Lock()
+
+    def __call__(self, event) -> None:
+        with self._lock:
+            self._calls += 1
+            if self._calls % self.period == 0:
+                raise RuntimeError("consumer crashed")
+            self.delivered += 1
+
+
+class TestConcurrentPublishers:
+    def test_no_events_lost_across_threads(self):
+        channel = EventChannel()
+        received = []
+        lock = threading.Lock()
+
+        def consumer(event):
+            with lock:
+                received.append(event["n"])
+
+        channel.subscribe(consumer)
+        threads = 8
+        per_thread = 50
+
+        def publisher(thread_index):
+            for i in range(per_thread):
+                channel.publish({"n": (thread_index, i)})
+
+        workers = [threading.Thread(target=publisher, args=(t,))
+                   for t in range(threads)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+
+        assert len(received) == threads * per_thread
+        assert set(received) == {(t, i) for t in range(threads)
+                                 for i in range(per_thread)}
+        assert channel.delivery_failures == []
+
+    def test_failure_log_consistent_under_concurrency(self):
+        channel = EventChannel()
+        flaky = _FlakyConsumer(period=3)  # every 3rd call raises
+        channel.subscribe(flaky)
+        steady = []
+        steady_lock = threading.Lock()
+
+        def steady_consumer(event):
+            with steady_lock:
+                steady.append(event)
+
+        channel.subscribe(steady_consumer)
+        threads, per_thread = 6, 30
+        total = threads * per_thread
+
+        def publisher():
+            for _ in range(per_thread):
+                channel.publish({"kind": "tick"})
+
+        workers = [threading.Thread(target=publisher)
+                   for _ in range(threads)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+
+        # Every publish reached the steady consumer regardless of the
+        # flaky one, and every flaky failure is logged exactly once.
+        assert len(steady) == total
+        assert len(channel.delivery_failures) == total // 3
+        assert flaky.delivered == total - total // 3
+        for _, message in channel.delivery_failures:
+            assert "consumer crashed" in message
+
+    def test_failing_remote_never_blocks_local(self):
+        orb = Orb("events-test")
+        channel = EventChannel(orb=orb)
+
+        class BrokenSink:
+            def notify(self, event):
+                raise RuntimeError("remote application crashed")
+
+        reference = orb.register("broken-sink", BrokenSink())
+        remote_id = channel.subscribe_remote(reference)
+        local = []
+        channel.subscribe(local.append)
+
+        delivered = channel.publish({"kind": "enter"})
+        assert delivered == 1  # local only
+        assert len(local) == 1
+        assert len(channel.delivery_failures) == 1
+        failed_id, message = channel.delivery_failures[0]
+        assert failed_id == remote_id
+        assert "remote application crashed" in message
+
+        # The channel keeps working after the failure.
+        assert channel.publish({"kind": "exit"}) == 1
+        assert len(local) == 2

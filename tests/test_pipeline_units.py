@@ -1,0 +1,315 @@
+"""Unit tests for the ingestion pipeline's building blocks."""
+
+import random
+import threading
+
+import pytest
+
+from repro.errors import (
+    IntakeOverflowError,
+    OrbError,
+    PipelineError,
+    SensorError,
+)
+from repro.geometry import Rect
+from repro.pipeline import (
+    OVERFLOW_BLOCK,
+    OVERFLOW_DROP_OLDEST,
+    OVERFLOW_REJECT,
+    Batcher,
+    DeadLetterQueue,
+    IntakeQueue,
+    LatencyHistogram,
+    PipelineReading,
+    PipelineStats,
+    PipelineStatsRecorder,
+    RetryPolicy,
+    call_with_retry,
+)
+
+
+def reading(object_id: str = "alice", t: float = 0.0) -> PipelineReading:
+    return PipelineReading(
+        sensor_id="S-1", glob_prefix="SC/3", sensor_type="test",
+        object_id=object_id, rect=Rect(0, 0, 1, 1), detection_time=t)
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> float:
+        self.now += dt
+        return self.now
+
+
+class TestIntakeQueue:
+    def test_fifo_per_object(self):
+        intake = IntakeQueue(capacity=10)
+        for i in range(3):
+            intake.put(reading("alice", float(i)))
+        intake.put(reading("bob", 9.0))
+        taken = intake.take("alice", limit=10)
+        assert [q.reading.detection_time for q in taken] == [0.0, 1.0, 2.0]
+        assert intake.total_pending() == 1  # bob's
+
+    def test_capacity_is_per_object(self):
+        intake = IntakeQueue(capacity=2, policy=OVERFLOW_REJECT)
+        intake.put(reading("alice", 0.0))
+        intake.put(reading("alice", 1.0))
+        intake.put(reading("bob", 0.0))  # separate queue: fine
+        with pytest.raises(IntakeOverflowError):
+            intake.put(reading("alice", 2.0))
+
+    def test_drop_oldest_evicts_and_counts(self):
+        intake = IntakeQueue(capacity=2, policy=OVERFLOW_DROP_OLDEST)
+        intake.put(reading("alice", 0.0))
+        intake.put(reading("alice", 1.0))
+        assert intake.put(reading("alice", 2.0)) == 1
+        assert intake.dropped_total == 1
+        taken = intake.take("alice", limit=10)
+        assert [q.reading.detection_time for q in taken] == [1.0, 2.0]
+
+    def test_block_timeout_raises(self):
+        intake = IntakeQueue(capacity=1, policy=OVERFLOW_BLOCK)
+        intake.put(reading("alice", 0.0))
+        with pytest.raises(IntakeOverflowError):
+            intake.put(reading("alice", 1.0), timeout=0.02)
+
+    def test_blocked_producer_wakes_on_take(self):
+        intake = IntakeQueue(capacity=1, policy=OVERFLOW_BLOCK)
+        intake.put(reading("alice", 0.0))
+        done = threading.Event()
+
+        def producer():
+            intake.put(reading("alice", 1.0), timeout=5.0)
+            done.set()
+
+        thread = threading.Thread(target=producer)
+        thread.start()
+        intake.take("alice", limit=1)
+        assert done.wait(timeout=2.0)
+        thread.join()
+        assert intake.total_pending() == 1
+
+    def test_closed_intake_refuses_puts(self):
+        intake = IntakeQueue(capacity=4)
+        intake.close()
+        with pytest.raises(PipelineError):
+            intake.put(reading())
+
+    def test_invalid_configuration(self):
+        with pytest.raises(PipelineError):
+            IntakeQueue(capacity=0)
+        with pytest.raises(PipelineError):
+            IntakeQueue(policy="explode")
+
+
+class TestDeadLetterQueue:
+    def test_eviction_keeps_total_exact(self):
+        dlq = DeadLetterQueue(capacity=3)
+        for i in range(5):
+            dlq.add(reading(t=float(i)), f"reason-{i % 2}", float(i))
+        assert dlq.total == 5
+        assert len(dlq) == 3  # only the 3 most recent retained
+        kept = [letter.time for letter in dlq.items()]
+        assert kept == [2.0, 3.0, 4.0]
+
+    def test_reasons_grouped(self):
+        dlq = DeadLetterQueue()
+        dlq.add(reading(), "bad rect", 0.0)
+        dlq.add(reading(), "bad rect", 1.0)
+        dlq.add(reading(), "unknown sensor", 2.0)
+        assert dlq.reasons() == {"bad rect": 2, "unknown sensor": 1}
+
+
+class TestBatcher:
+    def test_count_window_releases_full_batch(self):
+        clock = FakeClock()
+        intake = IntakeQueue(capacity=32, clock=clock)
+        batcher = Batcher(intake, max_batch=3, max_wait=100.0, clock=clock)
+        for i in range(3):
+            intake.put(reading("alice", float(i)))
+        batch = batcher.next_batch(timeout=0.0)
+        assert batch is not None
+        assert batch.object_id == "alice"
+        assert len(batch) == 3
+        assert batch.detection_time == 2.0
+
+    def test_time_window_releases_partial_batch(self):
+        clock = FakeClock()
+        intake = IntakeQueue(capacity=32, clock=clock)
+        batcher = Batcher(intake, max_batch=10, max_wait=5.0, clock=clock)
+        intake.put(reading("alice", 0.0))
+        assert batcher.next_batch(timeout=0.0) is None  # still waiting
+        clock.advance(5.0)
+        batch = batcher.next_batch(timeout=0.0)
+        assert batch is not None and len(batch) == 1
+
+    def test_one_batch_in_flight_per_object(self):
+        clock = FakeClock()
+        intake = IntakeQueue(capacity=32, clock=clock)
+        batcher = Batcher(intake, max_batch=2, max_wait=0.0, clock=clock)
+        for i in range(4):
+            intake.put(reading("alice", float(i)))
+        first = batcher.next_batch(timeout=0.0)
+        assert first is not None
+        # Alice is in flight: her remaining readings stay queued.
+        assert batcher.next_batch(timeout=0.0) is None
+        assert intake.total_pending() == 2
+        batcher.complete("alice")
+        second = batcher.next_batch(timeout=0.0)
+        assert second is not None
+        assert [q.reading.detection_time
+                for q in second.entries] == [2.0, 3.0]
+
+    def test_oldest_object_served_first(self):
+        clock = FakeClock()
+        intake = IntakeQueue(capacity=32, clock=clock)
+        batcher = Batcher(intake, max_batch=10, max_wait=0.0, clock=clock)
+        intake.put(reading("late", 0.0))
+        clock.advance(1.0)
+        intake.put(reading("later", 1.0))
+        batch = batcher.next_batch(timeout=0.0)
+        assert batch is not None and batch.object_id == "late"
+
+    def test_force_flush_releases_everything(self):
+        clock = FakeClock()
+        intake = IntakeQueue(capacity=32, clock=clock)
+        batcher = Batcher(intake, max_batch=100, max_wait=100.0,
+                          clock=clock)
+        intake.put(reading("alice", 0.0))
+        assert batcher.next_batch(timeout=0.0) is None
+        batcher.force_flush(True)
+        assert batcher.next_batch(timeout=0.0) is not None
+
+    def test_invalid_configuration(self):
+        intake = IntakeQueue()
+        with pytest.raises(PipelineError):
+            Batcher(intake, max_batch=0)
+        with pytest.raises(PipelineError):
+            Batcher(intake, max_wait=-1.0)
+
+
+class TestRetry:
+    def test_succeeds_after_transient_failures(self):
+        calls = []
+        retried = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise SensorError("transient")
+            return "done"
+
+        result = call_with_retry(
+            flaky, RetryPolicy(max_attempts=5, base_delay=0.0),
+            sleep=lambda _: None,
+            on_retry=lambda attempt, exc: retried.append(attempt))
+        assert result == "done"
+        assert len(calls) == 3
+        assert retried == [1, 2]
+
+    def test_exhausted_attempts_reraise(self):
+        def always_fails():
+            raise OrbError("down")
+
+        with pytest.raises(OrbError):
+            call_with_retry(
+                always_fails, RetryPolicy(max_attempts=3, base_delay=0.0),
+                sleep=lambda _: None)
+
+    def test_non_retryable_propagates_immediately(self):
+        calls = []
+
+        def bug():
+            calls.append(1)
+            raise ValueError("programming error")
+
+        with pytest.raises(ValueError):
+            call_with_retry(bug, RetryPolicy(max_attempts=5),
+                            sleep=lambda _: None)
+        assert len(calls) == 1
+
+    def test_backoff_grows_and_caps(self):
+        policy = RetryPolicy(max_attempts=10, base_delay=0.01,
+                             max_delay=0.05, multiplier=2.0, jitter=0.0)
+        delays = [policy.delay_for(a) for a in range(1, 6)]
+        assert delays == [0.01, 0.02, 0.04, 0.05, 0.05]
+
+    def test_jitter_bounds(self):
+        policy = RetryPolicy(jitter=0.25)
+        rng = random.Random(7)
+        for attempt in range(1, 4):
+            raw = policy.delay_for(attempt)
+            for _ in range(50):
+                jittered = policy.delay_for(attempt, rng)
+                assert raw * 0.75 <= jittered <= raw * 1.25
+
+    def test_invalid_policy(self):
+        with pytest.raises(PipelineError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(PipelineError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(PipelineError):
+            RetryPolicy(multiplier=0.5)
+
+
+class TestStats:
+    def test_histogram_percentiles(self):
+        hist = LatencyHistogram()
+        for ms in (1, 1, 1, 1, 1, 1, 1, 1, 1, 100):
+            hist.record(ms / 1000.0)
+        snap = hist.snapshot()
+        assert snap.count == 10
+        assert snap.p50 <= snap.p95 <= snap.max
+        assert snap.max == pytest.approx(0.1)
+        assert snap.p50 < 0.01  # dominated by the 1ms samples
+        assert snap.mean == pytest.approx(0.0109)
+
+    def test_percentile_clamped_to_observed_max(self):
+        hist = LatencyHistogram()
+        hist.record(0.003)
+        snap = hist.snapshot()
+        assert snap.p95 <= snap.max
+
+    def test_empty_histogram(self):
+        snap = LatencyHistogram().snapshot()
+        assert snap.count == 0
+        assert snap.mean == 0.0
+        assert snap.p95 == 0.0
+
+    def test_invalid_histogram_arguments(self):
+        with pytest.raises(PipelineError):
+            LatencyHistogram(bounds=())
+        with pytest.raises(PipelineError):
+            LatencyHistogram(bounds=(0.2, 0.1))
+        with pytest.raises(PipelineError):
+            LatencyHistogram().percentile(0.0)
+
+    def test_recorder_snapshot_and_reconciliation(self):
+        recorder = PipelineStatsRecorder()
+        recorder.incr("enqueued", 10)
+        recorder.incr("fused", 7)
+        recorder.incr("dropped", 2)
+        recorder.incr("dead_lettered", 1)
+        stats = recorder.snapshot()
+        assert isinstance(stats, PipelineStats)
+        assert stats.reconciles()
+        recorder.incr("enqueued")
+        assert not recorder.snapshot().reconciles()
+
+    def test_unknown_counter_rejected(self):
+        with pytest.raises(PipelineError):
+            PipelineStatsRecorder().incr("nope")
+
+    def test_summary_mentions_every_counter(self):
+        recorder = PipelineStatsRecorder()
+        text = recorder.snapshot().summary()
+        for name in ("enqueued", "fused", "dropped", "dead_lettered",
+                     "rejected", "batches", "notifications", "retries",
+                     "fusion_failures", "reconciles"):
+            assert name in text

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.errors import ServiceError
 from repro.geometry import Point
 from repro.sensors import UbisenseAdapter
 from repro.service import LocationService
@@ -65,3 +66,66 @@ class TestFusionCache:
         cached = service.locate("alice")
         assert cached.rect == direct.rect
         assert cached.probability == direct.probability
+
+
+class TestCacheStats:
+    def test_capacity_is_configurable(self):
+        db = SpatialDatabase(siebel_floor())
+        service = LocationService(db, fusion_cache_capacity=4)
+        adapter = UbisenseAdapter("Ubi-1", "SC/3", frame="").attach(db)
+        adapter.tag_sighting("alice", Point(150, 20), 0.0)
+        for i in range(10):
+            service.fusion_result("alice", now=1.0 + i * 0.01)
+        assert len(service._fusion_cache) <= 4
+
+    def test_invalid_capacity_rejected(self):
+        db = SpatialDatabase(siebel_floor())
+        with pytest.raises(ServiceError):
+            LocationService(db, fusion_cache_capacity=0)
+        with pytest.raises(ServiceError):
+            LocationService(db, fusion_cache_capacity=-3)
+
+    def test_cache_stats_reports_hits_misses_evictions(self):
+        db = SpatialDatabase(siebel_floor())
+        service = LocationService(db, fusion_cache_capacity=2)
+        adapter = UbisenseAdapter("Ubi-1", "SC/3", frame="").attach(db)
+        adapter.tag_sighting("alice", Point(150, 20), 0.0)
+
+        stats = service.cache_stats()
+        assert stats == {"hits": 0, "misses": 0, "evictions": 0,
+                         "size": 0, "capacity": 2}
+
+        service.fusion_result("alice", now=1.0)   # miss
+        service.fusion_result("alice", now=1.0)   # hit
+        service.fusion_result("alice", now=2.0)   # miss
+        service.fusion_result("alice", now=3.0)   # miss -> eviction
+
+        stats = service.cache_stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 3
+        assert stats["evictions"] == 1
+        assert stats["size"] == 2
+        assert stats["capacity"] == 2
+
+
+class TestClassifierCache:
+    """The classifier memo must key on table *version*, not row count."""
+
+    def test_same_count_replacement_rebuilds(self, rig):
+        world, db, clock, service, ubi = rig
+        first = service.classifier()
+        assert service.classifier() is first  # stable while table is
+
+        # Replace the sensor's row without changing the row count: a
+        # row-count key would keep serving the stale classifier.
+        db.sensor_specs.update(
+            lambda row: row["sensor_id"] == "Ubi-1",
+            {"confidence": 40.0})
+        rebuilt = service.classifier()
+        assert rebuilt is not first
+
+    def test_registration_rebuilds(self, rig):
+        world, db, clock, service, ubi = rig
+        first = service.classifier()
+        UbisenseAdapter("Ubi-2", "SC/3", frame="").attach(db)
+        assert service.classifier() is not first
