@@ -34,6 +34,8 @@ Package map (see DESIGN.md for the full inventory):
 * :mod:`repro.pipeline` — the streaming ingestion pipeline: batched,
   back-pressured reading intake with worker-pool fusion and a
   dead-letter queue.
+* :mod:`repro.faults` — seeded, deterministic fault injection and the
+  chaos-test invariants for the sensing→fusion→notify path.
 * :mod:`repro.service` — the Location Service (queries,
   subscriptions, privacy, symbolic regions).
 * :mod:`repro.sim` — simulated buildings, people and sensors.
@@ -49,6 +51,7 @@ from repro.core import (
     ProbabilityClassifier,
     SensorSpec,
 )
+from repro.faults import FaultPlan, FaultReport
 from repro.geometry import Point, Polygon, Rect, Segment
 from repro.model import Glob, WorldModel
 from repro.orb import NamingService, Orb
@@ -77,6 +80,8 @@ from repro.spatialdb import SpatialDatabase
 __version__ = "1.0.0"
 
 __all__ = [
+    "FaultPlan",
+    "FaultReport",
     "FusionEngine",
     "FusionResult",
     "Glob",

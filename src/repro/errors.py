@@ -63,6 +63,14 @@ class PrivacyError(ServiceError):
     """A query was refused because of a privacy policy."""
 
 
+class FaultInjectionError(MiddleWhereError):
+    """Misconfigured fault plan or injector."""
+
+
+class InvariantViolation(MiddleWhereError):
+    """A chaos-run invariant did not hold (see docs/FAULTS.md)."""
+
+
 class OrbError(MiddleWhereError):
     """Object-request-broker failure."""
 

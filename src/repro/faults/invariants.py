@@ -1,0 +1,127 @@
+"""Invariants that must survive any fault plan.
+
+MiddleWhere's promise is that unreliable sensing stays masked behind
+the middleware: faults may *degrade* answers (wider rectangles, lower
+confidence, "unknown object") but must never produce *wrong-shaped*
+ones.  The chaos suite asserts, after every run:
+
+1. **Exact accounting** — every reading the pipeline accepted reached
+   exactly one terminal state: ``enqueued == fused + dropped +
+   dead_lettered`` (and nothing was fused twice).
+2. **Unique readings** — reading ids in the spatial database are
+   unique, and (when all traffic flowed through the pipeline) the
+   table holds exactly ``fused − purged`` rows.
+3. **Freshness** — no location estimate cites an expired or
+   future-dated source: every source sensor must still have a fresh
+   reading for the object at query time.
+4. **Probability sanity** — support confidence and the Equation-(7)
+   posterior stay within [0, 1].
+
+Checks return violation strings (empty list = healthy) so tests can
+show every failure at once; :func:`assert_invariants` raises
+:class:`~repro.errors.InvariantViolation` with the joined report.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import InvariantViolation, UnknownObjectError
+
+
+def pipeline_accounting(stats) -> List[str]:
+    """Invariant 1: the pipeline's terminal states reconcile exactly."""
+    out = []
+    if not stats.reconciles():
+        out.append(
+            f"accounting broken: enqueued={stats.enqueued} != "
+            f"fused={stats.fused} + dropped={stats.dropped} + "
+            f"dead_lettered={stats.dead_lettered}")
+    for counter in ("enqueued", "fused", "dropped", "dead_lettered",
+                    "rejected"):
+        value = getattr(stats, counter)
+        if value < 0:
+            out.append(f"negative counter {counter}={value}")
+    return out
+
+
+def unique_reading_ids(db) -> List[str]:
+    """Invariant 2a: no reading is stored (fused) twice."""
+    rows = db.sensor_readings.select()
+    ids = [row["reading_id"] for row in rows]
+    if len(ids) != len(set(ids)):
+        dupes = sorted({i for i in ids if ids.count(i) > 1})
+        return [f"duplicate reading ids in the database: {dupes[:10]}"]
+    return []
+
+
+def fused_matches_database(db, stats, purged: int = 0) -> List[str]:
+    """Invariant 2b: with all traffic via the pipeline, the reading
+    table holds exactly the fused readings minus explicit purges —
+    nothing was double-flushed or silently lost."""
+    rows = len(db.sensor_readings)
+    if rows + purged != stats.fused:
+        return [f"reading table has {rows} rows + {purged} purged but "
+                f"the pipeline fused {stats.fused}"]
+    return []
+
+
+def estimates_well_formed(service, now: Optional[float] = None
+                          ) -> List[str]:
+    """Invariants 3 and 4 for every currently tracked object."""
+    at = service.clock() if now is None else now
+    out: List[str] = []
+    for object_id in service.db.tracked_objects():
+        try:
+            estimate = service.locate(object_id, now=at)
+        except UnknownObjectError:
+            continue  # everything expired: a legitimate degraded answer
+        if not 0.0 <= estimate.probability <= 1.0:
+            out.append(f"{object_id}: probability {estimate.probability} "
+                       f"outside [0, 1]")
+        if not 0.0 <= estimate.posterior <= 1.0:
+            out.append(f"{object_id}: posterior {estimate.posterior} "
+                       f"outside [0, 1]")
+        fresh = {row["sensor_id"]
+                 for row in service.db.readings_for(object_id, at)}
+        stale = [s for s in estimate.sources if s not in fresh]
+        if stale:
+            out.append(f"{object_id}: estimate cites expired/future "
+                       f"sources {stale} at t={at:.3f}")
+    return out
+
+
+def check_all(service, stats=None, now: Optional[float] = None,
+              purged: Optional[int] = None,
+              pipeline_only: bool = False) -> List[str]:
+    """Every applicable invariant; returns the combined violation list.
+
+    Args:
+        service: the LocationService under test.
+        stats: a :class:`~repro.pipeline.stats.PipelineStats` snapshot
+            (skips the accounting invariants when omitted).
+        now: query time for freshness checks (service clock otherwise).
+        purged: rows removed by explicit ``purge_expired`` calls.
+        pipeline_only: assert the table row count against the fused
+            counter — only valid when no adapter wrote synchronously.
+    """
+    out: List[str] = []
+    if stats is not None:
+        out.extend(pipeline_accounting(stats))
+    out.extend(unique_reading_ids(service.db))
+    if stats is not None and pipeline_only:
+        out.extend(fused_matches_database(service.db, stats,
+                                          purged or 0))
+    out.extend(estimates_well_formed(service, now))
+    return out
+
+
+def assert_invariants(service, stats=None, now: Optional[float] = None,
+                      purged: Optional[int] = None,
+                      pipeline_only: bool = False) -> None:
+    """Raise :class:`InvariantViolation` when any invariant fails."""
+    failures = check_all(service, stats=stats, now=now, purged=purged,
+                         pipeline_only=pipeline_only)
+    if failures:
+        raise InvariantViolation(
+            "chaos invariants violated:\n  " + "\n  ".join(failures))

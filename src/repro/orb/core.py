@@ -182,13 +182,24 @@ class Orb:
     # Client side
     # ------------------------------------------------------------------
 
-    def resolve(self, reference: str) -> Proxy:
-        """Turn a stringified reference into an invocable proxy."""
+    def resolve(self, reference: str,
+                wrap: Optional[Any] = None) -> Proxy:
+        """Turn a stringified reference into an invocable proxy.
+
+        ``wrap`` is an optional transport decorator ``(transport) ->
+        transport`` applied to this proxy's transport only — the seam
+        fault injection (:meth:`repro.faults.FaultPlan.wrap_transport`)
+        and instrumentation plug into without touching the shared
+        connection cache.
+        """
         parsed = urlparse(reference)
         if parsed.scheme == "inproc":
             object_id = parsed.netloc or parsed.path.strip("/")
             self.adapter.servant(object_id)  # must be local
-            return Proxy(self._inproc, object_id, reference)
+            transport: Any = self._inproc
+            if wrap is not None:
+                transport = wrap(transport)
+            return Proxy(transport, object_id, reference)
         if parsed.scheme == "tcp":
             object_id = parsed.path.strip("/")
             if not object_id or parsed.hostname is None or parsed.port is None:
@@ -199,6 +210,8 @@ class Orb:
                 if transport is None:
                     transport = TcpTransport(parsed.hostname, parsed.port)
                     self._transports[key] = transport
+            if wrap is not None:
+                transport = wrap(transport)
             return Proxy(transport, object_id, reference)
         raise OrbError(f"unknown reference scheme in {reference!r}")
 

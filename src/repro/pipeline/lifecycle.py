@@ -112,6 +112,11 @@ class LocationPipeline:
                                self.config.max_wait, clock=self.clock)
         self.workers = WorkerPool(self.batcher, self._process_batch,
                                   count=self.config.workers)
+        # Fault-injection seam: called as hook(reading, attempt) before
+        # each flush attempt; raising a transient error exercises the
+        # retry path (see repro.faults.FaultPlan.attach_pipeline).
+        self.flush_fault: Optional[
+            Callable[[PipelineReading, int], None]] = None
         self._started = False
 
     # ------------------------------------------------------------------
@@ -232,11 +237,22 @@ class LocationPipeline:
     # ------------------------------------------------------------------
 
     def _flush_entry(self, entry: QueuedReading) -> bool:
-        """Persist one reading (with retry); False if dead-lettered."""
+        """Persist one reading (with retry); False if dead-lettered.
+
+        Only :data:`TRANSIENT_ERRORS` are retried.  Anything else is a
+        programming error or poisoned reading: retrying it would never
+        succeed, so it surfaces straight to the dead-letter queue with
+        reason ``"unexpected"`` — and accounting still reconciles.
+        """
         reading = entry.reading
         db = self.service.db
+        attempt = [0]
 
         def insert() -> int:
+            attempt[0] += 1
+            hook = self.flush_fault
+            if hook is not None:
+                hook(reading, attempt[0])
             return db.insert_reading(
                 sensor_id=reading.sensor_id,
                 glob_prefix=reading.glob_prefix,
@@ -257,8 +273,11 @@ class LocationPipeline:
             self.dead_letters.add(reading,
                                   f"flush failed after retries: {exc}",
                                   self.clock())
-            self.stats_recorder.incr("dead_lettered")
-            return False
+        except Exception as exc:  # noqa: BLE001 — not retryable
+            self.dead_letters.add(reading, f"unexpected: {exc!r}",
+                                  self.clock())
+        self.stats_recorder.incr("dead_lettered")
+        return False
 
     def _count_retry(self, attempt: int, exc: BaseException) -> None:
         self.stats_recorder.incr("retries")
@@ -292,8 +311,22 @@ class LocationPipeline:
             return self.service.apply_fusion_result(
                 result, channel=self.channel)
 
-        notified = call_with_retry(apply, self.config.retry,
-                                   on_retry=self._count_retry)
+        # Only SensorError/OrbError are transient at the notify edge.
+        # An unexpected exception from a consumer is not retried (it
+        # would fail identically every time): it is recorded in the
+        # dead-letter queue with reason "unexpected" and counted, while
+        # the batch's readings — already fused and persisted — keep
+        # their terminal state.
+        try:
+            notified = call_with_retry(apply, self.config.retry,
+                                       on_retry=self._count_retry)
+        except TRANSIENT_ERRORS:
+            raise  # retries exhausted: the worker records the failure
+        except Exception as exc:  # noqa: BLE001 — not retryable
+            self.stats_recorder.incr("notify_failures")
+            self.dead_letters.add(flushed[0].reading,
+                                  f"unexpected: {exc!r}", self.clock())
+            return
         if notified:
             self.stats_recorder.incr("notifications", notified)
             self.stats_recorder.fused_to_notified.record(

@@ -124,6 +124,10 @@ class PipelineStats:
         retries: transient-failure retries across flush and notify.
         fusion_failures: batches whose fusion pass raised (readings
             still counted fused — they are in the database).
+        notify_failures: batches whose notify step raised a
+            non-transient exception (surfaced to the dead-letter queue
+            with reason ``"unexpected"`` instead of being retried; the
+            readings stay fused).
         enqueue_to_fused: latency from intake to fusion completion.
         fused_to_notified: latency from fusion to notification delivery.
     """
@@ -137,6 +141,7 @@ class PipelineStats:
     notifications: int = 0
     retries: int = 0
     fusion_failures: int = 0
+    notify_failures: int = 0
     enqueue_to_fused: HistogramSnapshot = field(
         default_factory=lambda: HistogramSnapshot(0, 0.0, 0.0, 0.0, 0.0))
     fused_to_notified: HistogramSnapshot = field(
@@ -154,7 +159,8 @@ class PipelineStats:
             f"dropped={self.dropped} dead_lettered={self.dead_lettered} "
             f"rejected={self.rejected}",
             f"batches={self.batches} notifications={self.notifications} "
-            f"retries={self.retries} fusion_failures={self.fusion_failures}",
+            f"retries={self.retries} fusion_failures={self.fusion_failures} "
+            f"notify_failures={self.notify_failures}",
             f"enqueue->fused:    n={self.enqueue_to_fused.count} "
             f"p50={self.enqueue_to_fused.p50 * 1e3:.2f}ms "
             f"p95={self.enqueue_to_fused.p95 * 1e3:.2f}ms "
@@ -173,7 +179,7 @@ class PipelineStatsRecorder:
 
     _COUNTERS = ("enqueued", "fused", "dropped", "dead_lettered",
                  "rejected", "batches", "notifications", "retries",
-                 "fusion_failures")
+                 "fusion_failures", "notify_failures")
 
     def __init__(self) -> None:
         self._lock = threading.Lock()

@@ -40,8 +40,10 @@ class ReadingSink:
 
     The canonical implementation is
     :class:`repro.pipeline.LocationPipeline`; tests use in-memory
-    stubs.  ``submit`` returns False when the reading was refused
-    (dead-lettered).
+    stubs.  Sinks compose: :class:`repro.faults.FaultySink` decorates
+    any sink with seeded fault injection (drop/delay/duplicate/...),
+    which is how the chaos suite exercises this boundary.  ``submit``
+    returns False when the reading was refused (dead-lettered).
     """
 
     def submit(self, reading: "PipelineReading") -> bool:
@@ -171,12 +173,27 @@ class LocationAdapter:
             if last is not None and time - last < self._min_interval:
                 return None
         self._last_emit[object_id] = time
+        return self._deliver(self.adapter_id, self.adapter_type, object_id,
+                             rect, time, location, detection_radius)
+
+    def _deliver(self, sensor_id: str, sensor_type: str, object_id: str,
+                 rect: Rect, time: float,
+                 location: Optional[Point] = None,
+                 detection_radius: float = 0.0) -> Optional[int]:
+        """Route one canonical reading to the sink or the database.
+
+        Adapters that register secondary sensor rows (e.g. the
+        biometric adapter's long-term room reading) deliver through
+        here too, so *every* reading honours the sink wiring — nothing
+        sneaks into the database synchronously while a pipeline is in
+        front of it.
+        """
         if self._sink is not None:
             from repro.pipeline.intake import PipelineReading
             self._sink.submit(PipelineReading(
-                sensor_id=self.adapter_id,
+                sensor_id=sensor_id,
                 glob_prefix=self.glob_prefix,
-                sensor_type=self.adapter_type,
+                sensor_type=sensor_type,
                 object_id=object_id,
                 rect=rect,
                 detection_time=time,
@@ -185,9 +202,9 @@ class LocationAdapter:
             ))
             return None  # no reading id until the batch is flushed
         return self.database.insert_reading(
-            sensor_id=self.adapter_id,
+            sensor_id=sensor_id,
             glob_prefix=self.glob_prefix,
-            sensor_type=self.adapter_type,
+            sensor_type=sensor_type,
             mobile_object_id=object_id,
             rect=rect,
             detection_time=time,

@@ -129,21 +129,17 @@ class BiometricAdapter(LocationAdapter):
                                   BIOMETRIC_RADIUS_FT, time)
         if short is not None:
             emitted.append(short)
-        # The long-term room reading is inserted under its own sensor id
-        # so its distinct TTL/z apply.
+        # The long-term room reading is delivered under its own sensor
+        # id so its distinct TTL/z apply.
         rect = self.database.world.resolve_symbolic(self.room_glob)
-        long_id = self.database.insert_reading(
-            sensor_id=self.long_sensor_id,
-            glob_prefix=self.glob_prefix,
-            sensor_type=self.long_spec.sensor_type,
-            mobile_object_id=user_id,
-            rect=rect,
-            detection_time=time,
-        )
-        emitted.append(long_id)
+        long_id = self._deliver(self.long_sensor_id,
+                                self.long_spec.sensor_type, user_id, rect,
+                                time)
+        if long_id is not None:
+            emitted.append(long_id)
         return emitted
 
-    def logout(self, user_id: str, time: float) -> int:
+    def logout(self, user_id: str, time: float) -> Optional[int]:
         """A manual logout: expire this device's prior readings for the
         user and emit the 15-second "leaving now" reading."""
         self.database.expire_object_readings(user_id, self.adapter_id)
@@ -151,13 +147,7 @@ class BiometricAdapter(LocationAdapter):
         canonical = self._canonical_point(self.device_position)
         from repro.geometry import Rect
         rect = Rect.from_center(canonical, BIOMETRIC_RADIUS_FT)
-        return self.database.insert_reading(
-            sensor_id=self.logout_sensor_id,
-            glob_prefix=self.glob_prefix,
-            sensor_type=self.logout_spec.sensor_type,
-            mobile_object_id=user_id,
-            rect=rect,
-            detection_time=time,
-            location=canonical,
-            detection_radius=BIOMETRIC_RADIUS_FT,
-        )
+        return self._deliver(self.logout_sensor_id,
+                             self.logout_spec.sensor_type, user_id, rect,
+                             time, location=canonical,
+                             detection_radius=BIOMETRIC_RADIUS_FT)

@@ -53,6 +53,7 @@ class Scenario:
             privacy=privacy)
         self.trace = AccuracyTrace(self.world)
         self.pipeline = None  # set by use_pipeline()
+        self.fault_plan = None  # set by use_pipeline(fault_plan=...)
         self._published_reference: Optional[str] = None
 
     # ------------------------------------------------------------------
@@ -96,7 +97,8 @@ class Scenario:
             ids.append(person_id)
         return ids
 
-    def use_pipeline(self, workers: int = 2, config=None, channel=None):
+    def use_pipeline(self, workers: int = 2, config=None, channel=None,
+                     fault_plan=None):
         """Route every deployed adapter through an ingestion pipeline.
 
         Readings stop hitting the spatial database synchronously:
@@ -105,14 +107,26 @@ class Scenario:
         fuse and notify.  Call ``pipeline.drain()`` before querying if
         you need every emitted reading visible.  Adapters installed
         *after* this call must be wired with ``adapter.set_sink``.
+
+        With ``fault_plan`` (a :class:`repro.faults.FaultPlan`), every
+        adapter emits through the plan's fault-injecting sink instead,
+        the plan's flush injectors are installed into the pipeline, and
+        :meth:`step` pumps the plan so delayed readings are released on
+        the scenario clock.  Call ``fault_plan.flush()`` before
+        draining so held readings are force-released.
         """
         from repro.pipeline import LocationPipeline, PipelineConfig
         if config is None:
             config = PipelineConfig(workers=workers)
         self.pipeline = LocationPipeline(self.service, config=config,
                                          channel=channel)
+        sink = self.pipeline
+        if fault_plan is not None:
+            sink = fault_plan.wrap_sink(self.pipeline)
+            fault_plan.attach_pipeline(self.pipeline)
+            self.fault_plan = fault_plan
         for adapter in self.deployment.adapters():
-            adapter.set_sink(self.pipeline)
+            adapter.set_sink(sink)
         self.pipeline.start()
         return self.pipeline
 
@@ -145,6 +159,8 @@ class Scenario:
         now = self.clock.advance(dt)
         self.movement.step(now, dt)
         self.deployment.sense(self.movement.people, now)
+        if self.fault_plan is not None:
+            self.fault_plan.pump(now)
         return now
 
     def run(self, seconds: float, dt: float = 1.0,

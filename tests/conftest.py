@@ -9,6 +9,22 @@ from repro.geometry import Point, Rect
 from repro.sim import Scenario, paper_floor, siebel_floor
 
 
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--runslow", action="store_true", default=False,
+        help="also run tests marked slow (long chaos sweeps)")
+
+
+def pytest_collection_modifyitems(config: pytest.Config,
+                                  items: list) -> None:
+    if config.getoption("--runslow"):
+        return
+    skip_slow = pytest.mark.skip(reason="needs --runslow")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)
+
+
 @pytest.fixture
 def universe() -> Rect:
     """A building-scale universe (the paper's 500 x 100 ft floor)."""

@@ -1,0 +1,110 @@
+"""Transport partition/reconnect chaos: the ORB seam.
+
+``Orb.resolve(reference, wrap=plan.wrap_transport)`` decorates one
+proxy's transport with the plan's partition injectors: inside a
+partition window every invocation raises
+:class:`~repro.errors.TransportError`; when the window closes the same
+proxy works again (the "reconnect" — no state to rebuild, exactly like
+the paper's CORBA stubs).  RF badge readings (TTL 60 s) are used so
+locations survive across the outage.
+"""
+
+import pytest
+
+from repro.errors import TransportError
+from repro.faults import FaultPlan
+from repro.sim import Scenario
+
+
+def _scenario():
+    scenario = Scenario(seed=13).standard_deployment()
+    adapters = {a.adapter_id: a for a in scenario.deployment.adapters()}
+    return scenario, adapters["RF-12"]
+
+
+class TestInprocPartition:
+    def test_partition_blocks_then_heals(self):
+        scenario, rf = _scenario()
+        rf.badge_sighting("alice", 0.0)
+        plan = FaultPlan(7, clock=scenario.clock)
+        plan.partition([(10.0, 20.0)])
+        reference = scenario.publish()
+        proxy = scenario.orb.resolve(reference,
+                                     wrap=plan.wrap_transport)
+
+        # Before the window: traffic flows.
+        estimate = proxy.locate("alice")
+        assert "RF-12" in estimate.sources
+
+        scenario.clock.advance(15.0)  # now 15.0: inside the partition
+        with pytest.raises(TransportError):
+            proxy.locate("alice")
+        with pytest.raises(TransportError):
+            proxy.tracked_objects()
+
+        scenario.clock.advance(10.0)  # now 25.0: healed
+        estimate = proxy.locate("alice")
+        assert "RF-12" in estimate.sources
+
+        counts = plan.report().as_dict()["partition"]
+        assert counts["blocked"] == 2
+        assert counts["invocations"] >= 4
+
+    def test_unwrapped_proxy_is_unaffected(self):
+        """The wrap decorates one proxy only — no shared-cache bleed."""
+        scenario, rf = _scenario()
+        rf.badge_sighting("alice", 0.0)
+        plan = FaultPlan(7, clock=scenario.clock)
+        plan.partition([(0.0, 1000.0)])
+        reference = scenario.publish()
+        faulty = scenario.orb.resolve(reference,
+                                      wrap=plan.wrap_transport)
+        clean = scenario.orb.resolve(reference)
+        with pytest.raises(TransportError):
+            faulty.locate("alice")
+        assert "RF-12" in clean.locate("alice").sources
+
+    def test_report_is_deterministic(self):
+        def run():
+            scenario, rf = _scenario()
+            plan = FaultPlan(3, clock=scenario.clock)
+            plan.partition([(5.0, 10.0), (15.0, 20.0)])
+            reference = scenario.publish()
+            proxy = scenario.orb.resolve(reference,
+                                         wrap=plan.wrap_transport)
+            for t in range(0, 24, 2):
+                rf.badge_sighting("bob", float(t))
+                try:
+                    proxy.locate("bob")
+                except TransportError:
+                    pass
+                scenario.clock.advance(2.0)
+            return plan.report().as_text()
+
+        assert run() == run()
+
+
+class TestTcpPartition:
+    def test_partition_over_tcp(self):
+        scenario, rf = _scenario()
+        rf.badge_sighting("alice", 0.0)
+        plan = FaultPlan(7, clock=scenario.clock)
+        plan.partition([(10.0, 20.0)])
+        reference = scenario.publish(listen_tcp=True)
+        assert reference.startswith("tcp://")
+        try:
+            proxy = scenario.orb.resolve(reference,
+                                         wrap=plan.wrap_transport)
+            estimate = proxy.locate("alice")
+            assert "RF-12" in estimate.sources
+
+            scenario.clock.advance(15.0)
+            with pytest.raises(TransportError):
+                proxy.locate("alice")
+
+            scenario.clock.advance(10.0)
+            estimate = proxy.locate("alice")
+            assert "RF-12" in estimate.sources
+            assert plan.report().as_dict()["partition"]["blocked"] == 1
+        finally:
+            scenario.orb.shutdown()

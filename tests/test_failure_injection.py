@@ -147,3 +147,99 @@ class TestLostDevices:
             assert row["sensor_type"] in ("CardReader", "Biometric",
                                           "Biometric-room",
                                           "Biometric-logout")
+
+
+class TestPipelineParity:
+    """The failure scenarios above, replayed through the ingestion
+    pipeline (``Scenario.use_pipeline``), must land on the same final
+    estimates as the synchronous insert path: batching and worker
+    threads may change *when* readings land, never *what* the service
+    answers once the pipeline has drained."""
+
+    @staticmethod
+    def _pair(seed=21):
+        """Two identical scenarios; the second routes via a pipeline."""
+        sync = Scenario(seed=seed).standard_deployment()
+        piped = Scenario(seed=seed).standard_deployment()
+        pipeline = piped.use_pipeline(workers=2)
+        return sync, piped, pipeline
+
+    @staticmethod
+    def _adapters(scenario):
+        return {a.adapter_id: a for a in scenario.deployment.adapters()}
+
+    @staticmethod
+    def _locate_key(scenario, object_id):
+        """A comparable digest of the final answer (or its refusal)."""
+        try:
+            est = scenario.service.locate(object_id)
+        except UnknownObjectError:
+            return "unknown"
+        return (est.rect, tuple(est.sources), est.bucket, est.moving,
+                repr(est.probability), repr(est.posterior), est.symbolic)
+
+    def test_stale_data_parity(self):
+        sync, piped, pipeline = self._pair()
+        try:
+            for scenario in (sync, piped):
+                adapters = self._adapters(scenario)
+                adapters["Ubi-18"].tag_sighting("alice", Point(150, 20),
+                                                0.0)  # TTL 3 s
+                adapters["RF-12"].badge_sighting("alice", 0.0)  # TTL 60 s
+                scenario.clock.advance(30.0)
+            assert pipeline.drain(timeout=30.0)
+            key = self._locate_key(piped, "alice")
+            assert key == self._locate_key(sync, "alice")
+            assert key[1] == ("RF-12",)  # only the fresh sensor cited
+            # Once everything has expired, both paths refuse alike.
+            for scenario in (sync, piped):
+                scenario.clock.advance(300.0)
+            assert self._locate_key(sync, "alice") == "unknown"
+            assert self._locate_key(piped, "alice") == "unknown"
+        finally:
+            pipeline.stop()
+
+    def test_lost_badge_parity(self):
+        sync, piped, pipeline = self._pair(seed=2)
+        try:
+            for scenario in (sync, piped):
+                person = scenario.movement.add_person("forgetful")
+                person.carrying_badge = False
+                scenario.run(300)
+            assert pipeline.drain(timeout=60.0)
+            for scenario in (sync, piped):
+                badge_rows = [
+                    row for row in scenario.db.sensor_readings.select()
+                    if row["mobile_object_id"] == "forgetful"
+                    and row["sensor_type"] in ("Ubisense", "RF")
+                ]
+                assert badge_rows == []
+            assert (self._locate_key(piped, "forgetful")
+                    == self._locate_key(sync, "forgetful"))
+        finally:
+            pipeline.stop()
+
+    def test_conflicting_sensors_parity(self):
+        """The badge-left-behind conflict resolves identically: the
+        moving Ubisense track beats the stationary office badge on
+        both paths."""
+        sync, piped, pipeline = self._pair()
+        try:
+            for scenario in (sync, piped):
+                adapters = self._adapters(scenario)
+                adapters["RF-12"].badge_sighting("alice", 0.0)
+                adapters["RF-12"].badge_sighting("alice", 5.0)
+                adapters["Ubi-18"].tag_sighting("alice", Point(250, 50),
+                                                8.0)
+                adapters["Ubi-18"].tag_sighting("alice", Point(254, 50),
+                                                9.0)
+                scenario.clock.advance(10.0)
+            assert pipeline.drain(timeout=30.0)
+            key = self._locate_key(piped, "alice")
+            assert key == self._locate_key(sync, "alice")
+            assert key != "unknown"
+            moving = key[3]
+            assert moving
+            assert "Ubi-18" in key[1]
+        finally:
+            pipeline.stop()

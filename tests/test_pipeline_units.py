@@ -311,5 +311,104 @@ class TestStats:
         text = recorder.snapshot().summary()
         for name in ("enqueued", "fused", "dropped", "dead_lettered",
                      "rejected", "batches", "notifications", "retries",
-                     "fusion_failures", "reconciles"):
+                     "fusion_failures", "notify_failures", "reconciles"):
             assert name in text
+
+
+class TestErrorNarrowing:
+    """Only SensorError/OrbError are transient; anything else must not
+    be retried — it surfaces to the dead-letter queue as "unexpected".
+    """
+
+    def _rig(self):
+        from repro.pipeline import LocationPipeline, PipelineConfig
+        from repro.sensors import UbisenseAdapter
+        from repro.service import LocationService
+        from repro.sim import siebel_floor
+        from repro.spatialdb import SpatialDatabase
+
+        world = siebel_floor()
+        db = SpatialDatabase(world)
+        service = LocationService(db)
+        UbisenseAdapter("Ubi-1", "SC/3", frame="").attach(db)
+        pipeline = LocationPipeline(service, PipelineConfig(workers=1))
+        good = PipelineReading(
+            sensor_id="Ubi-1", glob_prefix="SC/3", sensor_type="Ubisense",
+            object_id="alice", rect=Rect(149, 19, 151, 21),
+            detection_time=1.0)
+        return service, pipeline, good
+
+    def _run_one(self, pipeline, reading):
+        pipeline.start()
+        try:
+            pipeline.submit(reading)
+            assert pipeline.drain(timeout=10.0)
+        finally:
+            pipeline.stop()
+
+    def test_unexpected_notify_error_goes_to_dlq_not_retry(self):
+        service, pipeline, good = self._rig()
+
+        def boom(result, channel=None):
+            raise ValueError("consumer bug")
+
+        service.apply_fusion_result = boom
+        self._run_one(pipeline, good)
+        stats = pipeline.stats()
+        assert stats.retries == 0               # never retried
+        assert stats.notify_failures == 1       # surfaced and counted
+        assert stats.fused == 1                 # the reading is persisted
+        assert stats.reconciles()
+        assert pipeline.workers.errors == []    # worker loop survived
+        reasons = list(pipeline.dead_letters.reasons())
+        assert any(r.startswith("unexpected:") for r in reasons)
+
+    def test_transient_notify_error_is_still_retried(self):
+        service, pipeline, good = self._rig()
+        calls = []
+        original = service.apply_fusion_result
+
+        def flaky(result, channel=None):
+            calls.append(1)
+            if len(calls) < 3:
+                raise OrbError("transient broker hiccup")
+            return original(result, channel=channel)
+
+        service.apply_fusion_result = flaky
+        self._run_one(pipeline, good)
+        stats = pipeline.stats()
+        assert stats.retries == 2
+        assert stats.notify_failures == 0
+        assert len(pipeline.dead_letters) == 0
+        assert stats.reconciles()
+
+    def test_unexpected_flush_error_dead_letters_without_retry(self):
+        service, pipeline, good = self._rig()
+
+        def broken_insert(*args, **kwargs):
+            raise ValueError("poisoned row")
+
+        service.db.insert_reading = broken_insert
+        self._run_one(pipeline, good)
+        stats = pipeline.stats()
+        assert stats.retries == 0
+        assert stats.dead_lettered == 1
+        assert stats.fused == 0
+        assert stats.reconciles()
+        (letter,) = pipeline.dead_letters.items()
+        assert letter.reason.startswith("unexpected:")
+
+    def test_flush_fault_hook_exercises_transient_retry(self):
+        service, pipeline, good = self._rig()
+
+        def hook(reading, attempt):
+            if attempt == 1:
+                raise SensorError("injected transient flush fault")
+
+        pipeline.flush_fault = hook
+        self._run_one(pipeline, good)
+        stats = pipeline.stats()
+        assert stats.retries == 1
+        assert stats.fused == 1
+        assert stats.dead_lettered == 0
+        assert stats.reconciles()

@@ -11,25 +11,37 @@ from repro.sim import SimClock, siebel_floor
 from repro.spatialdb import Column, Schema, SpatialDatabase, Table
 
 
+def run_threads(targets):
+    """Start one thread per (target, args) pair, join them all, and
+    return the exceptions they raised (shared helper — the chaos suite
+    reuses it)."""
+    errors = []
+
+    def guarded(target, args):
+        try:
+            target(*args)
+        except Exception as exc:  # noqa: BLE001 — collected for assert
+            errors.append(exc)
+
+    threads = [threading.Thread(target=guarded, args=(target, args))
+               for target, args in targets]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return errors
+
+
 class TestTableConcurrency:
     def test_parallel_inserts_all_land(self):
         table = Table("t", Schema([Column("k", int), Column("v", str)]))
         table.create_index("k")
-        errors = []
 
         def writer(base: int) -> None:
-            try:
-                for i in range(200):
-                    table.insert({"k": base + i, "v": f"w{base}"})
-            except Exception as exc:  # noqa: BLE001
-                errors.append(exc)
+            for i in range(200):
+                table.insert({"k": base + i, "v": f"w{base}"})
 
-        threads = [threading.Thread(target=writer, args=(n * 1000,))
-                   for n in range(4)]
-        for t in threads:
-            t.start()
-        for t in threads:
-            t.join()
+        errors = run_threads([(writer, (n * 1000,)) for n in range(4)])
         assert not errors
         assert len(table) == 800
         for n in range(4):
