@@ -39,6 +39,7 @@ from repro.core.fusion import (
     Cell,
     CellDecomposition,
     WeightedRect,
+    batch_region_probabilities,
     eq7_region_probability,
     exact_region_probability,
     support_confidence,
@@ -110,6 +111,7 @@ __all__ = [
     "eq6_corrected",
     "eq6_from_rects",
     "eq6_intersection",
+    "batch_region_probabilities",
     "eq7_region_probability",
     "exact_region_probability",
     "reading_from_coordinate",

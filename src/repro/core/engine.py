@@ -6,19 +6,22 @@ resolution (case 3) and probability classification (Section 4.4).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro.core.classify import ProbabilityClassifier
 from repro.core.conflict import ConflictResolver
 from repro.core.estimate import LocationEstimate
 from repro.core.fusion import (
     WeightedRect,
+    batch_region_probabilities,
     eq7_region_probability,
     exact_region_probability,
     support_confidence,
 )
-from repro.core.lattice import LatticeNode, RegionLattice
+from repro.core.lattice import _AREA_EPS, Box, LatticeNode, RegionLattice
 from repro.core.reading import NormalizedReading
 from repro.errors import FusionError
 from repro.geometry import Rect
@@ -44,6 +47,9 @@ class FusionResult:
     winning_component: Set[int]
     discarded: Set[int]
     mode: str = MODE_EXACT
+    # True when the lattice was evolved from the object's previous
+    # closure instead of being closed from scratch.
+    incremental: bool = field(default=False, compare=False)
 
     def _region_probability(self, region: Rect) -> float:
         active = [self.weighted[i] for i in sorted(self.winning_component)]
@@ -123,14 +129,127 @@ class FusionEngine:
             printed Equation 7 verbatim; dimensionally inconsistent for
             two or more sensors, kept for reproduction benches — see
             :mod:`repro.core.fusion`).
+        incremental: reuse each object's previous closure when
+            consecutive ``fuse()`` calls differ by at most one added
+            and one expired rectangle — the pipeline's steady-state
+            shape.  The evolved lattice is identical to a from-scratch
+            build (the closure of a set differing by one rectangle is
+            derivable in one pass); property tests assert this.
+        incremental_capacity: number of objects whose previous closure
+            is retained (LRU).
     """
 
     def __init__(self, resolver: Optional[ConflictResolver] = None,
-                 mode: str = MODE_EXACT) -> None:
+                 mode: str = MODE_EXACT, incremental: bool = True,
+                 incremental_capacity: int = 256) -> None:
         if mode not in (MODE_EQ7, MODE_EXACT):
             raise FusionError(f"unknown fusion mode {mode!r}")
+        if incremental_capacity <= 0:
+            raise FusionError(
+                f"incremental_capacity must be positive, "
+                f"got {incremental_capacity}")
         self.resolver = resolver if resolver is not None else ConflictResolver()
         self.mode = mode
+        self.incremental = incremental
+        self._incremental_capacity = incremental_capacity
+        # object_id -> (input box set, universe box, closure boxes)
+        self._previous: "OrderedDict[str, Tuple[FrozenSet[Box], Box, List[Box]]]" = OrderedDict()
+        self._previous_lock = threading.Lock()
+        self.incremental_reuses = 0
+        self.full_builds = 0
+
+    def stats(self) -> Dict[str, int]:
+        """Counters for the incremental fast path."""
+        with self._previous_lock:
+            return {
+                "incremental_reuses": self.incremental_reuses,
+                "full_builds": self.full_builds,
+                "tracked_objects": len(self._previous),
+            }
+
+    def _build_lattice(self, object_id: str, rects: Sequence[Rect],
+                       universe: Rect) -> Tuple[RegionLattice, bool]:
+        """Build the containment lattice, evolving the object's
+        previous closure when the input set changed by at most one
+        added and one removed rectangle."""
+        if not self.incremental:
+            return RegionLattice(rects, universe), False
+        universe_box = (universe.min_x, universe.min_y,
+                        universe.max_x, universe.max_y)
+        clipped = [r.clipped_to(universe) for r in rects]
+        key: FrozenSet[Box] = frozenset(
+            (c.min_x, c.min_y, c.max_x, c.max_y)
+            for c in clipped if c is not None)
+        with self._previous_lock:
+            prev = self._previous.get(object_id)
+        seed: Optional[List[Box]] = None
+        if prev is not None and prev[1] == universe_box:
+            prev_key, _, prev_boxes = prev
+            added = key - prev_key
+            removed = prev_key - key
+            if len(added) <= 1 and len(removed) <= 1:
+                boxes = prev_boxes
+                if removed:
+                    boxes = self._surviving_boxes(
+                        prev_boxes, prev_key, next(iter(removed)), key)
+                if added:
+                    boxes = RegionLattice.closure_with_added(
+                        boxes, next(iter(added)))
+                seed = boxes
+        lattice = RegionLattice(rects, universe, seed_boxes=seed)
+        with self._previous_lock:
+            self._previous[object_id] = (key, universe_box,
+                                         lattice.closure_boxes())
+            self._previous.move_to_end(object_id)
+            while len(self._previous) > self._incremental_capacity:
+                self._previous.popitem(last=False)
+            if seed is not None:
+                self.incremental_reuses += 1
+            else:
+                self.full_builds += 1
+        return lattice, seed is not None
+
+    @staticmethod
+    def _surviving_boxes(prev_boxes: List[Box], prev_key: FrozenSet[Box],
+                         removed_box: Box,
+                         new_key: FrozenSet[Box]) -> List[Box]:
+        """Closure boxes surviving the removal of one input rectangle.
+
+        Mirrors :meth:`RegionLattice.closure_with_removed` but works
+        from the stored box sets alone: a closure box survives iff it
+        equals the meet of the remaining inputs that contain it (the
+        sources-meet invariant), and eps-area boxes survive only as
+        inputs.
+        """
+        remaining = [b for b in prev_key if b != removed_box]
+        out: List[Box] = []
+        for box in prev_boxes:
+            if box == removed_box and box not in new_key:
+                continue
+            bx0, by0, bx1, by1 = box
+            x0 = y0 = float("-inf")
+            x1 = y1 = float("inf")
+            contained_by_any = False
+            for (ax0, ay0, ax1, ay1) in remaining:
+                if ax0 <= bx0 and bx1 <= ax1 and ay0 <= by0 and by1 <= ay1:
+                    contained_by_any = True
+                    if ax0 > x0:
+                        x0 = ax0
+                    if ay0 > y0:
+                        y0 = ay0
+                    if ax1 < x1:
+                        x1 = ax1
+                    if ay1 < y1:
+                        y1 = ay1
+            if not contained_by_any:
+                continue
+            if (x0, y0, x1, y1) != box:
+                continue
+            if (bx1 - bx0) * (by1 - by0) <= _AREA_EPS \
+                    and box not in new_key:
+                continue
+            out.append(box)
+        return out
 
     # ------------------------------------------------------------------
     # Fusion
@@ -157,7 +276,8 @@ class FusionEngine:
         weighted = [
             (r.rect, *r.pq_at(now, universe.area)) for r in fresh
         ]
-        lattice = RegionLattice([r.rect for r in fresh], universe)
+        lattice, reused = self._build_lattice(
+            object_id, [r.rect for r in fresh], universe)
         components = lattice.components()
         if len(components) > 1:
             winner_index = self.resolver.resolve(
@@ -177,16 +297,15 @@ class FusionEngine:
             winning_component=winning,
             discarded=discarded,
             mode=self.mode,
+            incremental=reused,
         )
         active = [weighted[i] for i in sorted(winning)]
-        for node in lattice.region_nodes():
-            assert node.rect is not None
-            if self.mode == MODE_EXACT:
-                node.probability = exact_region_probability(
-                    node.rect, active, universe.area)
-            else:
-                node.probability = eq7_region_probability(
-                    node.rect, active, universe.area)
+        region_nodes = lattice.region_nodes()
+        probabilities = batch_region_probabilities(
+            [node.rect for node in region_nodes], active, universe.area,
+            exact=(self.mode == MODE_EXACT))
+        for node, probability in zip(region_nodes, probabilities):
+            node.probability = probability
             supporters = [
                 (weighted[i][1], weighted[i][2])
                 for i in node.sources if i in winning

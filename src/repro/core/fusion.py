@@ -111,6 +111,75 @@ def exact_region_probability(region: Rect,
     return numerator / denominator
 
 
+def batch_region_probabilities(regions: Sequence[Rect],
+                               readings: Sequence[WeightedRect],
+                               universe_area: float,
+                               exact: bool = True) -> List[float]:
+    """Region probabilities for many regions in one validated pass.
+
+    Bit-for-bit identical to calling :func:`exact_region_probability`
+    (or :func:`eq7_region_probability` with ``exact=False``) per
+    region — same expressions in the same order — but the input
+    validation and per-reading areas are hoisted out of the loop.  The
+    fusion engine uses this to evaluate every lattice node at once.
+    """
+    _validate(readings, universe_area)
+    # Per-reading corners, (p, q) and areas unpacked once; the inner
+    # loops below inline Rect.intersection_area (identical min/max
+    # expressions, so results stay bit-for-bit equal to the scalar
+    # functions) to avoid a method call per (region, reading) pair.
+    unpacked = [(rect.min_x, rect.min_y, rect.max_x, rect.max_y,
+                 p, q, rect.area) for rect, p, q in readings]
+    out: List[float] = []
+    for region in regions:
+        area_r = region.area
+        if not unpacked:
+            if exact:
+                out.append(0.0 if area_r <= 0.0
+                           else min(area_r, universe_area) / universe_area)
+            else:
+                out.append(min(1.0, area_r / universe_area))
+            continue
+        rx0, ry0, rx1, ry1 = (region.min_x, region.min_y,
+                              region.max_x, region.max_y)
+        if exact:
+            if area_r <= 0.0:
+                out.append(0.0)
+                continue
+            area_r = min(area_r, universe_area)
+            prior = area_r / universe_area
+            outside = universe_area - area_r
+            like_in = 1.0
+            like_out = 1.0
+            for x0, y0, x1, y1, p, q, a_i in unpacked:
+                w = (x1 if x1 < rx1 else rx1) - (x0 if x0 > rx0 else rx0)
+                h = (y1 if y1 < ry1 else ry1) - (y0 if y0 > ry0 else ry0)
+                a_int = w * h if w > 0.0 and h > 0.0 else 0.0
+                f_in = min(1.0, a_int / area_r)
+                like_in *= p * f_in + q * (1.0 - f_in)
+                if outside <= 0.0:
+                    f_out = 0.0
+                else:
+                    f_out = min(1.0, max(0.0, (a_i - a_int) / outside))
+                like_out *= p * f_out + q * (1.0 - f_out)
+            numerator = like_in * prior
+            denominator = numerator + like_out * (1.0 - prior)
+            out.append(0.0 if denominator <= 0.0 else numerator / denominator)
+        else:
+            numerator = 1.0
+            denominator_term = 1.0
+            for x0, y0, x1, y1, p, q, a_i in unpacked:
+                w = (x1 if x1 < rx1 else rx1) - (x0 if x0 > rx0 else rx0)
+                h = (y1 if y1 < ry1 else ry1) - (y0 if y0 > ry0 else ry0)
+                a_int = w * h if w > 0.0 and h > 0.0 else 0.0
+                numerator *= p * a_int + q * (area_r - a_int)
+                denominator_term *= (p * (a_i - a_int)
+                                     + q * (universe_area - a_i + a_int))
+            denominator = numerator + denominator_term
+            out.append(0.0 if denominator <= 0.0 else numerator / denominator)
+    return out
+
+
 def support_confidence(supporters: Sequence[Tuple[float, float]]) -> float:
     """Confidence that a region's supporting sensors are all correct.
 
@@ -197,6 +266,11 @@ class CellDecomposition:
                 ys.update((c.min_y, c.max_y))
         xs_sorted = sorted(xs)
         ys_sorted = sorted(ys)
+        # Kept for probability_in_rect, which re-slices this grid along
+        # a query rectangle instead of re-decomposing from scratch.
+        self._xs = xs_sorted
+        self._ys = ys_sorted
+        self._clipped = clipped
         areas: Dict[FrozenSet[int], float] = {}
         for x0, x1 in zip(xs_sorted, xs_sorted[1:]):
             if x1 <= x0:
@@ -245,14 +319,51 @@ class CellDecomposition:
     def probability_in_rect(self, region: Rect) -> float:
         """Posterior probability of an arbitrary rectangle.
 
-        Recomputed with the query region added to the arrangement so
-        cells are split exactly along its edges.
+        The stored grid lines are split along the query's edges so
+        cells align exactly with it; the per-reading (p, q) factors
+        are reused as-is.  This avoids rebuilding (and re-validating
+        and re-normalizing) a whole augmented decomposition per query.
         """
-        augmented = CellDecomposition(
-            self.readings + [(region, 1.0, 1.0)], self.universe)
-        query_index = len(self.readings)
-        # (p=q=1) makes the extra "reading" carry no evidence.
-        return augmented.probability_in_reading(query_index)
+        if region.area > self.universe.area + 1e-6:
+            raise FusionError("query region larger than the universe")
+        query = region.clipped_to(self.universe)
+        xs = self._xs
+        ys = self._ys
+        if query is not None:
+            if not (query.min_x in xs and query.max_x in xs):
+                xs = sorted(set(xs) | {query.min_x, query.max_x})
+            if not (query.min_y in ys and query.max_y in ys):
+                ys = sorted(set(ys) | {query.min_y, query.max_y})
+        clipped = self._clipped
+        ps = [p for _, p, _ in self.readings]
+        qs = [q for _, _, q in self.readings]
+        u_area = self.universe.area
+        total = 0.0
+        inside = 0.0
+        for x0, x1 in zip(xs, xs[1:]):
+            if x1 <= x0:
+                continue
+            cx = (x0 + x1) / 2.0
+            for y0, y1 in zip(ys, ys[1:]):
+                if y1 <= y0:
+                    continue
+                cy = (y0 + y1) / 2.0
+                w = (x1 - x0) * (y1 - y0) / u_area
+                for i, c in enumerate(clipped):
+                    if (c is not None
+                            and c.min_x <= cx <= c.max_x
+                            and c.min_y <= cy <= c.max_y):
+                        w *= ps[i]
+                    else:
+                        w *= qs[i]
+                total += w
+                if (query is not None
+                        and query.min_x <= cx <= query.max_x
+                        and query.min_y <= cy <= query.max_y):
+                    inside += w
+        if total <= 0.0:
+            raise FusionError("zero total posterior weight")
+        return inside / total
 
     def map_signature(self) -> FrozenSet[int]:
         """The maximum-a-posteriori covered signature (ties: smaller

@@ -10,10 +10,29 @@ Nodes are the universe (Top), every distinct sensor rectangle, every
 non-empty intersection region (closed to a fixpoint, so triple-wise
 and deeper intersections appear too), and Bottom (the empty region).
 Edges form the Hasse diagram of geometric containment.
+
+This module is the fusion hot path, so construction is engineered
+around three ideas (see ``docs/PERF.md``):
+
+* the intersection closure processes each unordered node pair exactly
+  once, pruning candidates through a min-x-sorted interval index
+  instead of rescanning every node per fixpoint round;
+* Hasse cover edges come from an area-sorted minimal-container
+  computation instead of the cubic covered-set filter;
+* pairwise input overlaps discovered during construction are memoized
+  so :meth:`components` (and source assignment) never redo geometry.
+
+Because every closure node equals the intersection of exactly the
+input rectangles that contain it, a closed node set can be *evolved*
+when one input is added or removed without re-running the fixpoint —
+the basis of the fusion engine's incremental mode.  The original
+quadratic-rescan builder survives as :meth:`build_reference`; property
+tests assert the two produce identical lattices.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
@@ -24,6 +43,9 @@ TOP = "Top"
 BOTTOM = "Bottom"
 
 _AREA_EPS = 1e-9
+
+# A rectangle reduced to its hashable corner tuple (the intern key).
+Box = Tuple[float, float, float, float]
 
 
 @dataclass
@@ -75,10 +97,18 @@ class RegionLattice:
         universe: the Top region ``U`` (the whole building's floor).
         max_nodes: safety cap; pathological overlap patterns can
             generate exponentially many intersection regions.
+        seed_boxes: a pre-computed intersection closure of ``rects``
+            (corner tuples).  When given, the fixpoint scan is skipped
+            entirely and the boxes are interned directly — the
+            incremental-evolution fast path.  Callers are responsible
+            for the set actually being closed; the fusion engine only
+            derives seeds through :meth:`closure_with_added` /
+            :meth:`closure_with_removed`, which preserve closedness.
     """
 
     def __init__(self, rects: Sequence[Rect], universe: Rect,
-                 max_nodes: int = 4096) -> None:
+                 max_nodes: int = 4096,
+                 seed_boxes: Optional[Sequence[Box]] = None) -> None:
         for i, rect in enumerate(rects):
             if not universe.intersects(rect):
                 raise FusionError(
@@ -86,24 +116,341 @@ class RegionLattice:
         self.universe = universe
         self.input_rects = [r.clipped_to(universe) for r in rects]
         self._nodes: Dict[str, LatticeNode] = {}
-        self._by_rect: Dict[Tuple[float, float, float, float], str] = {}
+        self._by_rect: Dict[Box, str] = {}
         self._counter = 0
         self._max_nodes = max_nodes
-        self._build()
+        # (i, j) input-index pairs (i < j) with overlap area > eps,
+        # discovered once during construction; components() reuses
+        # them instead of recomputing pairwise intersections.
+        self._overlap_pairs: Optional[Set[Tuple[int, int]]] = None
+        self._build(seed_boxes)
 
     # ------------------------------------------------------------------
-    # Construction
+    # Construction (optimized path)
     # ------------------------------------------------------------------
 
-    def _key(self, rect: Rect) -> Tuple[float, float, float, float]:
+    def _key(self, rect: Rect) -> Box:
         return (rect.min_x, rect.min_y, rect.max_x, rect.max_y)
 
-    def _build(self) -> None:
+    def _build(self, seed_boxes: Optional[Sequence[Box]]) -> None:
         self._nodes[TOP] = LatticeNode(TOP, self.universe)
         self._nodes[BOTTOM] = LatticeNode(BOTTOM, None)
         self._by_rect[self._key(self.universe)] = TOP
 
         # Seed with the (deduplicated) input rectangles.
+        for rect in self.input_rects:
+            assert rect is not None
+            self._intern(rect)
+
+        self._memo_input_overlaps()
+        if seed_boxes is None:
+            self._close_under_intersection()
+        else:
+            for box in seed_boxes:
+                if box not in self._by_rect:
+                    self._intern(Rect(*box))
+
+        self._link_hasse()
+        self._assign_sources()
+
+    def _intern(self, rect: Rect) -> str:
+        key = self._key(rect)
+        existing = self._by_rect.get(key)
+        if existing is not None:
+            return existing
+        if len(self._nodes) >= self._max_nodes:
+            raise FusionError(
+                f"lattice exceeded {self._max_nodes} nodes; too many "
+                "overlapping sensor rectangles")
+        self._counter += 1
+        node_id = f"R{self._counter}"
+        self._nodes[node_id] = LatticeNode(node_id, rect)
+        self._by_rect[key] = node_id
+        return node_id
+
+    def _region_ids(self) -> List[str]:
+        return [nid for nid in self._nodes if nid not in (TOP, BOTTOM)]
+
+    def _memo_input_overlaps(self) -> None:
+        """Record which input pairs overlap with positive area.
+
+        One sorted sweep over the input rectangles: sorted by min-x,
+        the inner scan stops at the first rectangle starting past the
+        outer one's right edge.  Overlap areas are computed inline so
+        no per-pair :class:`Rect` objects (or method calls) are made.
+        """
+        pairs: Set[Tuple[int, int]] = set()
+        order = sorted(range(len(self.input_rects)),
+                       key=lambda i: self.input_rects[i].min_x)
+        rects = self.input_rects
+        for pos, i in enumerate(order):
+            ri = rects[i]
+            assert ri is not None
+            for j in order[pos + 1:]:
+                rj = rects[j]
+                assert rj is not None
+                if rj.min_x > ri.max_x:
+                    break  # sorted by min_x: nothing further overlaps
+                w = min(ri.max_x, rj.max_x) - max(ri.min_x, rj.min_x)
+                h = min(ri.max_y, rj.max_y) - max(ri.min_y, rj.min_y)
+                if w > 0.0 and h > 0.0 and w * h > _AREA_EPS:
+                    pairs.add((i, j) if i < j else (j, i))
+        self._overlap_pairs = pairs
+
+    def _close_under_intersection(self) -> None:
+        """Close the region set under pairwise intersection.
+
+        Each node, when first processed, is intersected against every
+        node created before it — so every unordered pair is examined
+        exactly once, unlike the fixpoint-with-full-rescan it replaces.
+        A min-x-sorted index prunes the candidates: rectangles whose
+        x-interval cannot reach the current node are never touched.
+        """
+        boxes: List[Box] = []          # creation order
+        for nid in self._region_ids():
+            rect = self._nodes[nid].rect
+            assert rect is not None
+            boxes.append((rect.min_x, rect.min_y, rect.max_x, rect.max_y))
+
+        # Interval index over *processed* nodes only, as two parallel
+        # sorted-by-min-x lists (floats bisect fast; boxes in step).
+        idx_min_x: List[float] = []
+        idx_boxes: List[Box] = []
+        by_rect = self._by_rect
+        cursor = 0  # nodes before `cursor` have been processed
+        while cursor < len(boxes):
+            box = boxes[cursor]
+            ax0, ay0, ax1, ay1 = box
+            # Candidates: processed nodes starting at or left of this
+            # node's right edge (others cannot overlap in x).
+            hi = bisect_right(idx_min_x, ax1)
+            for pos in range(hi):
+                bx0, by0, bx1, by1 = idx_boxes[pos]
+                ix0 = ax0 if ax0 > bx0 else bx0
+                ix1 = ax1 if ax1 < bx1 else bx1
+                w = ix1 - ix0
+                if w <= 0.0:
+                    continue
+                iy0 = ay0 if ay0 > by0 else by0
+                iy1 = ay1 if ay1 < by1 else by1
+                h = iy1 - iy0
+                if h <= 0.0 or w * h <= _AREA_EPS:
+                    continue
+                key = (ix0, iy0, ix1, iy1)
+                if key not in by_rect:
+                    self._intern(Rect(ix0, iy0, ix1, iy1))
+                    boxes.append(key)
+            at = bisect_right(idx_min_x, ax0)
+            idx_min_x.insert(at, ax0)
+            idx_boxes.insert(at, box)
+            cursor += 1
+
+    def _link_hasse(self) -> None:
+        """Containment cover edges via area-sorted minimal containers.
+
+        For each region node (ascending by area) the strict containers
+        are scanned largest-area-last; a container is a cover unless it
+        contains an already-accepted (hence smaller) cover —
+        transitivity makes checking accepted covers sufficient.
+        """
+        ids = self._region_ids()
+        entries: List[Tuple[float, str, Box]] = []
+        for nid in ids:
+            rect = self._nodes[nid].rect
+            assert rect is not None
+            entries.append((rect.area, nid,
+                            (rect.min_x, rect.min_y, rect.max_x,
+                             rect.max_y)))
+        entries.sort(key=lambda e: (e[0], e[1]))
+        area_list = [e[0] for e in entries]       # ascending, bisectable
+        box_list = [e[2] for e in entries]
+        id_list = [e[1] for e in entries]
+        count = len(entries)
+
+        for pos in range(count):
+            bx0, by0, bx1, by1 = box_list[pos]
+            # Strictness: only strictly-larger areas can cover; bisect
+            # skips the whole run of equal/near-equal areas at once.
+            start = bisect_right(area_list, area_list[pos] + _AREA_EPS)
+            covers: List[Box] = []
+            b = id_list[pos]
+            b_node = self._nodes[b]
+            for apos in range(start, count):
+                ax0, ay0, ax1, ay1 = box_list[apos]
+                if ax0 <= bx0 and bx1 <= ax1 and ay0 <= by0 and by1 <= ay1:
+                    contains_cover = False
+                    for dx0, dy0, dx1, dy1 in covers:
+                        if ax0 <= dx0 and dx1 <= ax1 \
+                                and ay0 <= dy0 and dy1 <= ay1:
+                            contains_cover = True
+                            break
+                    if contains_cover:
+                        continue
+                    covers.append((ax0, ay0, ax1, ay1))
+                    a = id_list[apos]
+                    self._nodes[a].children.add(b)
+                    b_node.parents.add(a)
+
+        # Hook maximal regions under Top and minimal regions above Bottom.
+        for nid in ids:
+            node = self._nodes[nid]
+            if not node.parents:
+                node.parents.add(TOP)
+                self._nodes[TOP].children.add(nid)
+            if not node.children:
+                node.children.add(BOTTOM)
+                self._nodes[BOTTOM].parents.add(nid)
+        if not ids:
+            self._nodes[TOP].children.add(BOTTOM)
+            self._nodes[BOTTOM].parents.add(TOP)
+
+    def _assign_sources(self) -> None:
+        """Sources = inputs whose rectangle contains the node.
+
+        Inline corner comparisons over the (few) input rectangles — no
+        per-node :meth:`Rect.contains_rect` calls, no recomputed
+        intersections.
+        """
+        inputs = [(r.min_x, r.min_y, r.max_x, r.max_y)
+                  for r in self.input_rects if r is not None]
+        indexed = list(enumerate(inputs))
+        for node_id in self._region_ids():
+            rect = self._nodes[node_id].rect
+            assert rect is not None
+            nx0, ny0, nx1, ny1 = (rect.min_x, rect.min_y,
+                                  rect.max_x, rect.max_y)
+            self._nodes[node_id].sources = frozenset(
+                i for i, (x0, y0, x1, y1) in indexed
+                if x0 <= nx0 and nx1 <= x1 and y0 <= ny0 and ny1 <= y1
+            )
+
+    # ------------------------------------------------------------------
+    # Incremental evolution (the fusion engine's steady-state path)
+    # ------------------------------------------------------------------
+
+    def closure_boxes(self) -> List[Box]:
+        """Every region node's corner tuple, in creation order."""
+        out: List[Box] = []
+        for nid in self._region_ids():
+            rect = self._nodes[nid].rect
+            assert rect is not None
+            out.append((rect.min_x, rect.min_y, rect.max_x, rect.max_y))
+        return out
+
+    @staticmethod
+    def closure_with_added(boxes: Sequence[Box], new_box: Box) -> List[Box]:
+        """Evolve a closed box set after adding one rectangle.
+
+        Because the existing set is closed, one pass suffices:
+        ``(r∩a)∩(r∩b) = r∩(a∩b)`` and ``a∩b`` is already present, so
+        the only new regions are ``r`` itself and ``r∩e`` for existing
+        ``e``.
+        """
+        nx0, ny0, nx1, ny1 = new_box
+        seen = set(boxes)
+        out = list(boxes)
+        if new_box not in seen:
+            seen.add(new_box)
+            out.append(new_box)
+        for (bx0, by0, bx1, by1) in list(boxes):
+            ix0 = nx0 if nx0 > bx0 else bx0
+            ix1 = nx1 if nx1 < bx1 else bx1
+            w = ix1 - ix0
+            if w <= 0.0:
+                continue
+            iy0 = ny0 if ny0 > by0 else by0
+            iy1 = ny1 if ny1 < by1 else by1
+            h = iy1 - iy0
+            if h <= 0.0 or w * h <= _AREA_EPS:
+                continue
+            key = (ix0, iy0, ix1, iy1)
+            if key not in seen:
+                seen.add(key)
+                out.append(key)
+        return out
+
+    def closure_with_removed(self, removed_box: Box,
+                             new_input_boxes: Set[Box]) -> List[Box]:
+        """The surviving closure after removing one input rectangle.
+
+        Every closure node equals the intersection of the inputs that
+        contain it (its sources), so a node survives the removal of
+        input(s) with corner tuple ``removed_box`` iff the intersection
+        of its *remaining* sources still equals its own rectangle.
+        Zero-area rectangles only belong to a closure as inputs, so
+        they additionally must appear in ``new_input_boxes``.
+        """
+        doomed = {i for i, r in enumerate(self.input_rects)
+                  if r is not None and (r.min_x, r.min_y,
+                                        r.max_x, r.max_y) == removed_box}
+        rects = self.input_rects
+        out: List[Box] = []
+        for nid in self._region_ids():
+            node = self._nodes[nid]
+            rect = node.rect
+            assert rect is not None
+            box = (rect.min_x, rect.min_y, rect.max_x, rect.max_y)
+            survivors = node.sources - doomed
+            if not survivors:
+                continue
+            if node.sources & doomed:
+                x0 = y0 = float("-inf")
+                x1 = y1 = float("inf")
+                for i in survivors:
+                    r = rects[i]
+                    assert r is not None
+                    if r.min_x > x0:
+                        x0 = r.min_x
+                    if r.min_y > y0:
+                        y0 = r.min_y
+                    if r.max_x < x1:
+                        x1 = r.max_x
+                    if r.max_y < y1:
+                        y1 = r.max_y
+                if (x0, y0, x1, y1) != box:
+                    continue  # only existed because of the removed rect
+            w = box[2] - box[0]
+            h = box[3] - box[1]
+            if w * h <= _AREA_EPS and box not in new_input_boxes:
+                continue  # eps-area regions are never intersection nodes
+            out.append(box)
+        return out
+
+    # ------------------------------------------------------------------
+    # Reference (naive) construction — kept for equivalence tests
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build_reference(cls, rects: Sequence[Rect], universe: Rect,
+                        max_nodes: int = 4096) -> "RegionLattice":
+        """Build with the original quadratic-rescan algorithm.
+
+        This is the pre-optimization builder, verbatim: fixpoint
+        closure that rescans every region per round, cubic covered-set
+        Hasse linking, and per-node containment scans for sources.
+        Property tests assert the optimized builder produces an
+        identical lattice; benches use it as the "before" timing.
+        """
+        self = cls.__new__(cls)
+        for i, rect in enumerate(rects):
+            if not universe.intersects(rect):
+                raise FusionError(
+                    f"input rectangle {i} lies outside the universe")
+        self.universe = universe
+        self.input_rects = [r.clipped_to(universe) for r in rects]
+        self._nodes = {}
+        self._by_rect = {}
+        self._counter = 0
+        self._max_nodes = max_nodes
+        self._overlap_pairs = None
+        self._build_naive()
+        return self
+
+    def _build_naive(self) -> None:
+        self._nodes[TOP] = LatticeNode(TOP, self.universe)
+        self._nodes[BOTTOM] = LatticeNode(BOTTOM, None)
+        self._by_rect[self._key(self.universe)] = TOP
+
         for rect in self.input_rects:
             assert rect is not None
             self._intern(rect)
@@ -128,28 +475,10 @@ class RegionLattice:
                         new_ids.append(self._intern(overlap))
             frontier = new_ids
 
-        self._assign_sources()
-        self._link_hasse()
+        self._assign_sources_naive()
+        self._link_hasse_naive()
 
-    def _intern(self, rect: Rect) -> str:
-        key = self._key(rect)
-        existing = self._by_rect.get(key)
-        if existing is not None:
-            return existing
-        if len(self._nodes) >= self._max_nodes:
-            raise FusionError(
-                f"lattice exceeded {self._max_nodes} nodes; too many "
-                "overlapping sensor rectangles")
-        self._counter += 1
-        node_id = f"R{self._counter}"
-        self._nodes[node_id] = LatticeNode(node_id, rect)
-        self._by_rect[key] = node_id
-        return node_id
-
-    def _region_ids(self) -> List[str]:
-        return [nid for nid in self._nodes if nid not in (TOP, BOTTOM)]
-
-    def _assign_sources(self) -> None:
+    def _assign_sources_naive(self) -> None:
         for node_id in self._region_ids():
             node = self._nodes[node_id]
             assert node.rect is not None
@@ -158,7 +487,7 @@ class RegionLattice:
                 if rect is not None and rect.contains_rect(node.rect)
             )
 
-    def _link_hasse(self) -> None:
+    def _link_hasse_naive(self) -> None:
         """Containment cover edges: parent strictly contains child with
         no intermediate node between them."""
         ids = self._region_ids()
@@ -249,7 +578,9 @@ class RegionLattice:
 
         Two readings in different components are *disjoint* evidence —
         the conflict case (Section 4.1.2, case 3).  Indices refer to
-        the input rect list.
+        the input rect list.  Overlap pairs memoized during
+        construction are reused; only reference-built lattices fall
+        back to recomputing them.
         """
         n = len(self.input_rects)
         parent = list(range(n))
@@ -263,14 +594,18 @@ class RegionLattice:
         def union(i: int, j: int) -> None:
             parent[find(i)] = find(j)
 
-        for i in range(n):
-            ri = self.input_rects[i]
-            assert ri is not None
-            for j in range(i + 1, n):
-                rj = self.input_rects[j]
-                assert rj is not None
-                if ri.intersection_area(rj) > _AREA_EPS:
-                    union(i, j)
+        if self._overlap_pairs is not None:
+            for i, j in self._overlap_pairs:
+                union(i, j)
+        else:
+            for i in range(n):
+                ri = self.input_rects[i]
+                assert ri is not None
+                for j in range(i + 1, n):
+                    rj = self.input_rects[j]
+                    assert rj is not None
+                    if ri.intersection_area(rj) > _AREA_EPS:
+                        union(i, j)
         groups: Dict[int, Set[int]] = {}
         for i in range(n):
             groups.setdefault(find(i), set()).add(i)
@@ -323,3 +658,36 @@ class RegionLattice:
             seen.add(nid)
             stack.extend(self._nodes[nid].children)
         assert seen == set(self._nodes), "unreachable lattice nodes"
+        # Sources are exactly the containing inputs, and every node is
+        # the intersection of its sources (the closure property the
+        # incremental evolution relies on).
+        for node in self.region_nodes():
+            assert node.rect is not None
+            for i, rect in enumerate(self.input_rects):
+                assert rect is not None
+                contained = rect.contains_rect(node.rect)
+                assert (i in node.sources) == contained, \
+                    f"sources mismatch on {node.node_id}"
+            if node.sources:
+                meet = None
+                for i in node.sources:
+                    r = self.input_rects[i]
+                    assert r is not None
+                    meet = r if meet is None else meet.intersection(r)
+                    assert meet is not None
+                assert meet == node.rect, \
+                    f"{node.node_id} is not the meet of its sources"
+        # Closedness: the intersection of any two region nodes with
+        # positive overlap is itself a node.
+        region = self.region_nodes()
+        for a in range(len(region)):
+            ra = region[a].rect
+            assert ra is not None
+            for b in range(a + 1, len(region)):
+                rb = region[b].rect
+                assert rb is not None
+                overlap = ra.intersection(rb)
+                if overlap is None or overlap.area <= _AREA_EPS:
+                    continue
+                assert self._by_rect.get(self._key(overlap)) is not None, \
+                    "closure is missing an intersection region"

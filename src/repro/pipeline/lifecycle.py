@@ -293,8 +293,8 @@ class LocationPipeline:
         self.stats_recorder.incr("fused", len(flushed))
         try:
             readings = self.service.normalized_readings(batch.object_id, at)
-            result = self.service.engine.fuse(
-                batch.object_id, readings, self.service.db.universe(), at)
+            result, from_cache = self.service.fuse_readings(
+                batch.object_id, readings, at)
         except Exception:  # noqa: BLE001 — readings are persisted
             self.stats_recorder.incr("fusion_failures")
             now = self.clock()
@@ -302,6 +302,10 @@ class LocationPipeline:
                 self.stats_recorder.enqueue_to_fused.record(
                     now - entry.enqueued_at)
             raise
+        if from_cache:
+            self.stats_recorder.incr("fusion_cache_hits")
+        if result.incremental:
+            self.stats_recorder.incr("incremental_fusions")
         fused_at = self.clock()
         for entry in flushed:
             self.stats_recorder.enqueue_to_fused.record(

@@ -128,6 +128,10 @@ class PipelineStats:
             non-transient exception (surfaced to the dead-letter queue
             with reason ``"unexpected"`` instead of being retried; the
             readings stay fused).
+        fusion_cache_hits: batches answered from the service's
+            content-addressed fusion cache without running the engine.
+        incremental_fusions: batches fused by evolving the object's
+            previous lattice instead of rebuilding from scratch.
         enqueue_to_fused: latency from intake to fusion completion.
         fused_to_notified: latency from fusion to notification delivery.
     """
@@ -142,6 +146,8 @@ class PipelineStats:
     retries: int = 0
     fusion_failures: int = 0
     notify_failures: int = 0
+    fusion_cache_hits: int = 0
+    incremental_fusions: int = 0
     enqueue_to_fused: HistogramSnapshot = field(
         default_factory=lambda: HistogramSnapshot(0, 0.0, 0.0, 0.0, 0.0))
     fused_to_notified: HistogramSnapshot = field(
@@ -161,6 +167,8 @@ class PipelineStats:
             f"batches={self.batches} notifications={self.notifications} "
             f"retries={self.retries} fusion_failures={self.fusion_failures} "
             f"notify_failures={self.notify_failures}",
+            f"fusion_cache_hits={self.fusion_cache_hits} "
+            f"incremental_fusions={self.incremental_fusions}",
             f"enqueue->fused:    n={self.enqueue_to_fused.count} "
             f"p50={self.enqueue_to_fused.p50 * 1e3:.2f}ms "
             f"p95={self.enqueue_to_fused.p95 * 1e3:.2f}ms "
@@ -179,7 +187,8 @@ class PipelineStatsRecorder:
 
     _COUNTERS = ("enqueued", "fused", "dropped", "dead_lettered",
                  "rejected", "batches", "notifications", "retries",
-                 "fusion_failures", "notify_failures")
+                 "fusion_failures", "notify_failures",
+                 "fusion_cache_hits", "incremental_fusions")
 
     def __init__(self) -> None:
         self._lock = threading.Lock()

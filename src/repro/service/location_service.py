@@ -46,6 +46,15 @@ from repro.spatialdb import Row, SpatialDatabase
 
 Clock = Callable[[], float]
 
+# Freshness-bucket count for the content-addressed fusion key: a
+# reading's age is quantized to ttl/8-wide buckets, so queries close
+# enough in time that temporal degradation is indistinguishable share
+# one fused result, while ages apart by more than a bucket fuse anew.
+_FRESHNESS_BUCKETS = 8
+
+# (object_id, fingerprint): see LocationService._fusion_fingerprint.
+FusionKey = Tuple[str, Tuple[int, Tuple[Any, ...]]]
+
 
 class LocationService:
     """The consolidated location view for one deployment.
@@ -85,11 +94,14 @@ class LocationService:
         self.knowledge = build_knowledge_base(db.world)
         self.subscriptions = SubscriptionManager()
         self._proximity_subscriptions: Dict[str, Any] = {}
-        # Memo of recent fusions keyed by (object, timestamp): when one
-        # sensor reading matches many programmed triggers, they all
-        # evaluate against a single fused distribution — the paper's
-        # shared lattice of Section 4.3.
-        self._fusion_cache: "OrderedDict[Tuple[str, float, int], FusionResult]" = \
+        # Memo of recent fusions, content-addressed: the key is a
+        # fingerprint of the surviving readings (sensor ids, rects,
+        # freshness buckets) plus the sensor-table version, NOT the
+        # query timestamp — so trigger storms, repeated pulls and the
+        # pipeline's steadily advancing clock all hit the same entry as
+        # long as the fused inputs are indistinguishable.  This is the
+        # paper's shared lattice of Section 4.3.
+        self._fusion_cache: "OrderedDict[FusionKey, FusionResult]" = \
             OrderedDict()
         self._fusion_cache_capacity = fusion_cache_capacity
         # Pipeline workers share this cache across threads.
@@ -162,35 +174,71 @@ class LocationService:
             ))
         return readings
 
+    def _fusion_fingerprint(self, readings: List[NormalizedReading],
+                            at: float) -> Tuple[int, Tuple[Any, ...]]:
+        """Content address of a fusion input.
+
+        Two fusions whose surviving readings have the same sensors,
+        rectangles, movement flags and freshness buckets (age quantized
+        to ttl / ``_FRESHNESS_BUCKETS``) produce indistinguishable
+        distributions, so they share one cache entry.  The sensor-table
+        version guards against recalibration serving stale math.
+        """
+        parts = []
+        for r in readings:
+            ttl = r.spec.time_to_live
+            age = r.age_at(at)
+            bucket = int(_FRESHNESS_BUCKETS * age / ttl) \
+                if ttl > 0.0 and ttl != float("inf") else 0
+            parts.append((r.sensor_id, r.rect.min_x, r.rect.min_y,
+                          r.rect.max_x, r.rect.max_y, bool(r.moving),
+                          bucket))
+        parts.sort()
+        return (self.db.sensor_specs.version, tuple(parts))
+
     def fusion_result(self, object_id: str,
                       now: Optional[float] = None) -> FusionResult:
         """The full spatial probability distribution for an object.
 
-        Fusions are memoized per (object, timestamp): evaluating 500
-        programmed triggers against one reading costs one fusion.  Any
-        new reading for the object invalidates its entries (the key
-        embeds the query time, and triggers evaluate at the reading's
-        own detection time).
+        Fusions are memoized content-addressed (see
+        :meth:`_fusion_fingerprint`): evaluating 500 programmed
+        triggers against one reading costs one fusion, and repeated
+        queries hit as long as the surviving readings and their
+        freshness buckets are unchanged.  Any new reading for the
+        object changes the fingerprint and fuses anew.
         """
         at = self._now(now)
-        key = (object_id, at, len(self.db.sensor_readings))
+        readings = self._readings_for(object_id, at)
+        if not readings:
+            raise UnknownObjectError(
+                f"no fresh readings for {object_id!r} at t={at:.3f}")
+        result, _ = self.fuse_readings(object_id, readings, at)
+        return result
+
+    def fuse_readings(self, object_id: str,
+                      readings: List[NormalizedReading],
+                      at: float) -> Tuple[FusionResult, bool]:
+        """Fuse through the content-addressed cache.
+
+        Returns ``(result, from_cache)``.  The pipeline's workers call
+        this directly with the readings they just flushed; pull queries
+        go through :meth:`fusion_result`.
+        """
+        key: FusionKey = (object_id,
+                          self._fusion_fingerprint(readings, at))
         with self._fusion_cache_lock:
             cached = self._fusion_cache.get(key)
             if cached is not None:
                 self.fusion_cache_hits += 1
                 self._fusion_cache.move_to_end(key)
-                return cached
+                return cached, True
             self.fusion_cache_misses += 1
-        readings = self._readings_for(object_id, at)
-        if not readings:
-            raise UnknownObjectError(
-                f"no fresh readings for {object_id!r} at t={at:.3f}")
         result = self.engine.fuse(object_id, readings,
                                   self.db.universe(), at)
         self._cache_fusion(key, result)
-        return result
+        return result, False
 
-    def _cache_fusion(self, key: Tuple[str, float, int],
+    def _cache_fusion(self, key: FusionKey,
                       result: FusionResult) -> None:
         with self._fusion_cache_lock:
             self._fusion_cache[key] = result
@@ -199,7 +247,9 @@ class LocationService:
                 self.fusion_cache_evictions += 1
 
     def cache_stats(self) -> Dict[str, int]:
-        """Fusion-memo effectiveness: hits, misses, evictions, size."""
+        """Fusion-memo and incremental-engine effectiveness counters."""
+        engine_stats = self.engine.stats() if hasattr(
+            self.engine, "stats") else {}
         with self._fusion_cache_lock:
             return {
                 "hits": self.fusion_cache_hits,
@@ -207,6 +257,9 @@ class LocationService:
                 "evictions": self.fusion_cache_evictions,
                 "size": len(self._fusion_cache),
                 "capacity": self._fusion_cache_capacity,
+                "incremental_reuses": engine_stats.get(
+                    "incremental_reuses", 0),
+                "full_builds": engine_stats.get("full_builds", 0),
             }
 
     # ------------------------------------------------------------------
@@ -525,8 +578,9 @@ class LocationService:
         """
         object_id = result.object_id
         at = result.now
-        self._cache_fusion((object_id, at, len(self.db.sensor_readings)),
-                           result)
+        self._cache_fusion(
+            (object_id, self._fusion_fingerprint(result.readings, at)),
+            result)
         delivered = 0
 
         def deliver(subscription: Subscription,

@@ -75,7 +75,10 @@ def injector_stacks(draw):
             params = {"up": draw(st.floats(1.0, 20.0)),
                       "down": draw(st.floats(1.0, 20.0))}
         else:  # clock_skew
-            params = {"skew": draw(st.floats(-5.0, 5.0))}
+            # A zero skew is rejected by the injector ("injects
+            # nothing"), so never draw it.
+            params = {"skew": draw(
+                st.floats(-5.0, 5.0).filter(lambda s: s != 0.0))}
         scope = {}
         if draw(st.booleans()):
             scope["sensors"] = draw(

@@ -88,6 +88,12 @@ class TestEndToEnd:
         # Latency accounting covered every fused reading.
         assert stats.enqueue_to_fused.count == total
         assert stats.enqueue_to_fused.p95 <= stats.enqueue_to_fused.max
+        # The content-addressed fusion cache hits under continuously
+        # advancing timestamps: each object keeps reporting the same
+        # rectangle, so steady-state batches reuse the fused result
+        # (the old time-keyed cache missed on every batch).
+        assert stats.fusion_cache_hits > 0
+        assert service.cache_stats()["hits"] >= stats.fusion_cache_hits
 
     def test_drop_oldest_deterministic_accounting(self):
         world, db, service, adapter = make_rig()

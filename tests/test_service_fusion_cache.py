@@ -67,6 +67,29 @@ class TestFusionCache:
         assert cached.rect == direct.rect
         assert cached.probability == direct.probability
 
+    def test_content_addressing_hits_across_close_timestamps(self, rig):
+        """Queries inside one freshness bucket share a fusion even
+        though their float timestamps differ — the old time-keyed
+        cache missed on every one of these."""
+        world, db, clock, service, ubi = rig
+        ubi.tag_sighting("alice", Point(150, 20), 0.0)
+        first = service.fusion_result("alice", now=1.0)
+        # Ubisense ttl=3.0 → bucket width 0.375 s: ages 1.0 and 1.1
+        # share the freshness bucket, so the fused result is reused.
+        assert service.fusion_result("alice", now=1.1) is first
+        assert service.cache_stats()["hits"] == 1
+
+    def test_recalibration_invalidates(self, rig):
+        """The fingerprint embeds the sensor-table version: a respec'd
+        sensor must not serve stale fused math."""
+        world, db, clock, service, ubi = rig
+        ubi.tag_sighting("alice", Point(150, 20), 0.0)
+        first = service.fusion_result("alice", now=1.0)
+        db.sensor_specs.update(
+            lambda row: row["sensor_id"] == "Ubi-1",
+            {"confidence": 40.0})
+        assert service.fusion_result("alice", now=1.0) is not first
+
 
 class TestCacheStats:
     def test_capacity_is_configurable(self):
@@ -93,7 +116,8 @@ class TestCacheStats:
 
         stats = service.cache_stats()
         assert stats == {"hits": 0, "misses": 0, "evictions": 0,
-                         "size": 0, "capacity": 2}
+                         "size": 0, "capacity": 2,
+                         "incremental_reuses": 0, "full_builds": 0}
 
         service.fusion_result("alice", now=1.0)   # miss
         service.fusion_result("alice", now=1.0)   # hit
