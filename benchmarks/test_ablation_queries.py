@@ -2,10 +2,16 @@
 
 Prices every pull-mode query the paper's Section 4 defines: object
 locate, symbolic locate, region probability/confidence, who-is-in-
-region, spatial relations, and path distance.
+region, spatial relations, and path distance.  The scaling section
+prices ``objects_in_region`` against its linear reference as the
+tracked-object count grows (the PR 5 support-index pruning), and
+``test_perf_smoke_objects_in_region`` guards the n=64 latency against
+the committed baseline.
 """
 
 from __future__ import annotations
+
+import time
 
 import pytest
 
@@ -87,9 +93,105 @@ def test_nearest_entities(benchmark, rig):
     assert found
 
 
-def test_query_latency_table(benchmark, rig, results_dir):
-    import time
+OBJECT_COUNTS = [8, 16, 64]
 
+
+def _crowded_service(n_objects: int) -> LocationService:
+    """N tracked objects, two near room 3105, the rest spread far.
+
+    The interesting regime for the support-index pruning: most objects
+    cannot be in the queried room, so the pruned query fuses only the
+    nearby few while the reference fuses everyone.
+    """
+    world = siebel_floor()
+    db = SpatialDatabase(world)
+    clock = SimClock()
+    service = LocationService(db, clock=clock)
+    ubi = UbisenseAdapter("Ubi-1", "SC/3", frame="").attach(db)
+    ubi.tag_sighting("person-00", Point(150, 20), 0.0)
+    ubi.tag_sighting("person-01", Point(160, 25), 0.0)
+    for i in range(2, n_objects):
+        x = 250.0 + (i % 20) * 7.0
+        y = 40.0 + (i % 8) * 6.0
+        ubi.tag_sighting(f"person-{i:02d}", Point(x, y), 0.0)
+    clock.advance(1.0)
+    return service
+
+
+def _best_of_ms(query, repeats: int = 5) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        query()
+        best = min(best, time.perf_counter() - start)
+    return best * 1e3
+
+
+def test_objects_in_region_scaling(benchmark, results_dir):
+    """Tentpole table: who-is-in-region with support-index pruning vs
+    the full-fusion reference scan, as tracked objects grow.  The
+    acceptance bar is >= 5x at 64 tracked objects."""
+    lines = ["objects_in_region scaling: pruned vs reference (ms/query)",
+             "objects     pruned  reference    speedup"]
+    speedups = {}
+    for count in OBJECT_COUNTS:
+        service = _crowded_service(count)
+        pruned = service.objects_in_region("SC/3/3105")
+        reference = service.objects_in_region_reference("SC/3/3105")
+        assert pruned == reference  # equivalence on the benched state
+        pruned_ms = _best_of_ms(
+            lambda: service.objects_in_region("SC/3/3105"))
+        reference_ms = _best_of_ms(
+            lambda: service.objects_in_region_reference("SC/3/3105"))
+        speedups[count] = reference_ms / pruned_ms
+        lines.append(f"{count:>7d} {pruned_ms:>10.3f} "
+                     f"{reference_ms:>10.3f} {speedups[count]:>9.1f}x")
+        stats = service.query_stats()
+        lines.append(f"        pruned={stats['region_queries_pruned']} "
+                     f"refined={stats['region_queries_refined']}")
+    write_result(results_dir, "objects_in_region_scaling", lines)
+    assert speedups[64] >= 5.0, (
+        f"pruned objects_in_region at 64 objects is only "
+        f"{speedups[64]:.1f}x faster than the reference scan")
+
+    service = _crowded_service(64)
+    benchmark(lambda: service.objects_in_region("SC/3/3105"))
+
+
+def test_perf_smoke_objects_in_region(results_dir):
+    """CI guard: pruned objects_in_region at 64 tracked objects must
+    stay within 2x of the committed baseline (absolute floor for
+    runner noise)."""
+    baseline_ms = _committed_pruned_ms(results_dir, objects=64)
+    if baseline_ms is None:
+        pytest.skip("no committed baseline in "
+                    "benchmarks/results/objects_in_region_scaling.txt")
+    service = _crowded_service(64)
+    service.objects_in_region("SC/3/3105")  # warm-up
+    current_ms = _best_of_ms(
+        lambda: service.objects_in_region("SC/3/3105"))
+    limit = max(2.0 * baseline_ms, 5.0)
+    assert current_ms <= limit, (
+        f"pruned objects_in_region at 64 objects took {current_ms:.3f} "
+        f"ms; committed baseline is {baseline_ms:.3f} ms "
+        f"(limit {limit:.3f} ms)")
+
+
+def _committed_pruned_ms(results_dir, objects: int):
+    path = results_dir / "objects_in_region_scaling.txt"
+    if not path.exists():
+        return None
+    for line in path.read_text().splitlines():
+        parts = line.split()
+        if len(parts) >= 4 and parts[0] == str(objects):
+            try:
+                return float(parts[1])  # the "pruned" column
+            except ValueError:
+                return None
+    return None
+
+
+def test_query_latency_table(benchmark, rig, results_dir):
     queries = {
         "locate(object)": lambda: rig.locate("alice"),
         "locate_symbolic": lambda: rig.locate_symbolic("alice"),

@@ -127,6 +127,107 @@ def test_fig9_series(benchmark, results_dir):
     benchmark(lambda: ten_update_series(10))
 
 
+SCALING_COUNTS = [10, 50, 200, 500]
+
+
+def _dispatch_rig(n_subscriptions: int):
+    """A service with N enter-only subscriptions programmed elsewhere.
+
+    The probe inserts land outside every subscribed region, so the
+    per-insert cost is pure trigger dispatch: the R-tree probe on the
+    indexed path, the full condition scan on the reference path.
+    """
+    world = siebel_floor()
+    db = SpatialDatabase(world)
+    clock = SimClock()
+    service = LocationService(db, clock=clock)
+    adapter = UbisenseAdapter("Ubi-1", "SC/3", frame="").attach(db)
+    elsewhere = world.canonical_mbr("SC/3/3226")
+    for i in range(n_subscriptions):
+        service.subscribe(elsewhere.translated(0, -(i % 3)),
+                          consumer=lambda event: None, kind="enter",
+                          threshold=0.2)
+    return world, db, clock, adapter
+
+
+def _time_dispatch(table, row, rounds: int) -> float:
+    """Best-of-5 mean microseconds for one insert-trigger dispatch."""
+    best = float("inf")
+    for _ in range(5):
+        start = time.perf_counter()
+        for _ in range(rounds):
+            table._fire("insert", row)
+        best = min(best, (time.perf_counter() - start) / rounds)
+    return best * 1e6
+
+
+def _probe_row(db, clock, adapter):
+    adapter.tag_sighting("probe", Point(250, 50), clock.now())
+    return db.sensor_readings.select(
+        lambda r: r["mobile_object_id"] == "probe")[-1]
+
+
+def test_query_index_scaling(benchmark, results_dir):
+    """Tentpole table: per-insert trigger dispatch, indexed R-tree vs
+    the reference linear scan, across programmed-subscription counts.
+    The acceptance bar is >= 5x at 200 subscriptions."""
+    lines = ["Query-side index scaling: insert trigger dispatch (us)",
+             "subs    indexed  reference    speedup"]
+    speedups = {}
+    for count in SCALING_COUNTS:
+        _, db, clock, adapter = _dispatch_rig(count)
+        clock.advance(1.0)
+        table = db.sensor_readings
+        row = _probe_row(db, clock, adapter)
+        indexed_us = _time_dispatch(table, row, 400)
+        table.use_spatial_dispatch = False
+        reference_us = _time_dispatch(table, row, 400)
+        table.use_spatial_dispatch = True
+        speedups[count] = reference_us / indexed_us
+        lines.append(f"{count:>4d} {indexed_us:>10.2f} "
+                     f"{reference_us:>10.2f} {speedups[count]:>9.1f}x")
+    write_result(results_dir, "query_index_scaling", lines)
+    assert speedups[200] >= 5.0, (
+        f"indexed dispatch at 200 subscriptions is only "
+        f"{speedups[200]:.1f}x faster than the linear scan")
+
+    _, db, clock, adapter = _dispatch_rig(200)
+    clock.advance(1.0)
+    row = _probe_row(db, clock, adapter)
+    benchmark(lambda: db.sensor_readings._fire("insert", row))
+
+
+def test_perf_smoke_trigger_dispatch(results_dir):
+    """CI guard: indexed dispatch at 200 subscriptions must stay within
+    2x of the committed baseline (absolute floor for runner noise)."""
+    baseline_us = _committed_indexed_us(results_dir, subscriptions=200)
+    if baseline_us is None:
+        pytest.skip("no committed baseline in "
+                    "benchmarks/results/query_index_scaling.txt")
+    _, db, clock, adapter = _dispatch_rig(200)
+    clock.advance(1.0)
+    row = _probe_row(db, clock, adapter)
+    current_us = _time_dispatch(db.sensor_readings, row, 400)
+    limit = max(2.0 * baseline_us, 50.0)
+    assert current_us <= limit, (
+        f"indexed dispatch at 200 subscriptions took {current_us:.2f} us; "
+        f"committed baseline is {baseline_us:.2f} us (limit {limit:.2f} us)")
+
+
+def _committed_indexed_us(results_dir, subscriptions: int):
+    path = results_dir / "query_index_scaling.txt"
+    if not path.exists():
+        return None
+    for line in path.read_text().splitlines():
+        parts = line.split()
+        if len(parts) >= 4 and parts[0] == str(subscriptions):
+            try:
+                return float(parts[1])  # the "indexed" column
+            except ValueError:
+                return None
+    return None
+
+
 def test_fig9_remote_notification_path(benchmark, results_dir):
     """The distributed variant: the subscriber lives behind the ORB's
     TCP transport, as a Gaia application would."""

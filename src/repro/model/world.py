@@ -131,6 +131,13 @@ class WorldModel:
         self._entities: Dict[str, Entity] = {}
         self._doors: Dict[str, Door] = {}
         self._universe: Optional[Rect] = None
+        # Monotonic mutation counter: bumped whenever frames, entities
+        # or doors change.  Derived indexes (region R-trees, navigation
+        # distance memos) key their caches on it.
+        self.version = 0
+        # Lazy point-location index over enclosing regions:
+        # (version, rtree of (MBR, key), key -> (polygon, area, order)).
+        self._region_index: Optional[tuple] = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -140,6 +147,7 @@ class WorldModel:
                   transform: FrameTransform) -> None:
         """Register a coordinate frame (building, floor or room axes)."""
         self.frames.register(frame, parent, transform)
+        self.version += 1
 
     def add_entity(self, entity: Entity) -> Entity:
         """Add an entity; its frame must already be registered."""
@@ -151,6 +159,7 @@ class WorldModel:
                 f"entity {key} uses unknown frame {entity.frame!r}")
         self._entities[key] = entity
         self._universe = None
+        self.version += 1
         return entity
 
     def add_region(self, glob: Glob, entity_type: EntityType,
@@ -173,6 +182,7 @@ class WorldModel:
             raise WorldModelError(
                 f"door {key} uses unknown frame {door.frame!r}")
         self._doors[key] = door
+        self.version += 1
         return door
 
     # ------------------------------------------------------------------
@@ -280,12 +290,54 @@ class WorldModel:
     # Symbolic resolution
     # ------------------------------------------------------------------
 
+    def _point_index(self):
+        """R-tree over enclosing-region MBRs, keyed on the version.
+
+        Imported lazily: ``repro.spatialdb`` depends on this module,
+        so a top-level import would be circular.
+        """
+        from repro.spatialdb.rtree import RTree
+
+        index = self._region_index
+        if index is not None and index[0] == self.version:
+            return index[1], index[2]
+        meta = {}
+        entries = []
+        order = 0
+        for key, entity in self._entities.items():
+            if not entity.entity_type.is_enclosing:
+                continue
+            polygon = self.canonical_polygon(entity.glob)
+            meta[key] = (polygon, polygon.area, order)
+            entries.append((polygon.mbr, key))
+            order += 1
+        tree = RTree.from_entries(entries)
+        self._region_index = (self.version, tree, meta)
+        return tree, meta
+
     def smallest_region_containing(self, p: Point) -> Optional[Entity]:
         """The smallest enclosing region containing a canonical point.
 
         Implements coordinate-to-symbolic conversion: given a fused
         coordinate estimate, report "room 3216" rather than numbers.
+        Index-backed: only regions whose MBR covers the point are
+        tested against the polygon; ties on polygon area break by
+        registration order, matching the reference scan's strict
+        ``<`` over the insertion-ordered entity dict.
         """
+        tree, meta = self._point_index()
+        best_key: Optional[str] = None
+        best = (float("inf"), -1)
+        for key in tree.search_point(p):
+            polygon, area, order = meta[key]
+            if polygon.contains_point(p) and (area, order) < best:
+                best_key = key
+                best = (area, order)
+        return self._entities[best_key] if best_key is not None else None
+
+    def smallest_region_containing_reference(
+            self, p: Point) -> Optional[Entity]:
+        """The pre-index linear scan, kept for equivalence tests."""
         best: Optional[Entity] = None
         best_area = float("inf")
         for entity in self._entities.values():

@@ -331,6 +331,14 @@ class LocationPipeline:
             self.dead_letters.add(flushed[0].reading,
                                   f"unexpected: {exc!r}", self.clock())
             return
+        dispatch = self.service.consume_dispatch_detail(result)
+        if dispatch is not None:
+            if dispatch["evaluated"]:
+                self.stats_recorder.incr("subscriptions_evaluated",
+                                         dispatch["evaluated"])
+            if dispatch["pruned"]:
+                self.stats_recorder.incr("subscriptions_pruned",
+                                         dispatch["pruned"])
         if notified:
             self.stats_recorder.incr("notifications", notified)
             self.stats_recorder.fused_to_notified.record(

@@ -132,6 +132,11 @@ class PipelineStats:
             content-addressed fusion cache without running the engine.
         incremental_fusions: batches fused by evolving the object's
             previous lattice instead of rebuilding from scratch.
+        subscriptions_evaluated: region subscriptions actually refined
+            against a fused result during notify.
+        subscriptions_pruned: matching subscriptions skipped because
+            the indexed dispatch proved them no-ops (region disjoint
+            from the fused support, not inside, not zero-threshold).
         enqueue_to_fused: latency from intake to fusion completion.
         fused_to_notified: latency from fusion to notification delivery.
     """
@@ -148,6 +153,8 @@ class PipelineStats:
     notify_failures: int = 0
     fusion_cache_hits: int = 0
     incremental_fusions: int = 0
+    subscriptions_evaluated: int = 0
+    subscriptions_pruned: int = 0
     enqueue_to_fused: HistogramSnapshot = field(
         default_factory=lambda: HistogramSnapshot(0, 0.0, 0.0, 0.0, 0.0))
     fused_to_notified: HistogramSnapshot = field(
@@ -169,6 +176,8 @@ class PipelineStats:
             f"notify_failures={self.notify_failures}",
             f"fusion_cache_hits={self.fusion_cache_hits} "
             f"incremental_fusions={self.incremental_fusions}",
+            f"subscriptions_evaluated={self.subscriptions_evaluated} "
+            f"subscriptions_pruned={self.subscriptions_pruned}",
             f"enqueue->fused:    n={self.enqueue_to_fused.count} "
             f"p50={self.enqueue_to_fused.p50 * 1e3:.2f}ms "
             f"p95={self.enqueue_to_fused.p95 * 1e3:.2f}ms "
@@ -188,7 +197,8 @@ class PipelineStatsRecorder:
     _COUNTERS = ("enqueued", "fused", "dropped", "dead_lettered",
                  "rejected", "batches", "notifications", "retries",
                  "fusion_failures", "notify_failures",
-                 "fusion_cache_hits", "incremental_fusions")
+                 "fusion_cache_hits", "incremental_fusions",
+                 "subscriptions_evaluated", "subscriptions_pruned")
 
     def __init__(self) -> None:
         self._lock = threading.Lock()

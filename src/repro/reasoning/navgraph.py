@@ -14,6 +14,8 @@ from-scratch adjacency-list graph — no external graph library.
 from __future__ import annotations
 
 import heapq
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple, Union
 
@@ -33,13 +35,32 @@ class Edge:
 
 
 class Graph:
-    """A weighted undirected graph with Dijkstra shortest paths."""
+    """A weighted undirected graph with Dijkstra shortest paths.
+
+    Single-source runs are memoized: ``distances`` keeps the full
+    (dist, prev) maps per (source, allow_restricted), invalidated by a
+    version counter bumped on every mutation and capped LRU-style.
+    ``shortest_path`` answers from the memo with results bit-identical
+    to the early-break Dijkstra kept as
+    :meth:`shortest_path_reference` — relaxations are deterministic,
+    and nodes on the target's shortest path are finalized before the
+    target, so their ``prev`` entries never change afterwards.
+    """
+
+    _MEMO_CAPACITY = 256
 
     def __init__(self) -> None:
         self._adjacency: Dict[str, List[Edge]] = {}
+        self._version = 0
+        self._memo: "OrderedDict[Tuple[str, bool], Tuple[int, Dict[str, float], Dict[str, str]]]" = OrderedDict()
+        self._memo_lock = threading.Lock()
+        self.memo_hits = 0
+        self.memo_misses = 0
 
     def add_node(self, node: str) -> None:
-        self._adjacency.setdefault(node, [])
+        if node not in self._adjacency:
+            self._adjacency[node] = []
+            self._version += 1
 
     def add_edge(self, a: str, b: str, weight: float,
                  door_glob: str = "", restricted: bool = False) -> None:
@@ -49,6 +70,7 @@ class Graph:
         self.add_node(b)
         self._adjacency[a].append(Edge(b, weight, door_glob, restricted))
         self._adjacency[b].append(Edge(a, weight, door_glob, restricted))
+        self._version += 1
 
     def nodes(self) -> List[str]:
         return sorted(self._adjacency)
@@ -65,10 +87,77 @@ class Graph:
     def edge_count(self) -> int:
         return sum(len(edges) for edges in self._adjacency.values()) // 2
 
+    def distances(self, source: str, allow_restricted: bool = False
+                  ) -> Dict[str, float]:
+        """Memoized single-source shortest distances from ``source``."""
+        if source not in self._adjacency:
+            raise ReasoningError(f"unknown source node {source!r}")
+        return dict(self._single_source(source, allow_restricted)[0])
+
+    def _single_source(self, source: str, allow_restricted: bool
+                       ) -> Tuple[Dict[str, float], Dict[str, str]]:
+        key = (source, allow_restricted)
+        with self._memo_lock:
+            cached = self._memo.get(key)
+            if cached is not None and cached[0] == self._version:
+                self.memo_hits += 1
+                self._memo.move_to_end(key)
+                return cached[1], cached[2]
+            self.memo_misses += 1
+            version = self._version
+        dist: Dict[str, float] = {source: 0.0}
+        prev: Dict[str, str] = {}
+        heap: List[Tuple[float, str]] = [(0.0, source)]
+        visited: Set[str] = set()
+        while heap:
+            d, node = heapq.heappop(heap)
+            if node in visited:
+                continue
+            visited.add(node)
+            for edge in self._adjacency[node]:
+                if edge.restricted and not allow_restricted:
+                    continue
+                candidate = d + edge.weight
+                if candidate < dist.get(edge.target, float("inf")):
+                    dist[edge.target] = candidate
+                    prev[edge.target] = node
+                    heapq.heappush(heap, (candidate, edge.target))
+        with self._memo_lock:
+            if version == self._version:
+                self._memo[key] = (version, dist, prev)
+                while len(self._memo) > self._MEMO_CAPACITY:
+                    self._memo.popitem(last=False)
+        return dist, prev
+
     def shortest_path(self, source: str, target: str,
                       allow_restricted: bool = False
                       ) -> Optional[Tuple[float, List[str]]]:
-        """Dijkstra: (distance, node path) or ``None`` if unreachable."""
+        """Dijkstra through the single-source memo.
+
+        Bit-identical to :meth:`shortest_path_reference`: the full run
+        performs the same relaxations as the early-break run up to the
+        target's finalization, and later pops cannot rewrite the
+        finalized path.
+        """
+        if source not in self._adjacency:
+            raise ReasoningError(f"unknown source node {source!r}")
+        if target not in self._adjacency:
+            raise ReasoningError(f"unknown target node {target!r}")
+        if source == target:
+            return 0.0, [source]
+        dist, prev = self._single_source(source, allow_restricted)
+        if target not in dist:
+            return None
+        path = [target]
+        while path[-1] != source:
+            path.append(prev[path[-1]])
+        path.reverse()
+        return dist[target], path
+
+    def shortest_path_reference(self, source: str, target: str,
+                                allow_restricted: bool = False
+                                ) -> Optional[Tuple[float, List[str]]]:
+        """Early-break Dijkstra: (distance, node path) or ``None``."""
         if source not in self._adjacency:
             raise ReasoningError(f"unknown source node {source!r}")
         if target not in self._adjacency:
@@ -162,6 +251,16 @@ class NavigationGraph:
             self._door_by_pair[(a, b)] = door
             self._door_by_pair[(b, a)] = door
 
+    def refresh(self) -> None:
+        """Rebuild from the world after regions or doors changed.
+
+        The new graph starts with an empty distance memo, so any
+        memoized single-source runs from before the change are gone.
+        """
+        self.graph = Graph()
+        self._door_by_pair = {}
+        self._build()
+
     # ------------------------------------------------------------------
     # Distances and routes
     # ------------------------------------------------------------------
@@ -170,6 +269,15 @@ class NavigationGraph:
                       allow_restricted: bool = False) -> Optional[float]:
         """Center-to-center walking distance, or ``None`` if unreachable."""
         result = self.graph.shortest_path(str(a), str(b), allow_restricted)
+        return result[0] if result is not None else None
+
+    def path_distance_reference(self, a: Union[Glob, str],
+                                b: Union[Glob, str],
+                                allow_restricted: bool = False
+                                ) -> Optional[float]:
+        """Unmemoized early-break Dijkstra, for equivalence tests."""
+        result = self.graph.shortest_path_reference(
+            str(a), str(b), allow_restricted)
         return result[0] if result is not None else None
 
     def route(self, a: Union[Glob, str], b: Union[Glob, str],

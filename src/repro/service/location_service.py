@@ -114,6 +114,22 @@ class LocationService:
         # a crashing application must not stall sensor ingest.
         self.notification_failures: List[Tuple[str, str]] = []
         self._classifier_cache: Optional[Tuple[int, ProbabilityClassifier]] = None
+        # Last-known-estimate support per object: the MBR of the
+        # readings behind the newest fusion, tagged with the reading
+        # version captured BEFORE those readings were fetched and the
+        # fusion timestamp.  Sound for pruning only while the version
+        # is unchanged and the query is not earlier than the entry
+        # (rows only expire as time advances); otherwise region
+        # queries fall back to the database's grow-only support union.
+        self._object_support: Dict[str, Tuple[Rect, int, float]] = {}
+        self._pending_support: Dict[str, Tuple[int, float]] = {}
+        self._support_lock = threading.Lock()
+        # Per-thread (result, detail) from the latest dispatch, so the
+        # pipeline can account evaluated/pruned while still calling the
+        # public (and monkeypatchable) apply_fusion_result.
+        self._dispatch_local = threading.local()
+        self.region_queries_pruned = 0
+        self.region_queries_refined = 0
 
     # ------------------------------------------------------------------
     # Internals
@@ -151,9 +167,17 @@ class LocationService:
         """Fresh, fully-specified readings for an object at ``now``.
 
         The fusion engine's input; the ingestion pipeline calls this to
-        run its own batch fusion pass.
+        run its own batch fusion pass.  The reading version is captured
+        *before* the fetch and stashed; :meth:`apply_fusion_result`
+        promotes it into the support index only when the fused result
+        carries the same timestamp, so a support entry can never claim
+        a version newer than the rows it was computed from.
         """
-        return self._readings_for(object_id, now)
+        version = self.db.reading_version(object_id)
+        readings = self._readings_for(object_id, now)
+        with self._support_lock:
+            self._pending_support[object_id] = (version, now)
+        return readings
 
     def _readings_for(self, object_id: str,
                       now: float) -> List[NormalizedReading]:
@@ -208,12 +232,56 @@ class LocationService:
         object changes the fingerprint and fuses anew.
         """
         at = self._now(now)
+        version = self.db.reading_version(object_id)
         readings = self._readings_for(object_id, at)
         if not readings:
             raise UnknownObjectError(
                 f"no fresh readings for {object_id!r} at t={at:.3f}")
         result, _ = self.fuse_readings(object_id, readings, at)
+        self._store_support(
+            object_id, self._support_of(readings), version, at)
         return result
+
+    @staticmethod
+    def _support_of(readings: List[NormalizedReading]) -> Optional[Rect]:
+        """The MBR of a reading set — the fused distribution's support.
+
+        Every minimal region of the fused lattice lies inside some
+        reading rectangle, so any query rectangle disjoint from this
+        MBR has fused confidence exactly 0.
+        """
+        if not readings:
+            return None
+        support = readings[0].rect
+        for reading in readings[1:]:
+            support = support.union_mbr(reading.rect)
+        return support
+
+    def _store_support(self, object_id: str, support: Optional[Rect],
+                       version: int, at: float) -> None:
+        if support is None:
+            return
+        with self._support_lock:
+            entry = self._object_support.get(object_id)
+            if entry is None or entry[1] != version or at >= entry[2]:
+                self._object_support[object_id] = (support, version, at)
+
+    def _current_support(self, object_id: str,
+                         at: float) -> Optional[Rect]:
+        """A rectangle guaranteed to contain all probability mass.
+
+        The tight last-fusion entry when still valid (same reading
+        version, query not earlier than the fusion), else the
+        database's grow-only union of every reading rectangle ever
+        inserted for the object.  ``None`` means nothing is known and
+        the object must be refined.
+        """
+        version = self.db.reading_version(object_id)
+        with self._support_lock:
+            entry = self._object_support.get(object_id)
+        if entry is not None and entry[1] == version and at >= entry[2]:
+            return entry[0]
+        return self.db.reading_support(object_id)
 
     def fuse_readings(self, object_id: str,
                       readings: List[NormalizedReading],
@@ -338,7 +406,44 @@ class LocationService:
         """Who is in a region?  ("who are the people in room 3105?")
 
         Returns (object_id, confidence) pairs above the threshold,
-        highest confidence first.
+        sorted by (confidence descending, object_id).
+
+        Pruned: objects whose support rectangle (see
+        :meth:`_current_support`) is disjoint from the query region
+        have confidence exactly 0 and are skipped without fusing.
+        A non-positive ``min_confidence`` admits zero-confidence
+        objects, so that case takes the reference path.
+        """
+        at = self._now(now)
+        if min_confidence <= 0.0:
+            return self.objects_in_region_reference(region, at,
+                                                    min_confidence)
+        rect = self._region_rect(region)
+        out: List[Tuple[str, float]] = []
+        for object_id in self.db.tracked_objects():
+            support = self._current_support(object_id, at)
+            if support is not None and not rect.intersects(support):
+                self.region_queries_pruned += 1
+                continue
+            self.region_queries_refined += 1
+            try:
+                confidence = self.fusion_result(
+                    object_id, at).confidence_in_region(rect)
+            except UnknownObjectError:
+                continue
+            if confidence >= min_confidence:
+                out.append((object_id, confidence))
+        out.sort(key=lambda pair: (-pair[1], pair[0]))
+        return out
+
+    def objects_in_region_reference(self, region: Union[Rect, Glob, str],
+                                    now: Optional[float] = None,
+                                    min_confidence: float = 0.5
+                                    ) -> List[Tuple[str, float]]:
+        """The unpruned scan: full fusion for every tracked object.
+
+        Kept as the bit-identical baseline for the pruned
+        :meth:`objects_in_region` (equivalence tests and benchmarks).
         """
         rect = self._region_rect(region)
         at = self._now(now)
@@ -457,9 +562,13 @@ class LocationService:
             self._on_trigger(subscription, row)
 
         from repro.spatialdb import Trigger
+        # Enter-only conditions require the reading to intersect the
+        # region, so the R-tree dispatch can prune them spatially;
+        # leave/both watch every reading of the object (region=None).
+        trigger_region = rect if not watch_all else None
         self.db.sensor_readings.create_trigger(
             Trigger(subscription.subscription_id, "insert", condition,
-                    action))
+                    action, region=trigger_region))
         return subscription.subscription_id
 
     def subscribe_proximity(self, first: str, second: str,
@@ -576,11 +685,31 @@ class LocationService:
         receives every event produced — the fused stream's remote
         fan-out.  Returns the number of events delivered.
         """
+        return self.apply_fusion_result_detailed(result, channel)[
+            "delivered"]
+
+    def apply_fusion_result_detailed(self, result: FusionResult,
+                                     channel: Optional[Any] = None
+                                     ) -> Dict[str, int]:
+        """Like :meth:`apply_fusion_result`, with dispatch accounting.
+
+        Subscriptions are narrowed through
+        :meth:`SubscriptionManager.matching_for_result`: only those
+        whose region intersects the fused support, that are currently
+        inside, or that pass at zero confidence are evaluated — the
+        rest are provably no-ops.  Returns ``{"delivered", "evaluated",
+        "pruned"}``.
+        """
         object_id = result.object_id
         at = result.now
         self._cache_fusion(
             (object_id, self._fusion_fingerprint(result.readings, at)),
             result)
+        support = self._support_of(list(result.readings))
+        with self._support_lock:
+            pending = self._pending_support.pop(object_id, None)
+        if pending is not None and pending[1] == at:
+            self._store_support(object_id, support, pending[0], at)
         delivered = 0
 
         def deliver(subscription: Subscription,
@@ -591,7 +720,11 @@ class LocationService:
                 channel.publish(event)
             delivered += 1
 
-        for subscription in self.subscriptions.matching(object_id):
+        candidates = self.subscriptions.matching_for_result(
+            object_id, support)
+        evaluated = len(candidates)
+        pruned = self.subscriptions.matching_count(object_id) - evaluated
+        for subscription in candidates:
             confidence = result.confidence_in_region(subscription.region)
             grade = self.classifier().classify(
                 min(1.0, max(0.0, confidence)))
@@ -600,7 +733,20 @@ class LocationService:
         for subscription in list(self._proximity_subscriptions.values()):
             if subscription.involves(object_id):
                 self._evaluate_proximity(subscription, at)
-        return delivered
+        detail = {"delivered": delivered, "evaluated": evaluated,
+                  "pruned": max(0, pruned)}
+        self._dispatch_local.entry = (result, detail)
+        return detail
+
+    def consume_dispatch_detail(self, result: FusionResult
+                                ) -> Optional[Dict[str, int]]:
+        """The dispatch detail of this thread's last apply, if it was
+        for ``result``; consumed on read."""
+        entry = getattr(self._dispatch_local, "entry", None)
+        if entry is not None and entry[0] is result:
+            self._dispatch_local.entry = None
+            return entry[1]
+        return None
 
     def _notify(self, subscription: Subscription,
                 event: Dict[str, Any]) -> None:
@@ -616,6 +762,40 @@ class LocationService:
         except Exception as exc:  # noqa: BLE001 — isolate app crashes
             self.notification_failures.append(
                 (subscription.subscription_id, str(exc)))
+
+    # ------------------------------------------------------------------
+    # Region definition and query-index accounting
+    # ------------------------------------------------------------------
+
+    def define_region(self, glob: Union[Glob, str], polygon: Any,
+                      frame: str = "") -> None:
+        """Define an application region and refresh dependent indexes.
+
+        Adds the region to the world model and the symbolic lattice,
+        then rebuilds the navigation graph (new regions may change
+        point attribution) — which also drops its memoized
+        single-source distances.
+        """
+        self.regions.define_region(glob, polygon, frame)
+        self.navigation.refresh()
+
+    def query_stats(self) -> Dict[str, int]:
+        """Query-side index effectiveness counters.
+
+        Region-query pruning, push-dispatch pruning and the reading
+        table's spatial trigger dispatch, in one view — the companion
+        of :meth:`cache_stats` for the paths this layer indexes.
+        """
+        out = {
+            "region_queries_pruned": self.region_queries_pruned,
+            "region_queries_refined": self.region_queries_refined,
+        }
+        for key, value in self.subscriptions.dispatch_stats().items():
+            out[f"subscriptions_{key}"] = value
+        for key, value in \
+                self.db.sensor_readings.trigger_dispatch_stats().items():
+            out[f"trigger_{key}"] = value
+        return out
 
     # ------------------------------------------------------------------
 

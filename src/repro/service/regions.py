@@ -13,27 +13,40 @@ that do not follow the naming hierarchy.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Union
+from typing import Dict, List, Optional, Set, Tuple, Union
 
 from repro.errors import ServiceError
 from repro.geometry import Point, Polygon, Rect
 from repro.model import Entity, EntityType, Glob, WorldModel
+from repro.spatialdb.rtree import RTree
 
 
 class SymbolicRegionLattice:
-    """All symbolic regions of a deployment ordered by containment."""
+    """All symbolic regions of a deployment ordered by containment.
+
+    Point/rect resolution is R-tree indexed: candidates come from an
+    MBR index over the lattice's regions, the tie-break is (area,
+    registration order) — exactly the strict ``<`` scan over the
+    insertion-ordered region dict that the ``*_reference`` methods
+    keep.  The index is lazily rebuilt whenever the world model's
+    version moves (frames or geometry may change canonical MBRs).
+    """
 
     def __init__(self, world: WorldModel) -> None:
         self.world = world
         self._regions: Dict[str, Entity] = {}
         self._parents: Dict[str, Set[str]] = {}
         self._children: Dict[str, Set[str]] = {}
+        # (world version, R-tree of (MBR, key), key -> (area, order)).
+        self._index: Optional[
+            Tuple[int, RTree, Dict[str, Tuple[float, int]]]] = None
         for entity in world.entities():
             if entity.entity_type.is_enclosing:
                 self._regions[str(entity.glob)] = entity
         self._link()
 
     def _link(self) -> None:
+        self._index = None
         for key in self._regions:
             self._parents[key] = set()
             self._children[key] = set()
@@ -94,6 +107,22 @@ class SymbolicRegionLattice:
     # Resolution
     # ------------------------------------------------------------------
 
+    def _ensure_index(self) -> Tuple[RTree, Dict[str, Tuple[float, int]]]:
+        """The MBR index, rebuilt when the world version moves."""
+        version = self.world.version
+        index = self._index
+        if index is not None and index[0] == version:
+            return index[1], index[2]
+        meta: Dict[str, Tuple[float, int]] = {}
+        entries = []
+        for order, key in enumerate(self._regions):
+            mbr = self.world.canonical_mbr(key)
+            meta[key] = (mbr.area, order)
+            entries.append((mbr, key))
+        tree = RTree.from_entries(entries)
+        self._index = (version, tree, meta)
+        return tree, meta
+
     def finest_region_containing_point(self, p: Point) -> Optional[str]:
         """The smallest symbolic region containing a canonical point."""
         entity = self.world.smallest_region_containing(p)
@@ -104,8 +133,22 @@ class SymbolicRegionLattice:
 
         This is how a fused coordinate estimate becomes "room 3216":
         the estimate rectangle is attributed to the tightest region
-        that encloses it.
+        that encloses it.  Index-backed: only regions whose MBR
+        intersects ``rect`` can contain it; ties on area break by
+        registration order, like the reference scan's strict ``<``.
         """
+        tree, meta = self._ensure_index()
+        best_key: Optional[str] = None
+        best = (float("inf"), -1)
+        for mbr, key in tree.search_entries(rect):
+            if mbr.contains_rect(rect) and meta[key] < best:
+                best_key = key
+                best = meta[key]
+        return best_key
+
+    def finest_region_containing_rect_reference(
+            self, rect: Rect) -> Optional[str]:
+        """The pre-index linear scan, kept for equivalence tests."""
         best_key: Optional[str] = None
         best_area = float("inf")
         for key in self._regions:
@@ -126,7 +169,18 @@ class SymbolicRegionLattice:
         return str(truncated)
 
     def regions_overlapping(self, rect: Rect) -> List[str]:
-        """Symbolic regions whose MBR intersects ``rect``, smallest first."""
+        """Symbolic regions whose MBR intersects ``rect``, smallest first.
+
+        Index-backed; ordering matches the reference's stable sort
+        (area, then registration order).
+        """
+        tree, meta = self._ensure_index()
+        hits = tree.search(rect)
+        hits.sort(key=meta.__getitem__)
+        return hits
+
+    def regions_overlapping_reference(self, rect: Rect) -> List[str]:
+        """The pre-index linear scan, kept for equivalence tests."""
         overlapping = [
             key for key in self._regions
             if self.world.canonical_mbr(key).intersects(rect)

@@ -21,6 +21,7 @@ from typing import Any, Callable, Dict, List, Optional
 from repro.core import ProbabilityBucket
 from repro.errors import ServiceError
 from repro.geometry import Rect
+from repro.spatialdb.rtree import RTree
 
 Consumer = Callable[[Dict[str, Any]], None]
 
@@ -115,14 +116,48 @@ class Subscription:
         return self.kind == KIND_BOTH or self.kind == transition
 
 
+def _passes_at_zero_confidence(subscription: Subscription) -> bool:
+    """Whether the subscription's inside-test passes at confidence 0.
+
+    ``classify(0.0)`` is always the LOW bucket (0 is <= every sensor
+    p), so a bucket threshold of LOW — like a raw threshold of 0.0 —
+    counts an object as inside even with no probability mass in the
+    region.  Such subscriptions can never be pruned geometrically.
+    """
+    if subscription.bucket is not None:
+        return ProbabilityBucket.LOW >= subscription.bucket
+    return subscription.threshold <= 0.0
+
+
 class SubscriptionManager:
-    """Holds subscriptions and turns fused confidences into events."""
+    """Holds subscriptions and turns fused confidences into events.
+
+    Matching is index-driven: a per-object hash index (wildcard
+    subscriptions in the ``None`` bucket) replaces the full scan of
+    :meth:`matching_reference`, and an R-tree over subscription regions
+    plus an inside-state index lets :meth:`matching_for_result` hand
+    the push path only the subscriptions whose outcome can differ from
+    a no-op (region overlaps the fused support, currently inside, or
+    passes at zero confidence).
+    """
 
     def __init__(self) -> None:
         self._subscriptions: Dict[str, Subscription] = {}
         self._ids = itertools.count(1)
         self._lock = threading.Lock()
         self.notifications_sent = 0
+        # Registration order, for firing-order parity with the scan.
+        self._seq: Dict[str, int] = {}
+        self._seq_counter = itertools.count(1)
+        # object_id (None = wildcard) -> subscription ids.
+        self._by_object: Dict[Optional[str], Dict[str, None]] = {}
+        self._region_rtree: RTree = RTree()
+        # Subscriptions whose inside-test passes at zero confidence.
+        self._always_ids: Dict[str, None] = {}
+        # object_id -> subscription ids whose inside[object_id] is True.
+        self._inside_ids: Dict[str, set] = {}
+        self.dispatch_evaluated = 0
+        self.dispatch_pruned = 0
 
     def new_id(self) -> str:
         return f"sub-{next(self._ids)}"
@@ -132,12 +167,34 @@ class SubscriptionManager:
             if subscription.subscription_id in self._subscriptions:
                 raise ServiceError(
                     f"duplicate subscription {subscription.subscription_id}")
-            self._subscriptions[subscription.subscription_id] = subscription
+            sid = subscription.subscription_id
+            self._subscriptions[sid] = subscription
+            self._seq[sid] = next(self._seq_counter)
+            self._by_object.setdefault(
+                subscription.object_id, {})[sid] = None
+            self._region_rtree.insert(subscription.region, sid)
+            if _passes_at_zero_confidence(subscription):
+                self._always_ids[sid] = None
+            for object_id, inside in subscription.inside.items():
+                if inside:
+                    self._inside_ids.setdefault(object_id, set()).add(sid)
         return subscription.subscription_id
 
     def remove(self, subscription_id: str) -> bool:
         with self._lock:
-            return self._subscriptions.pop(subscription_id, None) is not None
+            subscription = self._subscriptions.pop(subscription_id, None)
+            if subscription is None:
+                return False
+            self._seq.pop(subscription_id, None)
+            bucket = self._by_object.get(subscription.object_id)
+            if bucket is not None:
+                bucket.pop(subscription_id, None)
+            self._region_rtree.delete(
+                subscription.region, lambda value: value == subscription_id)
+            self._always_ids.pop(subscription_id, None)
+            for ids in self._inside_ids.values():
+                ids.discard(subscription_id)
+            return True
 
     def get(self, subscription_id: str) -> Subscription:
         with self._lock:
@@ -155,10 +212,67 @@ class SubscriptionManager:
             return len(self._subscriptions)
 
     def matching(self, object_id: str) -> List[Subscription]:
-        """Subscriptions that could apply to readings of ``object_id``."""
+        """Subscriptions that could apply to readings of ``object_id``.
+
+        Index-backed: the wildcard bucket plus the object's bucket,
+        in registration order — exactly the filtered full scan of
+        :meth:`matching_reference`.
+        """
+        with self._lock:
+            ids = list(self._by_object.get(None, ()))
+            ids.extend(self._by_object.get(object_id, ()))
+            ids.sort(key=self._seq.__getitem__)
+            return [self._subscriptions[sid] for sid in ids]
+
+    def matching_count(self, object_id: str) -> int:
+        """How many subscriptions :meth:`matching` would return (O(1))."""
+        with self._lock:
+            return (len(self._by_object.get(None, ()))
+                    + len(self._by_object.get(object_id, ())))
+
+    def matching_reference(self, object_id: str) -> List[Subscription]:
+        """The pre-index full scan, kept for equivalence tests."""
         with self._lock:
             return [s for s in self._subscriptions.values()
                     if s.object_id is None or s.object_id == object_id]
+
+    def matching_for_result(self, object_id: str,
+                            support: Optional[Rect]) -> List[Subscription]:
+        """The subscriptions worth evaluating against a fused result.
+
+        ``support`` is the MBR of the fused readings' rectangles — the
+        fused confidence of any region disjoint from it is exactly 0.
+        A subscription is returned when it matches the object and (a)
+        its region intersects the support, (b) its inside-state for the
+        object is True (a leave may be pending), or (c) its threshold
+        passes at zero confidence.  Everything pruned would have been a
+        guaranteed no-op: confidence 0, inside stays effectively False,
+        no transition.  ``support=None`` disables pruning.
+        """
+        if support is None:
+            return self.matching(object_id)
+        with self._lock:
+            candidate_ids = set(self._always_ids)
+            candidate_ids.update(self._region_rtree.search(support))
+            candidate_ids.update(self._inside_ids.get(object_id, ()))
+            ids = [sid for sid in candidate_ids
+                   if sid in self._subscriptions
+                   and (self._subscriptions[sid].object_id is None
+                        or self._subscriptions[sid].object_id == object_id)]
+            ids.sort(key=self._seq.__getitem__)
+            total = (len(self._by_object.get(None, ()))
+                     + len(self._by_object.get(object_id, ())))
+            self.dispatch_evaluated += len(ids)
+            self.dispatch_pruned += total - len(ids)
+            return [self._subscriptions[sid] for sid in ids]
+
+    def dispatch_stats(self) -> Dict[str, int]:
+        """Push-path pruning counters (evaluated vs skipped)."""
+        with self._lock:
+            return {
+                "evaluated": self.dispatch_evaluated,
+                "pruned": self.dispatch_pruned,
+            }
 
     # ------------------------------------------------------------------
     # Evaluation
@@ -173,13 +287,24 @@ class SubscriptionManager:
         Returns the transition notified ("enter"/"leave") or ``None``.
         The inside test honours whichever threshold style the
         subscription uses (raw confidence or bucket grade).
+
+        The read-modify-write of ``subscription.inside`` happens under
+        the manager lock so pipeline workers and the synchronous path
+        cannot race on edge detection; ``notify`` runs outside the lock
+        (consumers may re-enter the manager, e.g. to subscribe).
         """
         if subscription.bucket is not None:
             inside_now = grade >= subscription.bucket
         else:
             inside_now = confidence >= subscription.threshold
-        was_inside = subscription.inside.get(object_id, False)
-        subscription.inside[object_id] = inside_now
+        with self._lock:
+            was_inside = subscription.inside.get(object_id, False)
+            subscription.inside[object_id] = inside_now
+            sid = subscription.subscription_id
+            if inside_now:
+                self._inside_ids.setdefault(object_id, set()).add(sid)
+            else:
+                self._inside_ids.get(object_id, set()).discard(sid)
         transition: Optional[str] = None
         if inside_now and not was_inside:
             transition = KIND_ENTER

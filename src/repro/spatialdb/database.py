@@ -75,6 +75,9 @@ class SpatialDatabase:
         self.sensor_readings = Table("sensor_readings", SENSOR_READINGS_SCHEMA)
         # Fusion always fetches one object's readings; index that path.
         self.sensor_readings.create_index("mobile_object_id")
+        # Insert triggers (one per region subscription) dispatch via an
+        # R-tree over their regions instead of a per-trigger scan.
+        self.sensor_readings.enable_spatial_triggers("rect")
         self.sensor_specs = Table("sensor_specs", SENSOR_SPECS_SCHEMA)
         self._index: RTree = RTree()
         self._world: Optional[WorldModel] = None
@@ -82,6 +85,14 @@ class SpatialDatabase:
         self._history_limit = history_limit
         # (sensor_id, object_id) -> recent [(time, rect)] for movement
         self._history: Dict[Tuple[str, str], List[Tuple[float, Rect]]] = {}
+        # Per-object MBR of every reading rect ever inserted, plus a
+        # version bumped on each insert.  The support only grows (row
+        # deletion leaves it a superset), which is what makes it a
+        # sound pruning bound for region queries: an object whose
+        # support is disjoint from a query region has zero fused
+        # confidence there at any timestamp.
+        self._reading_support: Dict[str, Rect] = {}
+        self._reading_version: Dict[str, int] = {}
         # Guards reading-id allocation and movement history: pipeline
         # workers insert readings concurrently from several threads.
         self._ingest_lock = threading.Lock()
@@ -286,6 +297,13 @@ class SpatialDatabase:
                 history.pop(0)
             reading_id = self._next_reading_id
             self._next_reading_id += 1
+            # Grow the support BEFORE the row lands so a concurrent
+            # region query never sees the row without its bound.
+            prior = self._reading_support.get(mobile_object_id)
+            self._reading_support[mobile_object_id] = \
+                rect if prior is None else prior.union_mbr(rect)
+            self._reading_version[mobile_object_id] = \
+                self._reading_version.get(mobile_object_id, 0) + 1
         self.sensor_readings.insert({
             "reading_id": reading_id,
             "sensor_id": sensor_id,
@@ -346,9 +364,38 @@ class SpatialDatabase:
         return self.sensor_readings.delete(expired)
 
     def tracked_objects(self) -> List[str]:
-        """All mobile-object ids that have at least one stored reading."""
+        """All mobile-object ids that have at least one stored reading.
+
+        Reads the mobile-object hash index (O(objects)); the full-scan
+        form is kept as :meth:`tracked_objects_reference`.
+        """
+        return self.sensor_readings.index_keys("mobile_object_id")
+
+    def tracked_objects_reference(self) -> List[str]:
+        """The pre-index full scan, kept for equivalence tests."""
         return sorted({row["mobile_object_id"]
                        for row in self.sensor_readings.select()})
+
+    def reading_support(self, mobile_object_id: str) -> Optional[Rect]:
+        """MBR of every reading rect ever inserted for an object.
+
+        A conservative (grow-only) bound on where the object's fused
+        distribution can place any probability mass: region queries
+        prune objects whose support is disjoint from the query rect.
+        """
+        with self._ingest_lock:
+            return self._reading_support.get(mobile_object_id)
+
+    def reading_version(self, mobile_object_id: str) -> int:
+        """Monotonic per-object counter bumped on every reading insert.
+
+        Lets callers validate cached per-object state (e.g. the
+        Location Service's last-fusion support MBRs): a version read
+        *before* fetching readings is stale — and the cached entry is
+        discarded — whenever a newer reading has landed since.
+        """
+        with self._ingest_lock:
+            return self._reading_version.get(mobile_object_id, 0)
 
     # ------------------------------------------------------------------
     # Location triggers (Section 5.3)
@@ -371,7 +418,8 @@ class SpatialDatabase:
             return region.intersects(row["rect"])
 
         self.sensor_readings.create_trigger(
-            Trigger(trigger_id, "insert", condition, action))
+            Trigger(trigger_id, "insert", condition, action,
+                    region=region))
 
     def drop_location_trigger(self, trigger_id: str) -> bool:
         return self.sensor_readings.drop_trigger(trigger_id)

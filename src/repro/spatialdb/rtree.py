@@ -57,6 +57,19 @@ class RTree:
     def __len__(self) -> int:
         return self._size
 
+    @classmethod
+    def from_entries(cls, entries, max_entries: int = 8,
+                     min_entries: Optional[int] = None) -> "RTree":
+        """Build a tree from an iterable of (rect, value) pairs.
+
+        The one-call form index rebuilds use (region lattice relink,
+        subscription-manager and trigger-index reconstruction).
+        """
+        tree = cls(max_entries, min_entries)
+        for rect, value in entries:
+            tree.insert(rect, value)
+        return tree
+
     # ------------------------------------------------------------------
     # Insertion
     # ------------------------------------------------------------------

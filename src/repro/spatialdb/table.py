@@ -16,6 +16,8 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import QueryError, SchemaError
+from repro.geometry import Rect
+from repro.spatialdb.rtree import RTree
 
 Row = Dict[str, Any]
 Predicate = Callable[[Row], bool]
@@ -81,13 +83,24 @@ class Schema:
 @dataclass
 class Trigger:
     """A row-level trigger: fire ``action`` when ``event`` happens and
-    ``condition`` holds on the affected row."""
+    ``condition`` holds on the affected row.
+
+    ``region`` is an optional dispatch hint for insert triggers on a
+    table with spatial dispatch enabled (see
+    :meth:`Table.enable_spatial_triggers`): when set, the trigger is
+    only *probed* for rows whose rect column intersects ``region``.
+    ``condition`` stays authoritative — the hint must therefore be
+    conservative (any row the condition could accept intersects
+    ``region``); a trigger whose hinted region is disjoint from the
+    row's rect would have had its condition return ``False`` anyway.
+    """
 
     trigger_id: str
     event: str  # 'insert' | 'update' | 'delete'
     condition: Predicate
     action: TriggerAction
     enabled: bool = True
+    region: Optional[Rect] = None
 
     _VALID_EVENTS = ("insert", "update", "delete")
 
@@ -134,6 +147,20 @@ class Table:
         self._lock = threading.RLock()
         # Bumped on every mutation; caches key derived state on it.
         self.version = 0
+        # Spatial trigger dispatch (enable_spatial_triggers): inserts
+        # probe an R-tree of trigger regions instead of evaluating
+        # every trigger's condition.  Firing order is preserved via a
+        # per-trigger registration sequence number.
+        self._spatial_column: Optional[str] = None
+        self._trigger_rtree: Optional[RTree] = None
+        self._spatial_trigger_ids: set = set()
+        self._plain_insert_triggers: Dict[str, Trigger] = {}
+        self._trigger_seq: Dict[str, int] = {}
+        self._trigger_counter = itertools.count(1)
+        self.use_spatial_dispatch = True
+        self.trigger_probes = 0
+        self.trigger_candidates = 0
+        self.trigger_skipped = 0
 
     def __len__(self) -> int:
         return len(self._rows)
@@ -251,6 +278,19 @@ class Table:
         return column in self._indexes
 
     @_synchronized
+    def index_keys(self, column: str) -> List[Any]:
+        """Distinct values of an indexed column over the live rows.
+
+        O(distinct values) — the index's empty buckets (values whose
+        rows were all deleted) are skipped, so the result is exactly
+        ``sorted({row[column] for row in select()})``.
+        """
+        index = self._indexes.get(column)
+        if index is None:
+            raise QueryError(f"column {column!r} is not indexed")
+        return sorted(value for value, rowids in index.items() if rowids)
+
+    @_synchronized
     def select_eq(self, column: str, value: Any,
                   where: Optional[Predicate] = None) -> List[Row]:
         """Rows with ``row[column] == value`` (index-accelerated)."""
@@ -325,14 +365,63 @@ class Table:
     # ------------------------------------------------------------------
 
     @_synchronized
+    def enable_spatial_triggers(self, column: str) -> None:
+        """Dispatch insert triggers through an R-tree of their regions.
+
+        ``column`` names the :class:`Rect` column probed against each
+        trigger's ``region`` hint.  An insert then evaluates only the
+        triggers whose region intersects the new row's rectangle (plus
+        every region-less trigger), instead of all of them — the
+        coarse-filter-then-refine pattern applied to trigger dispatch.
+        Idempotent; re-enabling with the same column is a no-op.
+        """
+        if column not in self.schema.column_names:
+            raise QueryError(f"unknown column {column!r}")
+        if self._spatial_column == column:
+            return
+        self._spatial_column = column
+        self._rebuild_trigger_index()
+
+    def _rebuild_trigger_index(self) -> None:
+        self._trigger_rtree = RTree()
+        self._spatial_trigger_ids.clear()
+        self._plain_insert_triggers.clear()
+        for trigger in self._triggers.values():
+            self._classify_trigger(trigger)
+
+    def _classify_trigger(self, trigger: Trigger) -> None:
+        if trigger.event != "insert":
+            return
+        if (self._spatial_column is not None
+                and self._trigger_rtree is not None
+                and trigger.region is not None):
+            self._trigger_rtree.insert(trigger.region, trigger.trigger_id)
+            self._spatial_trigger_ids.add(trigger.trigger_id)
+        else:
+            self._plain_insert_triggers[trigger.trigger_id] = trigger
+
+    @_synchronized
     def create_trigger(self, trigger: Trigger) -> None:
         if trigger.trigger_id in self._triggers:
             raise QueryError(f"duplicate trigger {trigger.trigger_id!r}")
         self._triggers[trigger.trigger_id] = trigger
+        self._trigger_seq[trigger.trigger_id] = next(self._trigger_counter)
+        self._classify_trigger(trigger)
 
     @_synchronized
     def drop_trigger(self, trigger_id: str) -> bool:
-        return self._triggers.pop(trigger_id, None) is not None
+        trigger = self._triggers.pop(trigger_id, None)
+        if trigger is None:
+            return False
+        self._trigger_seq.pop(trigger_id, None)
+        self._plain_insert_triggers.pop(trigger_id, None)
+        if trigger_id in self._spatial_trigger_ids:
+            self._spatial_trigger_ids.discard(trigger_id)
+            assert self._trigger_rtree is not None
+            assert trigger.region is not None
+            self._trigger_rtree.delete(
+                trigger.region, lambda value: value == trigger_id)
+        return True
 
     def trigger_count(self) -> int:
         return len(self._triggers)
@@ -340,7 +429,53 @@ class Table:
     def triggers(self) -> List[Trigger]:
         return list(self._triggers.values())
 
+    def trigger_dispatch_stats(self) -> Dict[str, int]:
+        """Indexed-dispatch effectiveness counters."""
+        with self._lock:
+            return {
+                "probes": self.trigger_probes,
+                "candidates": self.trigger_candidates,
+                "skipped": self.trigger_skipped,
+                "spatial_triggers": len(self._spatial_trigger_ids),
+            }
+
     def _fire(self, event: str, row: Row) -> None:
+        if (event == "insert" and self.use_spatial_dispatch
+                and self._spatial_trigger_ids
+                and self._spatial_column is not None):
+            rect = row.get(self._spatial_column)
+            if isinstance(rect, Rect):
+                self._fire_indexed(row, rect)
+                return
+        self._fire_reference(event, row)
+
+    def _fire_indexed(self, row: Row, rect: Rect) -> None:
+        """Insert-trigger dispatch through the region R-tree.
+
+        Produces exactly the firings of :meth:`_fire_reference`: the
+        R-tree returns every spatial trigger whose region intersects
+        the row's rect (a pruned trigger's condition is False by the
+        conservative-hint contract), conditions are still evaluated,
+        and candidates fire in registration order.
+        """
+        assert self._trigger_rtree is not None
+        candidates = list(self._plain_insert_triggers.values())
+        hits = self._trigger_rtree.search(rect)
+        for trigger_id in hits:
+            trigger = self._triggers.get(trigger_id)
+            if trigger is not None:
+                candidates.append(trigger)
+        candidates.sort(key=lambda t: self._trigger_seq[t.trigger_id])
+        self.trigger_probes += 1
+        self.trigger_candidates += len(candidates)
+        self.trigger_skipped += len(self._spatial_trigger_ids) - len(hits)
+        for trigger in candidates:
+            if trigger.enabled and trigger.condition(row):
+                trigger.action(dict(row))
+
+    def _fire_reference(self, event: str, row: Row) -> None:
+        """The linear scan over every trigger (pre-index behavior);
+        kept as the equivalence baseline for the indexed dispatch."""
         for trigger in list(self._triggers.values()):
             if trigger.enabled and trigger.event == event:
                 if trigger.condition(row):

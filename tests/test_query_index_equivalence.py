@@ -1,0 +1,304 @@
+"""Indexed-vs-reference equivalence for the query-side indexes.
+
+PR 5 made trigger dispatch, subscription matching, region queries,
+symbolic point-location and path distances index-driven; every old
+linear scan survives as a ``*_reference`` method.  These properties
+assert the indexed paths return exactly — ordering included — what the
+references return on random worlds, mirroring
+``test_core_lattice_equivalence.py`` for the fusion hot path.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ProbabilityClassifier
+from repro.geometry import Point, Polygon, Rect
+from repro.reasoning.navgraph import Graph
+from repro.sensors import UbisenseAdapter
+from repro.service import LocationService
+from repro.service.subscriptions import Subscription, SubscriptionManager
+from repro.sim import SimClock, siebel_floor
+from repro.spatialdb import Column, Schema, SpatialDatabase, Table, Trigger
+
+# The Siebel floor's canonical extent, coarsened to a grid so random
+# rectangles share edges, nest, tie and miss — the cases where index
+# pruning and tie-breaking can actually diverge from the scans.
+xs = st.integers(min_value=0, max_value=39)
+ys = st.integers(min_value=0, max_value=19)
+
+
+@st.composite
+def grid_rects(draw):
+    x = draw(xs) * 10.0
+    y = draw(ys) * 5.0
+    w = draw(st.integers(min_value=1, max_value=10)) * 10.0
+    h = draw(st.integers(min_value=1, max_value=8)) * 5.0
+    return Rect(x, y, x + w, y + h)
+
+
+@st.composite
+def grid_points(draw):
+    return Point(draw(xs) * 10.0 + 0.5, draw(ys) * 5.0 + 0.5)
+
+
+# ----------------------------------------------------------------------
+# Spatial trigger dispatch (Table._fire_indexed vs _fire_reference)
+# ----------------------------------------------------------------------
+
+def _build_table(specs, log, tag):
+    """A rect table with one trigger per spec.
+
+    A spec is (region_or_None, enabled).  Region triggers use the
+    honest enter-style condition (region intersects the row rect), so
+    the hint contract holds; region-less triggers match every row.
+    """
+    schema = Schema([Column("name", str), Column("rect", Rect)])
+    table = Table("readings", schema)
+    table.enable_spatial_triggers("rect")
+    for i, (region, enabled) in enumerate(specs):
+        trigger_id = f"t{i}"
+        if region is None:
+            def condition(row, _i=i):
+                return True
+        else:
+            def condition(row, _region=region):
+                return _region.intersects(row["rect"])
+        def action(row, _tid=trigger_id):
+            log.append((tag, _tid, row["name"]))
+        table.create_trigger(Trigger(trigger_id, "insert", condition,
+                                     action, enabled=enabled,
+                                     region=region))
+    return table
+
+
+trigger_specs = st.lists(
+    st.tuples(st.one_of(st.none(), grid_rects()), st.booleans()),
+    min_size=0, max_size=8)
+
+
+class TestTriggerDispatchEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(trigger_specs,
+           st.lists(grid_rects(), min_size=0, max_size=8),
+           st.lists(st.integers(min_value=0, max_value=7),
+                    min_size=0, max_size=3))
+    def test_indexed_firings_match_reference(self, specs, rows, drops):
+        log = []
+        indexed = _build_table(specs, log, "indexed")
+        reference = _build_table(specs, log, "reference")
+        reference.use_spatial_dispatch = False
+        for drop in drops:
+            indexed.drop_trigger(f"t{drop}")
+            reference.drop_trigger(f"t{drop}")
+        for n, rect in enumerate(rows):
+            indexed.insert({"name": f"row-{n}", "rect": rect})
+            reference.insert({"name": f"row-{n}", "rect": rect})
+        fired_indexed = [(t, r) for tag, t, r in log if tag == "indexed"]
+        fired_reference = [(t, r) for tag, t, r in log
+                           if tag == "reference"]
+        assert fired_indexed == fired_reference
+
+
+# ----------------------------------------------------------------------
+# Subscription matching and pruned push dispatch
+# ----------------------------------------------------------------------
+
+OBJECTS = ("alice", "bob", "carol")
+CLASSIFIER = ProbabilityClassifier([0.4, 0.7, 0.95])
+
+subscription_specs = st.lists(
+    st.tuples(
+        st.one_of(st.none(), st.sampled_from(OBJECTS)),  # object filter
+        grid_rects(),                                    # region
+        st.sampled_from([0.0, 0.2, 0.5, 0.9]),           # threshold
+        st.sampled_from(["enter", "leave", "both"]),
+    ),
+    min_size=0, max_size=10)
+
+
+def _build_manager(specs, sink, tag):
+    manager = SubscriptionManager()
+    for i, (object_id, region, threshold, kind) in enumerate(specs):
+        manager.add(Subscription(
+            subscription_id=f"sub-{i}",
+            region=region,
+            kind=kind,
+            object_id=object_id,
+            threshold=threshold,
+            consumer=lambda event, _tag=tag: sink.append(
+                (_tag, event["subscription_id"], event["transition"],
+                 event["object_id"])),
+        ))
+    return manager
+
+
+class TestSubscriptionMatchingEquivalence:
+    @settings(max_examples=80, deadline=None)
+    @given(subscription_specs,
+           st.lists(st.integers(min_value=0, max_value=9),
+                    min_size=0, max_size=3))
+    def test_indexed_matching_equals_scan(self, specs, drops):
+        manager = _build_manager(specs, [], "m")
+        for drop in drops:
+            manager.remove(f"sub-{drop}")
+        for object_id in OBJECTS:
+            indexed = [s.subscription_id
+                       for s in manager.matching(object_id)]
+            reference = [s.subscription_id
+                         for s in manager.matching_reference(object_id)]
+            assert indexed == reference
+
+    @settings(max_examples=60, deadline=None)
+    @given(subscription_specs,
+           st.lists(st.tuples(st.sampled_from(OBJECTS), grid_rects(),
+                              st.floats(min_value=0.05, max_value=1.0)),
+                    min_size=0, max_size=6))
+    def test_pruned_dispatch_is_observably_identical(self, specs, events):
+        """Evaluating only ``matching_for_result`` candidates yields the
+        same notifications (in order) and the same final inside-state
+        as evaluating every matching subscription, for any confidence
+        assignment consistent with the support contract (confidence is
+        exactly 0 when the subscription region misses the support)."""
+        sink = []
+        full = _build_manager(specs, sink, "full")
+        pruned = _build_manager(specs, sink, "pruned")
+
+        def confidence_for(subscription, support, value):
+            if not subscription.region.intersects(support):
+                return 0.0
+            return value
+
+        for object_id, support, value in events:
+            for subscription in full.matching(object_id):
+                conf = confidence_for(subscription, support, value)
+                full.evaluate(subscription, object_id, conf,
+                              CLASSIFIER.classify(conf), 1.0,
+                              lambda s, e: s.consumer(e))
+            for subscription in pruned.matching_for_result(object_id,
+                                                           support):
+                conf = confidence_for(subscription, support, value)
+                pruned.evaluate(subscription, object_id, conf,
+                                CLASSIFIER.classify(conf), 1.0,
+                                lambda s, e: s.consumer(e))
+        full_events = [e[1:] for e in sink if e[0] == "full"]
+        pruned_events = [e[1:] for e in sink if e[0] == "pruned"]
+        assert full_events == pruned_events
+        for full_sub, pruned_sub in zip(full.all(), pruned.all()):
+            for object_id in OBJECTS:
+                assert (full_sub.inside.get(object_id, False)
+                        == pruned_sub.inside.get(object_id, False))
+
+
+# ----------------------------------------------------------------------
+# Symbolic lattice point location (R-tree vs linear scan)
+# ----------------------------------------------------------------------
+
+class TestLatticePointLocationEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(grid_rects(), min_size=0, max_size=5),
+           st.lists(grid_points(), min_size=1, max_size=6),
+           st.lists(grid_rects(), min_size=1, max_size=6))
+    def test_indexed_resolution_matches_scan(self, regions, points,
+                                             queries):
+        world = siebel_floor()
+        service = LocationService(SpatialDatabase(world))
+        lattice = service.regions
+        for i, rect in enumerate(regions):
+            service.define_region(f"SC/3/zone-{i}",
+                                  Polygon.from_rect(rect), "")
+        for p in points:
+            indexed = world.smallest_region_containing(p)
+            reference = world.smallest_region_containing_reference(p)
+            assert indexed is reference
+        for rect in queries:
+            assert (lattice.finest_region_containing_rect(rect)
+                    == lattice.finest_region_containing_rect_reference(
+                        rect))
+            assert (lattice.regions_overlapping(rect)
+                    == lattice.regions_overlapping_reference(rect))
+
+
+# ----------------------------------------------------------------------
+# Navigation graph distance memo
+# ----------------------------------------------------------------------
+
+class TestNavgraphMemoEquivalence:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 7), st.integers(0, 7),
+                              st.integers(1, 20), st.booleans()),
+                    min_size=1, max_size=14),
+           st.tuples(st.integers(0, 7), st.integers(0, 7),
+                     st.integers(1, 20), st.booleans()))
+    def test_memoized_paths_match_reference(self, edges, late_edge):
+        graph = Graph()
+        for a, b, w, restricted in edges:
+            graph.add_edge(f"n{a}", f"n{b}", float(w),
+                           restricted=restricted)
+        nodes = graph.nodes()
+        for allow in (False, True):
+            for source in nodes:
+                for target in nodes:
+                    assert (graph.shortest_path(source, target, allow)
+                            == graph.shortest_path_reference(
+                                source, target, allow))
+        # Mutation invalidates the memo: re-check after a new edge.
+        a, b, w, restricted = late_edge
+        graph.add_edge(f"n{a}", f"n{b}", float(w), restricted=restricted)
+        for source in graph.nodes():
+            for target in graph.nodes():
+                assert (graph.shortest_path(source, target)
+                        == graph.shortest_path_reference(source, target))
+
+
+# ----------------------------------------------------------------------
+# objects_in_region pruning (end-to-end over a real service)
+# ----------------------------------------------------------------------
+
+def _tracked_service(placements):
+    world = siebel_floor()
+    db = SpatialDatabase(world)
+    clock = SimClock()
+    service = LocationService(db, clock=clock)
+    ubi = UbisenseAdapter("Ubi-1", "SC/3", frame="").attach(db)
+    for i, point in enumerate(placements):
+        ubi.tag_sighting(f"person-{i:02d}", point, 0.0)
+    clock.advance(1.0)
+    return service
+
+
+class TestObjectsInRegionEquivalence:
+    @settings(max_examples=15, deadline=None)
+    @given(st.lists(grid_points(), min_size=1, max_size=6),
+           st.lists(grid_rects(), min_size=1, max_size=4),
+           st.sampled_from([0.0, 0.2, 0.5]))
+    def test_pruned_matches_reference(self, placements, queries,
+                                      min_confidence):
+        service = _tracked_service(placements)
+        for rect in queries:
+            pruned = service.objects_in_region(
+                rect, min_confidence=min_confidence)
+            reference = service.objects_in_region_reference(
+                rect, min_confidence=min_confidence)
+            assert pruned == reference
+
+    def test_result_order_is_confidence_desc_then_object_id(self):
+        """Satellite pin: (confidence desc, object_id asc), independent
+        of insertion order — tied confidences sort alphabetically."""
+        world = siebel_floor()
+        db = SpatialDatabase(world)
+        clock = SimClock()
+        service = LocationService(db, clock=clock)
+        ubi = UbisenseAdapter("Ubi-1", "SC/3", frame="").attach(db)
+        # bob before alice, at the identical spot: identical readings
+        # give identical confidences, so the tie must break by id.
+        ubi.tag_sighting("bob", Point(150.0, 20.0), 0.0)
+        ubi.tag_sighting("alice", Point(150.0, 20.0), 0.0)
+        ubi.tag_sighting("zoe", Point(400.0, 100.0), 0.0)
+        clock.advance(1.0)
+        result = service.objects_in_region(Rect(140, 10, 160, 30),
+                                           min_confidence=0.0)
+        assert result == sorted(result, key=lambda p: (-p[1], p[0]))
+        tied = [oid for oid, conf in result
+                if conf == dict(result)["alice"]]
+        assert tied == sorted(tied)
+        assert tied[:2] == ["alice", "bob"]
