@@ -96,6 +96,21 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="max readings coalesced per fusion pass")
     pipeline.add_argument("--max-wait", type=float, default=0.05,
                           help="seconds a partial batch may wait")
+    pipeline.add_argument("--wal-dir", default=None,
+                          help="make the run durable: journal every "
+                               "mutation into this directory")
+    pipeline.add_argument("--durability",
+                          choices=["buffered", "strict"],
+                          default="buffered",
+                          help="fsync policy when --wal-dir is set")
+    pipeline.add_argument("--snapshot-interval", type=int, default=None,
+                          help="cut a snapshot every N journaled records")
+
+    recover = sub.add_parser(
+        "recover",
+        help="rebuild a spatial database from a WAL directory")
+    recover.add_argument("wal_dir",
+                         help="directory written by a --wal-dir run")
     return parser
 
 
@@ -144,7 +159,13 @@ def _cmd_calibrate(args: argparse.Namespace) -> int:
 
 
 def _cmd_pipeline(args: argparse.Namespace) -> int:
-    scenario = Scenario(seed=args.seed).standard_deployment()
+    scenario = Scenario(seed=args.seed)
+    if args.wal_dir is not None:
+        # Attach durability before sensors register so the deployment's
+        # registrations are journaled too.
+        scenario.use_durability(args.wal_dir, mode=args.durability,
+                                snapshot_interval=args.snapshot_interval)
+    scenario.standard_deployment()
     scenario.add_people(args.people)
     config = PipelineConfig(
         overflow_policy=args.policy,
@@ -160,10 +181,35 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
         pipeline.stop()
     stats = pipeline.stats()
     print(stats.summary())
+    if scenario.durability is not None:
+        pairs = " ".join(f"{key}={value}" for key, value
+                         in sorted(scenario.durability.stats().items()))
+        print(f"durability: {pairs}")
+        scenario.durability.close()
     if not stats.reconciles():
         print("WARNING: pipeline accounting does not reconcile",
               file=sys.stderr)
         return 1
+    return 0
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    from repro.storage import readings_fingerprint, recover
+
+    state = recover(args.wal_dir)
+    db = state.db
+    print(f"snapshot seq:   {state.snapshot_seq}")
+    print(f"replayed:       {state.replayed} WAL records "
+          f"(through seq {state.last_seq})")
+    if state.torn_bytes:
+        print(f"torn tail:      {state.torn_bytes} bytes discarded "
+              f"(kill mid-append)")
+    print(f"sensors:        {len(db.sensor_specs)}")
+    print(f"readings:       {len(db.sensor_readings)}")
+    print(f"tracked:        {', '.join(db.tracked_objects()) or '-'}")
+    print(f"subscriptions:  {len(state.subscriptions())}")
+    print(f"triggers:       {len(state.triggers())}")
+    print(f"fingerprint:    {readings_fingerprint(db)}")
     return 0
 
 
@@ -174,6 +220,7 @@ _COMMANDS = {
     "blueprint": _cmd_blueprint,
     "calibrate": _cmd_calibrate,
     "pipeline": _cmd_pipeline,
+    "recover": _cmd_recover,
 }
 
 

@@ -71,6 +71,24 @@ class InvariantViolation(MiddleWhereError):
     """A chaos-run invariant did not hold (see docs/FAULTS.md)."""
 
 
+class StorageError(MiddleWhereError):
+    """Durable-storage failure (WAL, snapshot or recovery)."""
+
+
+class WalCorruptionError(StorageError):
+    """A WAL record failed its checksum away from the torn tail."""
+
+
+class SimulatedCrash(StorageError):
+    """A fault-plan kill point fired inside the durability layer.
+
+    Raised by :class:`repro.faults.WalCrashInjector` to simulate a
+    process kill mid-append / mid-fsync / mid-snapshot / mid-compaction;
+    everything the layer had durably written before the crash must be
+    recoverable, and nothing after it may have been applied.
+    """
+
+
 class OrbError(MiddleWhereError):
     """Object-request-broker failure."""
 

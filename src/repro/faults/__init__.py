@@ -28,6 +28,7 @@ from repro.faults.injectors import (
     PartitionInjector,
     ReorderInjector,
     Scope,
+    WalCrashInjector,
     stable_fraction,
 )
 from repro.faults.invariants import (
@@ -63,6 +64,7 @@ __all__ = [
     "PartitionInjector",
     "ReorderInjector",
     "Scope",
+    "WalCrashInjector",
     "assert_invariants",
     "check_all",
     "estimates_well_formed",

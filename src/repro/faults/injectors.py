@@ -30,13 +30,19 @@ import threading
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import FaultInjectionError, SensorError, TransportError
+from repro.errors import (
+    FaultInjectionError,
+    SensorError,
+    SimulatedCrash,
+    TransportError,
+)
 from repro.pipeline.intake import PipelineReading
 
 # Injector kinds: where in the sensing→fusion→notify path a fault bites.
 KIND_SINK = "sink"            # adapter → pipeline submission boundary
 KIND_FLUSH = "flush"          # pipeline worker → spatial database flush
 KIND_TRANSPORT = "transport"  # ORB request/response boundary
+KIND_WAL = "wal"              # durability layer (WAL/snapshot/compaction)
 
 
 def stable_fraction(*parts: object) -> float:
@@ -381,6 +387,79 @@ class FlushFaultInjector(FaultInjector):
             self._hit("flush_fault", key=(_reading_key(reading), attempt))
             raise SensorError(
                 f"injected flush fault ({self.name}, attempt {attempt})")
+
+
+class WalCrashInjector(FaultInjector):
+    """A process kill at a seeded point inside the durability layer.
+
+    Installed as the WAL/manager fault hook (see
+    ``DurabilityManager.attach_fault_plan``), which calls
+    :meth:`check` at every kill point with the current sequence
+    number.  The injector fires :class:`~repro.errors.SimulatedCrash`
+    the first time its configured point is reached:
+
+    * ``"append"``    — mid-append: a torn partial record is left on
+      disk, the operation was never applied;
+    * ``"fsync"``     — between the write and the group-commit ack: the
+      record is durable but the caller never learned it (recovery may
+      therefore hold *more* than the dead process's memory);
+    * ``"snapshot"``  — mid-snapshot: a torn snapshot document is left
+      for recovery to skip;
+    * ``"compact"``   — between the compaction snapshot and the WAL
+      truncation: replay must skip already-snapshotted records by seq.
+
+    After firing, every further check raises again and counts
+    ``lost`` — the process is dead, so all subsequent durable
+    operations fail identically regardless of worker interleaving,
+    which keeps the :class:`~repro.faults.plan.FaultReport` counters
+    byte-identical across same-seed runs.
+    """
+
+    KIND = KIND_WAL
+
+    POINTS = ("append", "fsync", "snapshot", "compact")
+
+    def __init__(self, name: str, scope: Scope, point: str,
+                 at_seq: Optional[int] = None,
+                 occurrence: int = 1) -> None:
+        super().__init__(name, scope, rng=None)
+        if point not in self.POINTS:
+            raise FaultInjectionError(
+                f"unknown WAL kill point {point!r}; "
+                f"expected one of {self.POINTS}")
+        if at_seq is not None and at_seq < 1:
+            raise FaultInjectionError("at_seq must be >= 1")
+        if occurrence < 1:
+            raise FaultInjectionError("occurrence must be >= 1")
+        self.point = point
+        self.at_seq = at_seq
+        self.occurrence = occurrence
+        self._seen = 0
+        self._crashed = False
+        self._state_lock = threading.Lock()
+
+    def check(self, point: str, seq: int) -> None:
+        with self._state_lock:
+            if self._crashed:
+                action = "lost"
+            else:
+                if point != self.point:
+                    return
+                if self.at_seq is not None and seq < self.at_seq:
+                    return
+                self._seen += 1
+                if self._seen < self.occurrence:
+                    return
+                self._crashed = True
+                action = "crash"
+        self._hit(action, key=(point, seq))
+        raise SimulatedCrash(
+            f"injected kill at {point} seq {seq} ({self.name})")
+
+    @property
+    def crashed(self) -> bool:
+        with self._state_lock:
+            return self._crashed
 
 
 class PartitionInjector(FaultInjector):

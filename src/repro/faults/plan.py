@@ -34,6 +34,7 @@ from repro.faults.injectors import (
     KIND_FLUSH,
     KIND_SINK,
     KIND_TRANSPORT,
+    KIND_WAL,
     ClockSkewInjector,
     CorruptInjector,
     DelayInjector,
@@ -45,6 +46,7 @@ from repro.faults.injectors import (
     PartitionInjector,
     ReorderInjector,
     Scope,
+    WalCrashInjector,
 )
 from repro.pipeline.intake import PipelineReading
 from repro.sensors.base import ReadingSink
@@ -266,6 +268,17 @@ class FaultPlan:
         return self.add(PartitionInjector(
             self._auto_name("partition", name), Scope.build(), windows))
 
+    def wal_crash(self, point: str = "append",
+                  at_seq: Optional[int] = None, occurrence: int = 1, *,
+                  name: Optional[str] = None) -> "FaultPlan":
+        """Kill the process at a durability-layer point (see
+        :class:`~repro.faults.injectors.WalCrashInjector`).  ``at_seq``
+        arms append/fsync kills at a specific WAL sequence number;
+        ``occurrence`` picks the nth snapshot/compaction instead."""
+        return self.add(WalCrashInjector(
+            self._auto_name("wal-crash", name), Scope.build(),
+            point, at_seq, occurrence))
+
     # ------------------------------------------------------------------
     # Wrapping the three layers
     # ------------------------------------------------------------------
@@ -325,6 +338,9 @@ class FaultPlan:
 
     def transport_injectors(self) -> List[FaultInjector]:
         return [i for i in self._injectors if i.KIND == KIND_TRANSPORT]
+
+    def wal_injectors(self) -> List[FaultInjector]:
+        return [i for i in self._injectors if i.KIND == KIND_WAL]
 
     @property
     def trace(self) -> List[TraceEvent]:

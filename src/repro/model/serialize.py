@@ -119,6 +119,12 @@ def world_to_dict(world: WorldModel) -> Dict[str, Any]:
     return {
         "format": "middlewhere-blueprint",
         "version": FORMAT_VERSION,
+        # The model's mutation counter (distinct from the format
+        # version above).  Derived indexes — the region R-tree, the
+        # navigation memos — key their caches on it, so a round-trip
+        # must preserve it: a rebuilt world restarting at its own
+        # add_* count could alias a cache keyed against the original.
+        "world_version": world.version,
         "frames": frames,
         "entities": entities,
         "doors": doors,
@@ -173,6 +179,13 @@ def world_from_dict(data: Dict[str, Any]) -> WorldModel:
             frame=item["frame"],
             kind=PassageKind(item["kind"]),
         ))
+    if "world_version" in data:
+        # Adopt the saved mutation counter (it is >= the rebuild's own
+        # add_* count, so monotonicity holds) and drop any derived
+        # state so nothing stays keyed to the transient rebuild values.
+        world.version = int(data["world_version"])
+        world._region_index = None
+        world._universe = None
     return world
 
 

@@ -39,6 +39,7 @@ from repro.service.privacy import PrivacyPolicy
 from repro.service.regions import SymbolicRegionLattice
 from repro.service.subscriptions import (
     KIND_ENTER,
+    ProximitySubscription,
     Subscription,
     SubscriptionManager,
 )
@@ -54,6 +55,13 @@ _FRESHNESS_BUCKETS = 8
 
 # (object_id, fingerprint): see LocationService._fusion_fingerprint.
 FusionKey = Tuple[str, Tuple[int, Tuple[Any, ...]]]
+
+
+def _dropping_consumer(event: Dict[str, Any]) -> None:
+    """Placeholder for restored subscriptions whose application callback
+    died with the crashed process; events are dropped (edge-detection
+    state still advances) until :meth:`LocationService.rebind_consumer`
+    points the subscription at a live callback."""
 
 
 class LocationService:
@@ -548,9 +556,19 @@ class LocationService:
             consumer=consumer,
             remote_reference=remote_reference,
         )
-        self.subscriptions.add(subscription)
+        if self.db.journal is not None:
+            self.db.journal.log_subscribe(
+                self._subscription_record(subscription))
+        self._install_region_subscription(subscription)
+        return subscription.subscription_id
 
-        watch_all = kind != KIND_ENTER  # leave/both need off-region readings
+    def _install_region_subscription(self,
+                                     subscription: Subscription) -> None:
+        """Register a subscription and its coarse database trigger."""
+        self.subscriptions.add(subscription)
+        rect = subscription.region
+        # leave/both need off-region readings too.
+        watch_all = subscription.kind != KIND_ENTER
 
         def condition(row: Row) -> bool:
             if (subscription.object_id is not None
@@ -569,7 +587,6 @@ class LocationService:
         self.db.sensor_readings.create_trigger(
             Trigger(subscription.subscription_id, "insert", condition,
                     action, region=trigger_region))
-        return subscription.subscription_id
 
     def subscribe_proximity(self, first: str, second: str,
                             threshold_ft: float,
@@ -586,8 +603,6 @@ class LocationService:
         every reading of either object; pairs with either estimate
         below ``min_confidence`` are treated as not-near.
         """
-        from repro.service.subscriptions import ProximitySubscription
-
         subscription = ProximitySubscription(
             subscription_id=self.subscriptions.new_id(),
             first=first,
@@ -598,6 +613,13 @@ class LocationService:
             consumer=consumer,
             remote_reference=remote_reference,
         )
+        if self.db.journal is not None:
+            self.db.journal.log_subscribe_proximity(
+                self._proximity_record(subscription))
+        self._install_proximity_subscription(subscription)
+        return subscription.subscription_id
+
+    def _install_proximity_subscription(self, subscription) -> None:
         self._proximity_subscriptions[subscription.subscription_id] = \
             subscription
 
@@ -611,7 +633,6 @@ class LocationService:
         self.db.sensor_readings.create_trigger(
             Trigger(subscription.subscription_id, "insert", condition,
                     action))
-        return subscription.subscription_id
 
     def _on_proximity_trigger(self, subscription, row: Row) -> None:
         self._evaluate_proximity(subscription, row["detection_time"])
@@ -651,11 +672,118 @@ class LocationService:
 
     def unsubscribe(self, subscription_id: str) -> bool:
         """Remove a subscription and its database trigger."""
+        if self.db.journal is not None:
+            self.db.journal.log_unsubscribe(subscription_id)
         self.db.sensor_readings.drop_trigger(subscription_id)
         if subscription_id in self._proximity_subscriptions:
             del self._proximity_subscriptions[subscription_id]
             return True
         return self.subscriptions.remove(subscription_id)
+
+    # ------------------------------------------------------------------
+    # Durable-registry records and crash restore
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _subscription_record(subscription: Subscription) -> Dict[str, Any]:
+        """The WAL-logged logical form of a region subscription.
+
+        Callables (``consumer``) cannot travel through the log; restore
+        re-binds them via :meth:`restore_subscriptions`'s consumer map.
+        """
+        rect = subscription.region
+        return {
+            "subscription_id": subscription.subscription_id,
+            "region": [rect.min_x, rect.min_y, rect.max_x, rect.max_y],
+            "kind": subscription.kind,
+            "region_glob": subscription.region_glob,
+            "object_id": subscription.object_id,
+            "threshold": subscription.threshold,
+            "bucket": (subscription.bucket.name
+                       if subscription.bucket is not None else None),
+            "remote_reference": subscription.remote_reference,
+        }
+
+    @staticmethod
+    def _proximity_record(subscription) -> Dict[str, Any]:
+        return {
+            "subscription_id": subscription.subscription_id,
+            "first": subscription.first,
+            "second": subscription.second,
+            "threshold_ft": subscription.threshold_ft,
+            "kind": subscription.kind,
+            "min_confidence": subscription.min_confidence,
+            "remote_reference": subscription.remote_reference,
+        }
+
+    def restore_subscriptions(
+            self, records: List[Dict[str, Any]],
+            consumers: Optional[Dict[str, Callable[[Dict[str, Any]],
+                                                   None]]] = None) -> int:
+        """Reinstate recovered subscriptions under their original ids.
+
+        ``records`` is :meth:`repro.storage.RecoveredState.subscriptions`
+        — the durable registry at the crash.  ``consumers`` maps
+        subscription ids to fresh callbacks; a record with neither a
+        mapped consumer nor a remote reference gets a no-op consumer so
+        edge-detection state keeps advancing until the application
+        re-binds via :meth:`rebind_consumer`.  Nothing here is
+        re-journaled: the records are already in the log.  Returns the
+        number reinstated.
+        """
+        consumers = consumers or {}
+        restored = 0
+        floor = 0
+        for record in records:
+            sid = record["subscription_id"]
+            consumer = consumers.get(sid)
+            remote = record.get("remote_reference")
+            if consumer is None and remote is None:
+                consumer = _dropping_consumer
+            if record["op"] == "subscribe_proximity":
+                subscription = ProximitySubscription(
+                    subscription_id=sid,
+                    first=record["first"],
+                    second=record["second"],
+                    threshold_ft=record["threshold_ft"],
+                    kind=record["kind"],
+                    min_confidence=record["min_confidence"],
+                    consumer=consumer,
+                    remote_reference=remote,
+                )
+                self._install_proximity_subscription(subscription)
+            else:
+                bucket = record.get("bucket")
+                subscription = Subscription(
+                    subscription_id=sid,
+                    region=Rect(*record["region"]),
+                    kind=record["kind"],
+                    region_glob=record.get("region_glob"),
+                    object_id=record.get("object_id"),
+                    threshold=record["threshold"],
+                    bucket=(ProbabilityBucket[bucket]
+                            if bucket is not None else None),
+                    consumer=consumer,
+                    remote_reference=remote,
+                )
+                self._install_region_subscription(subscription)
+            if sid.startswith("sub-"):
+                try:
+                    floor = max(floor, int(sid[4:]))
+                except ValueError:
+                    pass
+            restored += 1
+        self.subscriptions.ensure_id_floor(floor)
+        return restored
+
+    def rebind_consumer(self, subscription_id: str,
+                        consumer: Callable[[Dict[str, Any]], None]) -> None:
+        """Point a (restored) subscription at a live callback."""
+        if subscription_id in self._proximity_subscriptions:
+            self._proximity_subscriptions[subscription_id].consumer = \
+                consumer
+            return
+        self.subscriptions.get(subscription_id).consumer = consumer
 
     def _on_trigger(self, subscription: Subscription, row: Row) -> None:
         object_id = row["mobile_object_id"]

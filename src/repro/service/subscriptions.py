@@ -143,7 +143,7 @@ class SubscriptionManager:
 
     def __init__(self) -> None:
         self._subscriptions: Dict[str, Subscription] = {}
-        self._ids = itertools.count(1)
+        self._next_id = 1
         self._lock = threading.Lock()
         self.notifications_sent = 0
         # Registration order, for firing-order parity with the scan.
@@ -160,7 +160,19 @@ class SubscriptionManager:
         self.dispatch_pruned = 0
 
     def new_id(self) -> str:
-        return f"sub-{next(self._ids)}"
+        with self._lock:
+            allocated = self._next_id
+            self._next_id += 1
+        return f"sub-{allocated}"
+
+    def ensure_id_floor(self, floor: int) -> None:
+        """Advance the id allocator past externally restored ids.
+
+        Crash recovery reinstates subscriptions under their original
+        ids; the next :meth:`new_id` must not collide with them.
+        """
+        with self._lock:
+            self._next_id = max(self._next_id, floor + 1)
 
     def add(self, subscription: Subscription) -> str:
         with self._lock:

@@ -54,6 +54,7 @@ class Scenario:
         self.trace = AccuracyTrace(self.world)
         self.pipeline = None  # set by use_pipeline()
         self.fault_plan = None  # set by use_pipeline(fault_plan=...)
+        self.durability = None  # set by use_durability()
         self._published_reference: Optional[str] = None
 
     # ------------------------------------------------------------------
@@ -127,8 +128,34 @@ class Scenario:
             self.fault_plan = fault_plan
         for adapter in self.deployment.adapters():
             adapter.set_sink(sink)
+        if (self.durability is not None and fault_plan is not None):
+            self.durability.attach_fault_plan(fault_plan)
         self.pipeline.start()
         return self.pipeline
+
+    def use_durability(self, wal_dir: str, mode=None,
+                       snapshot_interval: Optional[int] = None):
+        """Make the scenario's database durable (WAL + snapshots).
+
+        Attaches a :class:`repro.storage.DurabilityManager` journaling
+        every mutation into ``wal_dir``; after a crash,
+        :func:`repro.storage.recover` rebuilds a fingerprint-identical
+        database from that directory.  Call before registering sensors
+        or subscribing so those mutations are journaled too.  When a
+        ``fault_plan`` is later passed to :meth:`use_pipeline`, its WAL
+        kill points are installed automatically.  Returns the manager.
+        """
+        from repro.storage import DurabilityManager, DurabilityMode
+        if mode is None:
+            mode = DurabilityMode.BUFFERED
+        elif isinstance(mode, str):
+            mode = DurabilityMode(mode)
+        self.durability = DurabilityManager(
+            self.db, wal_dir, mode=mode,
+            snapshot_interval=snapshot_interval).attach()
+        if self.fault_plan is not None:
+            self.durability.attach_fault_plan(self.fault_plan)
+        return self.durability
 
     def publish(self, naming: Optional[NamingService] = None,
                 listen_tcp: bool = False) -> str:

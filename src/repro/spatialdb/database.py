@@ -96,8 +96,22 @@ class SpatialDatabase:
         # Guards reading-id allocation and movement history: pipeline
         # workers insert readings concurrently from several threads.
         self._ingest_lock = threading.Lock()
+        # Optional durability journal (repro.storage.DurabilityManager).
+        # None = DurabilityMode.OFF: every mutator below short-circuits
+        # the journal branch, keeping this path bit-identical to the
+        # undurable build.
+        self.journal = None
         if world is not None:
             self.load_world(world)
+
+    def attach_journal(self, journal) -> None:
+        """Install (or with ``None`` remove) the durability journal.
+
+        With a journal attached every mutation is appended to the WAL
+        *before* it is applied — if the append raises, the database is
+        left untouched (the write-ahead contract).
+        """
+        self.journal = journal
 
     # ------------------------------------------------------------------
     # World model
@@ -254,6 +268,9 @@ class SpatialDatabase:
             raise SensorError(f"confidence {confidence} not a percentage")
         if time_to_live <= 0.0:
             raise SensorError(f"TTL must be positive, got {time_to_live}")
+        if self.journal is not None:
+            self.journal.log_register_sensor(
+                sensor_id, sensor_type, confidence, time_to_live, spec)
         self.sensor_specs.insert({
             "sensor_id": sensor_id,
             "sensor_type": sensor_type,
@@ -287,18 +304,64 @@ class SpatialDatabase:
         evaluates subscriptions once per fused batch instead of once
         per insert.
         """
+        journal = self.journal
+        if journal is None:
+            with self._ingest_lock:
+                key = (sensor_id, mobile_object_id)
+                history = self._history.setdefault(key, [])
+                moving = (bool(history)
+                          and not history[-1][1].almost_equals(rect, 1e-9))
+                history.append((detection_time, rect))
+                if len(history) > self._history_limit:
+                    history.pop(0)
+                reading_id = self._next_reading_id
+                self._next_reading_id += 1
+                # Grow the support BEFORE the row lands so a concurrent
+                # region query never sees the row without its bound.
+                prior = self._reading_support.get(mobile_object_id)
+                self._reading_support[mobile_object_id] = \
+                    rect if prior is None else prior.union_mbr(rect)
+                self._reading_version[mobile_object_id] = \
+                    self._reading_version.get(mobile_object_id, 0) + 1
+            self.sensor_readings.insert({
+                "reading_id": reading_id,
+                "sensor_id": sensor_id,
+                "glob_prefix": glob_prefix,
+                "sensor_type": sensor_type,
+                "mobile_object_id": mobile_object_id,
+                "location": location,
+                "detection_radius": float(detection_radius),
+                "rect": rect,
+                "detection_time": float(detection_time),
+                "moving": moving,
+            }, fire_triggers=fire_triggers)
+            return reading_id
+        # Durable path: append the materialized row (tentative id,
+        # computed ``moving``) to the WAL, and only then mutate any
+        # state — a crash inside the log call leaves no trace here, so
+        # the survivor and a replay of the WAL agree exactly.  Logging
+        # under the ingest lock makes WAL order match reading-id order;
+        # everything that does not depend on in-lock state (the bulk of
+        # the record encode) happens before the lock so four pipeline
+        # workers do not convoy on it.
+        detection_radius = float(detection_radius)
+        detection_time = float(detection_time)
+        parts = journal.prepare_insert(
+            sensor_id, glob_prefix, sensor_type, mobile_object_id,
+            location, detection_radius, rect, detection_time)
         with self._ingest_lock:
             key = (sensor_id, mobile_object_id)
+            peek = self._history.get(key)
+            moving = (bool(peek)
+                      and not peek[-1][1].almost_equals(rect, 1e-9))
+            journal.log_prepared_insert(parts, self._next_reading_id,
+                                        moving)
+            reading_id = self._next_reading_id
+            self._next_reading_id += 1
             history = self._history.setdefault(key, [])
-            moving = (bool(history)
-                      and not history[-1][1].almost_equals(rect, 1e-9))
             history.append((detection_time, rect))
             if len(history) > self._history_limit:
                 history.pop(0)
-            reading_id = self._next_reading_id
-            self._next_reading_id += 1
-            # Grow the support BEFORE the row lands so a concurrent
-            # region query never sees the row without its bound.
             prior = self._reading_support.get(mobile_object_id)
             self._reading_support[mobile_object_id] = \
                 rect if prior is None else prior.union_mbr(rect)
@@ -311,11 +374,42 @@ class SpatialDatabase:
             "sensor_type": sensor_type,
             "mobile_object_id": mobile_object_id,
             "location": location,
-            "detection_radius": float(detection_radius),
+            "detection_radius": detection_radius,
             "rect": rect,
-            "detection_time": float(detection_time),
+            "detection_time": detection_time,
             "moving": moving,
         }, fire_triggers=fire_triggers)
+        # Deferred group commit, outside the ingest lock so the fsync
+        # never stalls concurrent inserters.
+        journal.commit_if_due()
+        return reading_id
+
+    def apply_logged_insert(self, row: Row) -> int:
+        """Restore one WAL-logged reading row verbatim (recovery path).
+
+        The row keeps its original ``reading_id`` and ``moving`` flag;
+        the id allocator, movement history and support MBRs advance
+        exactly as the original insert advanced them.  Triggers never
+        fire during replay — recovered subscriptions are reinstated
+        separately and must not see historical events again.
+        """
+        with self._ingest_lock:
+            reading_id = int(row["reading_id"])
+            self._next_reading_id = max(self._next_reading_id,
+                                        reading_id + 1)
+            key = (row["sensor_id"], row["mobile_object_id"])
+            history = self._history.setdefault(key, [])
+            history.append((row["detection_time"], row["rect"]))
+            if len(history) > self._history_limit:
+                history.pop(0)
+            object_id = row["mobile_object_id"]
+            prior = self._reading_support.get(object_id)
+            self._reading_support[object_id] = \
+                row["rect"] if prior is None \
+                else prior.union_mbr(row["rect"])
+            self._reading_version[object_id] = \
+                self._reading_version.get(object_id, 0) + 1
+        self.sensor_readings.insert(dict(row), fire_triggers=False)
         return reading_id
 
     def readings_for(self, mobile_object_id: str, now: float,
@@ -353,7 +447,13 @@ class SpatialDatabase:
             if row["mobile_object_id"] != mobile_object_id:
                 return False
             return sensor_id is None or row["sensor_id"] == sensor_id
-        return self.sensor_readings.delete(doomed)
+        journal = self.journal
+        if journal is None:
+            return self.sensor_readings.delete(doomed)
+        rows = self.sensor_readings.select(doomed)
+        journal.log_expire(mobile_object_id, sensor_id,
+                           [row["reading_id"] for row in rows])
+        return self._delete_logged_rows(rows)
 
     def purge_expired(self, now: float) -> int:
         """Drop every reading past its sensor's TTL; returns the count."""
@@ -361,7 +461,28 @@ class SpatialDatabase:
             spec = self.sensor_specs.get(row["sensor_id"])
             ttl = spec["time_to_live"] if spec else float("inf")
             return now - row["detection_time"] > ttl
-        return self.sensor_readings.delete(expired)
+        journal = self.journal
+        if journal is None:
+            return self.sensor_readings.delete(expired)
+        rows = self.sensor_readings.select(expired)
+        journal.log_purge(now, [row["reading_id"] for row in rows])
+        return self._delete_logged_rows(rows)
+
+    def _delete_logged_rows(self, rows: List[Row]) -> int:
+        """Delete exactly the rows a just-written WAL record named.
+
+        Deletes are logged with the doomed reading ids (not the
+        predicate) so replay never re-evaluates a time/TTL condition
+        whose answer depends on how live threads interleaved; deleting
+        by id here keeps the live table in lockstep with that record.
+        """
+        if not rows:
+            return 0
+        ids = {row["reading_id"] for row in rows}
+        count = self.sensor_readings.delete(
+            lambda row: row["reading_id"] in ids)
+        self.journal.note_deleted(rows)
+        return count
 
     def tracked_objects(self) -> List[str]:
         """All mobile-object ids that have at least one stored reading.
@@ -397,6 +518,32 @@ class SpatialDatabase:
         with self._ingest_lock:
             return self._reading_version.get(mobile_object_id, 0)
 
+    def rebuild_reading_support(self) -> None:
+        """Recompute the support MBRs from the rows actually present.
+
+        The live support is a grow-only union (sound but ever-looser
+        as readings churn).  After a snapshot restore, WAL replay or
+        retention compaction, the union over the *live* rows is the
+        tightest bound that is still sound — every future fusion reads
+        only live rows — so pruned region queries stay equivalent to
+        the reference scan while pruning more.  Versions keep ticking
+        monotonically so cached per-object state is invalidated, never
+        accidentally revalidated.
+        """
+        support: Dict[str, Rect] = {}
+        for row in self.sensor_readings.select():
+            object_id = row["mobile_object_id"]
+            prior = support.get(object_id)
+            support[object_id] = \
+                row["rect"] if prior is None \
+                else prior.union_mbr(row["rect"])
+        with self._ingest_lock:
+            versions = dict(self._reading_version)
+            for object_id in set(support) | set(self._reading_support):
+                versions[object_id] = versions.get(object_id, 0) + 1
+            self._reading_support = support
+            self._reading_version = versions
+
     # ------------------------------------------------------------------
     # Location triggers (Section 5.3)
     # ------------------------------------------------------------------
@@ -417,9 +564,14 @@ class SpatialDatabase:
                 return False
             return region.intersects(row["rect"])
 
+        if self.journal is not None:
+            self.journal.log_create_trigger(trigger_id, region,
+                                            mobile_object_id)
         self.sensor_readings.create_trigger(
             Trigger(trigger_id, "insert", condition, action,
                     region=region))
 
     def drop_location_trigger(self, trigger_id: str) -> bool:
+        if self.journal is not None:
+            self.journal.log_drop_trigger(trigger_id)
         return self.sensor_readings.drop_trigger(trigger_id)

@@ -1,0 +1,64 @@
+"""Durable storage for the spatial database (WAL + snapshots + recovery).
+
+See ``docs/DURABILITY.md`` for the design: the write-ahead contract at
+the spatial-DB seam, deterministic fsync policies, atomic snapshots,
+retention compaction and the chaos-verified recovery procedure.
+"""
+
+from repro.storage.manager import (
+    ARCHIVE_NAME,
+    POINT_COMPACT,
+    POINT_SNAPSHOT,
+    WAL_NAME,
+    DurabilityManager,
+    DurabilityMode,
+)
+from repro.storage.recovery import (
+    RecoveredState,
+    apply_op,
+    readings_fingerprint,
+    recover,
+)
+from repro.storage.snapshot import (
+    capture_state,
+    list_snapshots,
+    load_latest_snapshot,
+    read_snapshot,
+    restore_state,
+    write_snapshot,
+)
+from repro.storage.wal import (
+    FSYNC_ALWAYS,
+    FSYNC_NEVER,
+    POINT_APPEND,
+    POINT_FSYNC,
+    WalScan,
+    WriteAheadLog,
+    scan_wal,
+)
+
+__all__ = [
+    "ARCHIVE_NAME",
+    "DurabilityManager",
+    "DurabilityMode",
+    "FSYNC_ALWAYS",
+    "FSYNC_NEVER",
+    "POINT_APPEND",
+    "POINT_COMPACT",
+    "POINT_FSYNC",
+    "POINT_SNAPSHOT",
+    "RecoveredState",
+    "WAL_NAME",
+    "WalScan",
+    "WriteAheadLog",
+    "apply_op",
+    "capture_state",
+    "list_snapshots",
+    "load_latest_snapshot",
+    "read_snapshot",
+    "readings_fingerprint",
+    "recover",
+    "restore_state",
+    "scan_wal",
+    "write_snapshot",
+]

@@ -1,0 +1,186 @@
+"""Durable snapshots of the spatial database's full table state.
+
+A snapshot is one JSON document extending the blueprint codec of
+:mod:`repro.model.serialize` from the world model to the *mutable*
+state around it: the sensor-specs and sensor-readings tables, the
+reading-id allocator, the per-(sensor, object) movement history, and
+the durable trigger/subscription registry.  Together with the WAL
+sequence number it was cut at (``last_seq``), a snapshot lets recovery
+replay only the log suffix instead of the whole history — which is
+what makes retention compaction (truncating the WAL past the last
+snapshot) safe.
+
+Snapshots are written atomically (temp file + ``os.replace``) and
+carry a body checksum; a half-written snapshot from a kill
+mid-snapshot fails verification and recovery falls back to the
+previous one, paying a longer replay instead of reading garbage.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import zlib
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import StorageError
+from repro.storage.records import (
+    decode_reading_row,
+    decode_spec,
+    encode_reading_row,
+    encode_rect,
+    encode_spec,
+)
+
+SNAPSHOT_FORMAT = "middlewhere-snapshot"
+SNAPSHOT_VERSION = 1
+
+_SNAPSHOT_RE = re.compile(r"^snapshot-(\d{12})\.json$")
+
+
+def snapshot_name(last_seq: int) -> str:
+    return f"snapshot-{last_seq:012d}.json"
+
+
+def capture_state(db, registry: Optional[List[Dict[str, Any]]] = None
+                  ) -> Dict[str, Any]:
+    """The database's complete durable state as a JSON-ready dict.
+
+    ``registry`` is the durable trigger/subscription record list the
+    :class:`~repro.storage.manager.DurabilityManager` maintains; it
+    rides along so recovery can reinstate push-mode state too.
+    """
+    from repro.model.serialize import world_to_dict
+
+    specs = []
+    for row in db.sensor_specs.select():
+        specs.append({
+            "sensor_id": row["sensor_id"],
+            "sensor_type": row["sensor_type"],
+            "confidence": row["confidence"],
+            "time_to_live": row["time_to_live"],
+            "spec": encode_spec(row["spec"]),
+        })
+    readings = [encode_reading_row(row)
+                for row in db.sensor_readings.select()]
+    history = []
+    with db._ingest_lock:
+        next_reading_id = db._next_reading_id
+        for (sensor_id, object_id), entries in sorted(db._history.items()):
+            history.append({
+                "sensor_id": sensor_id,
+                "object_id": object_id,
+                "entries": [[t, encode_rect(rect)] for t, rect in entries],
+            })
+    return {
+        "world": world_to_dict(db.world),
+        "sensor_specs": specs,
+        "sensor_readings": readings,
+        "next_reading_id": next_reading_id,
+        "history": history,
+        "registry": list(registry or ()),
+    }
+
+
+def write_snapshot(directory: str, state: Dict[str, Any],
+                   last_seq: int) -> str:
+    """Atomically write one snapshot document; returns its path."""
+    body = json.dumps(state, sort_keys=True, separators=(",", ":"))
+    document = {
+        "format": SNAPSHOT_FORMAT,
+        "version": SNAPSHOT_VERSION,
+        "last_seq": last_seq,
+        "checksum": zlib.crc32(body.encode("utf-8")),
+        "state": body,
+    }
+    path = os.path.join(directory, snapshot_name(last_seq))
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(document, handle)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    return path
+
+
+def read_snapshot(path: str) -> Tuple[int, Dict[str, Any]]:
+    """Load and verify one snapshot; returns ``(last_seq, state)``."""
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            document = json.load(handle)
+        except ValueError as exc:
+            raise StorageError(
+                f"snapshot {path} is not readable JSON (torn "
+                f"write?): {exc}") from exc
+    if not isinstance(document, dict):
+        raise StorageError(f"{path} is not a middlewhere snapshot")
+    if document.get("format") != SNAPSHOT_FORMAT:
+        raise StorageError(f"{path} is not a middlewhere snapshot")
+    if document.get("version") != SNAPSHOT_VERSION:
+        raise StorageError(
+            f"unsupported snapshot version {document.get('version')!r}")
+    body = document["state"]
+    if zlib.crc32(body.encode("utf-8")) != document["checksum"]:
+        raise StorageError(f"snapshot {path} failed its checksum")
+    return int(document["last_seq"]), json.loads(body)
+
+
+def list_snapshots(directory: str) -> List[str]:
+    """Snapshot paths in the directory, oldest first."""
+    out = []
+    for name in os.listdir(directory):
+        if _SNAPSHOT_RE.match(name):
+            out.append(os.path.join(directory, name))
+    return sorted(out)
+
+
+def load_latest_snapshot(directory: str
+                         ) -> Optional[Tuple[int, Dict[str, Any]]]:
+    """The newest snapshot that verifies, or ``None``.
+
+    Unreadable / torn / checksum-failing candidates are skipped —
+    newest first — so a kill mid-snapshot degrades to the previous
+    snapshot plus a longer WAL replay, never to garbage.
+    """
+    for path in reversed(list_snapshots(directory)):
+        try:
+            return read_snapshot(path)
+        except (StorageError, ValueError, OSError, KeyError):
+            continue
+    return None
+
+
+def restore_state(db, state: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """Load a captured state into a fresh database; returns the registry.
+
+    The database must have the snapshot's world loaded and empty
+    tables.  Rows are restored verbatim (same reading ids, same
+    ``moving`` flags) with triggers suppressed, the id allocator and
+    movement history are reinstated, and the per-object reading-support
+    MBRs are *recomputed from the live rows* — the grow-only union of
+    the original run is deliberately not persisted, so region-query
+    pruning after recovery starts from the tightest sound bound (see
+    ``SpatialDatabase.rebuild_reading_support``).
+    """
+    from repro.geometry import Rect
+
+    for item in state.get("sensor_specs", ()):
+        db.register_sensor(
+            sensor_id=item["sensor_id"],
+            sensor_type=item["sensor_type"],
+            confidence=item["confidence"],
+            time_to_live=item["time_to_live"],
+            spec=decode_spec(item["spec"]),
+        )
+    for item in state.get("sensor_readings", ()):
+        db.sensor_readings.insert(decode_reading_row(item),
+                                  fire_triggers=False)
+    with db._ingest_lock:
+        db._next_reading_id = int(state.get("next_reading_id", 1))
+        for item in state.get("history", ()):
+            key = (item["sensor_id"], item["object_id"])
+            db._history[key] = [(t, Rect(*rect))
+                                for t, rect in item["entries"]]
+    db.rebuild_reading_support()
+    return list(state.get("registry", ()))

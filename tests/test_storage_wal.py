@@ -1,0 +1,333 @@
+"""Unit tests for the write-ahead log and the record codec.
+
+Covers the framing contract (length-prefixed, checksummed,
+monotonically sequenced records), all three fsync policies, torn-tail
+tolerance versus interior-corruption loudness, and the logical
+operation codec the spatial-DB seam logs through.
+"""
+
+import struct
+
+import pytest
+
+from repro.core import SensorSpec
+from repro.errors import StorageError, WalCorruptionError
+from repro.geometry import Point, Rect
+from repro.storage import WriteAheadLog, scan_wal
+from repro.storage import records as rec
+
+_HEADER = struct.Struct("<QII")
+
+
+def _wal(tmp_path, **kwargs):
+    return WriteAheadLog(str(tmp_path / "wal.log"), **kwargs)
+
+
+class TestFraming:
+    def test_append_scan_round_trip(self, tmp_path):
+        wal = _wal(tmp_path, fsync_policy="always")
+        payloads = [b"alpha", b"", b"\x00\xffbinary\x01", b"omega" * 100]
+        seqs = [wal.append(p) for p in payloads]
+        wal.close()
+        scan = scan_wal(wal.path)
+        assert scan.torn_bytes == 0
+        assert [s for s, _ in scan.records] == seqs == [1, 2, 3, 4]
+        assert [p for _, p in scan.records] == payloads
+
+    def test_seq_is_contiguous_and_survives_reopen(self, tmp_path):
+        wal = _wal(tmp_path, fsync_policy="always")
+        wal.append(b"one")
+        wal.append(b"two")
+        wal.close()
+        reopened = _wal(tmp_path, fsync_policy="always")
+        assert reopened.append(b"three") == 3
+        reopened.close()
+        assert [s for s, _ in scan_wal(reopened.path).records] == [1, 2, 3]
+
+    def test_start_seq_continues_numbering_after_compaction(self, tmp_path):
+        wal = _wal(tmp_path, fsync_policy="always", start_seq=41)
+        assert wal.append(b"first-after-compaction") == 41
+        wal.close()
+
+    def test_payload_must_be_bytes(self, tmp_path):
+        wal = _wal(tmp_path)
+        with pytest.raises(StorageError):
+            wal.append("not bytes")
+        wal.close()
+
+    def test_append_after_close_raises(self, tmp_path):
+        wal = _wal(tmp_path)
+        wal.close()
+        with pytest.raises(StorageError):
+            wal.append(b"late")
+
+    def test_scan_empty_file(self, tmp_path):
+        path = tmp_path / "wal.log"
+        path.write_bytes(b"")
+        scan = scan_wal(str(path))
+        assert scan.records == [] and scan.torn_bytes == 0
+        assert scan.last_seq == 0
+
+
+class TestFsyncPolicies:
+    def test_always_leaves_no_unsynced_window(self, tmp_path):
+        wal = _wal(tmp_path, fsync_policy="always")
+        for i in range(5):
+            wal.append(b"r%d" % i)
+            assert wal.unsynced_count() == 0
+            assert wal.synced_seq == wal.last_seq
+        wal.close()
+
+    def test_batch_group_commits_every_n(self, tmp_path):
+        wal = _wal(tmp_path, fsync_policy="batch:3")
+        wal.append(b"a")
+        wal.append(b"b")
+        assert wal.unsynced_count() == 2
+        wal.append(b"c")  # third append triggers the group commit
+        assert wal.unsynced_count() == 0
+        wal.append(b"d")
+        assert wal.unsynced_count() == 1
+        wal.sync()
+        assert wal.unsynced_count() == 0
+        wal.close()
+
+    def test_never_syncs_only_on_request(self, tmp_path):
+        wal = _wal(tmp_path, fsync_policy="never")
+        for i in range(10):
+            wal.append(b"x")
+        assert wal.unsynced_count() == 10
+        wal.sync()
+        assert wal.unsynced_count() == 0
+        wal.close()
+
+    @pytest.mark.parametrize("policy", ["sometimes", "batch:", "batch:0",
+                                        "batch:-3", ""])
+    def test_unknown_policy_rejected(self, tmp_path, policy):
+        with pytest.raises(StorageError):
+            _wal(tmp_path, fsync_policy=policy)
+
+
+class TestTornTail:
+    def _write_then_tear(self, tmp_path, torn: bytes) -> str:
+        wal = _wal(tmp_path, fsync_policy="always")
+        wal.append(b"intact-1")
+        wal.append(b"intact-2")
+        wal.close()
+        with open(wal.path, "ab") as handle:
+            handle.write(torn)
+        return wal.path
+
+    def test_torn_header_is_dropped(self, tmp_path):
+        path = self._write_then_tear(tmp_path, b"\x03\x00")
+        scan = scan_wal(path)
+        assert [s for s, _ in scan.records] == [1, 2]
+        assert scan.torn_bytes == 2
+
+    def test_torn_payload_is_dropped(self, tmp_path):
+        torn = _HEADER.pack(3, 100, 0) + b"only-ten-b"
+        path = self._write_then_tear(tmp_path, torn)
+        scan = scan_wal(path)
+        assert [s for s, _ in scan.records] == [1, 2]
+        assert scan.torn_bytes == len(torn)
+
+    def test_checksum_torn_tail_is_dropped(self, tmp_path):
+        body = b"garbled-payload"
+        torn = _HEADER.pack(3, len(body), 12345) + body
+        path = self._write_then_tear(tmp_path, torn)
+        scan = scan_wal(path)
+        assert [s for s, _ in scan.records] == [1, 2]
+        assert scan.torn_bytes == len(torn)
+
+    def test_reopen_truncates_torn_tail_before_appending(self, tmp_path):
+        path = self._write_then_tear(tmp_path, b"\x99" * 7)
+        wal = WriteAheadLog(path, fsync_policy="always")
+        assert wal.append(b"intact-3") == 3
+        wal.close()
+        scan = scan_wal(path)
+        assert [s for s, _ in scan.records] == [1, 2, 3]
+        assert scan.torn_bytes == 0
+
+    def test_interior_corruption_is_loud(self, tmp_path):
+        wal = _wal(tmp_path, fsync_policy="always")
+        wal.append(b"first-record")
+        wal.append(b"second-record")
+        wal.close()
+        with open(wal.path, "r+b") as handle:
+            handle.seek(_HEADER.size + 2)  # inside record 1's payload
+            handle.write(b"\xff")
+        with pytest.raises(WalCorruptionError):
+            scan_wal(wal.path)
+
+    def test_non_contiguous_seq_is_loud(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        import zlib
+        with open(path, "wb") as handle:
+            for seq in (1, 5):
+                body = b"r%d" % seq
+                handle.write(_HEADER.pack(seq, len(body),
+                                          zlib.crc32(body)) + body)
+        with pytest.raises(WalCorruptionError):
+            scan_wal(path)
+
+
+class TestRecordCodec:
+    def test_rect_round_trip(self):
+        r = Rect(1.5, -2.0, 30.25, 4.0)
+        assert rec.decode_rect(rec.encode_rect(r)) == r
+
+    def test_point_round_trip(self):
+        p = Point(1.0, 2.0, 3.5)
+        out = rec.decode_point(rec.encode_point(p))
+        assert (out.x, out.y, out.z) == (1.0, 2.0, 3.5)
+
+    def test_spec_round_trip(self):
+        spec = SensorSpec(sensor_type="Ubisense", carry_probability=0.9,
+                          detection_probability=0.95,
+                          misident_probability=0.05, z_area_scaled=True,
+                          resolution=0.5, time_to_live=3.0)
+        twin = rec.decode_spec(rec.encode_spec(spec))
+        assert twin == spec
+
+    def test_none_spec_round_trip(self):
+        assert rec.decode_spec(rec.encode_spec(None)) is None
+
+    def test_reading_row_round_trip(self):
+        row = {
+            "reading_id": 7,
+            "sensor_id": "Ubi-18",
+            "glob_prefix": "CS/Floor3",
+            "sensor_type": "Ubisense",
+            "mobile_object_id": "alice",
+            "location": Point(10.0, 20.0, 0.0),
+            "detection_radius": 1.5,
+            "rect": Rect(9.0, 19.0, 11.0, 21.0),
+            "detection_time": 42.0,
+            "moving": True,
+        }
+        assert rec.decode_reading_row(rec.encode_reading_row(row)) == row
+
+    def test_reading_row_without_location(self):
+        row = {
+            "reading_id": 8,
+            "sensor_id": "RF-12",
+            "glob_prefix": "CS/Floor3",
+            "sensor_type": "RF",
+            "mobile_object_id": "bob",
+            "location": None,
+            "detection_radius": 0.0,
+            "rect": Rect(0.0, 0.0, 5.0, 5.0),
+            "detection_time": 1.0,
+            "moving": False,
+        }
+        assert rec.decode_reading_row(rec.encode_reading_row(row)) == row
+
+    def test_op_envelope_round_trip(self):
+        op = {"op": rec.OP_PURGE, "now": 9.0, "reading_ids": [1, 2, 3]}
+        assert rec.decode_op(rec.encode_op(op)) == op
+
+    def test_op_encoding_is_deterministic(self):
+        a = {"op": rec.OP_EXPIRE, "object_id": "alice",
+             "sensor_id": None, "reading_ids": [4, 9]}
+        b = {"reading_ids": [4, 9], "sensor_id": None,
+             "object_id": "alice", "op": rec.OP_EXPIRE}
+        assert rec.encode_op(a) == rec.encode_op(b)
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(StorageError):
+            rec.encode_op({"op": "truncate-table"})
+
+class TestInsertFastPath:
+    """The specialized insert codecs used on the ingestion hot path.
+
+    Three encoders must agree: the generic ``encode_op``, the
+    single-pass JSON ``encode_insert_op``, and the split
+    ``encode_insert_parts`` / ``assemble_insert_op`` pair (which emits
+    the packed binary wire form when every numeric is a float, and the
+    JSON form otherwise).
+    """
+
+    ROW = {
+        "reading_id": 41,
+        "sensor_id": "Ubi-18",
+        "glob_prefix": "CS/Floor3",
+        "sensor_type": "Ubisense",
+        "mobile_object_id": "alice éè",
+        "location": Point(10.25, -20.5, 0.75),
+        "detection_radius": 1.5,
+        "rect": Rect(9.0, -21.5, 11.5, -19.5),
+        "detection_time": 42.125,
+        "moving": True,
+    }
+
+    @staticmethod
+    def _generic(row):
+        return rec.encode_op({"op": rec.OP_INSERT_READING,
+                              "row": rec.encode_reading_row(row)})
+
+    @staticmethod
+    def _parts(row):
+        return rec.encode_insert_parts(
+            row["sensor_id"], row["glob_prefix"], row["sensor_type"],
+            row["mobile_object_id"], row["location"],
+            row["detection_radius"], row["rect"],
+            row["detection_time"])
+
+    def test_fast_json_encoder_byte_identical_to_generic(self):
+        assert rec.encode_insert_op(self.ROW) == self._generic(self.ROW)
+
+    def test_fast_json_encoder_handles_negative_zero(self):
+        row = dict(self.ROW, detection_time=-0.0,
+                   rect=Rect(-0.0, 0.0, 1.0, 1.0), location=None)
+        assert rec.encode_insert_op(row) == self._generic(row)
+
+    def test_all_float_row_takes_binary_form(self):
+        empty, head = self._parts(self.ROW)
+        assert empty == b""
+        payload = rec.assemble_insert_op((empty, head),
+                                         self.ROW["reading_id"],
+                                         self.ROW["moving"])
+        assert payload[0] == 0x01  # the binary magic, never '{'
+        assert len(payload) < len(self._generic(self.ROW))
+
+    def test_binary_form_replays_identically(self):
+        payload = rec.assemble_insert_op(
+            self._parts(self.ROW), self.ROW["reading_id"],
+            self.ROW["moving"])
+        assert rec.decode_op(payload) == \
+            rec.decode_op(self._generic(self.ROW))
+
+    def test_binary_form_without_location(self):
+        row = dict(self.ROW, location=None, moving=False)
+        payload = rec.assemble_insert_op(
+            self._parts(row), row["reading_id"], row["moving"])
+        decoded = rec.decode_op(payload)
+        assert decoded == rec.decode_op(self._generic(row))
+        assert decoded["row"]["location"] is None
+        assert decoded["row"]["moving"] is False
+
+    def test_int_coordinates_fall_back_to_json(self):
+        # struct '<d' would turn these ints into floats and change the
+        # replayed row's fingerprint; the parts encoder must notice
+        # and emit the JSON form instead.
+        row = dict(self.ROW, rect=Rect(9, -22, 12, -19),
+                   detection_time=42)
+        head, tail = self._parts(row)
+        assert head != b""
+        payload = rec.assemble_insert_op(
+            (head, tail), row["reading_id"], row["moving"])
+        assert payload == self._generic(row)
+
+    def test_binary_encoding_is_deterministic(self):
+        one = rec.assemble_insert_op(self._parts(self.ROW), 41, True)
+        two = rec.assemble_insert_op(self._parts(self.ROW), 41, True)
+        assert one == two
+
+    def test_truncated_binary_record_rejected(self):
+        payload = rec.assemble_insert_op(self._parts(self.ROW), 41, True)
+        with pytest.raises(StorageError):
+            rec.decode_op(payload[:-3])
+
+    def test_binary_record_with_trailing_garbage_rejected(self):
+        payload = rec.assemble_insert_op(self._parts(self.ROW), 41, True)
+        with pytest.raises(StorageError):
+            rec.decode_op(payload + b"\x00")
