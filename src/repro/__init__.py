@@ -38,6 +38,9 @@ Package map (see DESIGN.md for the full inventory):
   chaos-test invariants for the sensing→fusion→notify path.
 * :mod:`repro.service` — the Location Service (queries,
   subscriptions, privacy, symbolic regions).
+* :mod:`repro.shard` — multiprocess scale-out: the tracked-object
+  population partitioned across N shard processes behind a router
+  over the ORB's TCP transport.
 * :mod:`repro.sim` — simulated buildings, people and sensors.
 * :mod:`repro.apps` — Follow Me, Anywhere IM, notifications, the
   vocal locator.
@@ -67,6 +70,7 @@ from repro.service import (
     PrivacyPolicy,
     publish_service,
 )
+from repro.shard import ShardCluster, ShardRouter
 from repro.sim import (
     Scenario,
     SimClock,

@@ -105,6 +105,12 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="fsync policy when --wal-dir is set")
     pipeline.add_argument("--snapshot-interval", type=int, default=None,
                           help="cut a snapshot every N journaled records")
+    pipeline.add_argument("--shards", type=int, default=0,
+                          help="partition the world across N shard "
+                               "processes fronted by a router (0 = "
+                               "single-process pipeline); with "
+                               "--wal-dir each shard journals its own "
+                               "write-ahead log")
 
     recover = sub.add_parser(
         "recover",
@@ -159,6 +165,8 @@ def _cmd_calibrate(args: argparse.Namespace) -> int:
 
 
 def _cmd_pipeline(args: argparse.Namespace) -> int:
+    if args.shards > 0:
+        return _run_sharded(args)
     scenario = Scenario(seed=args.seed)
     if args.wal_dir is not None:
         # Attach durability before sensors register so the deployment's
@@ -191,6 +199,54 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 1
     return 0
+
+
+def _run_sharded(args: argparse.Namespace) -> int:
+    """The ``pipeline --shards N`` path: a real multiprocess fleet."""
+    scenario = Scenario(seed=args.seed).standard_deployment()
+    scenario.add_people(args.people)
+    router = scenario.use_shards(
+        args.shards, wal_root=args.wal_dir,
+        durability_mode=args.durability,
+        pipeline={
+            "workers": args.workers,
+            "max_batch": args.batch,
+            "max_wait": args.max_wait,
+            "overflow_policy": args.policy,
+        })
+    try:
+        scenario.run(args.seconds, dt=1.0)
+        router.drain()
+        stats = router.stats()
+        fleet = stats["fleet"]
+        route = stats["router"]
+        print(f"shards={route['shards']} submitted={route['submitted']} "
+              f"forwarded={route['forwarded']} "
+              f"dead_lettered={route['router_dead_lettered']}")
+        print(f"fleet: enqueued={fleet['enqueued']} "
+              f"fused={fleet['fused']} dropped={fleet['dropped']} "
+              f"dead_lettered={fleet['dead_lettered']} "
+              f"cache_hits={fleet['fusion_cache_hits']} "
+              f"readings={fleet['readings']}")
+        for shard in stats["shards"]:
+            if shard is None:
+                continue
+            print(f"  shard {shard['shard']}: pid={shard['pid']} "
+                  f"readings={shard['readings']} "
+                  f"fused={shard['pipeline']['fused']} "
+                  f"tracked={shard['tracked']}")
+        if not router.reconciles():
+            print("WARNING: fleet accounting does not reconcile",
+                  file=sys.stderr)
+            return 1
+        errors = router.check_invariants()
+        if errors:
+            for error in errors:
+                print(f"WARNING: {error}", file=sys.stderr)
+            return 1
+        return 0
+    finally:
+        scenario.shard_cluster.shutdown()
 
 
 def _cmd_recover(args: argparse.Namespace) -> int:

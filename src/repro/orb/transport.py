@@ -180,15 +180,32 @@ class TcpServer:
 
 
 class TcpTransport:
-    """Client side of the TCP transport: one persistent connection,
-    serialized by a lock, reconnecting once on a broken pipe."""
+    """Client side of the TCP transport: a pool of connections.
 
-    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+    Earlier versions held ONE persistent socket behind a lock, so
+    concurrent invokes from different threads serialized head-of-line:
+    a router fanning a query out to N shards paid N round trips
+    sequentially.  The pool checks a connection out per invoke (opening
+    a new one when all are busy) and checks it back in afterwards, so
+    independent requests proceed in parallel; up to ``max_idle``
+    connections are retained between invokes.
+
+    Failure semantics match the old transport: a request that dies on
+    the wire is retried once on a fresh connection, and an endpoint
+    nobody listens on raises :class:`TransportError` immediately.
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0,
+                 max_idle: int = 8) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
-        self._sock: Optional[socket.socket] = None
+        self.max_idle = max_idle
+        self._idle: "list[socket.socket]" = []
         self._lock = threading.Lock()
+        self.connections_opened = 0
+        self.connections_reused = 0
+        self.retries = 0
 
     def _connect(self) -> socket.socket:
         try:
@@ -198,38 +215,69 @@ class TcpTransport:
             raise TransportError(
                 f"cannot connect to {self.host}:{self.port}: {exc}") from exc
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        with self._lock:
+            self.connections_opened += 1
         return sock
+
+    def _checkout(self) -> socket.socket:
+        with self._lock:
+            if self._idle:
+                self.connections_reused += 1
+                return self._idle.pop()
+        return self._connect()
+
+    def _checkin(self, sock: socket.socket) -> None:
+        with self._lock:
+            if len(self._idle) < self.max_idle:
+                self._idle.append(sock)
+                return
+        _close_quietly(sock)
 
     def invoke(self, request: Dict[str, Any]) -> Dict[str, Any]:
         payload = serialization.dumps(request)
-        with self._lock:
-            for attempt in (1, 2):
-                if self._sock is None:
-                    self._sock = self._connect()
-                try:
-                    _send_frame(self._sock, payload)
-                    frame = _recv_frame(self._sock)
-                    break
-                except (OSError, TransportError):
-                    # Drop the connection; retry once on a fresh one.
-                    self._teardown()
-                    if attempt == 2:
-                        raise TransportError(
-                            f"request to {self.host}:{self.port} failed "
-                            "after reconnect")
+        frame: Optional[bytes] = None
+        for attempt in (1, 2):
+            sock = self._checkout()
+            try:
+                _send_frame(sock, payload)
+                frame = _recv_frame(sock)
+            except (OSError, TransportError):
+                # A dead connection (pooled-but-stale or mid-request
+                # failure): drop it and retry once on a fresh socket.
+                _close_quietly(sock)
+                if attempt == 2:
+                    raise TransportError(
+                        f"request to {self.host}:{self.port} failed "
+                        "after reconnect")
+                with self._lock:
+                    self.retries += 1
+            else:
+                self._checkin(sock)
+                break
+        assert frame is not None
         response = serialization.loads(frame)
         if not isinstance(response, dict):
             raise TransportError("malformed response frame")
         return response
 
-    def _teardown(self) -> None:
-        if self._sock is not None:
-            try:
-                self._sock.close()
-            except OSError:
-                pass
-            self._sock = None
+    def pool_stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "idle": len(self._idle),
+                "opened": self.connections_opened,
+                "reused": self.connections_reused,
+                "retries": self.retries,
+            }
 
     def close(self) -> None:
         with self._lock:
-            self._teardown()
+            doomed, self._idle = self._idle, []
+        for sock in doomed:
+            _close_quietly(sock)
+
+
+def _close_quietly(sock: socket.socket) -> None:
+    try:
+        sock.close()
+    except OSError:
+        pass

@@ -1,0 +1,34 @@
+"""Multiprocess scale-out: the world partitioned into shard processes.
+
+The single-process engine is GIL-bound (the pipeline worker pool
+anti-scales); this package breaks that ceiling by partitioning the
+*tracked-object population* across N full engines in separate
+processes, fronted by a router speaking the ORB's TCP transport.
+Per-object state never splits across shards, so every shard's answers
+are bit-identical to the single-process reference — pinned by
+``tests/test_shard_equivalence.py``.
+
+See ``docs/SHARDING.md`` for the partitioning, routing, merge and
+failure/recovery story.
+"""
+
+from repro.shard.cluster import ShardCluster
+from repro.shard.merge import merge_event_streams, merge_region_results
+from repro.shard.partitioner import HashPartitioner
+from repro.shard.router import ShardRouter
+from repro.shard.worker import (
+    SHARD_OBJECT_ID,
+    ShardServant,
+    shard_worker_main,
+)
+
+__all__ = [
+    "SHARD_OBJECT_ID",
+    "HashPartitioner",
+    "ShardCluster",
+    "ShardRouter",
+    "ShardServant",
+    "merge_event_streams",
+    "merge_region_results",
+    "shard_worker_main",
+]

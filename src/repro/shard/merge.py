@@ -1,0 +1,50 @@
+"""Cross-shard result merging.
+
+Shards own disjoint object sets, so merging is concatenation plus the
+order pins the single-process engine already guarantees:
+
+* ``objects_in_region`` — (confidence descending, object id), exactly
+  the sort :meth:`LocationService.objects_in_region` applies.  Each
+  per-object confidence is computed by one shard from that object's
+  full reading set, so the merged list is bit-identical to the
+  reference's.
+* subscription events — (time, object id, shard-local sequence):
+  events for one object come from one shard in its dispatch order, so
+  the per-object subsequence is exactly the reference's dispatch
+  order; cross-object interleaving is fixed deterministically by the
+  sort.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Tuple
+
+
+def merge_region_results(
+        per_shard: Iterable[List[Tuple[str, float]]]
+) -> List[Tuple[str, float]]:
+    """Merge per-shard (object_id, confidence) lists into one ordering."""
+    merged: List[Tuple[str, float]] = []
+    for chunk in per_shard:
+        merged.extend((str(object_id), float(confidence))
+                      for object_id, confidence in chunk)
+    merged.sort(key=lambda pair: (-pair[1], pair[0]))
+    return merged
+
+
+def merge_event_streams(
+        per_shard: Iterable[List[Dict[str, Any]]]
+) -> List[Dict[str, Any]]:
+    """Merge per-shard event buffers into one deterministic stream.
+
+    Each event carries a shard-local ``_seq`` stamped at dispatch;
+    the merge key (time, object id, seq) preserves every shard's
+    per-object dispatch order while fixing the interleave.
+    """
+    merged: List[Dict[str, Any]] = []
+    for chunk in per_shard:
+        merged.extend(chunk)
+    merged.sort(key=lambda event: (event.get("time", 0.0),
+                                   str(event.get("object_id", "")),
+                                   event.get("_seq", 0)))
+    return merged

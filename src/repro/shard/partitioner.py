@@ -1,0 +1,94 @@
+"""Object-to-shard placement: stable hashing with region affinity.
+
+The world is partitioned by *mobile object*, not by space: every
+reading, trigger and query for one object lands on one shard, so a
+shard fuses from the complete reading set and its answers are
+bit-identical to the single-process engine's.  Placement must be
+deterministic across processes and runs — the equivalence suite
+replays one insert stream against 1, 2 and 4 shards and compares
+results — so the hash is CRC-32 of the object id (Python's builtin
+``hash`` is salted per process and would scatter objects differently
+every run).
+
+A deployment that knows where an object will mostly be sighted can
+pre-place it near its data: ``region_affinity`` maps a region GLOB
+prefix to a shard index, and the first sighting whose hint matches
+pins the object there.  Pins are sticky — later sightings elsewhere
+do not move the object, because moving it would split its reading
+history across shards.
+"""
+
+from __future__ import annotations
+
+import threading
+import zlib
+from typing import Dict, Optional
+
+
+class HashPartitioner:
+    """Deterministic object-id -> shard-index placement.
+
+    Args:
+        num_shards: shard count (>= 1).
+        region_affinity: optional ``{glob_prefix: shard_index}`` hints;
+            a first sighting under a mapped prefix pins the object to
+            that shard instead of its hash slot.
+    """
+
+    def __init__(self, num_shards: int,
+                 region_affinity: Optional[Dict[str, int]] = None) -> None:
+        if num_shards < 1:
+            raise ValueError("need at least one shard")
+        self.num_shards = num_shards
+        self.region_affinity = dict(region_affinity or {})
+        for prefix, index in self.region_affinity.items():
+            if not 0 <= index < num_shards:
+                raise ValueError(
+                    f"affinity {prefix!r} -> {index} out of range")
+        self._pins: Dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    def hash_slot(self, object_id: str) -> int:
+        """The pure hash placement, ignoring pins and affinity."""
+        return zlib.crc32(object_id.encode("utf-8")) % self.num_shards
+
+    def shard_for(self, object_id: str,
+                  region_hint: Optional[str] = None) -> int:
+        """The owning shard, pinning on first sight.
+
+        ``region_hint`` is typically the reading's ``glob_prefix``;
+        the longest affinity prefix it starts with wins.
+        """
+        with self._lock:
+            pinned = self._pins.get(object_id)
+            if pinned is not None:
+                return pinned
+            shard = None
+            if region_hint and self.region_affinity:
+                best = -1
+                for prefix, index in self.region_affinity.items():
+                    if (region_hint.startswith(prefix)
+                            and len(prefix) > best):
+                        best = len(prefix)
+                        shard = index
+            if shard is None:
+                shard = self.hash_slot(object_id)
+            self._pins[object_id] = shard
+            return shard
+
+    def pinned(self, object_id: str) -> Optional[int]:
+        """The shard an object is already pinned to, if any."""
+        with self._lock:
+            return self._pins.get(object_id)
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            out = {f"shard_{i}_objects": 0 for i in range(self.num_shards)}
+            affine = 0
+            for object_id, shard in self._pins.items():
+                out[f"shard_{shard}_objects"] += 1
+                if shard != self.hash_slot(object_id):
+                    affine += 1
+            out["pinned"] = len(self._pins)
+            out["affinity_placed"] = affine
+            return out

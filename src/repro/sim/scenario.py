@@ -55,6 +55,8 @@ class Scenario:
         self.pipeline = None  # set by use_pipeline()
         self.fault_plan = None  # set by use_pipeline(fault_plan=...)
         self.durability = None  # set by use_durability()
+        self.shard_cluster = None  # set by use_shards()
+        self.router = None  # set by use_shards()
         self._published_reference: Optional[str] = None
 
     # ------------------------------------------------------------------
@@ -132,6 +134,46 @@ class Scenario:
             self.durability.attach_fault_plan(fault_plan)
         self.pipeline.start()
         return self.pipeline
+
+    def use_shards(self, num_shards: int, *, wal_root: Optional[str] = None,
+                   durability_mode: str = "buffered", pipeline=None,
+                   fusion_cache_capacity: int = 32,
+                   region_affinity=None, batch_size: int = 32):
+        """Scale the scenario out across shard processes.
+
+        Spawns a :class:`repro.shard.ShardCluster` (each shard a full
+        engine in its own process, reachable over the ORB's TCP
+        transport), replays the deployment's sensor registrations to
+        the fleet, and points every installed adapter's sink at the
+        cluster's :class:`~repro.shard.ShardRouter`.  From then on the
+        scenario's *ingest* runs sharded while ``self.service`` stays
+        available as the single-process reference.  Call
+        ``router.drain()`` before querying the fleet; call
+        ``scenario.shard_cluster.shutdown()`` when done.  Returns the
+        router.  Mutually exclusive with :meth:`use_pipeline` — the
+        shards run their own pipelines.
+        """
+        from repro.shard import ShardCluster
+        if self.pipeline is not None:
+            raise SimulationError(
+                "use_shards and use_pipeline are mutually exclusive: "
+                "each shard runs its own ingestion pipeline")
+        if self.shard_cluster is not None:
+            raise SimulationError("scenario already sharded")
+        self.shard_cluster = ShardCluster(
+            num_shards, world=self.world, wal_root=wal_root,
+            durability_mode=durability_mode, pipeline=pipeline,
+            fusion_cache_capacity=fusion_cache_capacity,
+            region_affinity=region_affinity, batch_size=batch_size)
+        router = self.shard_cluster.router
+        for row in self.db.sensor_specs.select():
+            router.register_sensor(
+                row["sensor_id"], row["sensor_type"], row["confidence"],
+                row["time_to_live"], row["spec"])
+        for adapter in self.deployment.adapters():
+            adapter.set_sink(router)
+        self.router = router
+        return router
 
     def use_durability(self, wal_dir: str, mode=None,
                        snapshot_interval: Optional[int] = None):

@@ -123,6 +123,25 @@ class TestTransportFailures:
         finally:
             server2.shutdown()
 
+    def test_pool_retries_stale_connection_once(self, client_orb):
+        """A connection that went stale in the pool is retried on a
+        fresh socket, and the retry is counted."""
+        server = Orb("stale")
+        server.register("counter", Counter())
+        host, port = server.listen()
+        proxy = client_orb.resolve(f"tcp://{host}:{port}/counter")
+        assert proxy.increment() == 1
+        server.shutdown()
+        server2 = Orb("stale-2")
+        server2.register("counter", Counter())
+        server2.listen(host=host, port=port)
+        try:
+            assert proxy.increment() == 1
+            transport = client_orb._transports[(host, port)]
+            assert transport.pool_stats()["retries"] >= 1
+        finally:
+            server2.shutdown()
+
     def test_call_after_shutdown_fails(self, client_orb):
         server = Orb()
         server.register("counter", Counter())
@@ -134,3 +153,112 @@ class TestTransportFailures:
         server.shutdown()
         with pytest.raises(TransportError):
             proxy.increment()
+
+
+class Sleeper:
+    """A servant whose method holds its worker thread for a while."""
+
+    def __init__(self, delay=0.25):
+        self.delay = delay
+
+    def nap(self):
+        import time
+        time.sleep(self.delay)
+        return "rested"
+
+
+class TestRouterStyleStress:
+    """One client orb hammering a fleet of endpoints concurrently —
+    the shard router's exact access pattern.  The old single-socket
+    transport serialized every caller behind one lock (and a request
+    racing a reconnect could read another request's reply frame); the
+    pooled transport gives each in-flight request its own socket."""
+
+    NUM_SERVERS = 4
+    NUM_THREADS = 8
+    CALLS_PER_THREAD = 25
+
+    def test_concurrent_fanout_across_endpoints(self, client_orb):
+        servers = []
+        counters = []
+        try:
+            for i in range(self.NUM_SERVERS):
+                orb = Orb(f"shard-{i}")
+                counter = Counter()
+                orb.register("counter", counter)
+                orb.listen()
+                servers.append(orb)
+                counters.append(counter)
+            proxies = [client_orb.resolve(orb.reference_for("counter"))
+                       for orb in servers]
+            errors = []
+
+            def worker(worker_id):
+                try:
+                    for call in range(self.CALLS_PER_THREAD):
+                        # Interleave endpoints so every thread keeps
+                        # several transports hot at once.
+                        proxy = proxies[(worker_id + call)
+                                        % self.NUM_SERVERS]
+                        proxy.increment()
+                        snap = proxy.snapshot()
+                        assert snap["rect"] == Rect(0, 0, 1, 1)
+                except Exception as exc:  # noqa: BLE001
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=worker, args=(i,))
+                       for i in range(self.NUM_THREADS)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert not errors
+            total = self.NUM_THREADS * self.CALLS_PER_THREAD
+            assert sum(c.value for c in counters) == total
+            # Every response must have reached its own caller: each
+            # counter saw exactly the increments routed to it.
+            per_server = total // self.NUM_SERVERS
+            assert [c.value for c in counters] \
+                == [per_server] * self.NUM_SERVERS
+            # The pool recycled sockets instead of reconnecting per
+            # call, and nothing needed a retry.
+            for orb in servers:
+                host, port = orb._tcp_server.address
+                stats = client_orb._transports[(host, port)].pool_stats()
+                assert stats["reused"] > 0
+                assert stats["retries"] == 0
+                assert stats["opened"] <= self.NUM_THREADS
+        finally:
+            for orb in servers:
+                orb.shutdown()
+
+    def test_slow_call_does_not_block_the_endpoint(self, client_orb):
+        """Head-of-line: with one pooled transport, a slow request
+        must not serialize the fast ones behind it."""
+        import time
+        server = Orb("sleepy")
+        server.register("sleeper", Sleeper(delay=0.4))
+        server.register("counter", Counter())
+        server.listen()
+        try:
+            sleeper = client_orb.resolve(server.reference_for("sleeper"))
+            counter = client_orb.resolve(server.reference_for("counter"))
+            done = []
+
+            def nap():
+                done.append(sleeper.nap())
+
+            napper = threading.Thread(target=nap)
+            start = time.monotonic()
+            napper.start()
+            time.sleep(0.05)  # let the nap request get on the wire
+            for _ in range(10):
+                counter.increment()
+            fast_elapsed = time.monotonic() - start
+            napper.join()
+            assert done == ["rested"]
+            # The fast calls finished while the nap was still held:
+            # far under the 0.4 s the serialized transport would take.
+            assert fast_elapsed < 0.4
+        finally:
+            server.shutdown()
