@@ -1,0 +1,186 @@
+"""Semantic trigger scaling: incremental engine vs the naive oracle.
+
+The incremental engine's claim: with S standing rules, one location
+update re-derives only the rules whose body atoms could have changed
+— the predicate/region inverted index and the R-tree probe over the
+containment-chain symmetric difference prune the rest.  The naive
+reference re-asserts every fact into a fresh knowledge base and
+re-evaluates all S rules on every epoch.
+
+The workload pins the paper's subscription-scaling story onto the
+semantic layer: 100 rules spread over the floor's twelve rooms (a mix
+of ``located_within``, ``at``, ``colocated_at`` and ``dwell`` bodies),
+32 objects reporting on a seeded walk where half the reports are
+keep-alives (a sensor re-detecting an unmoved badge).  A keep-alive
+flips nothing and prunes every rule; a move touches two rooms'
+containment chains, so ~1/6 of the rules can have changed and the
+rest must be pruned, not re-proved.
+
+Both engines consume the identical stream and must emit identical
+event streams — the benchmark is also a differential test at scale.
+Results go to benchmarks/results/semantic_trigger_scaling.txt; the
+``test_perf_smoke_semantic_triggers`` gate holds the 10x floor.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import List, Tuple
+
+from _support import write_result
+from repro.model import Glob
+from repro.reasoning.incremental import (
+    MODE_INCREMENTAL,
+    MODE_REFERENCE,
+    LocationUpdate,
+    SemanticTriggerEngine,
+)
+from repro.sim import siebel_floor
+
+SUBSCRIPTIONS = 100
+OBJECTS = 32
+UPDATES = 200
+SEED = 20260807
+
+WORLD = siebel_floor()
+
+ROOMS = (
+    "SC/3/3102", "SC/3/3104", "SC/3/3105", "SC/3/3110",
+    "SC/3/3216", "SC/3/3218", "SC/3/3224", "SC/3/3226",
+    "SC/3/ConferenceRoom", "SC/3/Corridor", "SC/3/HCILab",
+    "SC/3/NetLab",
+)
+
+
+def _rules(count: int) -> List[str]:
+    """``count`` rules cycling rooms and body shapes."""
+    rules = []
+    for i in range(count):
+        room = ROOMS[i % len(ROOMS)]
+        variant = i % 4
+        if variant == 0:
+            rules.append(f"occ{i}(P) :- located_within(P, '{room}')")
+        elif variant == 1:
+            rules.append(f"fine{i}(P) :- at(P, '{room}')")
+        elif variant == 2:
+            rules.append(f"meet{i}(P, Q) :- "
+                         f"colocated_at(P, Q, '{room}'), distinct(P, Q)")
+        else:
+            rules.append(f"camp{i}(P) :- dwell(P, '{room}', 5)")
+    return rules
+
+
+def _stream(updates: int, objects: int) -> List[LocationUpdate]:
+    """A seeded walk with the paper's sensor cadence: each step one
+    object reports.  Half the reports are keep-alives (the sensor
+    re-detecting an unmoved badge), the other half teleport the object
+    to one of two standing positions inside a freshly drawn room."""
+    rng = random.Random(SEED)
+    spots = []
+    for room in ROOMS:
+        rect = WORLD.resolve_symbolic(Glob.parse(room))
+        for fraction in (0.3, 0.7):
+            spots.append((room,
+                          (rect.min_x + fraction
+                           * (rect.max_x - rect.min_x),
+                           rect.min_y + fraction
+                           * (rect.max_y - rect.min_y))))
+    standing: dict = {}
+    out = []
+    for step in range(updates):
+        object_id = f"person-{rng.randrange(objects):02d}"
+        if object_id in standing and rng.random() < 0.5:
+            region, center = standing[object_id]
+        else:
+            region, center = spots[rng.randrange(len(spots))]
+            standing[object_id] = (region, center)
+        out.append(LocationUpdate(
+            object_id=object_id, region=region, center=center,
+            time=float(step + 1)))
+    return out
+
+
+def _run(mode: str, rules: List[str],
+         stream: List[LocationUpdate]) -> Tuple[float, list, dict]:
+    """One engine over the whole workload; returns (seconds, events,
+    stats).  Subscription setup is timed too — the naive oracle pays
+    a full re-evaluation per subscribe as well."""
+    engine = SemanticTriggerEngine(WORLD, mode=mode)
+    events = []
+    start = time.perf_counter()
+    for index, rule in enumerate(rules):
+        events.extend(engine.subscribe(f"s{index}", rule, now=0.0))
+    for update in stream:
+        events.extend(engine.on_update(update))
+    elapsed = time.perf_counter() - start
+    return elapsed, events, engine.stats()
+
+
+def _series() -> dict:
+    rules = _rules(SUBSCRIPTIONS)
+    stream = _stream(UPDATES, OBJECTS)
+    incremental = _run(MODE_INCREMENTAL, rules, stream)
+    reference = _run(MODE_REFERENCE, rules, stream)
+    assert incremental[1] == reference[1], (
+        "incremental and reference event streams diverged")
+    return {"incremental": incremental, "reference": reference,
+            "events": len(incremental[1])}
+
+
+def test_semantic_trigger_scaling(results_dir):
+    series = _series()
+    inc_s, _, inc_stats = series["incremental"]
+    ref_s, _, ref_stats = series["reference"]
+    speedup = ref_s / inc_s
+    lines = [
+        "Semantic trigger scaling - incremental engine vs naive oracle",
+        f"({SUBSCRIPTIONS} semantic subscriptions over "
+        f"{len(ROOMS)} rooms; {OBJECTS} objects, {UPDATES} location "
+        f"updates; identical event streams verified)",
+        "",
+        f"{'engine':>12} {'seconds':>9} {'updates/s':>10} "
+        f"{'evaluated':>10} {'pruned':>8} {'rebuilds':>9}",
+        f"{'incremental':>12} {inc_s:>9.3f} {UPDATES / inc_s:>10.0f} "
+        f"{inc_stats['evaluated']:>10} {inc_stats['pruned']:>8} "
+        f"{inc_stats['kb_rebuilds']:>9}",
+        f"{'reference':>12} {ref_s:>9.3f} {UPDATES / ref_s:>10.0f} "
+        f"{ref_stats['evaluated']:>10} {ref_stats['pruned']:>8} "
+        f"{ref_stats['kb_rebuilds']:>9}",
+        "",
+        f"events emitted: {series['events']} (bit-identical streams)",
+        f"speedup: {speedup:.1f}x (acceptance floor: 10x)",
+        "A keep-alive report flips nothing and prunes every rule; a "
+        "move flips two rooms' containment chains, so ~1/6 of the "
+        "rules are affected and the rest are pruned by the "
+        "region/predicate index instead of re-proved.",
+    ]
+    write_result(results_dir, "semantic_trigger_scaling", lines)
+    # The pruning did the work, not luck: most rule-epochs skipped.
+    assert inc_stats["pruned"] > inc_stats["evaluated"]
+    assert inc_stats["kb_rebuilds"] == 1
+    assert speedup >= 10.0, (
+        f"semantic speedup {speedup:.1f}x below the 10x floor "
+        f"(incremental {inc_s:.3f}s, reference {ref_s:.3f}s)")
+
+
+def test_perf_smoke_semantic_triggers():
+    """CI gate: the incremental engine beats the naive oracle 10x at
+    100 subscriptions / 32 objects.  Best-of-two per engine irons out
+    scheduler noise on shared runners."""
+    rules = _rules(SUBSCRIPTIONS)
+    stream = _stream(UPDATES, OBJECTS)
+    inc = min(_run(MODE_INCREMENTAL, rules, stream)[0]
+              for _ in range(2))
+    ref = min(_run(MODE_REFERENCE, rules, stream)[0] for _ in range(2))
+    speedup = ref / inc
+    assert speedup >= 10.0, (
+        f"semantic speedup {speedup:.1f}x below the 10x acceptance "
+        f"floor (incremental {inc:.3f}s, reference {ref:.3f}s)")
+
+
+if __name__ == "__main__":
+    result = _series()
+    print("incremental", result["incremental"][0],
+          result["incremental"][2])
+    print("reference", result["reference"][0], result["reference"][2])

@@ -10,6 +10,8 @@ Commands:
 * ``calibrate`` — run the simulated user study and print the report.
 * ``pipeline`` — run a scenario through the async ingestion pipeline
   and print its throughput/latency statistics.
+* ``semantic`` — run a scenario with semantic rule subscriptions and
+  print every enter/leave event the trigger engine derives.
 """
 
 from __future__ import annotations
@@ -25,6 +27,7 @@ from repro.pipeline import (
     OVERFLOW_POLICIES,
     PipelineConfig,
 )
+from repro.reasoning.incremental import MODE_INCREMENTAL, MODE_REFERENCE
 from repro.sim import (
     Scenario,
     campus_world,
@@ -117,6 +120,23 @@ def _build_parser() -> argparse.ArgumentParser:
         help="rebuild a spatial database from a WAL directory")
     recover.add_argument("wal_dir",
                          help="directory written by a --wal-dir run")
+
+    semantic = sub.add_parser(
+        "semantic",
+        help="run a scenario with semantic rule subscriptions")
+    semantic.add_argument(
+        "rules", nargs="*",
+        help="Horn rules over derived facts, e.g. \"meeting(P, Q) :- "
+             "colocated_at(P, Q, 'SC/3/3104'), distinct(P, Q)\"; "
+             "defaults to an occupancy + meeting pair")
+    semantic.add_argument("--people", type=int, default=4)
+    semantic.add_argument("--seconds", type=float, default=120.0)
+    semantic.add_argument("--seed", type=int, default=7)
+    semantic.add_argument("--mode",
+                          choices=[MODE_INCREMENTAL, MODE_REFERENCE],
+                          default=MODE_INCREMENTAL,
+                          help="incremental engine or the naive "
+                               "full-re-evaluation oracle")
     return parser
 
 
@@ -249,6 +269,35 @@ def _run_sharded(args: argparse.Namespace) -> int:
         scenario.shard_cluster.shutdown()
 
 
+_DEFAULT_SEMANTIC_RULES = (
+    "occupied(P) :- located_within(P, 'SC/3/3105')",
+    "meeting(P, Q) :- colocated_at(P, Q, 'SC/3/3105'), distinct(P, Q)",
+)
+
+
+def _cmd_semantic(args: argparse.Namespace) -> int:
+    scenario = Scenario(seed=args.seed).standard_deployment()
+    scenario.add_people(args.people)
+    rules = args.rules or list(_DEFAULT_SEMANTIC_RULES)
+
+    def consumer(event):
+        bindings = " ".join(f"{var}={value}" for var, value
+                            in sorted(event["bindings"].items()))
+        print(f"t={event['time']:8.1f}  {event['transition']:5s}  "
+              f"{event['head']}  {bindings}")
+
+    for rule in rules:
+        print(f"rule: {rule}")
+        scenario.service.subscribe_semantic(rule, consumer=consumer,
+                                            mode=args.mode)
+    scenario.run(args.seconds, dt=1.0)
+    stats = scenario.service.semantic_manager(args.mode).stats()
+    pairs = " ".join(f"{key}={value}" for key, value
+                     in sorted(stats.items()))
+    print(f"semantic: {pairs}")
+    return 0
+
+
 def _cmd_recover(args: argparse.Namespace) -> int:
     from repro.storage import readings_fingerprint, recover
 
@@ -277,6 +326,7 @@ _COMMANDS = {
     "calibrate": _cmd_calibrate,
     "pipeline": _cmd_pipeline,
     "recover": _cmd_recover,
+    "semantic": _cmd_semantic,
 }
 
 

@@ -355,6 +355,12 @@ class LocationPipeline:
             if dispatch["pruned"]:
                 self.stats_recorder.incr("subscriptions_pruned",
                                          dispatch["pruned"])
+            if dispatch.get("semantic_evaluated"):
+                self.stats_recorder.incr("semantic_evaluated",
+                                         dispatch["semantic_evaluated"])
+            if dispatch.get("semantic_pruned"):
+                self.stats_recorder.incr("semantic_pruned",
+                                         dispatch["semantic_pruned"])
         if notified:
             self.stats_recorder.incr("notifications", notified)
             self.stats_recorder.fused_to_notified.record(

@@ -137,6 +137,10 @@ class PipelineStats:
         subscriptions_pruned: matching subscriptions skipped because
             the indexed dispatch proved them no-ops (region disjoint
             from the fused support, not inside, not zero-threshold).
+        semantic_evaluated: semantic rules re-derived against a fused
+            result (the incremental engine's affected set).
+        semantic_pruned: registered semantic rules skipped because no
+            body atom of theirs could have changed.
         enqueue_to_fused: latency from intake to fusion completion.
         fused_to_notified: latency from fusion to notification delivery.
     """
@@ -155,6 +159,8 @@ class PipelineStats:
     incremental_fusions: int = 0
     subscriptions_evaluated: int = 0
     subscriptions_pruned: int = 0
+    semantic_evaluated: int = 0
+    semantic_pruned: int = 0
     enqueue_to_fused: HistogramSnapshot = field(
         default_factory=lambda: HistogramSnapshot(0, 0.0, 0.0, 0.0, 0.0))
     fused_to_notified: HistogramSnapshot = field(
@@ -178,6 +184,8 @@ class PipelineStats:
             f"incremental_fusions={self.incremental_fusions}",
             f"subscriptions_evaluated={self.subscriptions_evaluated} "
             f"subscriptions_pruned={self.subscriptions_pruned}",
+            f"semantic_evaluated={self.semantic_evaluated} "
+            f"semantic_pruned={self.semantic_pruned}",
             f"enqueue->fused:    n={self.enqueue_to_fused.count} "
             f"p50={self.enqueue_to_fused.p50 * 1e3:.2f}ms "
             f"p95={self.enqueue_to_fused.p95 * 1e3:.2f}ms "
@@ -198,7 +206,8 @@ class PipelineStatsRecorder:
                  "rejected", "batches", "notifications", "retries",
                  "fusion_failures", "notify_failures",
                  "fusion_cache_hits", "incremental_fusions",
-                 "subscriptions_evaluated", "subscriptions_pruned")
+                 "subscriptions_evaluated", "subscriptions_pruned",
+                 "semantic_evaluated", "semantic_pruned")
 
     def __init__(self) -> None:
         self._lock = threading.Lock()

@@ -12,6 +12,15 @@ from repro.reasoning.composition import (
     compose,
     invert,
 )
+from repro.reasoning.incremental import (
+    MODE_INCREMENTAL,
+    MODE_REFERENCE,
+    SEMANTIC_RULES,
+    LocationUpdate,
+    SemanticRule,
+    SemanticTriggerEngine,
+    containment_chain,
+)
 from repro.reasoning.navgraph import Edge, Graph, NavigationGraph, Route
 from repro.reasoning.passages import (
     PassageRelation,
@@ -48,7 +57,14 @@ __all__ = [
     "Edge",
     "Graph",
     "KnowledgeBase",
+    "LocationUpdate",
+    "MODE_INCREMENTAL",
+    "MODE_REFERENCE",
     "NavigationGraph",
+    "SEMANTIC_RULES",
+    "SemanticRule",
+    "SemanticTriggerEngine",
+    "containment_chain",
     "PassageRelation",
     "ProbabilisticRelation",
     "RCC8",

@@ -71,9 +71,39 @@ class Rule:
     body: Tuple[Struct, ...] = ()
 
 
-# A pending goal paired with the reprs of its ancestor goals (for the
-# loop check in :meth:`KnowledgeBase._solve`).
+# A pending goal paired with the variant keys of its ancestor goals
+# (for the tabling check in :meth:`KnowledgeBase._solve`).
 _Goal = Tuple[Struct, "frozenset[str]"]
+
+
+def variant_key(goal: Struct) -> str:
+    """A canonical string for a goal, invariant under variable renaming.
+
+    Unbound variables are numbered in order of first appearance, so
+    ``reachable(a, Y__3)`` and ``reachable(a, Y__9)`` — the same goal
+    re-derived through a cyclic passage graph with fresh renamings —
+    map to the same key.  This is what lets the ancestor check behave
+    like visited-goal tabling instead of an exact-repr comparison.
+    """
+    mapping: Dict[str, str] = {}
+    parts: List[str] = []
+
+    def visit(term: Term) -> None:
+        if isinstance(term, Var):
+            if term.name not in mapping:
+                mapping[term.name] = f"_G{len(mapping)}"
+            parts.append(mapping[term.name])
+        elif isinstance(term, Atom):
+            parts.append("a\x00" + term.value)
+        else:
+            parts.append(term.functor + "(")
+            for arg in term.args:
+                visit(arg)
+                parts.append(",")
+            parts.append(")")
+
+    visit(goal)
+    return "".join(parts)
 
 
 # ----------------------------------------------------------------------
@@ -218,19 +248,73 @@ def resolve(term: Term, bindings: Bindings) -> Term:
     return term
 
 
+def _head_compatible(goal_args: Tuple[Term, ...],
+                     head_args: Tuple[Term, ...]) -> bool:
+    """Whether a clause head could possibly unify with a resolved goal.
+
+    A sound reject-only prefilter run before the clause is renamed: any
+    argument position where both sides are already concrete and clash
+    (different atoms, atom vs compound, compound functor/arity mismatch)
+    proves unification must fail, so the rename + unify attempt is
+    skipped.  Positions involving variables always pass — only
+    :func:`unify` decides those.  The goal side must be fully resolved
+    against the current bindings (``_solve`` guarantees this).
+    """
+    for goal_arg, head_arg in zip(goal_args, head_args):
+        if isinstance(goal_arg, Atom):
+            if isinstance(head_arg, Atom):
+                if goal_arg.value != head_arg.value:
+                    return False
+            elif isinstance(head_arg, Struct):
+                return False
+        elif isinstance(goal_arg, Struct):
+            if isinstance(head_arg, Atom):
+                return False
+            if isinstance(head_arg, Struct) and (
+                    goal_arg.functor != head_arg.functor
+                    or len(goal_arg.args) != len(head_arg.args)):
+                return False
+    return True
+
+
 # ----------------------------------------------------------------------
 # The knowledge base
 # ----------------------------------------------------------------------
 
 class KnowledgeBase:
-    """Facts + rules + SLD resolution with a depth limit.
+    """Facts + rules + SLD resolution with tabling and a depth limit.
 
-    The depth limit (default 256 goal expansions per branch) keeps
-    left-recursive rules from spinning; spatial rule sets are shallow.
+    Two complementary termination guards stand in for XSB's tabling:
+
+    * a **variant ancestor check** — a goal that is a renaming variant
+      of one of its own ancestors is pruned, which terminates cyclic
+      reachability (including recursion through fresh variables that
+      an exact-repr comparison misses);
+    * a **depth guard** — resolution that still descends past
+      ``max_depth`` goal expansions on one branch (e.g. recursion
+      through a growing function symbol, which never revisits a
+      variant) raises :class:`ReasoningError` instead of silently
+      truncating the answer set.
+
+    The variant check is sound for the shipped right-recursive spatial
+    rules; left-recursive rules whose recursive call repeats the
+    original argument pattern are terminated rather than fully
+    enumerated.
     """
 
     def __init__(self, max_depth: int = 256) -> None:
         self._rules: Dict[Tuple[str, int], List[Rule]] = {}
+        # Lazily built argument indexes per predicate: for an argument
+        # position, clauses whose head holds a ground atom there are
+        # grouped by that atom's value; clauses with anything else
+        # (variables, compounds) at that position go in a generic list
+        # that every lookup must also scan.  Invalidated on any
+        # mutation of the predicate's bucket; rebuilt on the next goal
+        # that arrives with that argument bound.
+        self._arg_index: Dict[
+            Tuple[str, int],
+            Dict[int, Tuple[Dict[str, List[Tuple[int, Rule]]],
+                            List[Tuple[int, Rule]]]]] = {}
         self._fresh = itertools.count(1)
         self.max_depth = max_depth
 
@@ -239,10 +323,44 @@ class KnowledgeBase:
         rule = parse_clause(clause) if isinstance(clause, str) else clause
         key = (rule.head.functor, len(rule.head.args))
         self._rules.setdefault(key, []).append(rule)
+        self._arg_index.pop(key, None)
 
     def add_fact(self, functor: str, *args: str) -> None:
         """Convenience: add ``functor(args...)`` with atom arguments."""
         self.add(Rule(Struct(functor, tuple(Atom(a) for a in args))))
+
+    def remove_fact(self, functor: str, *args: str) -> bool:
+        """Retract the first ground fact ``functor(args...)``.
+
+        Returns whether a matching fact existed.  Only facts (empty
+        body) with exactly these atom arguments are removed; rules are
+        untouched.  This is the retract half of the delta maintenance
+        the incremental semantic engine performs.
+        """
+        key = (functor, len(args))
+        target = Struct(functor, tuple(Atom(a) for a in args))
+        rules = self._rules.get(key)
+        if not rules:
+            return False
+        for index, rule in enumerate(rules):
+            if not rule.body and rule.head == target:
+                del rules[index]
+                if not rules:
+                    del self._rules[key]
+                self._arg_index.pop(key, None)
+                return True
+        return False
+
+    def remove_predicate(self, functor: str, arity: int) -> int:
+        """Drop every clause whose head is ``functor/arity``.
+
+        Returns the number of clauses removed.  Used to retract a
+        semantic subscription's compiled rule from a long-lived
+        knowledge base.
+        """
+        removed = self._rules.pop((functor, arity), None)
+        self._arg_index.pop((functor, arity), None)
+        return len(removed) if removed is not None else 0
 
     def clause_count(self) -> int:
         return sum(len(rules) for rules in self._rules.values())
@@ -250,6 +368,48 @@ class KnowledgeBase:
     # ------------------------------------------------------------------
     # Solving
     # ------------------------------------------------------------------
+
+    def _candidate_clauses(self, key: Tuple[str, int],
+                           goal_args: Tuple[Term, ...]) -> Sequence[Rule]:
+        """The bucket for ``key``, narrowed by an argument index.
+
+        The first goal argument that is a ground atom selects the
+        index: only clauses whose head holds that same atom at that
+        position — plus clauses with a variable or compound there —
+        can unify, so the rest of the bucket is never even scanned.
+        Clause order is preserved (entries carry their bucket
+        position), so solution enumeration order is identical with and
+        without the index.
+        """
+        bucket = self._rules.get(key)
+        if not bucket:
+            return ()
+        bound = next((i for i, arg in enumerate(goal_args)
+                      if isinstance(arg, Atom)), None)
+        if bound is None:
+            return bucket
+        positions = self._arg_index.setdefault(key, {})
+        index = positions.get(bound)
+        if index is None:
+            by_value: Dict[str, List[Tuple[int, Rule]]] = {}
+            generic: List[Tuple[int, Rule]] = []
+            for position, rule in enumerate(bucket):
+                head_arg = rule.head.args[bound]
+                if isinstance(head_arg, Atom):
+                    by_value.setdefault(head_arg.value, []).append(
+                        (position, rule))
+                else:
+                    generic.append((position, rule))
+            index = (by_value, generic)
+            positions[bound] = index
+        by_value, generic = index
+        matching = by_value.get(goal_args[bound].value, [])
+        if not generic:
+            return [rule for _, rule in matching]
+        if not matching:
+            return [rule for _, rule in generic]
+        return [rule for position, rule in sorted(
+            matching + generic, key=lambda entry: entry[0])]
 
     def _rename(self, rule: Rule) -> Rule:
         suffix = f"__{next(self._fresh)}"
@@ -272,24 +432,46 @@ class KnowledgeBase:
     def _solve(self, goals: Sequence["_Goal"], bindings: Bindings,
                depth: int) -> Iterator[Bindings]:
         if depth > self.max_depth:
-            return
+            raise ReasoningError(
+                f"resolution exceeded max_depth={self.max_depth}; "
+                f"the rule set recurses without revisiting a goal "
+                f"variant (pending goal: {goals[0][0]!r})")
         if not goals:
             yield bindings
             return
         (goal, ancestors), rest = goals[0], goals[1:]
         resolved_goal = resolve(goal, bindings)
         assert isinstance(resolved_goal, Struct)
-        # Loop check: re-deriving a goal identical to one of its own
-        # ancestors cannot produce new answers (this is the cheap
-        # stand-in for XSB's tabling; it makes cyclic reachability
-        # rules terminate).
-        goal_repr = repr(resolved_goal)
-        if goal_repr in ancestors:
+        # Built-in: distinct(A, B) succeeds when both arguments are
+        # ground atoms with different values (used by semantic rules
+        # to keep pair bindings irreflexive).
+        if resolved_goal.functor == "distinct" and len(resolved_goal.args) == 2:
+            left, right = resolved_goal.args
+            if (isinstance(left, Atom) and isinstance(right, Atom)
+                    and left.value != right.value):
+                yield from self._solve(tuple(rest), bindings, depth)
+            return
+        # Tabling check: re-deriving a goal that is a variant of one of
+        # its own ancestors cannot produce answers its ancestor would
+        # not (this is the cheap stand-in for XSB's tabling; it makes
+        # cyclic reachability terminate even when renaming gives the
+        # revisited goal fresh variable names).
+        goal_key = variant_key(resolved_goal)
+        if goal_key in ancestors:
             return
         key = (resolved_goal.functor, len(resolved_goal.args))
-        child_ancestors = ancestors | {goal_repr}
-        for rule in self._rules.get(key, ()):
-            renamed = self._rename(rule)
+        child_ancestors = ancestors | {goal_key}
+        goal_args = resolved_goal.args
+        for rule in self._candidate_clauses(key, goal_args):
+            if not _head_compatible(goal_args, rule.head.args):
+                continue
+            # Renaming a variable-free clause is the identity, so ground
+            # facts (the bulk of a spatial knowledge base) skip it.
+            if rule.body or any(isinstance(a, Var) or isinstance(a, Struct)
+                                for a in rule.head.args):
+                renamed = self._rename(rule)
+            else:
+                renamed = rule
             unified = unify(renamed.head, resolved_goal, bindings)
             if unified is None:
                 continue

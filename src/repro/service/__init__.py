@@ -17,6 +17,10 @@ from repro.service.privacy import (
     PrivacyPolicy,
 )
 from repro.service.regions import SymbolicRegionLattice
+from repro.service.semantic_subscriptions import (
+    SemanticSubscription,
+    SemanticSubscriptionManager,
+)
 from repro.service.servant import (
     NAMING_NAME,
     SERVICE_NAME,
@@ -46,6 +50,8 @@ __all__ = [
     "NAMING_NAME",
     "PrivacyPolicy",
     "SERVICE_NAME",
+    "SemanticSubscription",
+    "SemanticSubscriptionManager",
     "Subscription",
     "SubscriptionManager",
     "SymbolicRegionLattice",

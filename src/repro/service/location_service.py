@@ -34,10 +34,16 @@ from repro.reasoning import (
     SpatialRelations,
     build_knowledge_base,
 )
+from repro.reasoning.incremental import MODE_INCREMENTAL, LocationUpdate
 from repro.service.history import LocationHistory
 from repro.service.privacy import PrivacyPolicy
 from repro.service.regions import SymbolicRegionLattice
+from repro.service.semantic_subscriptions import (
+    SemanticSubscription,
+    SemanticSubscriptionManager,
+)
 from repro.service.subscriptions import (
+    KIND_BOTH,
     KIND_ENTER,
     ProximitySubscription,
     Subscription,
@@ -138,6 +144,16 @@ class LocationService:
         self._dispatch_local = threading.local()
         self.region_queries_pruned = 0
         self.region_queries_refined = 0
+        # Semantic (rule-based) subscriptions: created lazily on the
+        # first subscribe_semantic (the engine builds its own mutable
+        # knowledge base, which most services never need).
+        self.semantic: Optional[SemanticSubscriptionManager] = None
+        # Shard feed: a callback receiving every LocationUpdate the
+        # service derives from a fused result (the shard worker buffers
+        # them for the router's merged semantic engine).
+        self.location_update_listener: \
+            Optional[Callable[[LocationUpdate], None]] = None
+        self._semantic_trigger_installed = False
 
     # ------------------------------------------------------------------
     # Internals
@@ -670,6 +686,161 @@ class LocationService:
         self._notify(subscription, event)
         self.subscriptions.notifications_sent += 1
 
+    def subscribe_semantic(self, rule: str,
+                           consumer: Optional[Callable[[Dict[str, Any]],
+                                                       None]] = None,
+                           kind: str = KIND_BOTH,
+                           remote_reference: Optional[str] = None,
+                           now: Optional[float] = None,
+                           mode: str = MODE_INCREMENTAL) -> str:
+        """Subscribe to a semantic rule over derived location facts.
+
+        ``rule`` is a Horn clause like ``meeting(P, Q) :-
+        colocated_at(P, Q, 'SC/3/ConferenceRoom'), distinct(P, Q)``;
+        the head's variable bindings become the event payload.  Events
+        are edge-triggered per solution tuple: "enter" when a binding
+        starts holding, "leave" when it stops.  Initial activations
+        are delivered synchronously before this returns.
+
+        Semantic subscriptions live in process memory (like consumer
+        callbacks, they cannot travel through the WAL); re-register
+        after crash recovery.
+        """
+        manager = self.semantic_manager(mode)
+        subscription = SemanticSubscription(
+            subscription_id=self.subscriptions.new_id(),
+            rule=rule,
+            kind=kind,
+            consumer=consumer,
+            remote_reference=remote_reference,
+        )
+        self._ensure_semantic_trigger()
+        deliveries = manager.add(subscription, self._now(now))
+        self._deliver_semantic(deliveries, None)
+        return subscription.subscription_id
+
+    def semantic_manager(
+            self, mode: str = MODE_INCREMENTAL
+    ) -> SemanticSubscriptionManager:
+        """The semantic subscription manager, created on first use."""
+        if self.semantic is None:
+            self.semantic = SemanticSubscriptionManager(
+                self.db.world, mode=mode)
+        elif self.semantic.engine.mode != mode:
+            raise ServiceError(
+                f"semantic engine already running in "
+                f"{self.semantic.engine.mode!r} mode")
+        return self.semantic
+
+    def declare_semantic_fact(self, functor: str, *args: str,
+                              now: Optional[float] = None) -> None:
+        """Assert an application fact (e.g. ``team('alice', 'blue')``)
+        into the semantic engine; affected rules re-evaluate."""
+        manager = self.semantic_manager()
+        self._deliver_semantic(
+            manager.declare_fact(functor, *args, now=self._now(now)), None)
+
+    def retract_semantic_fact(self, functor: str, *args: str,
+                              now: Optional[float] = None) -> None:
+        manager = self.semantic_manager()
+        self._deliver_semantic(
+            manager.retract_fact(functor, *args, now=self._now(now)), None)
+
+    def set_location_update_listener(
+            self, listener: Optional[Callable[[LocationUpdate], None]],
+    ) -> None:
+        """Mirror every derived LocationUpdate to ``listener``.
+
+        The shard worker uses this to forward per-fusion location
+        updates into its event buffer; the router replays the merged
+        stream through its own semantic engine.
+        """
+        self.location_update_listener = listener
+        if listener is not None:
+            self._ensure_semantic_trigger()
+
+    def _ensure_semantic_trigger(self) -> None:
+        """Install the shared per-insert trigger for the sync path.
+
+        The pipeline inserts readings with triggers suppressed and
+        dispatches through :meth:`apply_fusion_result`; synchronous
+        inserts need one database trigger that re-fuses the object and
+        feeds the semantic engine on every reading.
+        """
+        if self._semantic_trigger_installed:
+            return
+        from repro.spatialdb import Trigger
+
+        def action(row: Row) -> None:
+            try:
+                result = self.fusion_result(row["mobile_object_id"],
+                                            row["detection_time"])
+            except Exception:  # noqa: BLE001 — no fusable readings yet
+                return
+            self._dispatch_semantic(result, None)
+
+        self.db.sensor_readings.create_trigger(
+            Trigger("__semantic__", "insert", lambda row: True, action))
+        self._semantic_trigger_installed = True
+
+    def _semantic_update(self,
+                         result: FusionResult) -> Optional[LocationUpdate]:
+        """Reduce a fused result to the engine's LocationUpdate."""
+        try:
+            estimate = self.engine.point_estimate(result, self.classifier())
+        except Exception:  # noqa: BLE001 — no minimal region
+            return None
+        rect = estimate.rect
+        symbolic = self.regions.finest_region_containing_rect(rect)
+        if symbolic is None:
+            symbolic = self.regions.finest_region_containing_point(
+                rect.center)
+        center = rect.center
+        return LocationUpdate(
+            object_id=result.object_id,
+            region=symbolic,
+            center=(center.x, center.y),
+            support=self._support_of(list(result.readings)),
+            confidence=estimate.probability,
+            time=result.now,
+        )
+
+    def _dispatch_semantic(self, result: FusionResult,
+                           channel: Optional[Any]) -> Dict[str, int]:
+        """Feed one fused result to the semantic layer (if active)."""
+        zeros = {"delivered": 0, "evaluated": 0, "pruned": 0}
+        manager = self.semantic
+        listener = self.location_update_listener
+        wants_events = manager is not None and manager.count() > 0
+        if not wants_events and listener is None:
+            return zeros
+        update = self._semantic_update(result)
+        if update is None:
+            return zeros
+        if listener is not None:
+            listener(update)
+        if not wants_events:
+            return zeros
+        assert manager is not None
+        before_evaluated = manager.engine.evaluated
+        before_pruned = manager.engine.pruned
+        deliveries = manager.on_update(update)
+        delivered = self._deliver_semantic(deliveries, channel)
+        return {
+            "delivered": delivered,
+            "evaluated": manager.engine.evaluated - before_evaluated,
+            "pruned": manager.engine.pruned - before_pruned,
+        }
+
+    def _deliver_semantic(self, deliveries: List[Any],
+                          channel: Optional[Any]) -> int:
+        for subscription, event in deliveries:
+            self._notify(subscription, event)
+            if channel is not None:
+                channel.publish(event)
+            self.subscriptions.notifications_sent += 1
+        return len(deliveries)
+
     def unsubscribe(self, subscription_id: str) -> bool:
         """Remove a subscription and its database trigger."""
         if self.db.journal is not None:
@@ -677,6 +848,9 @@ class LocationService:
         self.db.sensor_readings.drop_trigger(subscription_id)
         if subscription_id in self._proximity_subscriptions:
             del self._proximity_subscriptions[subscription_id]
+            return True
+        if self.semantic is not None \
+                and self.semantic.remove(subscription_id):
             return True
         return self.subscriptions.remove(subscription_id)
 
@@ -861,8 +1035,13 @@ class LocationService:
         for subscription in list(self._proximity_subscriptions.values()):
             if subscription.involves(object_id):
                 self._evaluate_proximity(subscription, at)
-        detail = {"delivered": delivered, "evaluated": evaluated,
-                  "pruned": max(0, pruned)}
+        semantic = self._dispatch_semantic(result, channel)
+        detail = {"delivered": delivered + semantic["delivered"],
+                  "evaluated": evaluated,
+                  "pruned": max(0, pruned),
+                  "semantic_delivered": semantic["delivered"],
+                  "semantic_evaluated": semantic["evaluated"],
+                  "semantic_pruned": semantic["pruned"]}
         self._dispatch_local.entry = (result, detail)
         return detail
 

@@ -37,6 +37,12 @@ from repro.model import Glob, WorldModel
 from repro.orb import Orb
 from repro.pipeline import PipelineReading
 from repro.reasoning import NavigationGraph, SpatialRelations
+from repro.reasoning.incremental import MODE_INCREMENTAL, LocationUpdate
+from repro.service.semantic_subscriptions import (
+    SemanticSubscription,
+    SemanticSubscriptionManager,
+)
+from repro.service.subscriptions import KIND_BOTH
 from repro.shard.merge import merge_event_streams, merge_region_results
 from repro.shard.partitioner import HashPartitioner
 from repro.shard.worker import reading_to_wire
@@ -139,6 +145,8 @@ class ShardRouter:
         self._consumers: Dict[str, Callable[[Dict[str, Any]], None]] = {}
         self._subscription_shards: Dict[str, List[int]] = {}
         self._sub_seq = 0
+        self.semantic: Optional[SemanticSubscriptionManager] = None
+        self._semantic_feed_on = False
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -163,6 +171,8 @@ class ShardRouter:
         self._proxies[index] = proxy
         for record in self._sensor_registry:
             proxy.register_sensor(*record)
+        if self._semantic_feed_on:
+            proxy.enable_semantic_feed()
 
     def _count(self, counter: str, by: int = 1) -> None:
         with self._stats_lock:
@@ -427,7 +437,96 @@ class ShardRouter:
         self._subscription_shards[sid] = shards
         return sid
 
+    # ------------------------------------------------------------------
+    # Semantic subscriptions: router-side engine over the merged feed
+    # ------------------------------------------------------------------
+
+    def semantic_manager(
+            self, mode: str = MODE_INCREMENTAL
+    ) -> SemanticSubscriptionManager:
+        """The router's semantic manager, created on first use.
+
+        Semantic rules relate objects across shard boundaries
+        (``colocated_at``, ``near``), so no single shard can evaluate
+        them; the router owns the one engine and replays the fleet's
+        merged location feed through it.
+        """
+        if self.semantic is None:
+            self.semantic = SemanticSubscriptionManager(
+                self.world, mode=mode)
+        elif self.semantic.engine.mode != mode:
+            raise ServiceError(
+                f"semantic engine already running in "
+                f"{self.semantic.engine.mode!r} mode")
+        return self.semantic
+
+    def subscribe_semantic(self, rule: str,
+                           consumer: Optional[
+                               Callable[[Dict[str, Any]], None]] = None,
+                           kind: str = KIND_BOTH,
+                           now: float = 0.0,
+                           mode: str = MODE_INCREMENTAL) -> str:
+        """Install a semantic rule fleet-wide.
+
+        Shards are told (idempotently) to start mirroring fused
+        locations into their event buffers; :meth:`pump_events` feeds
+        the merged stream through the router's engine and delivers
+        semantic events inline, at their merge position.  The engine
+        state lives entirely router-side, so shard kill/recover cannot
+        duplicate or lose semantic transitions — at worst a crashed
+        shard's unfused readings never become location updates.
+        """
+        manager = self.semantic_manager(mode)
+        with self._stats_lock:
+            self._sub_seq += 1
+            sid = f"rsem-{self._sub_seq}"
+        if not self._semantic_feed_on:
+            for proxy in self._proxies:
+                proxy.enable_semantic_feed()
+            self._semantic_feed_on = True
+        subscription = SemanticSubscription(
+            subscription_id=sid, rule=rule, kind=kind, consumer=consumer)
+        self._deliver_semantic(manager.add(subscription, now))
+        return sid
+
+    def declare_semantic_fact(self, functor: str, *args: str,
+                              now: Optional[float] = None) -> None:
+        self._deliver_semantic(
+            self.semantic_manager().declare_fact(functor, *args, now=now))
+
+    def retract_semantic_fact(self, functor: str, *args: str,
+                              now: Optional[float] = None) -> None:
+        self._deliver_semantic(
+            self.semantic_manager().retract_fact(functor, *args, now=now))
+
+    def reset_semantic(self) -> None:
+        """Drop every semantic subscription and the engine's state.
+
+        Pairs with the shard servants' ``reset()`` in test-suite reuse;
+        shards keep mirroring location updates (the feed flag is
+        sticky), which :meth:`pump_events` skips while no manager
+        exists.
+        """
+        self.semantic = None
+
+    def semantic_tick(self, now: float) -> int:
+        """Advance the semantic clock (dwell windows) between fusions."""
+        if self.semantic is None:
+            return 0
+        return self._deliver_semantic(self.semantic.tick(now))
+
+    def _deliver_semantic(self, deliveries: List[Any]) -> int:
+        delivered = 0
+        for subscription, event in deliveries:
+            if subscription.consumer is not None:
+                subscription.consumer(event)
+                delivered += 1
+        return delivered
+
     def unsubscribe(self, subscription_id: str) -> bool:
+        if self.semantic is not None \
+                and self.semantic.remove(subscription_id):
+            return True
         shards = self._subscription_shards.pop(subscription_id, None)
         self._consumers.pop(subscription_id, None)
         if shards is None:
@@ -457,6 +556,20 @@ class ShardRouter:
                 self._record_error(f"shard {index} events: {exc}")
         delivered = 0
         for event in merge_event_streams(chunks):
+            if event.get("_kind") == "semloc":
+                if self.semantic is None:
+                    continue
+                update = LocationUpdate(
+                    object_id=event["object_id"],
+                    region=event.get("region"),
+                    center=(event["center"][0], event["center"][1]),
+                    support=event.get("support"),
+                    confidence=event.get("confidence", 1.0),
+                    time=event.get("time", 0.0),
+                )
+                delivered += self._deliver_semantic(
+                    self.semantic.on_update(update))
+                continue
             consumer = self._consumers.get(event.get("subscription_id"))
             if consumer is None:
                 continue
@@ -507,6 +620,8 @@ class ShardRouter:
                 "errors": list(self.last_errors),
             }
         router.update(self.partitioner.stats())
+        if self.semantic is not None:
+            router["semantic"] = self.semantic.stats()
         return {"router": router, "fleet": fleet, "shards": shards}
 
     def reconciles(self) -> bool:

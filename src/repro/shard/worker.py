@@ -26,6 +26,7 @@ from repro.geometry import Point, Rect
 from repro.model.serialize import world_from_json
 from repro.orb import Orb
 from repro.pipeline import LocationPipeline, PipelineConfig, PipelineReading
+from repro.reasoning.incremental import LocationUpdate
 from repro.service import LocationService
 from repro.service.subscriptions import KIND_ENTER, Subscription
 from repro.spatialdb import SpatialDatabase
@@ -95,6 +96,7 @@ class ShardServant:
         "tracked_objects",
         "subscribe",
         "unsubscribe",
+        "enable_semantic_feed",
         "take_events",
         "drain",
         "stats",
@@ -116,6 +118,7 @@ class ShardServant:
         self.durability = None
         self.recovered_rows = 0
         self.sync_inserts = 0
+        self._semantic_feed_enabled = False
         self._build()
 
     # ------------------------------------------------------------------
@@ -162,6 +165,8 @@ class ShardServant:
                 overflow_policy=pipe_cfg.get("overflow_policy", "block"),
             ),
         ).start()
+        if self._semantic_feed_enabled:
+            self.service.set_location_update_listener(self._semantic_feed)
 
     def _teardown(self) -> None:
         self.pipeline.stop()
@@ -290,6 +295,36 @@ class ShardServant:
 
     def unsubscribe(self, subscription_id: str) -> bool:
         return self.service.unsubscribe(subscription_id)
+
+    def enable_semantic_feed(self) -> bool:
+        """Mirror every fused location into the event buffer.
+
+        Semantic rules span objects that may live on different shards
+        (``colocated_at``, ``near``), so no single shard can evaluate
+        them.  Instead each shard forwards per-fusion
+        :class:`LocationUpdate` records, tagged ``"_kind": "semloc"``,
+        through the same buffer region events use; the router replays
+        the merged stream through its own trigger engine.  Idempotent —
+        the router re-broadcasts after a restart or rebind.
+        """
+        self._semantic_feed_enabled = True
+        self.service.set_location_update_listener(self._semantic_feed)
+        return True
+
+    def _semantic_feed(self, update: LocationUpdate) -> None:
+        with self._event_lock:
+            self._event_seq += 1
+            self._events.append({
+                "_kind": "semloc",
+                "object_id": update.object_id,
+                "region": update.region,
+                "center": [update.center[0], update.center[1]],
+                "support": update.support,
+                "confidence": update.confidence,
+                "time": update.time,
+                "_seq": self._event_seq,
+                "_shard": self.shard_index,
+            })
 
     def take_events(self) -> List[Dict[str, Any]]:
         with self._event_lock:

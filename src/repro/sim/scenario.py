@@ -175,6 +175,20 @@ class Scenario:
         self.router = router
         return router
 
+    def subscribe_semantic(self, rule: str, consumer=None,
+                           kind: str = "both") -> str:
+        """Subscribe to a semantic rule over fused-location facts.
+
+        Routes to the shard router's merged semantic engine when the
+        scenario is sharded, otherwise to the single-process service.
+        Dwell windows are measured against the scenario's sim clock.
+        """
+        if self.router is not None:
+            return self.router.subscribe_semantic(
+                rule, consumer=consumer, kind=kind, now=self.clock.now())
+        return self.service.subscribe_semantic(
+            rule, consumer=consumer, kind=kind, now=self.clock.now())
+
     def use_durability(self, wal_dir: str, mode=None,
                        snapshot_interval: Optional[int] = None):
         """Make the scenario's database durable (WAL + snapshots).

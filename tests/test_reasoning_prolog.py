@@ -4,14 +4,18 @@ import pytest
 
 from repro.errors import ReasoningError
 from repro.reasoning import (
+    SPATIAL_RULES,
     Atom,
     KnowledgeBase,
     Struct,
     Var,
+    build_knowledge_base,
     parse_clause,
     parse_query,
+    reachable_regions,
     unify,
 )
+from repro.sim import siebel_floor
 
 
 class TestParsing:
@@ -137,10 +141,36 @@ class TestSolving:
         kb.add("q(X) :- p(X)")  # second proof, same answer
         assert len(list(kb.query("q(X)"))) == 1
 
-    def test_depth_limit_stops_runaway(self):
+    def test_depth_limit_raises_on_runaway(self):
         kb = KnowledgeBase(max_depth=10)
         kb.add("loop(X) :- loop(f(X))")  # grows forever, never repeats
-        assert not kb.ask("loop(a)")
+        with pytest.raises(ReasoningError):
+            kb.ask("loop(a)")
+
+    def test_distinct_builtin(self):
+        kb = KnowledgeBase()
+        kb.add("in(tom, r1)")
+        kb.add("in(ann, r1)")
+        kb.add("pair(A, B) :- in(A, R), in(B, R), distinct(A, B)")
+        answers = {(a["A"], a["B"]) for a in kb.query("pair(A, B)")}
+        assert answers == {("tom", "ann"), ("ann", "tom")}
+        assert not kb.ask("distinct(a, a)")
+        assert kb.ask("distinct(a, b)")
+
+    def test_remove_fact(self):
+        kb = KnowledgeBase()
+        kb.add_fact("at", "tom", "r1")
+        assert kb.ask("at(tom, r1)")
+        assert kb.remove_fact("at", "tom", "r1")
+        assert not kb.ask("at(tom, r1)")
+        assert not kb.remove_fact("at", "tom", "r1")
+
+    def test_remove_fact_leaves_rules_alone(self):
+        kb = KnowledgeBase()
+        kb.add("p(a)")
+        kb.add("q(X) :- p(X)")
+        assert not kb.remove_fact("q", "a")  # derived, not a fact
+        assert kb.ask("q(a)")
 
     def test_add_fact_helper(self):
         kb = KnowledgeBase()
@@ -152,3 +182,57 @@ class TestSolving:
         kb.add("p(a)")
         kb.add("q(X) :- p(X)")
         assert kb.clause_count() == 2
+
+
+class TestTermination:
+    """Regressions for the SLD engine's termination guards.
+
+    The ``reachable``/``accessible`` rules are recursive; a cyclic
+    passage graph (two ``ecfp`` facts forming a loop) must terminate
+    through the variant-ancestor tabling check, and rule sets that
+    genuinely diverge must raise instead of silently truncating.
+    """
+
+    def test_cyclic_ecfp_loop_terminates(self):
+        kb = KnowledgeBase()
+        for rule in SPATIAL_RULES:
+            kb.add(rule)
+        # Two ecfp facts forming a loop, plus a spur.
+        kb.add_fact("ecfp", "a", "b")
+        kb.add_fact("ecfp", "b", "a")
+        kb.add_fact("ecfp", "b", "c")
+        answers = sorted({a["W"] for a in kb.query("reachable(a, W)")})
+        assert answers == ["a", "b", "c"]
+        assert kb.ask("reachable('c', 'a')")
+        assert not kb.ask("reachable('a', 'z')")
+        assert kb.ask("accessible('a', 'c')")
+
+    def test_cyclic_world_reachability_terminates(self):
+        # Real floor plans have passage cycles (room <-> corridor both
+        # directions via the symmetry rules, corridor loops).
+        world = siebel_floor()
+        kb = build_knowledge_base(world)
+        regions = reachable_regions(kb, "SC/3/3102")
+        assert "SC/3/Corridor" in regions
+        assert len(regions) > 2
+        # 3105 is behind a restricted (ecrp) door: unreachable freely,
+        # reachable with credentials — and both queries terminate.
+        assert "SC/3/3105" not in regions
+        assert kb.ask("accessible('SC/3/3102', 'SC/3/3105')")
+
+    def test_fresh_variable_recursion_is_tabled(self):
+        # The recursive call introduces a fresh variable each renaming;
+        # an exact-repr ancestor check never matches and the engine
+        # used to spin to the depth limit.  The variant check prunes it
+        # after one expansion.
+        kb = KnowledgeBase()
+        kb.add("spin(X) :- spin(Y)")
+        assert not kb.ask("spin(a)")
+        kb.add("spin(base)")
+        assert kb.ask("spin(a)")
+
+    def test_runaway_recursion_raises_not_truncates(self):
+        kb = KnowledgeBase(max_depth=32)
+        kb.add("grow(X) :- grow(f(X))")
+        with pytest.raises(ReasoningError, match="max_depth"):
+            list(kb.query("grow(seed)"))

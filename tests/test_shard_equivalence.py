@@ -235,6 +235,76 @@ class TestTriggerEquivalence:
                     f"per-object order diverged at N={count}")
 
 
+SEMANTIC_RULES = (
+    "occ(P) :- located_within(P, 'SC/3/3104')",
+    "on_floor(P) :- located_within(P, 'SC/3')",
+    "pair(P, Q) :- colocated_at(P, Q, 'SC/3'), distinct(P, Q)",
+    "close(P, Q) :- near(P, Q, 60.0), distinct(P, Q)",
+    "camp(P) :- dwell(P, 'SC/3', 3)",
+)
+
+semantic_rule_specs = st.lists(
+    st.sampled_from(SEMANTIC_RULES), min_size=1, max_size=3, unique=True)
+
+
+class TestSemanticEquivalence:
+    """Semantic rules over the fleet's merged location feed.
+
+    Subscriptions broadcast a location-update feed to every shard; the
+    router replays the merged stream through its own trigger engine.
+    Detection times are strictly increasing, so the merged order IS the
+    insert order and the event stream must equal the single-process
+    service's exactly — same events, same order, same payloads.
+    """
+
+    @settings(max_examples=6, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(stream=readings_strategy, rules=semantic_rule_specs)
+    def test_semantic_events_identical_across_fleets(self, clusters,
+                                                     stream, rules):
+        reference = _reference_service()
+        reference_events = []
+
+        def _key(index, event):
+            return (index, event["transition"], event["head"],
+                    tuple(sorted(event["bindings"].items())),
+                    event["time"])
+
+        for index, rule in enumerate(rules):
+            reference.subscribe_semantic(
+                rule, now=0.0,
+                consumer=lambda event, _i=index: reference_events.append(
+                    _key(_i, event)))
+        for count in SHARD_COUNTS:
+            cluster = clusters[count]
+            _fresh(cluster)
+            router = cluster.router
+            router.reset_semantic()
+            router_events = []
+            index_of = {}
+            for index, rule in enumerate(rules):
+                sid = router.subscribe_semantic(
+                    rule,
+                    consumer=lambda event: router_events.append(
+                        _key(index_of[event["subscription_id"]], event)))
+                index_of[sid] = index
+            for t, (obj_idx, sensor_idx, rect) in enumerate(stream):
+                sensor_id, spec, _ = SENSORS[sensor_idx]
+                if count == SHARD_COUNTS[0]:
+                    reference.db.insert_reading(
+                        sensor_id=sensor_id, glob_prefix="SC/3",
+                        sensor_type=spec.sensor_type,
+                        mobile_object_id=OBJECTS[obj_idx], rect=rect,
+                        detection_time=float(t))
+                router.insert_reading(
+                    sensor_id, "SC/3", spec.sensor_type,
+                    OBJECTS[obj_idx], rect, float(t))
+                router.pump_events()
+            router.pump_events()
+            assert router_events == reference_events, (
+                f"semantic stream diverged at N={count}")
+
+
 class TestPartitionerProperties:
     def test_placement_is_deterministic_across_instances(self):
         a = HashPartitioner(4)
