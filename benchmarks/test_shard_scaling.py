@@ -130,7 +130,10 @@ def _series(shard_counts: List[int]) -> List[dict]:
     stream = _stream()
     rows = []
     for num_shards in shard_counts:
-        elapsed, fleet = _run(num_shards, stream)
+        # Best-of-two per configuration, like the smoke gate: one bad
+        # scheduler moment should not misprice a whole row.
+        elapsed, fleet = min((_run(num_shards, stream)
+                              for _ in range(2)), key=lambda r: r[0])
         rows.append({
             "shards": num_shards,
             "seconds": elapsed,
@@ -148,7 +151,8 @@ def test_shard_scaling(results_dir):
         "Shard fleet scaling - readings/s through the router sink",
         f"(single-core host; {OBJECTS} stationary objects x "
         f"{SENSOR_COUNT} overlapping sensors x {ROUNDS} rounds; "
-        f"per-shard fusion cache {CACHE_CAPACITY} entries)",
+        f"per-shard fusion cache {CACHE_CAPACITY} entries; "
+        "best of 2 per row)",
         "",
         f"{'shards':>6} {'seconds':>9} {'readings/s':>11} "
         f"{'speedup':>8} {'cache hits':>11}",
@@ -166,6 +170,9 @@ def test_shard_scaling(results_dir):
         "(acceptance floor: 2x)",
         "The win is cache locality, not cores: 64 fusion keys thrash "
         "one 32-entry LRU; 16 per shard always hit after warmup.",
+        "The 8-shard row buys no extra cache headroom (640 hits either "
+        "way) and pays single-core scheduling for twice the processes; "
+        "a multi-core host turns that overhead into real parallelism.",
     ]
     write_result(results_dir, "shard_scaling", lines)
     # The population must not fit one shard's cache but must fit four.

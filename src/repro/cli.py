@@ -243,18 +243,26 @@ def _run_sharded(args: argparse.Namespace) -> int:
         print(f"shards={route['shards']} submitted={route['submitted']} "
               f"forwarded={route['forwarded']} "
               f"dead_lettered={route['router_dead_lettered']}")
+        print(f"wire: codec={route['codec']} "
+              f"multiplexed_inflight_max="
+              f"{route['multiplexed_inflight_max']}")
         print(f"fleet: enqueued={fleet['enqueued']} "
               f"fused={fleet['fused']} dropped={fleet['dropped']} "
               f"dead_lettered={fleet['dead_lettered']} "
               f"cache_hits={fleet['fusion_cache_hits']} "
               f"readings={fleet['readings']}")
+        senders = {s["shard"]: s for s in route["senders"]}
         for shard in stats["shards"]:
             if shard is None:
                 continue
+            sender = senders.get(shard["shard"], {})
             print(f"  shard {shard['shard']}: pid={shard['pid']} "
                   f"readings={shard['readings']} "
                   f"fused={shard['pipeline']['fused']} "
-                  f"tracked={shard['tracked']}")
+                  f"tracked={shard['tracked']} "
+                  f"queue_depth={sender.get('queue_depth', 0)} "
+                  f"flush_latency="
+                  f"{sender.get('flush_latency', 0.0) * 1e3:.2f}ms")
         if not router.reconciles():
             print("WARNING: fleet accounting does not reconcile",
                   file=sys.stderr)

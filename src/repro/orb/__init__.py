@@ -15,6 +15,7 @@ from repro.orb.transport import (
     TcpServer,
     TcpTransport,
 )
+from repro.orb.wire import register_packed
 
 __all__ = [
     "EventChannel",
@@ -27,5 +28,6 @@ __all__ = [
     "TcpTransport",
     "dumps",
     "loads",
+    "register_packed",
     "register_type",
 ]

@@ -93,8 +93,37 @@ class ObjectAdapter:
         return method
 
 
+def _raise_or_result(response: Dict[str, Any]) -> Any:
+    if "error" in response:
+        error = response["error"]
+        raise RemoteInvocationError(
+            error.get("type", "unknown"),
+            error.get("message", ""))
+    return response.get("result")
+
+
+class _AsyncResult:
+    """A waitable handle for one asynchronous proxy invocation."""
+
+    __slots__ = ("_handle",)
+
+    def __init__(self, handle: Any) -> None:
+        self._handle = handle
+
+    def done(self) -> bool:
+        return self._handle.done()
+
+    def result(self, timeout: Optional[float] = None) -> Any:
+        """Wait for the response; raises the remote error if any."""
+        return _raise_or_result(self._handle.result(timeout))
+
+
 class Proxy:
     """A client-side stub: attribute access becomes remote invocation.
+
+    Method stubs are built once per proxy and cached, so the hot path
+    pays a plain attribute lookup instead of a closure allocation per
+    call.
 
     >>> locator = orb.resolve("inproc://location-service")
     >>> estimate = locator.locate("alice")        # doctest: +SKIP
@@ -114,24 +143,64 @@ class Proxy:
             raise AttributeError(name)
 
         def invoke(*args: Any, **kwargs: Any) -> Any:
-            response = self._transport.invoke({
+            return _raise_or_result(self._transport.invoke({
                 "object": self._object_id,
                 "method": name,
                 "args": list(args),
                 "kwargs": dict(kwargs),
-            })
-            if "error" in response:
-                error = response["error"]
-                raise RemoteInvocationError(
-                    error.get("type", "unknown"),
-                    error.get("message", ""))
-            return response.get("result")
+            }))
 
         invoke.__name__ = name
+        # Cache the stub: __getattr__ only fires on a miss, so every
+        # later `proxy.locate` hits the instance dict directly.
+        self.__dict__[name] = invoke
         return invoke
+
+    def orb_invoke_async(self, method: str, *args: Any,
+                         **kwargs: Any) -> _AsyncResult:
+        """Submit an invocation without waiting for the response.
+
+        On a multiplexed transport many of these can be in flight on
+        one connection; on transports without an async path the call
+        completes synchronously and the handle is already resolved —
+        the caller's collect loop works either way.
+        """
+        request = {
+            "object": self._object_id,
+            "method": method,
+            "args": list(args),
+            "kwargs": dict(kwargs),
+        }
+        submit = getattr(self._transport, "invoke_async", None)
+        if submit is not None:
+            return _AsyncResult(submit(request))
+        return _AsyncResult(_SyncHandle(self._transport, request))
 
     def __repr__(self) -> str:
         return f"Proxy({self._reference})"
+
+
+class _SyncHandle:
+    """Adapter giving a synchronous transport the async-handle shape."""
+
+    __slots__ = ("_response", "_error")
+
+    def __init__(self, transport: Any, request: Dict[str, Any]) -> None:
+        self._response: Optional[Dict[str, Any]] = None
+        self._error: Optional[BaseException] = None
+        try:
+            self._response = transport.invoke(request)
+        except BaseException as exc:  # noqa: BLE001 — delivered on wait
+            self._error = exc
+
+    def done(self) -> bool:
+        return True
+
+    def result(self, timeout: Optional[float] = None) -> Dict[str, Any]:
+        if self._error is not None:
+            raise self._error
+        assert self._response is not None
+        return self._response
 
 
 class Orb:
@@ -142,11 +211,14 @@ class Orb:
     endpoint).
     """
 
-    def __init__(self, name: str = "orb") -> None:
+    def __init__(self, name: str = "orb", wire_codec: str = "binary",
+                 debug_roundtrip: bool = False) -> None:
         self.name = name
+        self.wire_codec = wire_codec
         self.adapter = ObjectAdapter()
         self._tcp_server: Optional[TcpServer] = None
-        self._inproc = InProcTransport(self.adapter.dispatch)
+        self._inproc = InProcTransport(self.adapter.dispatch,
+                                       debug_roundtrip=debug_roundtrip)
         self._transports: Dict[Tuple[str, int], TcpTransport] = {}
         self._lock = threading.Lock()
 
@@ -167,7 +239,10 @@ class Orb:
         """Open the TCP endpoint; returns the bound (host, port)."""
         if self._tcp_server is not None:
             raise OrbError("orb is already listening")
-        self._tcp_server = TcpServer(self.adapter.dispatch, host, port).start()
+        codecs = (("binary", "json") if self.wire_codec == "binary"
+                  else ("json",))
+        self._tcp_server = TcpServer(self.adapter.dispatch, host, port,
+                                     codecs=codecs).start()
         return self._tcp_server.address
 
     def reference_for(self, object_id: str) -> str:
@@ -208,7 +283,8 @@ class Orb:
             with self._lock:
                 transport = self._transports.get(key)
                 if transport is None:
-                    transport = TcpTransport(parsed.hostname, parsed.port)
+                    transport = TcpTransport(parsed.hostname, parsed.port,
+                                             codec=self.wire_codec)
                     self._transports[key] = transport
             if wrap is not None:
                 transport = wrap(transport)
@@ -216,6 +292,23 @@ class Orb:
         raise OrbError(f"unknown reference scheme in {reference!r}")
 
     # ------------------------------------------------------------------
+
+    def transport_stats(self) -> Dict[str, Any]:
+        """Wire-level stats across every cached client transport."""
+        with self._lock:
+            transports = list(self._transports.values())
+        endpoints = [t.transport_stats() for t in transports]
+        codecs = {e["codec"] for e in endpoints if e["codec"]}
+        return {
+            "codec": (sorted(codecs)[0] if len(codecs) == 1
+                      else "mixed" if codecs else self.wire_codec),
+            "multiplexed_inflight_max": max(
+                (e["multiplexed_inflight_max"] for e in endpoints),
+                default=0),
+            "endpoints": endpoints,
+            "inproc_fast_invocations": self._inproc.fast_invocations,
+            "inproc_fallback_invocations": self._inproc.fallback_invocations,
+        }
 
     def shutdown(self) -> None:
         """Stop the endpoint and close all client connections."""

@@ -77,9 +77,15 @@ def _decode_value(value: Any) -> Any:
 
 
 def dumps(message: Any) -> bytes:
-    """Serialize a message to UTF-8 JSON bytes."""
+    """Serialize a message to UTF-8 JSON bytes.
+
+    ``allow_nan=False``: the stdlib default would emit the
+    non-standard ``NaN``/``Infinity`` tokens, which no strict JSON
+    parser accepts — a silent break of the codec's language-neutral
+    contract.  Non-finite floats are rejected at encode time instead.
+    """
     try:
-        return json.dumps(_encode_value(message),
+        return json.dumps(_encode_value(message), allow_nan=False,
                           separators=(",", ":")).encode("utf-8")
     except (TypeError, ValueError) as exc:
         raise OrbError(f"serialization failed: {exc}") from exc

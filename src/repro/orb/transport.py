@@ -1,4 +1,4 @@
-"""ORB transports: in-process and TCP.
+"""ORB transports: in-process and TCP, with a multiplexed fast lane.
 
 The paper's deployment used Orbacus over the department network; the
 interesting property for the evaluation is that every query and
@@ -7,30 +7,66 @@ transports expose the same two-sided contract:
 
 * server side — a dispatcher callable ``(request) -> response``;
 * client side — :meth:`invoke` carrying a request dict and returning
-  the response dict.
+  the response dict (plus :meth:`invoke_async` returning a waitable
+  handle on transports that support pipelining).
 
-The TCP transport frames messages with a 4-byte big-endian length
-prefix and serves each connection on its own thread.
+Two wire protocols share the port:
+
+* **Legacy framing** — a 4-byte big-endian length prefix and a
+  tagged-JSON payload, one request in flight per connection, answered
+  in order.  Every connection starts here, so peers running the
+  pre-multiplex protocol interoperate unchanged.
+* **Multiplexed framing** — negotiated by an in-band ``hello``
+  request addressed to the reserved ``_orb.transport`` object.  A
+  peer that recognises it answers with its protocol version and codec
+  list and the connection switches to 13-byte headers
+  ``(length: u32, codec: u8, correlation id: u64)``; one socket then
+  carries many in-flight requests, encoded with the negotiated codec
+  (binary when both sides support it, tagged JSON otherwise, and a
+  per-frame JSON fallback for messages the binary codec cannot
+  pack).  The server dispatches concurrently and answers out of
+  order.  A peer that does *not* recognise the hello returns an
+  ordinary error response, and the client simply keeps the connection
+  in legacy mode — negotiation costs one round trip and can never
+  strand a mixed-version fleet.
 """
 
 from __future__ import annotations
 
+import itertools
+import queue
+import select
 import socket
 import socketserver
 import struct
 import threading
-from typing import Any, Callable, Dict, Optional, Tuple
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from repro.errors import TransportError
-from repro.orb import serialization
+from repro.errors import OrbError, TransportError
+from repro.orb import serialization, wire
 
 Dispatcher = Callable[[Dict[str, Any]], Dict[str, Any]]
 
 _HEADER = struct.Struct(">I")
+_MUX_HEADER = struct.Struct(">IBQ")
 _MAX_FRAME = 64 * 1024 * 1024
+
+CODEC_JSON = 0
+CODEC_BINARY = 1
+CODEC_NAMES = {CODEC_JSON: "json", CODEC_BINARY: "binary"}
+
+#: The reserved object id transport-control requests are addressed
+#: to.  Never register a servant under this id.
+CONTROL_OBJECT = "_orb.transport"
+PROTOCOL_VERSION = 2
 
 
 def _send_frame(sock: socket.socket, payload: bytes) -> None:
+    if len(payload) > _MAX_FRAME:
+        raise TransportError(
+            f"outbound frame of {len(payload)} bytes exceeds the "
+            f"{_MAX_FRAME}-byte cap")
     sock.sendall(_HEADER.pack(len(payload)) + payload)
 
 
@@ -54,28 +90,81 @@ def _recv_frame(sock: socket.socket) -> bytes:
     return _recv_exact(sock, length)
 
 
+def _encode_with(codec: int, message: Any) -> Tuple[int, bytes]:
+    """Encode for the wire, falling back to JSON per message."""
+    if codec == CODEC_BINARY:
+        try:
+            return CODEC_BINARY, wire.dumps(message)
+        except wire.BinaryUnsupported:
+            pass
+    return CODEC_JSON, serialization.dumps(message)
+
+
+def _decode_with(codec: int, payload: bytes) -> Any:
+    if codec == CODEC_BINARY:
+        return wire.loads(payload)
+    if codec == CODEC_JSON:
+        return serialization.loads(payload)
+    raise TransportError(f"unknown frame codec {codec}")
+
+
 class InProcTransport:
     """Zero-copy transport for servants living in the same process.
 
-    Requests are still round-tripped through the serializer so that
-    behaviour (including serialization failures) is identical to the
-    TCP path — only the socket is skipped.
+    Messages built only from immutable registered value types and
+    plain scalars skip the serializer entirely: containers are
+    rebuilt (a servant mutating its argument cannot reach the
+    caller's copy), tuples become lists, and frozen value objects
+    pass by reference — observably identical to the round-trip, minus
+    the bytes.  Anything the fast marshal cannot prove safe falls
+    back to the full serialize/deserialize round-trip, so behaviour
+    (including serialization failures) still matches the TCP path.
+
+    ``debug_roundtrip=True`` disables the fast path and forces every
+    message through the serializer — the mode to run when chasing a
+    serialization-failure discrepancy between in-proc and TCP
+    deployments.
     """
 
-    def __init__(self, dispatcher: Dispatcher) -> None:
+    def __init__(self, dispatcher: Dispatcher,
+                 debug_roundtrip: bool = False) -> None:
         self._dispatcher = dispatcher
+        self.debug_roundtrip = debug_roundtrip
+        self.fast_invocations = 0
+        self.fallback_invocations = 0
+
+    def _marshal(self, message: Any, count: bool) -> Any:
+        if not self.debug_roundtrip:
+            try:
+                marshaled = wire.fast_marshal(message)
+            except wire.BinaryUnsupported:
+                pass
+            else:
+                if count:
+                    self.fast_invocations += 1
+                return marshaled
+        if count:
+            self.fallback_invocations += 1
+        return serialization.loads(serialization.dumps(message))
 
     def invoke(self, request: Dict[str, Any]) -> Dict[str, Any]:
-        encoded = serialization.dumps(request)
-        response = self._dispatcher(serialization.loads(encoded))
-        return serialization.loads(serialization.dumps(response))
+        response = self._dispatcher(self._marshal(request, count=True))
+        return self._marshal(response, count=False)
 
     def close(self) -> None:
         """Nothing to release."""
 
 
+# ----------------------------------------------------------------------
+# Server side
+# ----------------------------------------------------------------------
+
+
 class _RequestHandler(socketserver.BaseRequestHandler):
     def setup(self) -> None:
+        # Without NODELAY, Nagle holds back-to-back small responses on
+        # a multiplexed connection hostage to the client's delayed ACK.
+        self.request.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self.server.track_connection(self.request)  # type: ignore[attr-defined]
 
     def finish(self) -> None:
@@ -85,15 +174,23 @@ class _RequestHandler(socketserver.BaseRequestHandler):
         server = self.server
         sock: socket.socket = self.request
         sock.settimeout(server.io_timeout)  # type: ignore[attr-defined]
+        # Legacy phase: length-prefixed tagged-JSON frames, answered
+        # in order — exactly the pre-multiplex protocol, so old peers
+        # (and raw test clients) are served unchanged.
         while True:
             try:
                 frame = _recv_frame(sock)
             except (TransportError, OSError):
                 return  # client went away
+            upgraded = False
             try:
                 request = serialization.loads(frame)
-                response = server.dispatcher(request)
-                payload = serialization.dumps(response)
+                if (isinstance(request, dict)
+                        and request.get("object") == CONTROL_OBJECT):
+                    payload, upgraded = self._control(server, request)
+                else:
+                    response = server.dispatcher(request)
+                    payload = serialization.dumps(response)
             except Exception as exc:  # deliberately broad: server survives
                 payload = serialization.dumps({
                     "error": {"type": type(exc).__name__,
@@ -103,6 +200,185 @@ class _RequestHandler(socketserver.BaseRequestHandler):
                 _send_frame(sock, payload)
             except OSError:
                 return
+            if upgraded:
+                self._serve_multiplexed(server, sock)
+                return
+
+    @staticmethod
+    def _control(server: Any,
+                 request: Dict[str, Any]) -> Tuple[bytes, bool]:
+        """Answer a transport-control request; returns (payload,
+        switch-to-multiplexed)."""
+        if request.get("method") != "hello" or not server.enable_upgrade:
+            return serialization.dumps({
+                "error": {"type": "OrbError",
+                          "message": "unknown transport control"},
+            }), False
+        return serialization.dumps({
+            "result": {
+                "version": PROTOCOL_VERSION,
+                "codecs": list(server.codecs),
+                "multiplex": True,
+            },
+        }), True
+
+    # A pipelined client lands many frames in one socket wakeup; hand
+    # the pool bursts of this size so the submit/handoff cost is
+    # amortized across the burst.  Kept small so one slow request in
+    # a burst can only delay a handful of followers, never the whole
+    # backlog — later bursts still run on other pool threads.
+    _BURST = 8
+
+    def _serve_multiplexed(self, server: Any, sock: socket.socket) -> None:
+        """Read mux frames, dispatch on the pool, answer out of order.
+
+        Frames are drained from the socket greedily and dispatched in
+        bursts: each burst is one pool task that serves its frames in
+        order, answering each as it completes, while concurrent bursts
+        (and therefore responses) interleave freely.
+        """
+        write_lock = threading.Lock()
+        inflight = [0]
+        inflight_lock = threading.Lock()
+
+        def serve_burst(frames: List[Tuple[int, int, bytes]]) -> None:
+            # Responses for the whole burst are coalesced into one
+            # send: fewer syscalls and write-lock handoffs, and the
+            # client's reader drains them in a single wakeup.
+            try:
+                chunks = []
+                for codec, corr, payload in frames:
+                    try:
+                        request = _decode_with(codec, payload)
+                        response = server.dispatcher(request)
+                        out_codec, out_payload = _encode_with(codec,
+                                                              response)
+                    except Exception as exc:  # broad: server survives
+                        out_codec = CODEC_JSON
+                        out_payload = serialization.dumps({
+                            "error": {"type": type(exc).__name__,
+                                      "message": str(exc)},
+                        })
+                    chunks.append(_MUX_HEADER.pack(
+                        len(out_payload), out_codec, corr) + out_payload)
+                try:
+                    with write_lock:
+                        sock.sendall(b"".join(chunks))
+                except OSError:
+                    pass  # reader notices the dead socket, exits
+            finally:
+                with inflight_lock:
+                    inflight[0] -= len(frames)
+
+        buffer = bytearray()
+
+        def pop_frames() -> List[Tuple[int, int, bytes]]:
+            # Offset-based parse: one buffer shift for the whole batch
+            # instead of an O(n) del per frame.
+            frames = []
+            header_size = _MUX_HEADER.size
+            pos, size = 0, len(buffer)
+            while size - pos >= header_size:
+                length, codec, corr = _MUX_HEADER.unpack_from(buffer, pos)
+                if length > _MAX_FRAME:
+                    raise TransportError("oversized frame")
+                end = pos + header_size + length
+                if end > size:
+                    break
+                frames.append((codec, corr,
+                               bytes(buffer[pos + header_size:end])))
+                pos = end
+            if pos:
+                del buffer[:pos]
+            return frames
+
+        while True:
+            try:
+                chunk = sock.recv(65536)
+            except socket.timeout:
+                # An idle timeout between frames only reaps the
+                # connection when nothing is being served — a slow
+                # request must not get its socket closed under it.
+                with inflight_lock:
+                    busy = inflight[0] > 0
+                if busy:
+                    continue
+                return
+            except OSError:
+                return
+            if not chunk:
+                return
+            buffer += chunk
+            # Drain whatever else already sits in the kernel buffer so
+            # a pipelined burst becomes few pool tasks, not many.
+            while len(buffer) < 1 << 20:
+                try:
+                    readable, _, _ = select.select([sock], [], [], 0)
+                except (OSError, ValueError):
+                    return
+                if not readable:
+                    break
+                try:
+                    more = sock.recv(65536)
+                except OSError:
+                    return
+                if not more:
+                    return  # peer closed; serve what we have? no: bail
+                buffer += more
+            try:
+                frames = pop_frames()
+            except TransportError:
+                return
+            while frames:
+                burst, frames = frames[:self._BURST], frames[self._BURST:]
+                with inflight_lock:
+                    inflight[0] += len(burst)
+                server.pool.submit(serve_burst, burst)
+
+
+class _WorkerPool:
+    """A minimal dispatch pool for multiplexed requests: cheaper per
+    task than ``concurrent.futures`` (no Future allocation, a
+    C-implemented queue handoff) with lazily started workers."""
+
+    def __init__(self, workers: int, name: str) -> None:
+        self._queue: "queue.SimpleQueue[Any]" = queue.SimpleQueue()
+        self._max = workers
+        self._name = name
+        self._lock = threading.Lock()
+        self._threads: List[threading.Thread] = []
+        self._idle = 0
+
+    def submit(self, fn: Callable[..., None], *args: Any) -> None:
+        self._queue.put((fn, args))
+        with self._lock:
+            if self._idle == 0 and len(self._threads) < self._max:
+                thread = threading.Thread(
+                    target=self._run, daemon=True,
+                    name=f"{self._name}-{len(self._threads)}")
+                self._threads.append(thread)
+                thread.start()
+
+    def _run(self) -> None:
+        while True:
+            with self._lock:
+                self._idle += 1
+            item = self._queue.get()
+            with self._lock:
+                self._idle -= 1
+            if item is None:
+                return
+            fn, args = item
+            try:
+                fn(*args)
+            except Exception:  # noqa: BLE001 — a task must not kill the pool
+                pass
+
+    def shutdown(self) -> None:
+        with self._lock:
+            count = len(self._threads)
+        for _ in range(count):
+            self._queue.put(None)
 
 
 class _ThreadingServer(socketserver.ThreadingTCPServer):
@@ -142,10 +418,23 @@ class TcpServer:
 
     Binds to ``127.0.0.1`` on an OS-assigned port by default; the
     bound address is available as :attr:`address` once started.
+
+    Args:
+        dispatcher: the object adapter's request handler.
+        codecs: wire codecs offered during negotiation, most preferred
+            first (default binary then JSON).
+        enable_upgrade: answer the multiplex hello (disable to emulate
+            a legacy peer in interop tests).
+        mux_workers: pool threads serving multiplexed requests; this
+            bounds out-of-order concurrency per server, not per
+            connection.
     """
 
     def __init__(self, dispatcher: Dispatcher, host: str = "127.0.0.1",
-                 port: int = 0, io_timeout: float = 30.0) -> None:
+                 port: int = 0, io_timeout: float = 30.0,
+                 codecs: Optional[Tuple[str, ...]] = None,
+                 enable_upgrade: bool = True,
+                 mux_workers: int = 8) -> None:
         self.dispatcher = dispatcher
         self.io_timeout = io_timeout
         try:
@@ -154,6 +443,11 @@ class TcpServer:
             raise TransportError(f"cannot bind {host}:{port}: {exc}") from exc
         self._server.dispatcher = dispatcher  # type: ignore[attr-defined]
         self._server.io_timeout = io_timeout  # type: ignore[attr-defined]
+        self._server.codecs = tuple(  # type: ignore[attr-defined]
+            codecs if codecs is not None else ("binary", "json"))
+        self._server.enable_upgrade = enable_upgrade  # type: ignore[attr-defined]
+        self._server.pool = _WorkerPool(  # type: ignore[attr-defined]
+            mux_workers, f"orb-mux-{self.address[1]}")
         self._thread: Optional[threading.Thread] = None
 
     @property
@@ -175,37 +469,414 @@ class TcpServer:
         self._server.shutdown()
         self._server.close_connections()
         self._server.server_close()
+        self._server.pool.shutdown()  # type: ignore[attr-defined]
         self._thread.join(timeout=5.0)
         self._thread = None
 
 
+# ----------------------------------------------------------------------
+# Client side
+# ----------------------------------------------------------------------
+
+
+class _ConnectionLost(TransportError):
+    """The connection died before any response frame arrived for this
+    request — the only failure the transport will retry."""
+
+
+class _Pending:
+    """One in-flight multiplexed request awaiting its response."""
+
+    __slots__ = ("_event", "_response", "_error")
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._response: Optional[Dict[str, Any]] = None
+        self._error: Optional[BaseException] = None
+
+    def complete(self, response: Dict[str, Any]) -> None:
+        self._response = response
+        self._event.set()
+
+    def fail(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float]) -> Dict[str, Any]:
+        if not self._event.wait(timeout):
+            raise TransportError("request timed out")
+        if self._error is not None:
+            raise self._error
+        assert self._response is not None
+        return self._response
+
+
+class _MuxConnection:
+    """One multiplexed connection: many requests in flight, completed
+    in any order.
+
+    There is no dedicated reader thread — the threads *waiting* on
+    responses drive the socket (leader/follower).  Whichever waiter
+    arrives at an idle socket becomes the reader and delivers every
+    response frame that lands — its own and other waiters' — until
+    its own arrives, then hands leadership to the next waiter.  A
+    lone synchronous caller therefore reads its own response
+    directly, with zero cross-thread handoffs on the hot path, while
+    concurrent waiters still complete as their frames land.
+    """
+
+    def __init__(self, sock: socket.socket, codec: int, name: str) -> None:
+        self._sock = sock
+        self.codec = codec
+        self._send_lock = threading.Lock()
+        self._pending: Dict[int, _Pending] = {}
+        self._plock = threading.Lock()
+        self._wakeup = threading.Condition(self._plock)
+        self._corr = itertools.count(1)
+        self._dead: Optional[BaseException] = None
+        self._reading = False
+        self._rbuf = bytearray()
+        self.inflight_max = 0
+
+    def alive(self) -> bool:
+        with self._plock:
+            return self._dead is None
+
+    def submit(self, request: Dict[str, Any]) -> _Pending:
+        codec, payload = _encode_with(self.codec, request)
+        if len(payload) > _MAX_FRAME:
+            raise TransportError(
+                f"outbound frame of {len(payload)} bytes exceeds the "
+                f"{_MAX_FRAME}-byte cap")
+        pending = _Pending()
+        with self._plock:
+            if self._dead is not None:
+                raise _ConnectionLost(str(self._dead))
+            corr = next(self._corr)
+            self._pending[corr] = pending
+            self.inflight_max = max(self.inflight_max, len(self._pending))
+        frame = _MUX_HEADER.pack(len(payload), codec, corr) + payload
+        try:
+            with self._send_lock:
+                self._sock.sendall(frame)
+        except OSError as exc:
+            with self._plock:
+                self._pending.pop(corr, None)
+            self._fail(exc)
+            raise _ConnectionLost(f"send failed: {exc}") from exc
+        return pending
+
+    def submit_many(self, requests: List[Dict[str, Any]]
+                    ) -> List[_Pending]:
+        """Pipeline a batch: every frame lands in one ``sendall`` so
+        the peer's reader sees the burst in a single wakeup."""
+        encoded = []
+        for request in requests:
+            codec, payload = _encode_with(self.codec, request)
+            if len(payload) > _MAX_FRAME:
+                raise TransportError(
+                    f"outbound frame of {len(payload)} bytes exceeds "
+                    f"the {_MAX_FRAME}-byte cap")
+            encoded.append((codec, payload))
+        pendings: List[_Pending] = []
+        corrs: List[int] = []
+        frames: List[bytes] = []
+        with self._plock:
+            if self._dead is not None:
+                raise _ConnectionLost(str(self._dead))
+            for codec, payload in encoded:
+                corr = next(self._corr)
+                pending = _Pending()
+                self._pending[corr] = pending
+                pendings.append(pending)
+                corrs.append(corr)
+                frames.append(_MUX_HEADER.pack(len(payload), codec, corr)
+                              + payload)
+            self.inflight_max = max(self.inflight_max,
+                                    len(self._pending))
+        try:
+            with self._send_lock:
+                self._sock.sendall(b"".join(frames))
+        except OSError as exc:
+            with self._plock:
+                for corr in corrs:
+                    self._pending.pop(corr, None)
+            self._fail(exc)
+            raise _ConnectionLost(f"send failed: {exc}") from exc
+        return pendings
+
+    def forget(self, pending: _Pending) -> None:
+        """Drop a timed-out request; its late response is discarded."""
+        with self._plock:
+            self._forget_locked(pending)
+
+    def _forget_locked(self, pending: _Pending) -> None:
+        for corr, entry in list(self._pending.items()):
+            if entry is pending:
+                del self._pending[corr]
+                break
+
+    def wait(self, pending: _Pending,
+             timeout: Optional[float]) -> Dict[str, Any]:
+        """Block until ``pending`` resolves, reading the socket while
+        no other waiter is (the leader/follower handover)."""
+        deadline = time.monotonic() + (30.0 if timeout is None
+                                       else timeout)
+        while True:
+            with self._wakeup:
+                if pending.done():
+                    return pending.result(0)
+                if self._dead is not None:
+                    raise _ConnectionLost(
+                        f"connection lost: {self._dead}")
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    self._forget_locked(pending)
+                    raise TransportError("request timed out")
+                if self._reading:
+                    # Someone else is on the socket; they will either
+                    # deliver our frame or hand leadership over.
+                    self._wakeup.wait(remaining)
+                    continue
+                self._reading = True
+            try:
+                self._read_some(remaining)
+            except socket.timeout:
+                pass  # deadline re-checked at the top of the loop
+            except (OSError, TransportError) as exc:
+                self._fail(exc)
+            finally:
+                with self._wakeup:
+                    self._reading = False
+                    self._wakeup.notify_all()
+
+    def _read_some(self, remaining: float) -> None:
+        """One blocking read (plus an opportunistic drain), then
+        deliver every complete frame now buffered.  A timeout leaves
+        the stream intact: partial frames stay in the buffer."""
+        self._sock.settimeout(remaining)
+        chunk = self._sock.recv(65536)
+        if not chunk:
+            raise TransportError("connection closed")
+        self._rbuf += chunk
+        while len(self._rbuf) < 1 << 20:
+            readable, _, _ = select.select([self._sock], [], [], 0)
+            if not readable:
+                break
+            more = self._sock.recv(65536)
+            if not more:
+                raise TransportError("connection closed")
+            self._rbuf += more
+        self._deliver_buffered()
+
+    def _deliver_buffered(self) -> None:
+        """Parse and complete every whole frame in the read buffer.
+
+        The batch is parsed with one buffer shift, matched against the
+        pending table under one lock hold, and waiters are woken once
+        at the end — per-frame costs matter when a pipelined burst of
+        responses lands in a single read."""
+        rbuf = self._rbuf
+        header_size = _MUX_HEADER.size
+        arrived: List[Tuple[int, int, bytes]] = []
+        pos, size = 0, len(rbuf)
+        while size - pos >= header_size:
+            length, codec, corr = _MUX_HEADER.unpack_from(rbuf, pos)
+            if length > _MAX_FRAME:
+                raise TransportError("oversized response frame")
+            end = pos + header_size + length
+            if end > size:
+                break
+            arrived.append((corr, codec,
+                            bytes(rbuf[pos + header_size:end])))
+            pos = end
+        if pos:
+            del rbuf[:pos]
+        if not arrived:
+            return
+        with self._plock:
+            matched = [(self._pending.pop(corr, None), codec, payload)
+                       for corr, codec, payload in arrived]
+        for pending, codec, payload in matched:
+            if pending is None:
+                continue  # timed-out request's late response
+            try:
+                response = _decode_with(codec, payload)
+            except (OrbError, TransportError) as exc:
+                # A response arrived but could not be decoded: the
+                # request is NOT retried (the server acted on it).
+                pending.fail(exc)
+            else:
+                if isinstance(response, dict):
+                    pending.complete(response)
+                else:
+                    pending.fail(
+                        TransportError("malformed response frame"))
+        with self._wakeup:
+            self._wakeup.notify_all()
+
+    def _fail(self, exc: BaseException) -> None:
+        with self._wakeup:
+            if self._dead is None:
+                self._dead = exc
+            doomed = list(self._pending.values())
+            self._pending.clear()
+            self._wakeup.notify_all()
+        for pending in doomed:
+            pending.fail(_ConnectionLost(f"connection lost: {exc}"))
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def close(self) -> None:
+        self._fail(TransportError("transport closed"))
+
+
+class _Invocation:
+    """A waitable handle for one request, owning the retry budget.
+
+    The transport retries a request at most once, and only when the
+    connection died before any response bytes arrived for it — the
+    server may still have *executed* such a request (the response can
+    be lost after the work is done), so retried methods must be
+    idempotent.  See :class:`TcpTransport` for the contract.
+    """
+
+    def __init__(self, transport: "TcpTransport",
+                 request: Dict[str, Any]) -> None:
+        self._transport = transport
+        self._request = request
+        self._retried = False
+        self._pending: Optional[_Pending] = None
+        self._mux: Optional[_MuxConnection] = None
+        self._submit()
+
+    def _submit(self) -> None:
+        try:
+            self._mux, self._pending = self._transport._submit(self._request)
+        except TransportError as exc:
+            # Submit-time failures park on the handle so async callers
+            # only ever see errors at result().  A _ConnectionLost
+            # (the mux connection was closed between checkout and
+            # send) stays retryable through result()'s retry loop;
+            # anything else — connect refused, negotiation failure —
+            # is terminal there.
+            self._mux = None
+            pending = _Pending()
+            pending.fail(exc)
+            self._pending = pending
+
+    def done(self) -> bool:
+        return self._pending is not None and self._pending.done()
+
+    def result(self, timeout: Optional[float] = None) -> Dict[str, Any]:
+        if timeout is None:
+            timeout = self._transport.timeout
+        while True:
+            assert self._pending is not None
+            try:
+                if self._mux is not None:
+                    return self._mux.wait(self._pending, timeout)
+                return self._pending.result(timeout)
+            except _ConnectionLost:
+                if self._retried:
+                    raise TransportError(
+                        f"request to {self._transport.host}:"
+                        f"{self._transport.port} failed after reconnect")
+                self._retried = True
+                if self._mux is None:
+                    # Legacy attempt: count here.  A dead mux attempt
+                    # is counted when renegotiation replaces the
+                    # connection, so it is not double-counted.
+                    self._transport._count_retry()
+                self._submit()
+            except TransportError:
+                if self._mux is not None and self._pending is not None:
+                    self._mux.forget(self._pending)
+                raise
+
+
+class _CompletedInvocation:
+    """An already-resolved handle (synchronous fallback paths)."""
+
+    def __init__(self, response: Optional[Dict[str, Any]],
+                 error: Optional[BaseException]) -> None:
+        self._response = response
+        self._error = error
+
+    def done(self) -> bool:
+        return True
+
+    def result(self, timeout: Optional[float] = None) -> Dict[str, Any]:
+        if self._error is not None:
+            raise self._error
+        assert self._response is not None
+        return self._response
+
+
 class TcpTransport:
-    """Client side of the TCP transport: a pool of connections.
+    """Client side of the TCP transport.
 
-    Earlier versions held ONE persistent socket behind a lock, so
-    concurrent invokes from different threads serialized head-of-line:
-    a router fanning a query out to N shards paid N round trips
-    sequentially.  The pool checks a connection out per invoke (opening
-    a new one when all are busy) and checks it back in afterwards, so
-    independent requests proceed in parallel; up to ``max_idle``
-    connections are retained between invokes.
+    Against a peer that speaks the multiplexed protocol (negotiated on
+    first use), ONE connection carries every in-flight request with
+    correlation ids, the payloads encoded with the negotiated codec;
+    :meth:`invoke_async` exposes the pipelined path (submit many,
+    collect as responses land).  Against a legacy peer the transport
+    falls back to the pooled one-request-per-socket protocol: a
+    connection is checked out per invoke (opening a new one when all
+    are busy) and checked back in afterwards, so independent requests
+    still proceed in parallel; up to ``max_idle`` connections are
+    retained.
 
-    Failure semantics match the old transport: a request that dies on
-    the wire is retried once on a fresh connection, and an endpoint
-    nobody listens on raises :class:`TransportError` immediately.
+    **Failure and retry semantics** (both modes): a request whose
+    connection died *before any response bytes arrived for it* is
+    retried exactly once on a fresh connection; once response bytes
+    have been seen — a partial legacy frame, or a mux response frame
+    that fails to decode — the transport raises without retrying.
+    Because the death may have struck after the server executed the
+    request but before the response survived the wire, a retry can
+    re-execute: every method invoked through this transport must be
+    idempotent at least once-retried.  The shard fleet's hot methods
+    are: ``register_sensor`` is explicitly idempotent servant-side,
+    queries are read-only, and a retried ``submit_batch`` can at
+    worst duplicate readings whose reading-ids the pipeline
+    deduplicates downstream — but new servants must keep this
+    contract in mind.  An endpoint nobody listens on raises
+    :class:`TransportError` immediately.
+
+    Args:
+        codec: preferred wire codec (``"binary"`` or ``"json"``); the
+            negotiated codec is the first preference both peers share.
+        negotiate: attempt the multiplex upgrade (disable to emulate a
+            legacy client in interop tests).
     """
 
     def __init__(self, host: str, port: int, timeout: float = 30.0,
-                 max_idle: int = 8) -> None:
+                 max_idle: int = 8, codec: str = "binary",
+                 negotiate: bool = True) -> None:
+        if codec not in ("binary", "json"):
+            raise TransportError(f"unknown codec {codec!r}")
         self.host = host
         self.port = port
         self.timeout = timeout
         self.max_idle = max_idle
+        self.preferred_codec = codec
+        self.negotiate = negotiate
         self._idle: "list[socket.socket]" = []
         self._lock = threading.Lock()
+        self._negotiation_lock = threading.Lock()
+        self._mode: Optional[str] = None if negotiate else "legacy"
+        self._mux: Optional[_MuxConnection] = None
+        self.negotiated_codec: Optional[str] = None if negotiate else "json"
         self.connections_opened = 0
         self.connections_reused = 0
         self.retries = 0
+
+    # -- connection management -----------------------------------------
 
     def _connect(self) -> socket.socket:
         try:
@@ -233,32 +904,197 @@ class TcpTransport:
                 return
         _close_quietly(sock)
 
-    def invoke(self, request: Dict[str, Any]) -> Dict[str, Any]:
-        payload = serialization.dumps(request)
-        frame: Optional[bytes] = None
-        for attempt in (1, 2):
-            sock = self._checkout()
+    def _count_retry(self) -> None:
+        with self._lock:
+            self.retries += 1
+
+    # -- negotiation ---------------------------------------------------
+
+    def _hello(self, sock: socket.socket) -> Optional[Dict[str, Any]]:
+        """One in-band feature probe; None means a legacy peer."""
+        request = {
+            "object": CONTROL_OBJECT,
+            "method": "hello",
+            "args": [{"version": PROTOCOL_VERSION,
+                      "codecs": [self.preferred_codec, "json"]}],
+            "kwargs": {},
+        }
+        _send_frame(sock, serialization.dumps(request))
+        response = serialization.loads(_recv_frame(sock))
+        if not isinstance(response, dict):
+            raise TransportError("malformed hello response")
+        features = response.get("result")
+        if (not isinstance(features, dict)
+                or features.get("version", 0) < PROTOCOL_VERSION
+                or not features.get("multiplex")):
+            return None  # legacy peer: it answered, but not the hello
+        return features
+
+    def _pick_codec(self, features: Dict[str, Any]) -> int:
+        offered = features.get("codecs") or []
+        for name in (self.preferred_codec, "json"):
+            if name in offered:
+                return CODEC_BINARY if name == "binary" else CODEC_JSON
+        return CODEC_JSON
+
+    def _cached_mode(self) -> Optional[Tuple[str, Optional[_MuxConnection]]]:
+        with self._lock:
+            if self._mode == "legacy":
+                return "legacy", None
+            if (self._mode == "mux" and self._mux is not None
+                    and self._mux.alive()):
+                self.connections_reused += 1
+                return "mux", self._mux
+        return None
+
+    def _ensure_mode(self) -> Tuple[str, Optional[_MuxConnection]]:
+        """Resolve (and cache) the endpoint's protocol mode.
+
+        Negotiation is serialized: concurrent first invokes block on
+        one hello instead of racing to replace each other's live
+        connections.  Re-establishing a *dead* multiplexed connection
+        counts as a retry (the request that triggered it is being
+        re-driven against a possibly-restarted peer).
+        """
+        cached = self._cached_mode()
+        if cached is not None:
+            return cached
+        with self._negotiation_lock:
+            cached = self._cached_mode()  # settled while we waited
+            if cached is not None:
+                return cached
+            with self._lock:
+                dead_before = self._mux
+            sock = self._connect()
             try:
-                _send_frame(sock, payload)
-                frame = _recv_frame(sock)
-            except (OSError, TransportError):
-                # A dead connection (pooled-but-stale or mid-request
-                # failure): drop it and retry once on a fresh socket.
+                features = self._hello(sock)
+            except (OSError, TransportError) as exc:
                 _close_quietly(sock)
-                if attempt == 2:
-                    raise TransportError(
-                        f"request to {self.host}:{self.port} failed "
-                        "after reconnect")
+                if isinstance(exc, TransportError):
+                    raise
+                raise TransportError(
+                    f"negotiation with {self.host}:{self.port} "
+                    f"failed: {exc}") from exc
+            if features is None:
                 with self._lock:
+                    self._mode = "legacy"
+                    self.negotiated_codec = "json"
+                self._checkin(sock)  # the legacy connection is still good
+                return "legacy", None
+            codec = self._pick_codec(features)
+            mux = _MuxConnection(sock, codec, f"{self.host}:{self.port}")
+            with self._lock:
+                self._mode = "mux"
+                self._mux = mux
+                self.negotiated_codec = CODEC_NAMES[codec]
+                if dead_before is not None:
+                    # A dead connection was replaced on behalf of an
+                    # in-flight request: surface that as a retry.
                     self.retries += 1
-            else:
-                self._checkin(sock)
-                break
-        assert frame is not None
+            if dead_before is not None:
+                dead_before.close()
+            return "mux", mux
+
+    # -- invocation ----------------------------------------------------
+
+    def _submit(self, request: Dict[str, Any]
+                ) -> Tuple[Optional[_MuxConnection], _Pending]:
+        mode, mux = self._ensure_mode()
+        if mode == "mux":
+            assert mux is not None
+            return mux, mux.submit(request)
+        # Legacy: synchronous on the pooled path; wrap the outcome so
+        # async callers see the same handle shape.
+        pending = _Pending()
+        try:
+            pending.complete(self._invoke_legacy_once(request))
+        except BaseException as exc:  # noqa: BLE001 — delivered on wait
+            pending.fail(exc)
+        return None, pending
+
+    def invoke_async(self, request: Dict[str, Any]) -> _Invocation:
+        """Submit without waiting; returns a handle with
+        ``done()``/``result(timeout)``.  Many handles may be in
+        flight on the one multiplexed connection."""
+        return _Invocation(self, request)
+
+    def invoke(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        return _Invocation(self, request).result(self.timeout)
+
+    def invoke_many(self, requests: List[Dict[str, Any]]
+                    ) -> List[Dict[str, Any]]:
+        """Pipeline several requests on one connection: all frames are
+        written (in one coalesced send) before any response is
+        awaited, and the server may answer them out of order."""
+        if not requests:
+            return []
+        try:
+            mode, mux = self._ensure_mode()
+            if mode == "mux":
+                assert mux is not None
+                pendings = mux.submit_many(requests)
+                results = []
+                for request, pending in zip(requests, pendings):
+                    try:
+                        results.append(mux.wait(pending, self.timeout))
+                    except _ConnectionLost:
+                        # This request died before its response bytes:
+                        # re-drive it alone (the fresh invocation
+                        # renegotiates and owns its retry budget).
+                        results.append(self.invoke(request))
+                return results
+        except _ConnectionLost:
+            pass  # fall through: per-request handles own the retry
+        handles = [self.invoke_async(request) for request in requests]
+        return [handle.result(self.timeout) for handle in handles]
+
+    def _invoke_legacy_once(self, request: Dict[str, Any]
+                            ) -> Dict[str, Any]:
+        """One attempt on the pooled legacy path.
+
+        Raises :class:`_ConnectionLost` (retryable) only while no
+        response byte has arrived; a failure mid-response raises a
+        plain :class:`TransportError`.
+        """
+        payload = serialization.dumps(request)
+        sock = self._checkout()
+        seen = [False]  # any response byte at all disarms the retry
+
+        def recv_exact(count: int) -> bytes:
+            chunks = []
+            remaining = count
+            while remaining > 0:
+                chunk = sock.recv(remaining)
+                if not chunk:
+                    raise TransportError("connection closed mid-frame")
+                seen[0] = True
+                chunks.append(chunk)
+                remaining -= len(chunk)
+            return b"".join(chunks)
+
+        try:
+            _send_frame(sock, payload)
+            (length,) = _HEADER.unpack(recv_exact(_HEADER.size))
+            if length > _MAX_FRAME:
+                raise TransportError(
+                    f"frame of {length} bytes exceeds the cap")
+            frame = recv_exact(length)
+        except (OSError, TransportError) as exc:
+            _close_quietly(sock)
+            if isinstance(exc, _ConnectionLost):
+                raise
+            if not seen[0]:
+                raise _ConnectionLost(str(exc)) from exc
+            raise TransportError(
+                f"request to {self.host}:{self.port} died "
+                f"mid-response: {exc}") from exc
+        self._checkin(sock)
         response = serialization.loads(frame)
         if not isinstance(response, dict):
             raise TransportError("malformed response frame")
         return response
+
+    # -- observability -------------------------------------------------
 
     def pool_stats(self) -> Dict[str, int]:
         with self._lock:
@@ -269,11 +1105,32 @@ class TcpTransport:
                 "retries": self.retries,
             }
 
+    def transport_stats(self) -> Dict[str, Any]:
+        """Mode, codec and concurrency counters for fleet stats."""
+        with self._lock:
+            mux = self._mux
+            return {
+                "endpoint": f"{self.host}:{self.port}",
+                "mode": self._mode or "unnegotiated",
+                "codec": self.negotiated_codec,
+                "multiplexed_inflight_max": (mux.inflight_max
+                                             if mux is not None else 0),
+                "opened": self.connections_opened,
+                "reused": self.connections_reused,
+                "retries": self.retries,
+                "idle": len(self._idle),
+            }
+
     def close(self) -> None:
         with self._lock:
             doomed, self._idle = self._idle, []
+            mux, self._mux = self._mux, None
+            if self._mode == "mux":
+                self._mode = None if self.negotiate else "legacy"
         for sock in doomed:
             _close_quietly(sock)
+        if mux is not None:
+            mux.close()
 
 
 def _close_quietly(sock: socket.socket) -> None:

@@ -88,21 +88,27 @@ class Batcher:
     # Batch formation
     # ------------------------------------------------------------------
 
-    def _pick(self) -> Optional[str]:
-        """The next object whose queue is ready, honouring in-flight."""
+    def _pick(self) -> tuple:
+        """The next ready object (honouring in-flight), plus the
+        earliest instant a queued-but-waiting object's ``max_wait``
+        window expires (``inf`` if nothing is waiting on time)."""
         now = self.clock()
         flush = self._force_flush.is_set()
         best: Optional[str] = None
         best_oldest = float("inf")
+        wake_at = float("inf")
         for object_id, (count, oldest) in self.intake.snapshot().items():
             if object_id in self._in_flight:
                 continue
             ready = (flush or count >= self.max_batch
                      or now - oldest >= self.max_wait)
-            if ready and oldest < best_oldest:
-                best = object_id
-                best_oldest = oldest
-        return best
+            if ready:
+                if oldest < best_oldest:
+                    best = object_id
+                    best_oldest = oldest
+            elif oldest + self.max_wait < wake_at:
+                wake_at = oldest + self.max_wait
+        return best, wake_at
 
     def next_batch(self, timeout: float = 0.05) -> Optional[Batch]:
         """The next ready batch, or ``None`` if none within ``timeout``.
@@ -112,8 +118,12 @@ class Batcher:
         """
         deadline = self.clock() + timeout
         while True:
+            # Snapshot the intake's change counter *before* scanning, so
+            # a reading that arrives mid-scan cuts the wait short rather
+            # than being slept through.
+            version = self.intake.version()
             with self._lock:
-                candidate = self._pick()
+                candidate, wake_at = self._pick()
                 if candidate is not None:
                     # Claim before taking: drain observes either queued
                     # entries or an in-flight object, never a gap.
@@ -124,13 +134,16 @@ class Batcher:
                         continue
                     self.batches_formed += 1
                     return Batch(candidate, entries, self.clock())
-            remaining = deadline - self.clock()
+            now = self.clock()
+            remaining = deadline - now
             if remaining <= 0.0:
                 return None
-            # Readiness can also arrive by time passing (a max_wait
-            # window expiring), so never sleep past the window.
-            tick = min(remaining, max(self.max_wait / 2.0, 1e-3))
-            self.intake.wait_for_item(tick)
+            # Sleep until something changes (a put, a released object,
+            # a force-flush) or the earliest max_wait window expires —
+            # event-driven, so an idle or mid-window worker costs no
+            # polling wakeups.
+            tick = min(remaining, max(wake_at - now, 1e-4))
+            self.intake.wait_for_change(version, tick)
 
     def complete(self, object_id: str) -> None:
         """Release an object so its next batch can be formed."""

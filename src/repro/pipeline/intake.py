@@ -55,6 +55,82 @@ class PipelineReading:
     detection_radius: float = 0.0
 
 
+# Readings are the shard fleet's hottest wire type: register them with
+# both ORB codecs so `submit_batch` ships PipelineReading objects
+# directly (struct-packed on binary connections) instead of
+# hand-rolled field dicts.  Safe from circular imports — the orb
+# package never imports the pipeline at module level.
+from repro.orb import serialization as _orb_serialization  # noqa: E402
+from repro.orb import wire as _orb_wire  # noqa: E402
+
+_orb_serialization.register_type(
+    "PipelineReading", PipelineReading,
+    lambda r: {
+        "sensor_id": r.sensor_id,
+        "glob_prefix": r.glob_prefix,
+        "sensor_type": r.sensor_type,
+        "object_id": r.object_id,
+        "rect": r.rect,
+        "detection_time": r.detection_time,
+        "location": r.location,
+        "detection_radius": r.detection_radius,
+    },
+    lambda d: PipelineReading(
+        sensor_id=d["sensor_id"],
+        glob_prefix=d["glob_prefix"],
+        sensor_type=d["sensor_type"],
+        object_id=d["object_id"],
+        rect=d["rect"],
+        detection_time=d["detection_time"],
+        location=d.get("location"),
+        detection_radius=d.get("detection_radius", 0.0),
+    ),
+)
+
+
+def _pack_reading(reading: "PipelineReading", out: bytearray) -> None:
+    _orb_wire._require(
+        type(reading.sensor_id) is str
+        and type(reading.glob_prefix) is str
+        and type(reading.sensor_type) is str
+        and type(reading.object_id) is str
+        and type(reading.rect) is Rect
+        and (reading.location is None or type(reading.location) is Point))
+    _orb_wire._write_str(out, reading.sensor_id)
+    _orb_wire._write_str(out, reading.glob_prefix)
+    _orb_wire._write_str(out, reading.sensor_type)
+    _orb_wire._write_str(out, reading.object_id)
+    _orb_wire._pack_rect(reading.rect, out)
+    out += _orb_wire._F64.pack(_orb_wire._num(reading.detection_time))
+    if reading.location is None:
+        out.append(0)
+    else:
+        out.append(1)
+        _orb_wire._pack_point(reading.location, out)
+    out += _orb_wire._F64.pack(_orb_wire._num(reading.detection_radius))
+
+
+def _unpack_reading(reader: "_orb_wire._Reader") -> "PipelineReading":
+    sensor_id = reader.str_()
+    glob_prefix = reader.str_()
+    sensor_type = reader.str_()
+    object_id = reader.str_()
+    rect = _orb_wire._unpack_rect(reader)
+    detection_time = reader.f64()
+    location = (_orb_wire._unpack_point(reader)
+                if reader.u8() else None)
+    detection_radius = reader.f64()
+    return PipelineReading(
+        sensor_id=sensor_id, glob_prefix=glob_prefix,
+        sensor_type=sensor_type, object_id=object_id, rect=rect,
+        detection_time=detection_time, location=location,
+        detection_radius=detection_radius)
+
+
+_orb_wire.register_packed(_orb_wire.CODE_READING, PipelineReading,
+                          _pack_reading, _unpack_reading)
+
+
 @dataclass(frozen=True)
 class QueuedReading:
     """A reading plus the wall-clock instant it entered the intake."""
@@ -153,6 +229,7 @@ class IntakeQueue:
         self._not_empty = threading.Condition(self._lock)
         self._not_full = threading.Condition(self._lock)
         self._closed = False
+        self._version = 0
         self.enqueued_total = 0
         self.dropped_total = 0
 
@@ -202,6 +279,7 @@ class IntakeQueue:
             queue.entries.append(
                 QueuedReading(reading, self.clock()))
             self.enqueued_total += 1
+            self._version += 1
             self._not_empty.notify_all()
             return dropped
 
@@ -209,6 +287,7 @@ class IntakeQueue:
         """Refuse further puts and wake every blocked producer."""
         with self._lock:
             self._closed = True
+            self._version += 1
             self._not_full.notify_all()
             self._not_empty.notify_all()
 
@@ -255,7 +334,28 @@ class IntakeQueue:
                 return False
             return self._not_empty.wait(timeout)
 
+    def version(self) -> int:
+        """Monotonic change counter, bumped by every put, consumer
+        notification, and close.  Consumers snapshot it before scanning
+        for ready work and hand it back to :meth:`wait_for_change`, so
+        a change landing between the scan and the wait is never lost."""
+        with self._lock:
+            return self._version
+
+    def wait_for_change(self, version: int, timeout: float) -> bool:
+        """Block until the change counter moves past ``version`` (or
+        ``timeout`` elapses).  Unlike :meth:`wait_for_item` this does
+        *not* return early just because readings are queued — queued
+        readings still inside their batching window are not progress,
+        and returning for them turns consumers into busy-pollers."""
+        with self._lock:
+            if self._version != version:
+                return True
+            self._not_empty.wait(timeout)
+            return self._version != version
+
     def notify_consumers(self) -> None:
         """Wake batcher waiters (an in-flight object was released)."""
         with self._lock:
+            self._version += 1
             self._not_empty.notify_all()

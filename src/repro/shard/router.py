@@ -5,8 +5,9 @@ to.  It owns no readings itself: inserts and object-scoped queries
 (``locate``, region confidence) route to the owning shard chosen by
 the :class:`~repro.shard.partitioner.HashPartitioner`; cross-shard
 queries (``objects_in_region``, path distance between objects on
-different shards) fan out over the ORB's pooled TCP transport and
-merge with the order the single-process engine pins.
+different shards) fan out as pipelined requests — one frame written
+per shard on its multiplexed connection, responses merged as they
+land — with the order the single-process engine pins.
 
 Two ingest paths mirror the single-process engine's two:
 
@@ -45,7 +46,6 @@ from repro.service.semantic_subscriptions import (
 from repro.service.subscriptions import KIND_BOTH
 from repro.shard.merge import merge_event_streams, merge_region_results
 from repro.shard.partitioner import HashPartitioner
-from repro.shard.worker import reading_to_wire
 from repro.storage.records import encode_spec
 
 _REMOTE_PASSTHROUGH = ("UnknownObjectError", "PrivacyError", "ServiceError")
@@ -61,7 +61,16 @@ def _translate(exc: RemoteInvocationError) -> Exception:
 
 
 class _ShardSender(threading.Thread):
-    """Background flusher for one shard's outbound reading queue."""
+    """Background flusher for one shard's outbound reading queue.
+
+    Batch size adapts to backlog: each drain that still leaves a
+    backlog doubles the next batch (up to ``8 * base``), and a drain
+    that empties the queue decays it back toward the configured base —
+    bursty ingest amortizes the per-RPC cost over bigger batches while
+    quiet streams keep the low-latency small ones.  Queue depth, peak,
+    current batch size and an EWMA of flush latency are exported
+    through :meth:`snapshot` into ``ShardRouter.stats()``.
+    """
 
     def __init__(self, router: "ShardRouter", index: int) -> None:
         super().__init__(name=f"shard-sender-{index}", daemon=True)
@@ -71,15 +80,36 @@ class _ShardSender(threading.Thread):
         self.lock = threading.Lock()
         self.wakeup = threading.Condition(self.lock)
         self.closed = False
+        self.batch_size = router.batch_size
+        self.max_batch = router.batch_size * 8
+        self.inflight = 0
+        self.queue_peak = 0
+        self.batches = 0
+        self.flush_latency = 0.0
 
     def put(self, reading: PipelineReading) -> None:
         with self.lock:
             self.queue.append(reading)
+            if len(self.queue) > self.queue_peak:
+                self.queue_peak = len(self.queue)
             self.wakeup.notify()
 
     def pending(self) -> int:
+        """Queued plus in-flight — a reading is pending until its
+        batch has been accounted forwarded or dead-lettered."""
         with self.lock:
-            return len(self.queue)
+            return len(self.queue) + self.inflight
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self.lock:
+            return {
+                "shard": self.index,
+                "queue_depth": len(self.queue) + self.inflight,
+                "queue_peak": self.queue_peak,
+                "batch_size": self.batch_size,
+                "batches": self.batches,
+                "flush_latency": self.flush_latency,
+            }
 
     def close(self) -> None:
         with self.lock:
@@ -87,16 +117,32 @@ class _ShardSender(threading.Thread):
             self.wakeup.notify()
 
     def run(self) -> None:
-        batch_size = self.router.batch_size
+        import time
+        base = self.router.batch_size
         while True:
             with self.lock:
                 while not self.queue and not self.closed:
                     self.wakeup.wait(0.1)
                 if self.closed and not self.queue:
                     return
+                backlog = len(self.queue)
+                if backlog > self.batch_size:
+                    self.batch_size = min(self.batch_size * 2,
+                                          self.max_batch)
+                elif backlog <= base and self.batch_size > base:
+                    self.batch_size = max(base, self.batch_size // 2)
                 batch = [self.queue.popleft()
-                         for _ in range(min(batch_size, len(self.queue)))]
+                         for _ in range(min(self.batch_size, backlog))]
+                self.inflight = len(batch)
+            start = time.monotonic()
             self.router._flush_batch(self.index, batch)
+            elapsed = time.monotonic() - start
+            with self.lock:
+                self.inflight = 0
+                self.batches += 1
+                self.flush_latency = (
+                    elapsed if self.batches == 1
+                    else 0.8 * self.flush_latency + 0.2 * elapsed)
 
 
 class ShardRouter:
@@ -233,9 +279,11 @@ class ShardRouter:
 
     def _flush_batch(self, index: int,
                      batch: List[PipelineReading]) -> None:
-        wire = [reading_to_wire(reading) for reading in batch]
+        # Readings ship as registered wire values (struct-packed on
+        # binary connections); servants also accept the legacy dict
+        # shape, so old peers interoperate.
         try:
-            self._proxies[index].submit_batch(wire)
+            self._proxies[index].submit_batch(batch)
         except (TransportError, RemoteInvocationError) as exc:
             # The shard is down (or rejected the batch wholesale):
             # account every reading so fleet totals still reconcile.
@@ -252,11 +300,17 @@ class ShardRouter:
             if time.monotonic() >= deadline:
                 return False
             time.sleep(0.002)
+        # Pipelined like _fan_out: every shard drains concurrently, so
+        # the wall cost is the slowest shard, not the per-shard sum —
+        # with many shards on few cores the serial version paid one
+        # scheduling round-trip per shard.
         ok = True
-        for index, proxy in enumerate(self._proxies):
+        remaining = max(0.1, deadline - time.monotonic())
+        handles = [proxy.orb_invoke_async("drain", remaining)
+                   for proxy in self._proxies]
+        for index, handle in enumerate(handles):
             try:
-                ok = proxy.drain(max(0.1, deadline - time.monotonic())) \
-                    and ok
+                ok = handle.result() and ok
             except (TransportError, RemoteInvocationError) as exc:
                 self._record_error(f"shard {index} drain: {exc}")
                 ok = False
@@ -301,27 +355,24 @@ class ShardRouter:
     # Cross-shard queries: fan out and merge
     # ------------------------------------------------------------------
 
-    def _fan_out(self, call: Callable[[Any], Any]) -> List[Any]:
-        """Invoke ``call(proxy)`` on every shard concurrently.
+    def _fan_out(self, method: str, *args: Any) -> List[Any]:
+        """Invoke ``method(*args)`` on every shard, pipelined.
 
-        Raises the first failure after every thread has finished —
-        partial answers would silently drop a shard's objects.
+        On a multiplexed connection this is one frame written per
+        shard — no thread spawned per request — with responses
+        collected as they land.  Raises the first failure only after
+        every shard has answered — partial answers would silently drop
+        a shard's objects.
         """
+        handles = [proxy.orb_invoke_async(method, *args)
+                   for proxy in self._proxies]
         results: List[Any] = [None] * self.num_shards
         failures: List[Exception] = []
-
-        def work(index: int) -> None:
+        for index, handle in enumerate(handles):
             try:
-                results[index] = call(self._proxies[index])
+                results[index] = handle.result()
             except Exception as exc:  # noqa: BLE001 — re-raised below
                 failures.append(exc)
-
-        threads = [threading.Thread(target=work, args=(i,), daemon=True)
-                   for i in range(self.num_shards)]
-        for thread in threads:
-            thread.start()
-        for thread in threads:
-            thread.join()
         if failures:
             exc = failures[0]
             if isinstance(exc, RemoteInvocationError):
@@ -336,9 +387,8 @@ class ShardRouter:
         """Who is in a region? — fanned out, merged, reference-ordered."""
         self._count("fanout_queries")
         rect = self._region_rect(region)
-        chunks = self._fan_out(
-            lambda proxy: proxy.objects_in_region(rect, now,
-                                                  min_confidence))
+        chunks = self._fan_out("objects_in_region", rect, now,
+                               min_confidence)
         return merge_region_results(chunks)
 
     def objects_in_region_reference(self, region: Union[Rect, Glob, str],
@@ -347,13 +397,12 @@ class ShardRouter:
                                     ) -> List[Tuple[str, float]]:
         self._count("fanout_queries")
         rect = self._region_rect(region)
-        chunks = self._fan_out(
-            lambda proxy: proxy.objects_in_region_reference(
-                rect, now, min_confidence))
+        chunks = self._fan_out("objects_in_region_reference", rect, now,
+                               min_confidence)
         return merge_region_results(chunks)
 
     def tracked_objects(self) -> List[str]:
-        chunks = self._fan_out(lambda proxy: proxy.tracked_objects())
+        chunks = self._fan_out("tracked_objects")
         out: List[str] = []
         for chunk in chunks:
             out.extend(chunk)
@@ -377,22 +426,23 @@ class ShardRouter:
             estimates[first], estimates[second], threshold)
 
     def _fan_out_estimates(self, object_ids, now):
-        """Locate several objects concurrently (distinct owners)."""
+        """Locate several objects pipelined (distinct owners)."""
+        handles = []
+        for object_id in object_ids:
+            self._count("targeted_queries")
+            proxy = self._proxies[self.shard_of(object_id)]
+            handles.append(
+                (object_id, proxy.orb_invoke_async("locate", object_id,
+                                                   now)))
         estimates: Dict[str, Any] = {}
         failures: List[Exception] = []
-
-        def work(object_id: str) -> None:
+        for object_id, handle in handles:
             try:
-                estimates[object_id] = self.locate(object_id, now)
+                estimates[object_id] = handle.result()
+            except RemoteInvocationError as exc:
+                failures.append(_translate(exc))
             except Exception as exc:  # noqa: BLE001 — re-raised below
                 failures.append(exc)
-
-        threads = [threading.Thread(target=work, args=(oid,), daemon=True)
-                   for oid in object_ids]
-        for thread in threads:
-            thread.start()
-        for thread in threads:
-            thread.join()
         if failures:
             raise failures[0]
         return estimates
@@ -548,10 +598,12 @@ class ShardRouter:
         owning shard's dispatch order; the cross-object interleave is
         fixed by the deterministic merge.
         """
+        handles = [proxy.orb_invoke_async("take_events")
+                   for proxy in self._proxies]
         chunks = []
-        for index, proxy in enumerate(self._proxies):
+        for index, handle in enumerate(handles):
             try:
-                chunks.append(proxy.take_events())
+                chunks.append(handle.result())
             except (TransportError, RemoteInvocationError) as exc:
                 self._record_error(f"shard {index} events: {exc}")
         delivered = 0
@@ -589,10 +641,12 @@ class ShardRouter:
         (``enqueued == fused + dropped + dead_lettered``) apply
         fleet-wide unchanged.
         """
+        handles = [proxy.orb_invoke_async("stats")
+                   for proxy in self._proxies]
         shards: List[Optional[Dict[str, Any]]] = []
-        for index, proxy in enumerate(self._proxies):
+        for handle in handles:
             try:
-                shards.append(proxy.stats())
+                shards.append(handle.result())
             except (TransportError, RemoteInvocationError):
                 shards.append(None)
         fleet = {"enqueued": 0, "fused": 0, "dropped": 0,
@@ -619,6 +673,11 @@ class ShardRouter:
                 "targeted_queries": self.targeted_queries,
                 "errors": list(self.last_errors),
             }
+        transport = self.orb.transport_stats()
+        router["codec"] = transport["codec"]
+        router["multiplexed_inflight_max"] = \
+            transport["multiplexed_inflight_max"]
+        router["senders"] = [s.snapshot() for s in self._senders]
         router.update(self.partitioner.stats())
         if self.semantic is not None:
             router["semantic"] = self.semantic.stats()
@@ -640,9 +699,11 @@ class ShardRouter:
     def check_invariants(self) -> List[str]:
         """Fleet invariant sweep: every live shard plus the router."""
         errors: List[str] = []
-        for index, proxy in enumerate(self._proxies):
+        handles = [proxy.orb_invoke_async("check_invariants")
+                   for proxy in self._proxies]
+        for index, handle in enumerate(handles):
             try:
-                errors.extend(proxy.check_invariants())
+                errors.extend(handle.result())
             except (TransportError, RemoteInvocationError) as exc:
                 errors.append(f"shard {index} unreachable: {exc}")
         if not self.reconciles():

@@ -81,6 +81,8 @@ class ShardServant:
     * ``durability_mode`` — ``"buffered"`` | ``"strict"``.
     * ``recover_from`` — a WAL directory from a previous incarnation;
       the shard rebuilds its database from it before serving.
+    * ``wire_codec`` — preferred ORB codec (``"binary"`` | ``"json"``),
+      consumed by :func:`shard_worker_main` when it builds the Orb.
     """
 
     ORB_EXPOSED = (
@@ -210,17 +212,22 @@ class ShardServant:
             location=location, detection_radius=detection_radius,
             fire_triggers=True)
 
-    def submit_batch(self, readings: List[Dict[str, Any]]) -> int:
+    def submit_batch(self, readings: List[Any]) -> int:
         """Asynchronous ingest through the shard's pipeline.
 
-        Returns how many readings the intake accepted;
-        refused/dead-lettered ones are visible in :meth:`stats`.
+        Accepts :class:`PipelineReading` values directly (the binary
+        codec ships them packed) as well as the legacy field dicts
+        older routers send.  Returns how many readings the intake
+        accepted; refused/dead-lettered ones are visible in
+        :meth:`stats`.
         """
         from repro.errors import IntakeOverflowError
         accepted = 0
         for data in readings:
+            reading = (data if isinstance(data, PipelineReading)
+                       else reading_from_wire(data))
             try:
-                if self.pipeline.submit(reading_from_wire(data)):
+                if self.pipeline.submit(reading):
                     accepted += 1
             except IntakeOverflowError:
                 continue  # counted in the shard's ``rejected`` stat
@@ -414,7 +421,8 @@ class ShardServant:
 
 def shard_worker_main(config: Dict[str, Any], conn) -> None:
     """Spawn target: serve one shard until told to shut down."""
-    orb = Orb(f"shard-{config.get('shard_index', 0)}")
+    orb = Orb(f"shard-{config.get('shard_index', 0)}",
+              wire_codec=config.get("wire_codec", "binary"))
     servant = ShardServant(config)
     orb.register(SHARD_OBJECT_ID, servant)
     _, port = orb.listen(config.get("host", "127.0.0.1"), 0)

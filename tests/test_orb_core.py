@@ -240,3 +240,88 @@ class TestEventChannel:
         channel.publish(original)
         captured[0]["k"] = 99
         assert original["k"] == 1
+
+
+class _Mutator:
+    """Servant that mutates its argument and hoards returned state."""
+
+    def __init__(self):
+        self.received = None
+
+    def absorb(self, payload):
+        self.received = payload
+        payload["tampered"] = True
+        return payload
+
+    def state(self):
+        return self.received
+
+
+class TestInProcFastPath:
+    """The fast marshal must be observably identical to a full
+    serializer round-trip — including mutation isolation."""
+
+    def test_fast_path_taken_for_value_types(self):
+        orb = Orb()
+        orb.register("calc", Calculator())
+        proxy = orb.resolve("inproc://calc")
+        rect = proxy.rect()
+        assert rect == Rect(0, 0, 2, 3)
+        assert proxy.add(2, 3) == 5
+        stats = orb.transport_stats()
+        assert stats["inproc_fast_invocations"] == 2
+        assert stats["inproc_fallback_invocations"] == 0
+
+    def test_servant_mutation_cannot_reach_caller(self):
+        orb = Orb()
+        servant = _Mutator()
+        orb.register("mut", servant)
+        proxy = orb.resolve("inproc://mut")
+        payload = {"rect": Rect(1, 2, 3, 4), "items": [1, 2]}
+        result = proxy.absorb(payload)
+        # The servant's edit shows up in the *returned* copy...
+        assert result["tampered"] is True
+        # ...but neither the caller's argument nor the servant's
+        # retained copy alias the caller's objects.
+        assert "tampered" not in payload
+        assert servant.received is not payload
+        servant.received["items"].append(99)
+        assert payload["items"] == [1, 2]
+
+    def test_tuples_arrive_as_lists_like_tcp(self):
+        class Echo:
+            def echo(self, value):
+                return value
+
+        orb = Orb()
+        orb.register("echo", Echo())
+        proxy = orb.resolve("inproc://echo")
+        # JSON has no tuple; the fast path matches that observable.
+        assert proxy.echo((1, 2, 3)) == [1, 2, 3]
+
+    def test_debug_roundtrip_equivalent_but_counted_as_fallback(self):
+        fast = Orb("fast")
+        slow = Orb("slow", debug_roundtrip=True)
+        for orb in (fast, slow):
+            orb.register("calc", Calculator())
+        fast_result = fast.resolve("inproc://calc").rect()
+        slow_result = slow.resolve("inproc://calc").rect()
+        assert fast_result == slow_result
+        assert slow.transport_stats()["inproc_fast_invocations"] == 0
+        assert slow.transport_stats()["inproc_fallback_invocations"] >= 1
+
+    def test_serialization_failure_parity(self):
+        class Opaque:
+            pass
+
+        class Leaky:
+            def leak(self):
+                return Opaque()
+
+        orb = Orb()
+        orb.register("leaky", Leaky())
+        proxy = orb.resolve("inproc://leaky")
+        # An unserializable return must fail in-proc exactly as it
+        # would over TCP — the fast path may not smuggle it through.
+        with pytest.raises(OrbError):
+            proxy.leak()

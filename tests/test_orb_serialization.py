@@ -83,3 +83,15 @@ class TestErrors:
     def test_garbage_bytes_rejected(self):
         with pytest.raises(OrbError):
             loads(b"not json at all {")
+
+    def test_non_finite_floats_rejected_at_encode(self):
+        # NaN/Infinity are not JSON; letting them through would
+        # produce frames a strict peer cannot parse.  Reject at the
+        # encode boundary so the caller gets a local, actionable
+        # error instead of a remote decode failure.
+        import math
+        for bad in (math.nan, math.inf, -math.inf):
+            with pytest.raises(OrbError):
+                dumps({"x": bad})
+            with pytest.raises(OrbError):
+                dumps([1.0, bad])

@@ -262,3 +262,156 @@ class TestRouterStyleStress:
             assert fast_elapsed < 0.4
         finally:
             server.shutdown()
+
+
+class TestMultiplexedTransport:
+    """The negotiated fast lane: one socket, many in-flight requests,
+    responses out of order."""
+
+    def test_single_connection_carries_concurrency(self, client_orb):
+        server = Orb("muxed")
+        server.register("sleeper", Sleeper(delay=0.3))
+        server.register("counter", Counter())
+        server.listen()
+        try:
+            sleeper = client_orb.resolve(server.reference_for("sleeper"))
+            counter = client_orb.resolve(server.reference_for("counter"))
+            nap = sleeper.orb_invoke_async("nap")
+            # These are submitted after the nap but answered first —
+            # the server dispatches out of order on one connection.
+            for expected in range(1, 11):
+                assert counter.increment() == expected
+            assert not nap.done() or True  # nap may still be napping
+            assert nap.result() == "rested"
+            host, port = server._tcp_server.address
+            transport = client_orb._transports[(host, port)]
+            stats = transport.transport_stats()
+            assert stats["mode"] == "mux"
+            assert stats["codec"] == "binary"
+            assert stats["opened"] == 1  # the one upgraded connection
+            assert stats["multiplexed_inflight_max"] >= 2
+        finally:
+            server.shutdown()
+
+    def test_invoke_many_pipelines(self, server_orb, client_orb):
+        ref = server_orb.reference_for("counter")
+        proxy = client_orb.resolve(ref)
+        proxy.increment()  # negotiate
+        host, port = server_orb._tcp_server.address
+        transport = client_orb._transports[(host, port)]
+        requests = [{"object": "counter", "method": "increment",
+                     "args": [], "kwargs": {}} for _ in range(20)]
+        responses = transport.invoke_many(requests)
+        values = sorted(r["result"] for r in responses)
+        assert values == list(range(2, 22))
+        assert transport.pool_stats()["retries"] == 0
+
+    def test_async_remote_error_raised_at_result(self, server_orb,
+                                                 client_orb):
+        proxy = client_orb.resolve(server_orb.reference_for("counter"))
+        handle = proxy.orb_invoke_async("fail")
+        with pytest.raises(RemoteInvocationError) as exc_info:
+            handle.result()
+        assert exc_info.value.remote_type == "KeyError"
+
+
+class _ScriptedLegacyServer:
+    """A raw socket server speaking legacy framing from a script of
+    per-connection behaviours: "serve", "close_before_response",
+    "partial_response"."""
+
+    def __init__(self, behaviours):
+        import socket as socket_module
+        self.behaviours = list(behaviours)
+        self.sock = socket_module.socket()
+        self.sock.bind(("127.0.0.1", 0))
+        self.sock.listen(8)
+        self.address = self.sock.getsockname()
+        self.thread = threading.Thread(target=self._serve, daemon=True)
+        self.thread.start()
+
+    def _serve(self):
+        import struct
+        from repro.orb import serialization
+        for behaviour in self.behaviours:
+            conn, _ = self.sock.accept()
+            try:
+                header = b""
+                while len(header) < 4:
+                    header += conn.recv(4 - len(header))
+                (length,) = struct.unpack(">I", header)
+                body = b""
+                while len(body) < length:
+                    body += conn.recv(length - len(body))
+                if behaviour == "close_before_response":
+                    pass  # just close: no response bytes at all
+                elif behaviour == "partial_response":
+                    conn.sendall(b"\x00\x00")  # half a header, then die
+                else:
+                    payload = serialization.dumps({"result": "ok"})
+                    conn.sendall(struct.pack(">I", len(payload)) + payload)
+            finally:
+                conn.close()
+        self.sock.close()
+
+
+class TestRetrySemantics:
+    """The reconnect-retry fires once, and ONLY when the connection
+    died before any response byte arrived.  Retried requests may have
+    executed server-side, so everything invoked through the transport
+    must be idempotent — see the TcpTransport docstring."""
+
+    REQUEST = {"object": "x", "method": "y", "args": [], "kwargs": {}}
+
+    def test_retries_when_no_response_bytes(self):
+        server = _ScriptedLegacyServer(["close_before_response", "serve"])
+        host, port = server.address
+        transport = TcpTransport(host, port, timeout=5.0, negotiate=False)
+        try:
+            response = transport.invoke(dict(self.REQUEST))
+            assert response == {"result": "ok"}
+            assert transport.pool_stats()["retries"] == 1
+        finally:
+            transport.close()
+
+    def test_no_retry_after_partial_response(self):
+        server = _ScriptedLegacyServer(["partial_response", "serve"])
+        host, port = server.address
+        transport = TcpTransport(host, port, timeout=5.0, negotiate=False)
+        try:
+            with pytest.raises(TransportError) as exc_info:
+                transport.invoke(dict(self.REQUEST))
+            # Died mid-response: NOT retried (the request may have
+            # executed; a retry could double-execute and the partial
+            # bytes prove the server took it).
+            assert "mid-response" in str(exc_info.value)
+            assert transport.pool_stats()["retries"] == 0
+        finally:
+            transport.close()
+
+    def test_retry_happens_at_most_once(self):
+        server = _ScriptedLegacyServer(["close_before_response",
+                                        "close_before_response"])
+        host, port = server.address
+        transport = TcpTransport(host, port, timeout=5.0, negotiate=False)
+        try:
+            with pytest.raises(TransportError):
+                transport.invoke(dict(self.REQUEST))
+            assert transport.pool_stats()["retries"] == 1
+        finally:
+            transport.close()
+
+
+class TestSendSideFrameGuard:
+    def test_oversized_request_raises_locally(self, server_orb,
+                                              client_orb):
+        """An oversized payload must fail client-side with a clear
+        error, not by the peer killing the connection mid-frame."""
+        proxy = client_orb.resolve(server_orb.reference_for("counter"))
+        proxy.increment()  # establish the connection first
+        blob = "x" * (65 * 1024 * 1024)
+        with pytest.raises(TransportError) as exc_info:
+            proxy.increment(by=blob)
+        assert "exceeds" in str(exc_info.value)
+        # The connection survives: the frame was never sent.
+        assert proxy.increment() == 2
